@@ -1,0 +1,64 @@
+"""Data-precision ablation (§5.5).
+
+Paper: the deployed FP32 point packs 8 elements per 512-bit beat and runs
+8 PEs per PEG; FP64 values with 32-bit metadata pack only 5, so "the
+parallelism in each PEG reduces from 8 to 5 PEs and similarly required
+URAM_sh per ScUG reduces to 5"; lower precision would allow more.
+
+The bench schedules the same workload at each precision and checks the
+parallelism, cycle and URAM relationships §5.5 states.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import print_banner
+from repro.config import ChasonConfig
+from repro.matrices import generators
+from repro.precision import precision, with_precision
+from repro.scheduling import schedule_crhcs
+
+
+def test_ablation_precision(benchmark):
+    matrix = generators.chung_lu_graph(2000, 20000, alpha=2.1, seed=88)
+    base = ChasonConfig(scug_size=8)
+
+    print_banner("Ablation: data precision (§5.5)")
+    print(
+        f"{'precision':<10s}{'bits/elem':>10s}{'elems/beat':>11s}"
+        f"{'PEs/PEG':>8s}{'ScUG':>6s}{'cycles':>9s}{'underutil%':>11s}"
+    )
+    results = {}
+    for name in ("fp16", "fp32", "fp64"):
+        spec = precision(name)
+        config = with_precision(base, name)
+        schedule = schedule_crhcs(matrix, config)
+        schedule.validate()
+        results[name] = (config, schedule)
+        print(
+            f"{name:<10s}{spec.element_bits:>10d}"
+            f"{spec.elements_per_word:>11d}{config.pes_per_channel:>8d}"
+            f"{config.scug_size:>6d}{schedule.stream_cycles:>9d}"
+            f"{100 * schedule.underutilization:>11.1f}"
+        )
+
+    fp32_config, fp32_schedule = results["fp32"]
+    fp64_config, fp64_schedule = results["fp64"]
+
+    # §5.5's statements, verbatim:
+    assert precision("fp32").elements_per_word == 8
+    assert precision("fp64").elements_per_word == 5
+    assert fp64_config.pes_per_channel == 5
+    assert fp64_config.scug_size == 5
+    # Fewer PEs per beat → more streaming cycles for the same non-zeros.
+    assert fp64_schedule.stream_cycles > fp32_schedule.stream_cycles
+    # The cycle inflation is bounded by the parallelism ratio (8/5) plus
+    # scheduling slack.
+    ratio = fp64_schedule.stream_cycles / fp32_schedule.stream_cycles
+    assert ratio == pytest.approx(8 / 5, rel=0.5)
+    # All precisions schedule every non-zero.
+    for _, schedule in results.values():
+        assert schedule.nnz == matrix.nnz
+
+    benchmark(schedule_crhcs, matrix, fp64_config)

@@ -1,0 +1,63 @@
+"""Ablation: software row-reordering vs hardware data migration (§2.3).
+
+Related work accelerates SpMV by *reordering* non-zeros/rows in software
+(§7.1).  The paper's key insight is that intra-channel measures cannot
+fill stalls once a channel's rows run out of non-zeros — only crossing
+the channel boundary can.  This bench quantifies that claim: LPT row
+balancing (an idealised software preprocessing) against CrHCS, and both
+combined.
+"""
+
+from __future__ import annotations
+
+from conftest import print_banner
+from repro.config import DEFAULT_CHASON, DEFAULT_SERPENS
+from repro.matrices import generators
+from repro.scheduling import (
+    schedule_crhcs,
+    schedule_pe_aware,
+)
+from repro.scheduling.reorder import reorder_rows
+
+
+def test_ablation_row_reordering(benchmark):
+    matrix = generators.chung_lu_graph(2500, 25000, alpha=2.1, seed=55)
+    permuted, _ = reorder_rows(matrix, DEFAULT_SERPENS)
+
+    variants = {
+        "pe_aware": schedule_pe_aware(matrix, DEFAULT_SERPENS),
+        "pe_aware + reorder": schedule_pe_aware(permuted, DEFAULT_SERPENS),
+        "crhcs": schedule_crhcs(matrix, DEFAULT_CHASON),
+        "crhcs + reorder": schedule_crhcs(permuted, DEFAULT_CHASON),
+    }
+
+    print_banner(
+        "Ablation: software row reordering vs cross-channel migration"
+    )
+    print(f"{'variant':<20s}{'underutil %':>12s}{'cycles':>9s}")
+    for name, schedule in variants.items():
+        print(
+            f"{name:<20s}{100 * schedule.underutilization:12.1f}"
+            f"{schedule.stream_cycles:9d}"
+        )
+
+    # Reordering alone helps PE-aware scheduling (slightly)...
+    assert (
+        variants["pe_aware + reorder"].stream_cycles
+        <= variants["pe_aware"].stream_cycles * 1.02
+    )
+    # ...but cannot approach what migration achieves (§2.3).
+    assert (
+        variants["crhcs"].stream_cycles
+        < variants["pe_aware + reorder"].stream_cycles * 0.6
+    )
+    # Reordering barely moves CrHCS either way (the migration pass
+    # already redistributes work dynamically, so a static permutation is
+    # mostly redundant): the two CrHCS variants stay within ~15 % of each
+    # other while both dwarf every reorder-only variant.
+    crhcs_cycles = variants["crhcs"].stream_cycles
+    combined_cycles = variants["crhcs + reorder"].stream_cycles
+    assert 0.85 < combined_cycles / crhcs_cycles < 1.15
+    assert combined_cycles < variants["pe_aware + reorder"].stream_cycles
+
+    benchmark(reorder_rows, matrix, DEFAULT_SERPENS)

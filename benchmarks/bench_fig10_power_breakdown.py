@@ -1,0 +1,59 @@
+"""Figure 10 — power distribution of Chasoň on the Alveo U55c.
+
+Paper: 48.715 W estimated total; HBM dominates at 18.95 W, Chasoň's own
+logic takes only 8 % (2.76 W), BRAM/URAM 3–4 % each.
+
+The bench prints the modelled breakdown next to the published watts and
+times the (cheap) breakdown computation, plus a scaling sanity sweep.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import print_banner
+from repro.config import ChasonConfig
+from repro.power.fpga import chason_power_breakdown
+
+
+PAPER_WATTS = {
+    "static": 12.845,
+    "clocks": 4.18,
+    "signals": 2.22,
+    "logic": 2.76,
+    "bram": 1.24,
+    "uram": 1.51,
+    "dsp": 0.56,
+    "gty": 4.36,
+    "hbm": 18.95,
+}
+
+
+def test_fig10_power_breakdown(benchmark):
+    breakdown = chason_power_breakdown()
+
+    print_banner("Figure 10: Chasoň power distribution on Alveo U55c")
+    print(f"{'component':<10s} {'model (W)':>10s} {'paper (W)':>10s} "
+          f"{'share':>7s}")
+    fractions = breakdown.fractions()
+    for name, watts in breakdown.as_dict().items():
+        print(
+            f"{name:<10s} {watts:10.3f} {PAPER_WATTS[name]:10.3f} "
+            f"{100 * fractions[name]:6.1f}%"
+        )
+    print(f"{'total':<10s} {breakdown.total:10.3f} {48.715:10.3f}")
+
+    # The published configuration must reproduce Fig. 10 exactly.
+    for name, watts in breakdown.as_dict().items():
+        assert watts == pytest.approx(PAPER_WATTS[name], abs=1e-6)
+    assert breakdown.total == pytest.approx(48.715, abs=0.15)
+    assert fractions["hbm"] == max(fractions.values())
+    assert fractions["logic"] == pytest.approx(0.08, abs=0.03)
+
+    # Scaling: halving the sparse channels cuts HBM power, not static.
+    half = chason_power_breakdown(ChasonConfig(sparse_channels=8))
+    assert half.hbm < breakdown.hbm
+    assert half.static == breakdown.static
+    assert half.total < breakdown.total
+
+    benchmark(chason_power_breakdown)

@@ -1,0 +1,53 @@
+"""Figure 13 — average PE underutilization per PEG (fairness).
+
+Paper: averaged over the 20 Table 2 matrices, every Serpens PEG sits near
+95 % underutilization while Chasoň brings each PEG down to 60–65 %, with
+little variation across the 16 PEGs — the scheduler spreads stalls fairly.
+
+The bench prints the 16 per-PEG averages for both designs, asserts the
+improvement and the fairness (low spread), and times the aggregation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import print_banner
+
+
+def _per_peg_average(sweep, attribute):
+    rows = np.array([getattr(item, attribute) for item in sweep])
+    return rows.mean(axis=0)
+
+
+def test_fig13_per_peg_average(benchmark, named_sweep):
+    serpens_avg = _per_peg_average(named_sweep,
+                                   "serpens_peg_underutilization")
+    chason_avg = _per_peg_average(named_sweep,
+                                  "chason_peg_underutilization")
+
+    print_banner(
+        "Figure 13: average PE underutilization % per PEG "
+        "(20 Table 2 matrices)"
+    )
+    print(f"{'PEG':<5s}{'serpens':>9s}{'chason':>9s}")
+    for peg, (s, c) in enumerate(zip(serpens_avg, chason_avg)):
+        print(f"{peg:<5d}{s:9.1f}{c:9.1f}")
+    print(
+        f"mean  {serpens_avg.mean():8.1f}{chason_avg.mean():9.1f}   "
+        "(paper: ≈95 vs 60-65)"
+    )
+    print(
+        f"spread (max-min): serpens {np.ptp(serpens_avg):.1f}, "
+        f"chason {np.ptp(chason_avg):.1f} percentage points"
+    )
+
+    # Paper shape: every PEG improves, and Chasoň distributes stalls
+    # evenly (small spread across PEGs).
+    assert np.all(chason_avg < serpens_avg)
+    assert serpens_avg.mean() > 75.0
+    assert chason_avg.mean() < serpens_avg.mean() - 15
+    assert np.ptp(chason_avg) < 20.0
+
+    benchmark(_per_peg_average, named_sweep,
+              "chason_peg_underutilization")

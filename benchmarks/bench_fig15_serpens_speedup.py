@@ -1,0 +1,75 @@
+"""Figure 15 — speedup over Serpens and HBM data-transfer reduction.
+
+Paper: geometric-mean speedup of 6.1× on the SuiteSparse subset and 4.1×
+on the SNAP subset (up to 8.4×); both collections transfer ≈7× less data
+because CrHCS removes the zero padding that Serpens streams.
+
+The bench prints the per-matrix speedups and transfer reductions next to
+the published per-matrix factors and asserts the aggregate shape; the
+timed kernel is the CrHCS migration pass on one named matrix.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from conftest import print_banner
+from repro.config import DEFAULT_CHASON
+from repro.matrices.named import generate_named
+from repro.metrics import geometric_mean
+from repro.scheduling.crhcs import schedule_crhcs
+
+#: Fig. 15 per-matrix data-transfer reduction factors.
+PAPER_TRANSFER_REDUCTION = {
+    "DY": 7.9, "RE": 8.0, "C5": 6.7, "MY": 4.4, "VS": 7.5, "TS": 7.6,
+    "LO": 7.2, "HA": 8.0, "TR": 8.0, "CK": 6.2,
+    "WI": 7.6, "EM": 6.9, "AS": None, "OR": None, "WK": 7.2,
+    "SC": 5.7, "A7": 7.9, "CM": 7.6, "WB": 7.7, "RT": 7.8,
+}
+
+
+def test_fig15_speedup_and_transfer_reduction(benchmark, named_sweep):
+    print_banner("Figure 15: Chasoň vs Serpens on the Table 2 matrices")
+    print(
+        f"{'ID':<4s}{'speedup x':>10s}{'xfer red. x':>13s}"
+        f"{'paper xfer x':>14s}"
+    )
+    by_collection = defaultdict(lambda: {"speedups": [], "reductions": []})
+    for item in named_sweep:
+        paper = PAPER_TRANSFER_REDUCTION.get(item.matrix_id)
+        paper_text = f"{paper:.1f}" if paper else "  -"
+        print(
+            f"{item.matrix_id:<4s}{item.speedup:10.2f}"
+            f"{item.transfer_reduction:13.2f}{paper_text:>14s}"
+        )
+        bucket = by_collection[item.collection]
+        bucket["speedups"].append(item.speedup)
+        bucket["reductions"].append(item.transfer_reduction)
+
+    for collection, bucket in by_collection.items():
+        geo_speed = geometric_mean(bucket["speedups"])
+        geo_red = geometric_mean(bucket["reductions"])
+        target = 6.1 if collection == "SuiteSparse" else 4.1
+        print(
+            f"{collection:<12s} geomean speedup {geo_speed:5.2f}x "
+            f"(paper ≈{target}x), geomean transfer reduction "
+            f"{geo_red:5.2f}x (paper ≈7x)"
+        )
+
+    speedups = [item.speedup for item in named_sweep]
+    reductions = [item.transfer_reduction for item in named_sweep]
+    # Paper shape: Chasoň wins on every matrix, with multi-x geomeans.
+    assert all(s > 1.0 for s in speedups)
+    assert geometric_mean(speedups) > 3.0
+    assert max(speedups) > 6.0
+    assert geometric_mean(reductions) > 3.0
+    # Transfer reduction never exceeds what zero-removal can provide:
+    # bounded by the Serpens stall fraction.
+    for item in named_sweep:
+        upper = 1.0 / max(
+            1.0 - item.serpens.underutilization_pct / 100.0, 1e-3
+        )
+        assert item.transfer_reduction <= upper * 1.05
+
+    matrix = generate_named("CollegeMsg")
+    benchmark(schedule_crhcs, matrix, DEFAULT_CHASON)

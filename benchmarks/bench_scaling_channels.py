@@ -1,0 +1,66 @@
+"""Scaling study: channel count and migration window (§6.1's outlook).
+
+Not a published figure — the paper deploys one design point and argues
+(§6.1) that a larger FPGA could widen the migration window.  This bench
+quantifies both scaling axes of the reproduction's model:
+
+* **channels**: every sparse channel adds a PEG and 14.37 GB/s; on a
+  bandwidth-bound workload cycles should shrink near-linearly until
+  imbalance breaks strong scaling;
+* **migration span**: span 0 → 1 is the big step (the paper's headline);
+  spans 2-3 trade URAMs for marginal residual-stall reduction.
+"""
+
+from __future__ import annotations
+
+from conftest import print_banner
+from repro.analysis.sweeps import (
+    scaling_efficiency,
+    sweep_channels,
+    sweep_migration_span,
+)
+from repro.matrices import generators
+
+
+def test_scaling_channels(benchmark):
+    matrix = generators.uniform_random(6000, 6000, 120_000, seed=21)
+    points = sweep_channels(matrix)
+    efficiencies = scaling_efficiency(points)
+
+    print_banner("Scaling: sparse channel count (uniform workload)")
+    print(f"{'config':<8s}{'cycles':>9s}{'latency ms':>12s}"
+          f"{'GFLOPS':>8s}{'efficiency':>11s}")
+    for point, efficiency in zip(points, efficiencies):
+        print(
+            f"{point.label:<8s}{point.cycles:>9d}"
+            f"{point.report.latency_ms:>12.4f}"
+            f"{point.report.throughput_gflops:>8.2f}"
+            f"{efficiency:>11.2f}"
+        )
+
+    cycles = [point.cycles for point in points]
+    # Monotone improvement with channel count…
+    assert cycles == sorted(cycles, reverse=True)
+    # …and reasonable strong scaling on this balanced workload (the
+    # fixed x-load/invocation terms erode efficiency at high counts).
+    assert efficiencies[0] == 1.0
+    assert efficiencies[-1] > 0.4
+
+    matrix_span = generators.chung_lu_graph(2500, 25000, alpha=2.1,
+                                            seed=22)
+    span_points = sweep_migration_span(matrix_span)
+    print_banner("Scaling: migration span (graph workload)")
+    print(f"{'config':<8s}{'cycles':>9s}{'underutil %':>12s}"
+          f"{'URAMs':>7s}")
+    for point in span_points:
+        print(
+            f"{point.label:<8s}{point.cycles:>9d}"
+            f"{point.report.underutilization_pct:>12.1f}"
+            f"{point.urams:>7d}"
+        )
+    # Span 0 → 1 is the big step; URAM cost grows linearly with span.
+    assert span_points[1].cycles < span_points[0].cycles * 0.5
+    assert span_points[2].urams == 2 * span_points[1].urams
+    assert span_points[3].urams == 3 * span_points[1].urams
+
+    benchmark(sweep_channels, matrix, (4, 16))

@@ -1,0 +1,98 @@
+"""§6.2.2's regime analysis: where Chasoň's speedup compresses.
+
+The paper reports a geometric-mean speedup of only 1.17× on the 12
+matrices the *Serpens* paper evaluated — large, regular matrices where
+PE-aware scheduling already keeps the pipeline busy and "RAW dependencies
+in the migrated data … reduce the opportunity for CrHCS to fully exploit
+its advantages".
+
+This bench reproduces the regime split on synthetic families: on
+imbalanced matrices (graphs, skewed blocks) Chasoň wins multi-x; on
+regular matrices (dense-banded, uniform with long rows) the speedup
+compresses towards the 301/223 MHz clock ratio (1.35×), because migration
+finds few stalls to fill.
+"""
+
+from __future__ import annotations
+
+from conftest import print_banner
+from repro.baselines.serpens import SerpensAccelerator
+from repro.core.chason import ChasonAccelerator
+from repro.matrices import generators
+from repro.metrics import geometric_mean
+
+CLOCK_RATIO = 301.0 / 223.0
+
+
+def _regular_suite():
+    """Large, regular matrices: the Serpens-paper regime."""
+    return [
+        ("banded-full", generators.banded(6000, 6000, bandwidth=4,
+                                          fill=1.0, seed=1)),
+        ("banded-wide", generators.banded(4000, 4000, bandwidth=10,
+                                          fill=1.0, seed=2)),
+        ("uniform-dense-rows", generators.uniform_random(
+            3000, 3000, 120_000, seed=3)),
+        ("block-uniform", generators.block_diagonal(
+            60, 64, block_fill=0.35, row_skew=0.0, seed=4)),
+    ]
+
+
+def _irregular_suite():
+    """Imbalanced matrices: the Table 2 regime."""
+    return [
+        ("graph", generators.chung_lu_graph(3000, 40_000, alpha=2.1,
+                                            seed=5)),
+        ("power-law", generators.power_law_rows(4000, 4000, 40_000,
+                                                alpha=1.8, seed=6)),
+        ("block-skewed", generators.block_diagonal(
+            60, 64, block_fill=0.2, row_skew=1.4, seed=7)),
+    ]
+
+
+def test_serpens_regime_split(benchmark, corpus_sweep):
+    chason = ChasonAccelerator()
+    serpens = SerpensAccelerator()
+
+    print_banner("§6.2.2: speedup regimes (regular vs irregular matrices)")
+    print(f"{'matrix':<20s}{'serpens u%':>11s}{'chason u%':>10s}"
+          f"{'speedup':>9s}")
+
+    def run(suite):
+        speedups = []
+        for name, matrix in suite:
+            chason_report = chason.analyze(matrix)
+            serpens_report = serpens.analyze(matrix)
+            speedup = serpens_report.latency_ms / chason_report.latency_ms
+            speedups.append(speedup)
+            print(
+                f"{name:<20s}{serpens_report.underutilization_pct:>11.1f}"
+                f"{chason_report.underutilization_pct:>10.1f}"
+                f"{speedup:>9.2f}"
+            )
+        return speedups
+
+    regular = run(_regular_suite())
+    irregular = run(_irregular_suite())
+
+    regular_geomean = geometric_mean(regular)
+    irregular_geomean = geometric_mean(irregular)
+    print(
+        f"\nregular geomean {regular_geomean:.2f}x "
+        f"(paper's Serpens-suite regime: ≈1.17x; clock ratio "
+        f"{CLOCK_RATIO:.2f}x)"
+    )
+    print(f"irregular geomean {irregular_geomean:.2f}x "
+          "(Table 2 regime: multi-x)")
+
+    # The §6.2.2 shape: regular matrices compress towards the clock
+    # ratio; irregular matrices keep the multi-x advantage.
+    assert regular_geomean < 2.2
+    assert irregular_geomean > 2.5
+    assert irregular_geomean > regular_geomean * 1.5
+    # On every regular matrix Chasoň still at least matches Serpens
+    # (never a slowdown — consistent with the paper's 1.17x geomean).
+    assert all(s > 0.95 for s in regular)
+
+    matrix = _regular_suite()[0][1]
+    benchmark(chason.analyze, matrix)

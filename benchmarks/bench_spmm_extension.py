@@ -1,0 +1,91 @@
+"""The SpMM extension (§7.2).
+
+Paper: Chasoň extends to ``C = αAB + βC`` with 29 HBM channels (sparse A
+stream + 4 for dense B + 8 for C + instruction order), deeper ScUG URAMs
+holding one partial sum per B column, and trivially re-configured
+Reduction/Re-order units.  §7.2 is a feasibility discussion — there are
+no published SpMM numbers — so this bench demonstrates the claims
+operationally: functional correctness through the CrHCS schedule, the
+channel budget, and throughput scaling with the B panel width.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import print_banner
+from repro.core.spmm import (
+    chason_spmm,
+    chason_spmm_report,
+    sextans_spmm_report,
+    spmm_config,
+)
+from repro.matrices import generators
+
+
+def test_spmm_extension(benchmark):
+    matrix = generators.power_law_rows(1500, 1500, 15000, alpha=1.8,
+                                       seed=66)
+    rng = np.random.default_rng(66)
+
+    config = spmm_config()
+    print_banner("§7.2: Chasoň for SpMM")
+    print(
+        f"channel budget: {config.sparse_channels} for A + "
+        f"{config.dense_vector_channels} for B/C/instr = "
+        f"{config.used_channels} (paper: 29)"
+    )
+    assert config.used_channels == 29
+
+    # Functional correctness of alpha*A@B + beta*C through the schedule.
+    b = rng.normal(size=(1500, 16)).astype(np.float32)
+    c = rng.normal(size=(1500, 16))
+    result, report = chason_spmm(matrix, b, c=c, alpha=1.5, beta=0.25)
+    expected = 1.5 * matrix.to_dense() @ b.astype(np.float64) + 0.25 * c
+    assert np.allclose(result, expected, rtol=1e-4, atol=1e-5)
+    print(f"functional check: C = 1.5*A@B + 0.25*C verified "
+          f"({matrix.nnz} nnz x {b.shape[1]} columns)")
+
+    # Throughput scales with the B panel: wider panels amortise the
+    # per-pass overheads until streaming dominates.
+    print(f"\n{'B cols':>7s}{'latency ms':>12s}{'GFLOPS':>9s}")
+    previous = None
+    for b_cols in (8, 16, 32, 64, 128):
+        panel_report = chason_spmm_report(matrix, b_cols)
+        print(
+            f"{b_cols:>7d}{panel_report.latency_ms:>12.4f}"
+            f"{panel_report.throughput_gflops:>9.2f}"
+        )
+        if previous is not None:
+            assert panel_report.latency_ms > previous.latency_ms
+            assert (
+                panel_report.throughput_gflops
+                >= previous.throughput_gflops * 0.9
+            )
+        previous = panel_report
+    # SpMM reuses each streamed non-zero across the whole B panel
+    # (8 columns per beat), so its throughput must comfortably beat the
+    # same schedule's SpMV throughput (2 FLOPs per streamed element).
+    from repro.core.chason import ChasonAccelerator
+    from repro.config import ChasonConfig
+
+    spmv_gflops = ChasonAccelerator(
+        ChasonConfig()
+    ).analyze(matrix).throughput_gflops
+    print(f"\nSpMV throughput on the same matrix: {spmv_gflops:.2f} GFLOPS")
+    assert previous.throughput_gflops > 2.0 * spmv_gflops
+
+    # CrHCS carries over: the Sextans-style (intra-channel, 223 MHz)
+    # baseline loses on the same SpMM, like Serpens loses on SpMV.
+    chason_report = chason_spmm_report(matrix, 32)
+    sextans_report = sextans_spmm_report(matrix, 32)
+    speedup = sextans_report.latency_ms / chason_report.latency_ms
+    print(
+        f"vs Sextans-style baseline at 32 B-columns: "
+        f"{chason_report.latency_ms:.4f} ms vs "
+        f"{sextans_report.latency_ms:.4f} ms ({speedup:.2f}x)"
+    )
+    assert speedup > 1.5
+    assert sextans_report.migrated == 0
+
+    benchmark(chason_spmm_report, matrix, 32)

@@ -1,0 +1,62 @@
+"""Table 1 — Alveo U55c resource consumption, Chasoň vs Serpens.
+
+Paper: Serpens 219K LUT (16 %) / 252K FF / 798 DSP / 1024 BRAM18K (28 %) /
+384 URAM (40 %); Chasoň 346K LUT (26 %) / 418K FF / 1254 DSP / 1024
+BRAM18K / 512 URAM (52 %).  §4.5 also gives the URAM ablation: the ideal
+ScUG of 8 needs 1024 URAMs (exceeds the 960 available), the deployed 4
+needs 512, the theoretical floor is 256.
+
+The bench prints the modelled table next to the published numbers and
+asserts both columns; the timed kernel is the resource-model evaluation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import print_banner
+from repro.analysis.report import format_table1
+from repro.config import ChasonConfig
+from repro.errors import CapacityError
+from repro.resources.model import (
+    chason_resources,
+    serpens_resources,
+    uram_count,
+)
+
+PAPER = {
+    "serpens": {"luts": 219_000, "ffs": 252_000, "dsps": 798,
+                "bram18k": 1024, "urams": 384},
+    "chason": {"luts": 346_000, "ffs": 418_000, "dsps": 1254,
+               "bram18k": 1024, "urams": 512},
+}
+
+
+def test_table1_resource_consumption(benchmark):
+    serpens = serpens_resources()
+    chason = chason_resources()
+
+    print_banner("Table 1: Xilinx Alveo U55c resource consumption")
+    print(format_table1([serpens, chason]))
+
+    for report, name in ((serpens, "serpens"), (chason, "chason")):
+        paper = PAPER[name]
+        assert report.luts == pytest.approx(paper["luts"], rel=0.01)
+        assert report.ffs == pytest.approx(paper["ffs"], rel=0.01)
+        assert report.dsps == paper["dsps"]
+        assert report.bram18k == paper["bram18k"]
+        assert report.urams == paper["urams"]
+        report.check_fits()
+
+    # §4.5 URAM ablation: 1024 (ideal, too big) → 512 (deployed) → 256.
+    print("\n§4.5 URAM sizing: "
+          f"ideal ScUG=8 → {uram_count(16, 8, 8)}, "
+          f"deployed ScUG=4 → {uram_count(16, 8, 4)}, "
+          f"floor ScUG=2 → {uram_count(16, 8, 2)} (960 available)")
+    assert uram_count(16, 8, 8) == 1024
+    assert uram_count(16, 8, 4) == 512
+    assert uram_count(16, 8, 2) == 256
+    with pytest.raises(CapacityError):
+        chason_resources(ChasonConfig(scug_size=8)).check_fits()
+
+    benchmark(chason_resources)

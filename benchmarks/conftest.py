@@ -1,0 +1,52 @@
+"""Shared fixtures for the benchmark harness.
+
+Every evaluation figure/table has a dedicated ``bench_*`` file.  Expensive
+sweeps (the 20 Table 2 matrices, the synthetic corpus) run once per
+session and are shared; the ``benchmark`` fixture of each file times the
+representative kernel of that experiment.
+
+Scale knobs (see ``repro.analysis.experiments``):
+
+* default — 96 corpus matrices capped at 40 000 non-zeros (minutes);
+* ``REPRO_FULL_CORPUS=1`` — the full 800-matrix corpus at full size;
+* ``REPRO_CORPUS_COUNT`` / ``REPRO_CORPUS_NNZ_CAP`` — manual overrides.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import (
+    compare_on_corpus,
+    compare_on_named,
+    gpu_cpu_comparison,
+)
+
+#: The in-depth subset used when a bench only needs a few named matrices.
+FAST_NAMED = ["CollegeMsg", "as-735", "wb-cs-stanford",
+              "dynamicSoaringProblem_8", "c52"]
+
+
+@pytest.fixture(scope="session")
+def named_sweep():
+    """Chasoň vs Serpens on all 20 Table 2 matrices, with per-PEG stats."""
+    return compare_on_named(include_channel_stats=True)
+
+
+@pytest.fixture(scope="session")
+def corpus_sweep():
+    """Chasoň vs Serpens over the (capped) evaluation corpus."""
+    return compare_on_corpus()
+
+
+@pytest.fixture(scope="session")
+def baseline_sweep():
+    """Chasoň vs RTX 4090 / RTX A6000 / i9 over the corpus."""
+    return gpu_cpu_comparison()
+
+
+def print_banner(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)

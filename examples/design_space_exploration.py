@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Design-space exploration: channels × migration span × ScUG size.
+
+The paper deploys one point of a larger design space (16 channels, span 1,
+ScUG 4) dictated by the U55c's resources (§4.5, §6.1).  This example
+sweeps the neighbourhood of that point on a SNAP-shaped workload and
+reports, for every variant, the schedule quality (PE underutilization,
+stream cycles), the modelled latency/throughput, and the URAM cost — the
+trade-off a designer targeting a larger FPGA would navigate.
+
+Run with::
+
+    python examples/design_space_exploration.py
+"""
+
+from __future__ import annotations
+
+from repro import ChasonAccelerator, ChasonConfig
+from repro.matrices import generators
+from repro.resources.model import ALVEO_U55C, chason_resources
+
+
+def main() -> None:
+    workload = generators.chung_lu_graph(3000, 30000, alpha=2.1, seed=99)
+    print(f"workload: {workload.shape} graph, nnz={workload.nnz}\n")
+
+    header = (
+        f"{'channels':>8s} {'span':>5s} {'scug':>5s} "
+        f"{'underutil%':>11s} {'cycles':>8s} {'latency ms':>11s} "
+        f"{'GFLOPS':>8s} {'URAMs':>7s} {'fits?':>6s}"
+    )
+    print(header)
+    print("-" * len(header))
+
+    for channels in (8, 16):
+        for span in (1, 2):
+            for scug in (2, 4, 8):
+                config = ChasonConfig(
+                    sparse_channels=channels,
+                    migration_span=span,
+                    scug_size=scug,
+                )
+                report = ChasonAccelerator(config).analyze(workload)
+                resources = chason_resources(config)
+                fits = resources.urams <= ALVEO_U55C.urams
+                print(
+                    f"{channels:>8d} {span:>5d} {scug:>5d} "
+                    f"{report.underutilization_pct:>11.1f} "
+                    f"{report.stream_cycles:>8d} "
+                    f"{report.latency_ms:>11.4f} "
+                    f"{report.throughput_gflops:>8.2f} "
+                    f"{resources.urams:>7d} "
+                    f"{'yes' if fits else 'NO':>6s}"
+                )
+
+    print(
+        "\nReading the table:\n"
+        "* span 2 shaves residual stalls (§6.1) but doubles ScUG URAMs —\n"
+        "  on the U55c only span 1 fits alongside ScUG 4 (the deployed\n"
+        "  point, 512 URAMs).\n"
+        "* ScUG size never changes the schedule (§4.5): it trades URAM\n"
+        "  budget against rows per pass, not performance.\n"
+        "* Halving the channels halves the streaming parallelism: cycles\n"
+        "  roughly double on this bandwidth-bound workload."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""The deployment flow: preprocess offline, ship a binary, stream it.
+
+A real Chasoň deployment separates roles (§4.1): a *preprocessing* host
+runs CrHCS once and writes binary HBM channel images in the §3.2 wire
+format; the *runtime* host uploads the image over PCIe, reconfigures the
+FPGA once, and then streams thousands of SpMV iterations.  This example
+walks the whole path with the library's serializer and host model, and
+shows why the paper measures over 1000 iterations (§5.2).
+
+Run with::
+
+    python examples/offline_deploy.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import ChasonAccelerator, generate_named, reference_spmv
+from repro.core.host import FPGA_PROTOCOL, estimate_deployment
+from repro.scheduling import deserialize_schedule, serialize_schedule
+from repro.sim import execute_schedule
+
+
+def main() -> None:
+    matrix = generate_named("as-735")
+    chason = ChasonAccelerator()
+
+    # --- offline: schedule once, write the channel image -----------------
+    schedule = chason.schedule(matrix)
+    image = serialize_schedule(schedule)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "as-735.chsn"
+        path.write_bytes(image)
+        print(
+            f"offline preprocessing: {matrix.nnz} non-zeros scheduled, "
+            f"{chason.last_migration.migrated} migrated; channel image "
+            f"{len(image) / 1e6:.2f} MB -> {path.name}"
+        )
+
+        # --- runtime: load the image and stream -------------------------
+        loaded = deserialize_schedule(path.read_bytes(), chason.config)
+
+    x = np.random.default_rng(7).normal(size=matrix.n_cols)
+    x = x.astype(np.float32)
+    execution = execute_schedule(loaded, x, chason.config)
+    assert execution.verify(reference_spmv(matrix, x), rtol=1e-4)
+    print(
+        f"runtime streaming: {execution.cycles.total} cycles "
+        f"({execution.latency_ms:.4f} ms at 301 MHz), output verified"
+    )
+
+    # --- why the paper amortises over 1000 iterations (§5.2) -------------
+    vector_bytes = 4 * (matrix.n_cols + matrix.n_rows)
+    print(f"\n{'iterations':>11s}{'naive us/iter':>15s}"
+          f"{'w/o reconfig':>14s}{'kernel us/iter':>16s}")
+    for iterations in (1, 10, 100, FPGA_PROTOCOL.iterations):
+        with_reconfig = estimate_deployment(
+            kernel_seconds=execution.latency_seconds,
+            schedule_bytes=len(image),
+            vector_bytes=vector_bytes,
+            iterations=iterations,
+        )
+        data_only = estimate_deployment(
+            kernel_seconds=execution.latency_seconds,
+            schedule_bytes=len(image),
+            vector_bytes=vector_bytes,
+            iterations=iterations,
+            include_reconfiguration=False,
+        )
+        print(
+            f"{iterations:>11d}"
+            f"{1e6 * with_reconfig.amortised_iteration_seconds:>15.1f}"
+            f"{1e6 * data_only.amortised_iteration_seconds:>14.1f}"
+            f"{1e6 * data_only.per_iteration_seconds:>16.1f}"
+        )
+    print(
+        "\nThe one-time 2 s reconfiguration amortises across the whole "
+        "session (all\nmatrices share the bitstream); the per-matrix "
+        "image upload amortises across\nthe paper's 1000 iterations — "
+        "which is exactly why §5.2 uses that count."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""A Fig. 5-style walkthrough of CrHCS on a tiny hand-sized matrix.
+
+Prints the channel data lists (one row of slots per cycle, ``--``
+marking the explicit zeros / idle PEs) under PE-aware scheduling and
+after CrHCS migration, so you can watch the non-zeros move across
+channels exactly like the paper's worked example.
+
+Run with::
+
+    python examples/scheduling_walkthrough.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import COOMatrix, ChasonConfig, SerpensConfig
+from repro.scheduling import (
+    schedule_crhcs,
+    schedule_pe_aware,
+    underutilization_percent,
+)
+from repro.scheduling.crhcs import MigrationReport
+
+# A miniature machine: 3 channels x 4 PEs, dependency distance 2 —
+# the same scale as the paper's Fig. 5.
+CONFIG_KWARGS = dict(
+    sparse_channels=3,
+    pes_per_channel=4,
+    accumulator_latency=2,
+    column_window=64,
+    row_window=64,
+)
+SERPENS = SerpensConfig(**CONFIG_KWARGS)
+CHASON = ChasonConfig(scug_size=4, **CONFIG_KWARGS)
+
+
+def build_matrix() -> COOMatrix:
+    """Rows chosen so channel 0 starves while channel 1 overflows.
+
+    With 12 total PEs, rows 4..7 map to channel 1 and rows 8..11 to
+    channel 2 (Eq. 1); we give channel 1's rows many non-zeros and
+    channel 0's rows almost none.
+    """
+    entries = []
+    for row in (4, 5, 6, 7):  # channel 1: busy rows
+        for col in range(6):
+            entries.append((row, col, float(10 * row + col + 1)))
+    for row in (8, 9):  # channel 2: a little work
+        for col in range(2):
+            entries.append((row, col, float(10 * row + col + 1)))
+    entries.append((0, 0, 1.0))  # channel 0: nearly idle
+    return COOMatrix.from_entries((12, 8), entries)
+
+
+def render(schedule) -> str:
+    lines = []
+    for grid in schedule.tiles[0].grids:
+        lines.append(f"channel {grid.channel_id}:")
+        for cycle in range(len(grid)):
+            cells = []
+            for pe, slot in enumerate(grid.cycle_slots(cycle)):
+                if slot is None:
+                    cells.append(" -- ")
+                else:
+                    tag = "" if slot.origin_channel == grid.channel_id \
+                        else f"<{slot.origin_channel}"
+                    cells.append(f"r{slot.row:02d}{tag}".ljust(4))
+            lines.append(f"  cycle {cycle:2d}: " + " ".join(cells))
+    return "\n".join(lines)
+
+
+def main() -> None:
+    matrix = build_matrix()
+    print(f"matrix: {matrix.shape}, nnz={matrix.nnz}")
+    print("(slots show the row a non-zero belongs to; '<c' marks a value "
+          "migrated in from channel c)\n")
+
+    pe_aware = schedule_pe_aware(matrix, SERPENS)
+    print("== PE-aware (Serpens) schedule ==")
+    print(render(pe_aware))
+    print(
+        f"stalls {pe_aware.total_stalls}, underutilization "
+        f"{underutilization_percent(pe_aware):.0f}%, "
+        f"{pe_aware.stream_cycles} cycles\n"
+    )
+
+    report = MigrationReport()
+    crhcs = schedule_crhcs(matrix, CHASON, report=report)
+    print("== CrHCS schedule (after cross-channel migration) ==")
+    print(render(crhcs))
+    print(
+        f"stalls {crhcs.total_stalls}, underutilization "
+        f"{underutilization_percent(crhcs):.0f}%, "
+        f"{crhcs.stream_cycles} cycles"
+    )
+    print(
+        f"migrated {report.migrated} non-zeros "
+        f"({100 * report.migration_fraction:.0f}% of all issues); "
+        f"RAW-skips during migration: {report.raw_skips}"
+    )
+    for (dest, donor), count in sorted(report.pair_counts.items()):
+        print(f"  channel {donor} -> channel {dest}: {count} values")
+
+    # The walkthrough doubles as a correctness demo.
+    from repro.sim import execute_schedule
+
+    x = np.arange(1, 9, dtype=np.float32)
+    execution = execute_schedule(crhcs, x)
+    assert execution.verify(matrix.matvec(x))
+    print("\nfunctional check passed: y == A @ x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""SpMM on Chasoň: panel width, reuse, and the Sextans baseline (§7.2).
+
+Sparse-times-dense multiplication reuses each streamed non-zero across
+the whole B panel, so arithmetic intensity — and throughput — grows with
+the panel until streaming saturates.  This example computes a GNN-style
+feature propagation ``H' = A H`` on a graph with feature panels of
+increasing width, verifies the result, and compares against the
+Sextans-style (intra-channel scheduled, 223 MHz) baseline.
+
+Run with::
+
+    python examples/spmm_panels.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.spmm import (
+    chason_spmm,
+    chason_spmm_report,
+    sextans_spmm_report,
+)
+from repro.matrices import generators
+
+
+def main() -> None:
+    graph = generators.chung_lu_graph(2000, 24000, alpha=2.1, seed=321)
+    rng = np.random.default_rng(321)
+    print(f"graph adjacency: {graph.shape}, nnz={graph.nnz}\n")
+
+    # Functional check on a small panel (one GNN propagation step).
+    features = rng.normal(size=(2000, 8)).astype(np.float32)
+    propagated, report = chason_spmm(graph, features)
+    expected = graph.to_dense() @ features.astype(np.float64)
+    assert np.allclose(propagated, expected, rtol=1e-4, atol=1e-5)
+    print(
+        f"H' = A·H verified for 8 features "
+        f"({report.latency_ms:.4f} ms, "
+        f"{report.throughput_gflops:.1f} GFLOPS)\n"
+    )
+
+    print(f"{'panel':>6s}{'chason ms':>11s}{'GF':>7s}"
+          f"{'sextans ms':>12s}{'GF':>7s}{'speedup':>9s}")
+    for b_cols in (8, 16, 32, 64, 128, 256):
+        chason = chason_spmm_report(graph, b_cols)
+        sextans = sextans_spmm_report(graph, b_cols)
+        print(
+            f"{b_cols:>6d}{chason.latency_ms:>11.4f}"
+            f"{chason.throughput_gflops:>7.1f}"
+            f"{sextans.latency_ms:>12.4f}"
+            f"{sextans.throughput_gflops:>7.1f}"
+            f"{sextans.latency_ms / chason.latency_ms:>9.2f}x"
+        )
+    print(
+        "\nThroughput grows with the panel while the CrHCS advantage "
+        "(fewer streamed\nzeros) carries over from SpMV to SpMM — the "
+        "§7.2 extension argument."
+    )
+
+
+if __name__ == "__main__":
+    main()

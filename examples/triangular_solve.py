@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Sparse triangular solve (SpTRSV) on the Chasoň model.
+
+SpTRSV is the kernel of the LevelST accelerator the paper groups Chasoň
+with (§2.1) and a natural extension target (§7.2).  This example factors
+a diagonally dominant system with incomplete Cholesky-style structure,
+solves ``L x = b`` with level scheduling, and shows how the *level-set
+shape* — wide levels (parallel) vs deep chains (serial) — determines
+whether streaming or per-level overhead dominates the latency.
+
+Run with::
+
+    python examples/triangular_solve.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import COOMatrix
+from repro.core.sptrsv import chason_sptrsv, level_sets
+
+
+def wide_lower(n: int, seed: int = 0) -> COOMatrix:
+    """Shallow dependencies: each row depends only on rows far above."""
+    rng = np.random.default_rng(seed)
+    rows, cols, values = [], [], []
+    for i in range(n):
+        rows.append(i)
+        cols.append(i)
+        values.append(4.0)
+        if i >= n // 2:
+            j = int(rng.integers(0, n // 4))
+            rows.append(i)
+            cols.append(j)
+            values.append(float(rng.normal()))
+    return COOMatrix((n, n), np.array(rows), np.array(cols),
+                     np.array(values, dtype=np.float32))
+
+
+def chain_lower(n: int) -> COOMatrix:
+    """A bidiagonal chain: every row depends on the previous one."""
+    entries = [(i, i, 4.0) for i in range(n)]
+    entries += [(i, i - 1, -1.0) for i in range(1, n)]
+    return COOMatrix.from_entries((n, n), entries)
+
+
+def solve_and_report(name: str, matrix: COOMatrix) -> None:
+    rng = np.random.default_rng(11)
+    solution = rng.normal(size=matrix.n_rows)
+    b = matrix.matvec(solution)
+    x, report = chason_sptrsv(matrix, b, functional=False)
+    error = np.linalg.norm(x - solution) / np.linalg.norm(solution)
+    levels = level_sets(matrix)
+    print(
+        f"{name:<12s} n={report.n:5d} nnz={report.nnz:6d} "
+        f"levels={report.levels:5d} (max width {report.max_level_width}) "
+        f"latency={report.latency_ms:8.3f} ms  error={error:.2e}"
+    )
+
+
+def main() -> None:
+    n = 1024
+    print("Level-scheduled SpTRSV on the Chasoň model\n")
+    print("Two systems of identical size, opposite dependency shapes:")
+    solve_and_report("wide", wide_lower(n))
+    solve_and_report("chain", chain_lower(n))
+    print(
+        "\nThe wide system solves in a handful of levels — each a "
+        "well-utilised\nstreaming pass — while the chain needs one level "
+        "per row and pays the\nper-invocation overhead n times: the "
+        "level-set shape, not nnz, sets\nSpTRSV latency (the LevelST "
+        "observation)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,163 @@
+"""Chasoň reproduction — cross-HBM-channel OoO scheduling for sparse algebra.
+
+A cycle-level Python reproduction of *"Chasoň: Supporting Cross HBM
+Channel Data Migration to Enable Efficient Sparse Algebraic Acceleration"*
+(MICRO 2025): the CrHCS scheduler, the Chasoň accelerator datapath, the
+Serpens / GPU / CPU baselines, and the full evaluation harness.
+
+Quick start::
+
+    import numpy as np
+    from repro import ChasonAccelerator, SerpensAccelerator, generate_named
+
+    matrix = generate_named("wiki-Vote")
+    x = np.random.default_rng(0).normal(size=matrix.n_cols)
+
+    chason = ChasonAccelerator()
+    execution, report = chason.run(matrix, x)
+    assert execution.verify(matrix.matvec(x))
+    print(report.as_table_row())
+"""
+
+from .config import (
+    ACCUMULATOR_LATENCY,
+    COLUMN_WINDOW,
+    DEFAULT_CHASON,
+    DEFAULT_SERPENS,
+    ELEMENTS_PER_WORD,
+    AcceleratorConfig,
+    ChasonConfig,
+    HBMConfig,
+    SerpensConfig,
+    paper_configs,
+)
+from .core import (
+    ChasonAccelerator,
+    SpMMReport,
+    SpMVReport,
+    StreamingAccelerator,
+    chason_spmm,
+    chason_spmm_report,
+)
+from .baselines import (
+    CusparseGpuModel,
+    MklCpuModel,
+    RTX_4090,
+    RTX_A6000,
+    SerpensAccelerator,
+    reference_spmv,
+)
+from .errors import (
+    CapacityError,
+    ConfigError,
+    DatasetError,
+    FormatError,
+    RawHazardError,
+    ReproError,
+    SchedulingError,
+    ShapeError,
+    SimulationError,
+)
+from .formats import COOMatrix, CSRMatrix, to_coo, to_csr
+from .matrices import (
+    generate_corpus,
+    generate_named,
+    matrix_stats,
+    named_specs,
+)
+from .metrics import (
+    bandwidth_efficiency,
+    energy_efficiency,
+    geometric_mean,
+    pe_underutilization_percent,
+    speedup,
+    throughput_gflops,
+)
+from .scheduling import (
+    MigrationReport,
+    Schedule,
+    TiledSchedule,
+    schedule_crhcs,
+    schedule_greedy_ooo,
+    schedule_pe_aware,
+    schedule_row_based,
+    underutilization_percent,
+)
+from .precision import PRECISIONS, Precision, precision, with_precision
+from .sim import SpMVExecution, estimate_cycles, execute_schedule
+from .solvers import (
+    SolverResult,
+    conjugate_gradient,
+    jacobi,
+    power_iteration,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ACCUMULATOR_LATENCY",
+    "COLUMN_WINDOW",
+    "DEFAULT_CHASON",
+    "DEFAULT_SERPENS",
+    "ELEMENTS_PER_WORD",
+    "AcceleratorConfig",
+    "ChasonConfig",
+    "HBMConfig",
+    "SerpensConfig",
+    "paper_configs",
+    "ChasonAccelerator",
+    "SpMMReport",
+    "SpMVReport",
+    "StreamingAccelerator",
+    "chason_spmm",
+    "chason_spmm_report",
+    "CusparseGpuModel",
+    "MklCpuModel",
+    "RTX_4090",
+    "RTX_A6000",
+    "SerpensAccelerator",
+    "reference_spmv",
+    "CapacityError",
+    "ConfigError",
+    "DatasetError",
+    "FormatError",
+    "RawHazardError",
+    "ReproError",
+    "SchedulingError",
+    "ShapeError",
+    "SimulationError",
+    "COOMatrix",
+    "CSRMatrix",
+    "to_coo",
+    "to_csr",
+    "generate_corpus",
+    "generate_named",
+    "matrix_stats",
+    "named_specs",
+    "bandwidth_efficiency",
+    "energy_efficiency",
+    "geometric_mean",
+    "pe_underutilization_percent",
+    "speedup",
+    "throughput_gflops",
+    "MigrationReport",
+    "Schedule",
+    "TiledSchedule",
+    "schedule_crhcs",
+    "schedule_greedy_ooo",
+    "schedule_pe_aware",
+    "schedule_row_based",
+    "underutilization_percent",
+    "PRECISIONS",
+    "Precision",
+    "precision",
+    "with_precision",
+    "SpMVExecution",
+    "estimate_cycles",
+    "execute_schedule",
+    "SolverResult",
+    "conjugate_gradient",
+    "jacobi",
+    "power_iteration",
+    "__version__",
+]

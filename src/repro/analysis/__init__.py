@@ -1,0 +1,59 @@
+"""Statistics and experiment runners behind the evaluation section."""
+
+from .stats import (
+    DensityEstimate,
+    describe,
+    gaussian_kde_pdf,
+    histogram_pdf,
+)
+from .characterize import WorkloadCharacter, characterize, rank_by_benefit
+from .figures import render_bar_groups, render_histogram, render_pdf_curves
+from .experiments import (
+    BaselineComparison,
+    CorpusResult,
+    MatrixComparison,
+    compare_on_corpus,
+    compare_on_named,
+    corpus_matrices,
+    default_corpus_size,
+    gpu_cpu_comparison,
+)
+from .export import (
+    baseline_records,
+    comparison_records,
+    corpus_records,
+    read_json,
+    write_csv,
+    write_json,
+)
+from .report import format_table, format_table3, format_table1
+
+__all__ = [
+    "DensityEstimate",
+    "describe",
+    "gaussian_kde_pdf",
+    "histogram_pdf",
+    "WorkloadCharacter",
+    "characterize",
+    "rank_by_benefit",
+    "render_bar_groups",
+    "render_histogram",
+    "render_pdf_curves",
+    "BaselineComparison",
+    "CorpusResult",
+    "MatrixComparison",
+    "compare_on_corpus",
+    "compare_on_named",
+    "corpus_matrices",
+    "default_corpus_size",
+    "gpu_cpu_comparison",
+    "baseline_records",
+    "comparison_records",
+    "corpus_records",
+    "read_json",
+    "write_csv",
+    "write_json",
+    "format_table",
+    "format_table3",
+    "format_table1",
+]

@@ -1,0 +1,112 @@
+"""Workload characterization: when does CrHCS pay off?
+
+§6.1/§6.2 explain Chasoň's gains through matrix structure: imbalance and
+empty-row runs create the stalls migration fills, while regular matrices
+leave little to recover.  This module packages that reasoning as a
+predictor: from cheap matrix statistics it estimates the PE-aware stall
+fraction and the CrHCS improvement *without scheduling anything*, so a
+user can triage a large matrix collection before spending scheduler time.
+
+The model is intentionally transparent (closed-form, no fitted black
+box): the PE-aware round-robin window wastes ``1 - mean/max`` of each
+window, which for a row-length distribution with coefficient of variation
+``cv`` behaves like ``cv / (cv + c)``; CrHCS recovers the share of stalls
+whose neighbouring channel has surplus work, bounded by the residual
+imbalance.  The test-suite checks the predictor's *ranking* (Spearman
+style) against measured schedules — the property that matters for triage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple, Union
+
+import numpy as np
+
+from ..formats.convert import to_csr
+from ..formats.coo import COOMatrix
+from ..formats.csr import CSRMatrix
+from ..matrices.stats import matrix_stats
+
+Matrix = Union[COOMatrix, CSRMatrix]
+
+#: Shape constants of the closed-form predictor (see module docstring).
+_WINDOW_SHAPE = 0.85
+_MIGRATION_RECOVERY = 0.72
+
+
+@dataclass(frozen=True)
+class WorkloadCharacter:
+    """Structure summary plus predicted scheduling outcomes."""
+
+    nnz: int
+    row_cv: float
+    gini: float
+    empty_row_fraction: float
+    predicted_serpens_underutilization: float
+    predicted_chason_underutilization: float
+
+    @property
+    def predicted_improvement(self) -> float:
+        """Predicted drop in underutilization (percentage points)."""
+        return (
+            self.predicted_serpens_underutilization
+            - self.predicted_chason_underutilization
+        )
+
+    @property
+    def migration_worthwhile(self) -> bool:
+        """Triage verdict: is cross-channel migration worth deploying?"""
+        return self.predicted_improvement > 10.0
+
+
+def characterize(matrix: Matrix) -> WorkloadCharacter:
+    """Predict scheduling outcomes from matrix statistics alone."""
+    csr = to_csr(matrix)
+    stats = matrix_stats(csr)
+    lengths = csr.row_lengths().astype(np.float64)
+    mean = lengths.mean() if lengths.size else 0.0
+    cv = float(lengths.std() / mean) if mean > 0 else 0.0
+
+    # Round-robin windows waste roughly the max-vs-mean gap; a cv-shaped
+    # saturating curve captures both the Poisson bulk (sparse uniform
+    # matrices stall ~60-80%) and the heavy-tail ceiling.  The floor
+    # models the residual equalisation/windowing stalls that even a
+    # perfectly balanced matrix pays, and applies *after* the curve so a
+    # near-zero-cv stencil predicts near the floor, not above it.
+    base = cv / (cv + _WINDOW_SHAPE)
+    floor = 0.45 if mean < 4 else 0.15  # short rows stall even when even
+    serpens = 100.0 * min(0.99, max(base**0.5, floor))
+
+    # Migration recovers a share of the stalls; there is little to
+    # recover when rows are uniform (cv → 0: the stalls are structural,
+    # not imbalance), and donors become RAW-limited when the tail is
+    # extreme (gini → 1).
+    recovery = (
+        _MIGRATION_RECOVERY
+        * (1.0 - 0.55 * stats.gini)
+        * min(1.0, cv / 0.3)
+    )
+    chason = serpens * (1.0 - max(recovery, 0.05))
+
+    return WorkloadCharacter(
+        nnz=csr.nnz,
+        row_cv=cv,
+        gini=stats.gini,
+        empty_row_fraction=stats.empty_row_fraction,
+        predicted_serpens_underutilization=serpens,
+        predicted_chason_underutilization=chason,
+    )
+
+
+def rank_by_benefit(
+    matrices: List[Tuple[str, Matrix]]
+) -> List[Tuple[str, WorkloadCharacter]]:
+    """Order workloads by predicted CrHCS improvement, best first."""
+    characters = [
+        (name, characterize(matrix)) for name, matrix in matrices
+    ]
+    characters.sort(
+        key=lambda item: item[1].predicted_improvement, reverse=True
+    )
+    return characters

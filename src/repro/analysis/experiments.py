@@ -1,0 +1,247 @@
+"""Shared experiment runners behind the benchmark harness.
+
+Each evaluation figure/table reduces to one of three sweeps:
+
+* :func:`compare_on_named` — Chasoň vs Serpens on the 20 Table 2 matrices
+  (Figs. 12/13/15, Table 3);
+* :func:`compare_on_corpus` — both schedulers over the 800-matrix corpus
+  (Figs. 3/11);
+* :func:`gpu_cpu_comparison` — Chasoň vs the GPU/CPU models (Fig. 14).
+
+The corpus sweeps honour two environment variables so the benchmark suite
+stays tractable by default but can reproduce the full-scale evaluation:
+
+* ``REPRO_FULL_CORPUS=1`` runs all 800 matrices at full size;
+* ``REPRO_CORPUS_COUNT=<n>`` / ``REPRO_CORPUS_NNZ_CAP=<m>`` override the
+  defaults (96 matrices, 40 000 non-zero cap) individually.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ..baselines.cpu import MklCpuModel
+from ..baselines.gpu import CusparseGpuModel, RTX_4090, RTX_A6000
+from ..baselines.serpens import SerpensAccelerator
+from ..core.accelerator import SpMVReport
+from ..core.chason import ChasonAccelerator
+from ..formats.coo import COOMatrix
+from ..matrices.collection import CORPUS_SIZE, CorpusSpec, corpus_specs
+from ..matrices.named import generate_named, named_specs
+from ..metrics import energy_efficiency, geometric_mean, speedup
+
+DEFAULT_CORPUS_COUNT = 96
+DEFAULT_CORPUS_NNZ_CAP = 40_000
+
+
+def default_corpus_size() -> Tuple[int, Optional[int]]:
+    """The (count, nnz_cap) the benchmarks use, after env overrides."""
+    if os.environ.get("REPRO_FULL_CORPUS"):
+        return CORPUS_SIZE, None
+    count = int(os.environ.get("REPRO_CORPUS_COUNT", DEFAULT_CORPUS_COUNT))
+    cap_raw = os.environ.get("REPRO_CORPUS_NNZ_CAP", DEFAULT_CORPUS_NNZ_CAP)
+    cap = int(cap_raw) if int(cap_raw) > 0 else None
+    return count, cap
+
+
+def corpus_matrices(
+    count: Optional[int] = None,
+    nnz_cap: Optional[int] = None,
+) -> Iterator[Tuple[CorpusSpec, COOMatrix]]:
+    """Yield (spec, matrix) pairs of the evaluation corpus."""
+    if count is None:
+        count, default_cap = default_corpus_size()
+        if nnz_cap is None:
+            nnz_cap = default_cap
+    for spec in corpus_specs(count, nnz_cap):
+        yield spec, spec.generate()
+
+
+@dataclass(frozen=True)
+class MatrixComparison:
+    """Chasoň vs Serpens on one matrix (a Table 3 / Fig. 15 row)."""
+
+    matrix_id: str
+    name: str
+    collection: str
+    nnz: int
+    chason: SpMVReport
+    serpens: SpMVReport
+    #: Per-PEG underutilization % (Figs. 12/13); filled when the sweep is
+    #: run with ``include_channel_stats=True``.
+    chason_peg_underutilization: Tuple[float, ...] = ()
+    serpens_peg_underutilization: Tuple[float, ...] = ()
+
+    @property
+    def speedup(self) -> float:
+        return speedup(self.serpens.latency_ms, self.chason.latency_ms)
+
+    @property
+    def transfer_reduction(self) -> float:
+        """Fig. 15 bottom: HBM transfer reduction factor."""
+        return self.serpens.traffic_bytes / max(self.chason.traffic_bytes, 1)
+
+    @property
+    def bandwidth_efficiency_improvement(self) -> float:
+        return (
+            self.chason.bandwidth_efficiency
+            / self.serpens.bandwidth_efficiency
+        )
+
+    @property
+    def energy_efficiency_improvement(self) -> float:
+        return self.chason.energy_efficiency / self.serpens.energy_efficiency
+
+
+def compare_on_named(
+    names: Optional[Sequence[str]] = None,
+    collection: Optional[str] = None,
+    include_channel_stats: bool = False,
+) -> List[MatrixComparison]:
+    """Run Chasoň and Serpens on (a subset of) the Table 2 matrices.
+
+    Each matrix is scheduled once per accelerator; with
+    ``include_channel_stats=True`` the per-PEG underutilization of
+    Figs. 12/13 is extracted from the schedules before they are dropped.
+    """
+    from ..scheduling.stats import channel_underutilization
+
+    if names is None:
+        specs = named_specs(collection)
+    else:
+        all_specs = {spec.name: spec for spec in named_specs()}
+        specs = [all_specs[name] for name in names]
+    chason = ChasonAccelerator()
+    serpens = SerpensAccelerator()
+    results = []
+    for spec in specs:
+        matrix = generate_named(spec.name)
+        chason_schedule = chason.schedule(matrix)
+        serpens_schedule = serpens.schedule(matrix)
+        chason_pegs: Tuple[float, ...] = ()
+        serpens_pegs: Tuple[float, ...] = ()
+        if include_channel_stats:
+            chason_pegs = tuple(channel_underutilization(chason_schedule))
+            serpens_pegs = tuple(channel_underutilization(serpens_schedule))
+        results.append(
+            MatrixComparison(
+                matrix_id=spec.matrix_id,
+                name=spec.name,
+                collection=spec.collection,
+                nnz=matrix.nnz,
+                chason=chason.analyze(matrix, schedule=chason_schedule),
+                serpens=serpens.analyze(matrix, schedule=serpens_schedule),
+                chason_peg_underutilization=chason_pegs,
+                serpens_peg_underutilization=serpens_pegs,
+            )
+        )
+    return results
+
+
+@dataclass
+class CorpusResult:
+    """Both schedulers over the corpus (Figs. 3/11 raw data)."""
+
+    count: int
+    serpens_underutilization: List[float] = field(default_factory=list)
+    chason_underutilization: List[float] = field(default_factory=list)
+    speedups: List[float] = field(default_factory=list)
+    transfer_reductions: List[float] = field(default_factory=list)
+    chason_throughputs: List[float] = field(default_factory=list)
+    serpens_throughputs: List[float] = field(default_factory=list)
+
+    @property
+    def geomean_speedup(self) -> float:
+        return geometric_mean(self.speedups)
+
+    @property
+    def peak_chason_gflops(self) -> float:
+        return max(self.chason_throughputs)
+
+
+def compare_on_corpus(
+    count: Optional[int] = None,
+    nnz_cap: Optional[int] = None,
+) -> CorpusResult:
+    """Chasoň vs Serpens over the evaluation corpus."""
+    chason = ChasonAccelerator()
+    serpens = SerpensAccelerator()
+    result = CorpusResult(count=0)
+    for _spec, matrix in corpus_matrices(count, nnz_cap):
+        chason_report = chason.analyze(matrix)
+        serpens_report = serpens.analyze(matrix)
+        result.count += 1
+        result.serpens_underutilization.append(
+            serpens_report.underutilization_pct
+        )
+        result.chason_underutilization.append(
+            chason_report.underutilization_pct
+        )
+        result.speedups.append(
+            speedup(serpens_report.latency_ms, chason_report.latency_ms)
+        )
+        result.transfer_reductions.append(
+            serpens_report.traffic_bytes
+            / max(chason_report.traffic_bytes, 1)
+        )
+        result.chason_throughputs.append(chason_report.throughput_gflops)
+        result.serpens_throughputs.append(serpens_report.throughput_gflops)
+    return result
+
+
+@dataclass(frozen=True)
+class BaselineComparison:
+    """Chasoň vs one GPU/CPU baseline on one matrix (Fig. 14 raw data)."""
+
+    baseline: str
+    matrix_label: str
+    chason_latency_ms: float
+    baseline_latency_ms: float
+    chason_gflops: float
+    baseline_gflops: float
+    chason_eff: float
+    baseline_eff: float
+
+    @property
+    def speedup(self) -> float:
+        return self.baseline_latency_ms / self.chason_latency_ms
+
+    @property
+    def energy_gain(self) -> float:
+        return self.chason_eff / self.baseline_eff
+
+
+def gpu_cpu_comparison(
+    count: Optional[int] = None,
+    nnz_cap: Optional[int] = None,
+) -> List[BaselineComparison]:
+    """Chasoň vs RTX 4090 / RTX A6000 / Core i9 over the corpus."""
+    chason = ChasonAccelerator()
+    baselines = [
+        ("rtx4090", CusparseGpuModel(RTX_4090)),
+        ("rtxa6000", CusparseGpuModel(RTX_A6000)),
+        ("i9", MklCpuModel()),
+    ]
+    rows: List[BaselineComparison] = []
+    for spec, matrix in corpus_matrices(count, nnz_cap):
+        chason_report = chason.analyze(matrix)
+        for key, model in baselines:
+            latency = model.latency_seconds(matrix)
+            gflops = model.throughput_gflops(matrix)
+            rows.append(
+                BaselineComparison(
+                    baseline=key,
+                    matrix_label=f"corpus#{spec.index}",
+                    chason_latency_ms=chason_report.latency_ms,
+                    baseline_latency_ms=latency * 1e3,
+                    chason_gflops=chason_report.throughput_gflops,
+                    baseline_gflops=gflops,
+                    chason_eff=chason_report.energy_efficiency,
+                    baseline_eff=energy_efficiency(
+                        gflops, model.power_watts
+                    ),
+                )
+            )
+    return rows

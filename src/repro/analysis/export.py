@@ -1,0 +1,114 @@
+"""Exporting experiment results to JSON / CSV artifacts.
+
+Benchmark runs should leave machine-readable traces, not just console
+tables: CI can diff them, plots can be regenerated without re-running the
+sweeps, and EXPERIMENTS.md entries can be audited.  These helpers
+serialise the experiment-runner result objects.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import asdict, is_dataclass
+from pathlib import Path
+from typing import List, Sequence, Union
+
+from ..errors import ConfigError
+from .experiments import BaselineComparison, CorpusResult, MatrixComparison
+
+_PathLike = Union[str, Path]
+
+
+def comparison_records(
+    comparisons: Sequence[MatrixComparison],
+) -> List[dict]:
+    """Flatten named-matrix comparisons into plain records."""
+    records = []
+    for item in comparisons:
+        records.append({
+            "id": item.matrix_id,
+            "name": item.name,
+            "collection": item.collection,
+            "nnz": item.nnz,
+            "chason_latency_ms": item.chason.latency_ms,
+            "serpens_latency_ms": item.serpens.latency_ms,
+            "chason_gflops": item.chason.throughput_gflops,
+            "serpens_gflops": item.serpens.throughput_gflops,
+            "chason_underutilization_pct":
+                item.chason.underutilization_pct,
+            "serpens_underutilization_pct":
+                item.serpens.underutilization_pct,
+            "speedup": item.speedup,
+            "transfer_reduction": item.transfer_reduction,
+            "bandwidth_efficiency_improvement":
+                item.bandwidth_efficiency_improvement,
+            "energy_efficiency_improvement":
+                item.energy_efficiency_improvement,
+        })
+    return records
+
+
+def baseline_records(
+    comparisons: Sequence[BaselineComparison],
+) -> List[dict]:
+    """Flatten GPU/CPU baseline comparisons into plain records."""
+    return [
+        {
+            "baseline": item.baseline,
+            "matrix": item.matrix_label,
+            "chason_latency_ms": item.chason_latency_ms,
+            "baseline_latency_ms": item.baseline_latency_ms,
+            "speedup": item.speedup,
+            "energy_gain": item.energy_gain,
+        }
+        for item in comparisons
+    ]
+
+
+def corpus_records(result: CorpusResult) -> List[dict]:
+    """Per-matrix records of a corpus sweep."""
+    return [
+        {
+            "index": index,
+            "serpens_underutilization_pct": serpens,
+            "chason_underutilization_pct": chason,
+            "speedup": speedup,
+            "transfer_reduction": reduction,
+        }
+        for index, (serpens, chason, speedup, reduction) in enumerate(
+            zip(
+                result.serpens_underutilization,
+                result.chason_underutilization,
+                result.speedups,
+                result.transfer_reductions,
+            )
+        )
+    ]
+
+
+def write_json(records, path: _PathLike) -> Path:
+    """Write records (or any dataclass) as pretty-printed JSON."""
+    path = Path(path)
+    if is_dataclass(records) and not isinstance(records, type):
+        records = asdict(records)
+    path.write_text(json.dumps(records, indent=2, sort_keys=True))
+    return path
+
+
+def write_csv(records: Sequence[dict], path: _PathLike) -> Path:
+    """Write a list of flat records as CSV (columns from the first row)."""
+    records = list(records)
+    if not records:
+        raise ConfigError("nothing to export")
+    path = Path(path)
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(records[0]))
+        writer.writeheader()
+        writer.writerows(records)
+    return path
+
+
+def read_json(path: _PathLike):
+    """Load a previously written JSON artifact."""
+    return json.loads(Path(path).read_text())

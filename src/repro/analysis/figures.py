@@ -1,0 +1,104 @@
+"""Terminal rendering of the paper's figure types.
+
+The benchmark harness prints these so the distribution *shapes* — the
+Fig. 3/11 PDFs, the Fig. 14/15 bar groups — are visible in a terminal
+next to the numbers, without a plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigError
+from .stats import DensityEstimate
+
+#: Characters from light to dark for the curve plots.
+_SHADES = " .:-=+*#%@"
+
+
+def render_pdf_curves(
+    curves: Dict[str, DensityEstimate],
+    width: int = 64,
+    height: int = 12,
+    value_range: Tuple[float, float] = (0.0, 100.0),
+) -> str:
+    """Overlay density curves as an ASCII line chart (Fig. 11 style).
+
+    Each curve gets a marker letter (its name's first character); where
+    curves overlap the later one wins.  The y axis is normalised to the
+    tallest curve.
+    """
+    if not curves:
+        raise ConfigError("nothing to render")
+    if width < 8 or height < 3:
+        raise ConfigError("canvas too small")
+    grid = [[" "] * width for _ in range(height)]
+    peak = max(float(np.max(c.density)) for c in curves.values())
+    if peak <= 0:
+        raise ConfigError("all curves are flat zero")
+    lo, hi = value_range
+    for name, curve in curves.items():
+        marker = name[0].upper()
+        xs = np.linspace(lo, hi, width)
+        ys = np.interp(xs, curve.centers, curve.density, left=0.0,
+                       right=0.0)
+        for column, value in enumerate(ys):
+            level = int(round((height - 1) * value / peak))
+            if level <= 0 and value <= 0:
+                continue
+            row = height - 1 - min(level, height - 1)
+            grid[row][column] = marker
+    lines = ["".join(row).rstrip() for row in grid]
+    axis = "-" * width
+    labels = (
+        f"{lo:<8.0f}{'':^{max(width - 16, 0)}}{hi:>8.0f}"
+    )
+    legend = "  ".join(f"{name[0].upper()}={name}" for name in curves)
+    return "\n".join(lines + [axis, labels, legend])
+
+
+def render_histogram(
+    values: Sequence[float],
+    bins: int = 10,
+    value_range: Tuple[float, float] = (0.0, 100.0),
+    width: int = 50,
+    label: str = "",
+) -> str:
+    """A labelled horizontal-bar histogram (Fig. 3 style)."""
+    values = np.asarray(list(values), dtype=np.float64)
+    if values.size == 0:
+        raise ConfigError("cannot render an empty histogram")
+    counts, edges = np.histogram(values, bins=bins, range=value_range)
+    peak = max(int(counts.max()), 1)
+    lines = [label] if label else []
+    for lo, hi, count in zip(edges[:-1], edges[1:], counts):
+        bar = "#" * int(round(width * count / peak))
+        lines.append(f"{lo:6.0f}-{hi:<4.0f} {bar} {count}")
+    return "\n".join(lines)
+
+
+def render_bar_groups(
+    rows: Sequence[Tuple[str, float]],
+    width: int = 50,
+    unit: str = "x",
+    reference: float = 0.0,
+) -> str:
+    """Labelled value bars (Fig. 15 style), optionally marking a
+    reference value with ``|``."""
+    if not rows:
+        raise ConfigError("nothing to render")
+    peak = max(value for _, value in rows)
+    if peak <= 0:
+        raise ConfigError("bar values must be positive")
+    lines: List[str] = []
+    for name, value in rows:
+        length = int(round(width * value / peak))
+        bar = list("#" * length + " " * (width - length))
+        if reference > 0:
+            position = min(int(round(width * reference / peak)),
+                           width - 1)
+            bar[position] = "|"
+        lines.append(f"{name:<14s} {''.join(bar)} {value:.2f}{unit}")
+    return "\n".join(lines)

@@ -1,0 +1,83 @@
+"""Plain-text tables in the paper's format.
+
+The benchmark harness prints these so a run's output can be compared line
+by line against the published tables.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..resources.model import ResourceReport
+from .experiments import MatrixComparison
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[str]],
+    title: str = "",
+) -> str:
+    """A fixed-width text table."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rows:
+        lines.append(
+            "  ".join(str(c).ljust(w) for c, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def format_table1(reports: List[ResourceReport]) -> str:
+    """Table 1: resource consumption per design."""
+    headers = ["Resource"] + [r.design for r in reports]
+    resource_rows = []
+    for key, attr in [
+        ("LUT", "luts"),
+        ("FF", "ffs"),
+        ("DSP", "dsps"),
+        ("BRAM18K", "bram18k"),
+        ("URAM", "urams"),
+    ]:
+        row = [key]
+        for report in reports:
+            value = getattr(report, attr)
+            fraction = report.utilization()[key]
+            row.append(f"{value}({fraction:.1%})")
+        resource_rows.append(row)
+    return format_table(
+        headers, resource_rows,
+        title="Table 1: Alveo U55c resource consumption",
+    )
+
+
+def format_table3(comparisons: List[MatrixComparison]) -> str:
+    """Table 3: detailed per-matrix performance numbers."""
+    headers = [
+        "ID", "Latency(ms) C/S", "GFLOPS C/S", "BW-Eff C/S", "Imp.",
+        "E-Eff C/S", "Imp.",
+    ]
+    rows = []
+    for item in comparisons:
+        chason, serpens = item.chason, item.serpens
+        rows.append([
+            item.matrix_id,
+            f"{chason.latency_ms:.3f}/{serpens.latency_ms:.3f}",
+            f"{chason.throughput_gflops:.3f}/{serpens.throughput_gflops:.3f}",
+            f"{chason.bandwidth_efficiency:.3f}/"
+            f"{serpens.bandwidth_efficiency:.3f}",
+            f"{item.bandwidth_efficiency_improvement:.2f}",
+            f"{chason.energy_efficiency:.3f}/{serpens.energy_efficiency:.3f}",
+            f"{item.energy_efficiency_improvement:.2f}",
+        ])
+    return format_table(
+        headers, rows,
+        title="Table 3: Chasoň (C) vs Serpens (S) on the Table 2 matrices",
+    )

@@ -1,0 +1,107 @@
+"""Design-space sweep utilities.
+
+§6.1 sketches how Chasoň would scale on a larger FPGA (wider migration
+windows, more ScUGs); the channel count itself is the other first-order
+axis — every sparse channel adds a PEG and 14.37 GB/s of streaming
+bandwidth.  These helpers run a configuration axis against a fixed
+workload and return tidy records the benches and examples print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, List, Optional, Sequence, Union
+
+from ..config import ChasonConfig, DEFAULT_CHASON
+from ..core.accelerator import SpMVReport
+from ..core.chason import ChasonAccelerator
+from ..errors import ConfigError
+from ..formats.coo import COOMatrix
+from ..formats.csr import CSRMatrix
+from ..resources.model import chason_resources
+
+Matrix = Union[COOMatrix, CSRMatrix]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One configuration point of a sweep."""
+
+    label: str
+    config: ChasonConfig
+    report: SpMVReport
+    urams: int
+
+    @property
+    def cycles(self) -> int:
+        return self.report.total_cycles
+
+
+def sweep_configs(
+    matrix: Matrix,
+    configs: Sequence[ChasonConfig],
+    labeler: Optional[Callable[[ChasonConfig], str]] = None,
+) -> List[SweepPoint]:
+    """Analyze ``matrix`` under every configuration."""
+    if not configs:
+        raise ConfigError("empty sweep")
+    labeler = labeler or (lambda config: config.name)
+    points = []
+    for config in configs:
+        report = ChasonAccelerator(config).analyze(matrix)
+        points.append(
+            SweepPoint(
+                label=labeler(config),
+                config=config,
+                report=report,
+                urams=chason_resources(config).urams,
+            )
+        )
+    return points
+
+
+def sweep_channels(
+    matrix: Matrix,
+    channel_counts: Sequence[int] = (2, 4, 8, 16),
+    base: Optional[ChasonConfig] = None,
+) -> List[SweepPoint]:
+    """Scale the sparse-channel count (the §6.1 larger-FPGA axis)."""
+    base = base or DEFAULT_CHASON
+    configs = [
+        replace(base, sparse_channels=count) for count in channel_counts
+    ]
+    return sweep_configs(
+        matrix, configs, labeler=lambda c: f"{c.sparse_channels}ch"
+    )
+
+
+def sweep_migration_span(
+    matrix: Matrix,
+    spans: Sequence[int] = (0, 1, 2, 3),
+    base: Optional[ChasonConfig] = None,
+) -> List[SweepPoint]:
+    """Scale the migration window (§6.1)."""
+    base = base or DEFAULT_CHASON
+    configs = [replace(base, migration_span=span) for span in spans]
+    return sweep_configs(
+        matrix, configs, labeler=lambda c: f"span{c.migration_span}"
+    )
+
+
+def scaling_efficiency(points: Sequence[SweepPoint]) -> List[float]:
+    """Speedup-per-resource of each point relative to the first.
+
+    For a channel sweep this is the classic strong-scaling efficiency:
+    ``(t_0 / t_i) / (channels_i / channels_0)``.
+    """
+    if not points:
+        raise ConfigError("empty sweep")
+    base = points[0]
+    result = []
+    for point in points:
+        speedup = base.report.latency_ms / point.report.latency_ms
+        scale = (
+            point.config.sparse_channels / base.config.sparse_channels
+        )
+        result.append(speedup / scale)
+    return result

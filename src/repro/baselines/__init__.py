@@ -1,0 +1,18 @@
+"""Baselines the paper compares against (§5.2)."""
+
+from .serpens import SerpensAccelerator
+from .gpu import RTX_4090, RTX_A6000, CusparseGpuModel, GpuSpec
+from .cpu import CORE_I9_11980HK, CpuSpec, MklCpuModel
+from .reference import reference_spmv
+
+__all__ = [
+    "SerpensAccelerator",
+    "RTX_4090",
+    "RTX_A6000",
+    "CusparseGpuModel",
+    "GpuSpec",
+    "CORE_I9_11980HK",
+    "CpuSpec",
+    "MklCpuModel",
+    "reference_spmv",
+]

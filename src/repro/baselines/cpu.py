@@ -1,0 +1,106 @@
+"""Analytical CPU SpMV model (Intel MKL on Core i9-11980HK, §5.2).
+
+The paper's matrices all fit inside the i9's 24 MB smart cache (§5.4), so
+MKL's SpMV runs out of cache at high effective bandwidth with very little
+launch overhead — which is why the CPU *beats both GPUs* in geometric mean
+(§6.2.1) at the price of a 132 W package.  The model is
+
+``latency = overhead + bytes / eff_bw + rows × per_row``
+
+with an imbalance term far gentler than the GPUs' (MKL's dynamic
+work-partitioning hides skew well).  Constants are calibrated to the
+paper's headline numbers: peak ≈23.9 GFLOPS, Chasoň geomean speedup < 1
+with a peak of ≈2.67×, and ≈14.6× peak energy-efficiency gain (§6.2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..formats.convert import to_csr
+from ..formats.coo import COOMatrix
+from ..formats.csr import CSRMatrix
+from .gpu import BYTES_PER_COL, BYTES_PER_NNZ, BYTES_PER_ROW
+
+Matrix = Union[COOMatrix, CSRMatrix]
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """One CPU platform (§5.2)."""
+
+    name: str
+    cache_mb: float
+    cache_bandwidth_gbps: float
+    base_frequency_ghz: float
+    threads: int
+    dispatch_overhead_s: float
+    per_row_s: float
+    imbalance_penalty: float
+    power_watts: float
+
+    def __post_init__(self) -> None:
+        if self.cache_bandwidth_gbps <= 0 or self.power_watts <= 0:
+            raise ConfigError(f"{self.name}: bandwidth/power must be positive")
+
+
+CORE_I9_11980HK = CpuSpec(
+    name="Intel Core i9-11980HK",
+    cache_mb=24.0,
+    cache_bandwidth_gbps=150.0,
+    base_frequency_ghz=3.3,
+    threads=16,
+    dispatch_overhead_s=1.5e-6,
+    per_row_s=1.2e-9,
+    imbalance_penalty=0.08,
+    power_watts=132.0,
+)
+
+
+class MklCpuModel:
+    """Latency/throughput model of MKL SpMV on one CPU."""
+
+    def __init__(self, spec: CpuSpec = CORE_I9_11980HK):
+        self.spec = spec
+        self.name = spec.name
+        self.power_watts = spec.power_watts
+
+    def traffic_bytes(self, matrix: Matrix) -> int:
+        csr = to_csr(matrix)
+        return (
+            BYTES_PER_NNZ * csr.nnz
+            + BYTES_PER_ROW * csr.n_rows
+            + BYTES_PER_COL * csr.n_cols
+        )
+
+    def effective_bandwidth_gbps(self, matrix: Matrix) -> float:
+        csr = to_csr(matrix)
+        lengths = csr.row_lengths().astype(np.float64)
+        mean = lengths.mean() if lengths.size else 0.0
+        cv = float(lengths.std() / mean) if mean else 0.0
+        in_cache = self.traffic_bytes(matrix) <= self.spec.cache_mb * 1e6
+        bandwidth = self.spec.cache_bandwidth_gbps
+        if not in_cache:
+            # DRAM-resident working sets run at memory, not cache, speed.
+            bandwidth *= 0.35
+        return bandwidth / (1.0 + self.spec.imbalance_penalty * cv)
+
+    def latency_seconds(self, matrix: Matrix) -> float:
+        csr = to_csr(matrix)
+        kernel = self.traffic_bytes(matrix) / (
+            self.effective_bandwidth_gbps(matrix) * 1e9
+        )
+        return (
+            self.spec.dispatch_overhead_s
+            + kernel
+            + csr.n_rows * self.spec.per_row_s
+        )
+
+    def throughput_gflops(self, matrix: Matrix) -> float:
+        csr = to_csr(matrix)
+        flops = 2.0 * (csr.nnz + csr.n_cols)
+        return flops / (self.latency_seconds(matrix) * 1e9)

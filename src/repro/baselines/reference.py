@@ -1,0 +1,19 @@
+"""Reference SpMV used as the functional oracle."""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from ..formats.convert import to_coo
+from ..formats.coo import COOMatrix
+from ..formats.csr import CSRMatrix
+
+Matrix = Union[COOMatrix, CSRMatrix]
+
+
+def reference_spmv(matrix: Matrix, x: np.ndarray) -> np.ndarray:
+    """``y = A @ x`` in float64 — the oracle every execution verifies
+    against (the §5.1 end-to-end correctness check)."""
+    return to_coo(matrix).matvec(x)

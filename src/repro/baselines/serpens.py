@@ -1,0 +1,35 @@
+"""The Serpens baseline accelerator (§4.4, §5.2).
+
+Serpens shares Chasoň's channel/PE layout but schedules non-zeros with the
+intra-channel PE-aware scheme only: no Router, no ScUGs, no Reduction or
+Re-order units, and a 223 MHz clock after place-and-route on the U55c.
+The reproduction drives it through the same simulator; the datapath
+rejects migrated elements, which the schedule never contains.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..config import DEFAULT_SERPENS, SerpensConfig
+from ..errors import ConfigError
+from ..power.devices import measured_power
+from ..scheduling.base import TiledSchedule
+from ..scheduling.pe_aware import schedule_pe_aware
+from ..core.accelerator import Matrix, StreamingAccelerator
+
+
+class SerpensAccelerator(StreamingAccelerator):
+    """PE-aware-scheduled streaming SpMV on 16 HBM channels."""
+
+    name = "serpens"
+    power_watts = measured_power("serpens")
+
+    def __init__(self, config: Optional[SerpensConfig] = None):
+        config = config or DEFAULT_SERPENS
+        if not isinstance(config, SerpensConfig):
+            raise ConfigError("SerpensAccelerator requires a SerpensConfig")
+        super().__init__(config)
+
+    def schedule(self, matrix: Matrix) -> TiledSchedule:
+        return schedule_pe_aware(matrix, self.config)

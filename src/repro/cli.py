@@ -1,0 +1,238 @@
+"""Command-line interface.
+
+``python -m repro <command>`` gives quick access to the reproduction
+without writing a script::
+
+    python -m repro info
+    python -m repro compare wiki-Vote
+    python -m repro schedule CollegeMsg --scheme pe_aware
+    python -m repro corpus --count 16 --cap 20000
+    python -m repro generate CollegeMsg --out /tmp/cm.mtx
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import __version__
+from .analysis.characterize import characterize
+from .analysis.experiments import compare_on_corpus
+from .analysis.report import format_table, format_table1
+from .analysis.stats import describe
+from .baselines.serpens import SerpensAccelerator
+from .config import DEFAULT_CHASON, DEFAULT_SERPENS
+from .core.chason import ChasonAccelerator
+from .errors import ReproError
+from .formats.io import save_matrix_market
+from .matrices.named import NAMED_MATRICES, generate_named
+from .matrices.stats import matrix_stats
+from .power.fpga import chason_power_breakdown
+from .resources.model import chason_resources, serpens_resources
+from .core.spmm import chason_spmm_report, sextans_spmm_report
+from .scheduling import (
+    schedule_crhcs,
+    schedule_greedy_ooo,
+    schedule_pe_aware,
+    schedule_row_based,
+    schedule_row_split,
+    schedule_stats,
+)
+
+_SCHEDULERS = {
+    "crhcs": (schedule_crhcs, DEFAULT_CHASON),
+    "pe_aware": (schedule_pe_aware, DEFAULT_SERPENS),
+    "greedy_ooo": (schedule_greedy_ooo, DEFAULT_SERPENS),
+    "row_based": (schedule_row_based, DEFAULT_SERPENS),
+    "row_split": (schedule_row_split, DEFAULT_SERPENS),
+}
+
+
+def _cmd_info(_args) -> int:
+    print(f"Chasoň reproduction v{__version__}\n")
+    for config in (DEFAULT_CHASON, DEFAULT_SERPENS):
+        print(
+            f"{config.name}: {config.sparse_channels} channels x "
+            f"{config.pes_per_channel} PEs @ {config.frequency_mhz:.0f} MHz, "
+            f"RAW distance {config.accumulator_latency}, "
+            f"W = {config.column_window}"
+        )
+    print()
+    print(format_table1([serpens_resources(), chason_resources()]))
+    breakdown = chason_power_breakdown()
+    print(f"\nestimated Chasoň power: {breakdown.total:.2f} W "
+          f"(HBM {breakdown.hbm:.2f} W)")
+    return 0
+
+
+def _cmd_matrices(_args) -> int:
+    rows = [
+        [spec.matrix_id, name, spec.collection, str(spec.nnz),
+         f"{spec.density_pct:.4g}%"]
+        for name, spec in sorted(NAMED_MATRICES.items())
+    ]
+    print(format_table(["ID", "Dataset", "Collection", "NNZ", "Density"],
+                       rows, title="Table 2 matrices"))
+    return 0
+
+
+def _cmd_schedule(args) -> int:
+    scheduler, config = _SCHEDULERS[args.scheme]
+    matrix = generate_named(args.matrix)
+    print("matrix:", matrix_stats(matrix).as_row())
+    stats = schedule_stats(scheduler(matrix, config))
+    print(
+        f"scheme {stats.scheme}: underutilization "
+        f"{stats.underutilization_pct:.1f}%, {stats.stream_cycles} stream "
+        f"cycles, {stats.words_per_channel} words/channel, "
+        f"{stats.traffic_bytes / 1e6:.2f} MB traffic, "
+        f"{stats.migrated} migrated"
+    )
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    matrix = generate_named(args.matrix)
+    print("matrix:", matrix_stats(matrix).as_row())
+    chason_report = ChasonAccelerator().analyze(matrix)
+    serpens_report = SerpensAccelerator().analyze(matrix)
+    print(chason_report.as_table_row())
+    print(serpens_report.as_table_row())
+    print(
+        f"speedup {serpens_report.latency_ms / chason_report.latency_ms:.2f}x, "
+        f"transfer reduction "
+        f"{serpens_report.traffic_bytes / chason_report.traffic_bytes:.2f}x"
+    )
+    return 0
+
+
+def _cmd_corpus(args) -> int:
+    result = compare_on_corpus(count=args.count, nnz_cap=args.cap or None)
+    serpens_summary = describe(result.serpens_underutilization)
+    chason_summary = describe(result.chason_underutilization)
+    print(f"corpus sweep over {result.count} matrices")
+    print(
+        f"serpens underutilization: mean {serpens_summary['mean']:.1f}% "
+        f"range {serpens_summary['min']:.1f}-{serpens_summary['max']:.1f}%"
+    )
+    print(
+        f"chason  underutilization: mean {chason_summary['mean']:.1f}% "
+        f"range {chason_summary['min']:.1f}-{chason_summary['max']:.1f}%"
+    )
+    print(f"geomean speedup over serpens: {result.geomean_speedup:.2f}x")
+    return 0
+
+
+def _cmd_characterize(args) -> int:
+    matrix = generate_named(args.matrix)
+    character = characterize(matrix)
+    print("matrix:", matrix_stats(matrix).as_row())
+    print(
+        f"row-length cv {character.row_cv:.2f}, gini "
+        f"{character.gini:.2f}, empty rows "
+        f"{100 * character.empty_row_fraction:.1f}%"
+    )
+    print(
+        f"predicted underutilization: serpens "
+        f"{character.predicted_serpens_underutilization:.0f}%, chason "
+        f"{character.predicted_chason_underutilization:.0f}% "
+        f"(improvement {character.predicted_improvement:.0f} pp)"
+    )
+    verdict = "yes" if character.migration_worthwhile else "marginal"
+    print(f"cross-channel migration worthwhile: {verdict}")
+    return 0
+
+
+def _cmd_spmm(args) -> int:
+    matrix = generate_named(args.matrix)
+    chason = chason_spmm_report(matrix, args.bcols)
+    sextans = sextans_spmm_report(matrix, args.bcols)
+    print("matrix:", matrix_stats(matrix).as_row())
+    print(
+        f"chason  SpMM: {chason.latency_ms:.4f} ms, "
+        f"{chason.throughput_gflops:.2f} GFLOPS "
+        f"({args.bcols} B columns)"
+    )
+    print(
+        f"sextans SpMM: {sextans.latency_ms:.4f} ms, "
+        f"{sextans.throughput_gflops:.2f} GFLOPS"
+    )
+    print(f"speedup {sextans.latency_ms / chason.latency_ms:.2f}x")
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    matrix = generate_named(args.matrix, seed=args.seed)
+    save_matrix_market(matrix, args.out)
+    print(f"wrote {matrix.nnz} non-zeros to {args.out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Chasoň (MICRO 2025) reproduction toolkit",
+    )
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser(
+        "info", help="configurations, resources, power"
+    ).set_defaults(func=_cmd_info)
+    commands.add_parser(
+        "matrices", help="list the Table 2 matrices"
+    ).set_defaults(func=_cmd_matrices)
+
+    schedule = commands.add_parser("schedule",
+                                   help="schedule one named matrix")
+    schedule.add_argument("matrix", choices=sorted(NAMED_MATRICES))
+    schedule.add_argument("--scheme", choices=sorted(_SCHEDULERS),
+                          default="crhcs")
+    schedule.set_defaults(func=_cmd_schedule)
+
+    compare = commands.add_parser("compare",
+                                  help="Chasoň vs Serpens on one matrix")
+    compare.add_argument("matrix", choices=sorted(NAMED_MATRICES))
+    compare.set_defaults(func=_cmd_compare)
+
+    corpus = commands.add_parser("corpus", help="corpus sweep summary")
+    corpus.add_argument("--count", type=int, default=16)
+    corpus.add_argument("--cap", type=int, default=20_000,
+                        help="non-zero cap (0 = uncapped)")
+    corpus.set_defaults(func=_cmd_corpus)
+
+    character = commands.add_parser(
+        "characterize", help="predict CrHCS benefit from matrix stats"
+    )
+    character.add_argument("matrix", choices=sorted(NAMED_MATRICES))
+    character.set_defaults(func=_cmd_characterize)
+
+    spmm = commands.add_parser("spmm", help="SpMM extension report (§7.2)")
+    spmm.add_argument("matrix", choices=sorted(NAMED_MATRICES))
+    spmm.add_argument("--bcols", type=int, default=16)
+    spmm.set_defaults(func=_cmd_spmm)
+
+    generate = commands.add_parser(
+        "generate", help="write a named matrix as MatrixMarket"
+    )
+    generate.add_argument("matrix", choices=sorted(NAMED_MATRICES))
+    generate.add_argument("--out", required=True)
+    generate.add_argument("--seed", type=int, default=None)
+    generate.set_defaults(func=_cmd_generate)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,230 @@
+"""Accelerator and memory configuration objects.
+
+The configurations in this module pin down every architectural parameter the
+paper specifies:
+
+* 16 HBM channels stream the sparse matrix A, one channel each for the dense
+  vectors x and y and one for the instruction order (19 channels total,
+  §4.1/§5.1);
+* each sparse-matrix channel feeds a Processing Element Group (PEG) of 8 PEs
+  (512-bit channel word / 64-bit sparse element, §3.2);
+* the floating-point accumulator has a 10-cycle latency on the Alveo
+  U55c/U280/U250 (§2.2), which is the RAW dependency distance schedulers
+  must respect;
+* the dense vector is processed in column windows of W = 8192 because the
+  packed element carries a 13-bit column index (§3.2/§4.1);
+* Chasoň closes timing at 301 MHz, the Serpens baseline at 223 MHz (§4.5).
+
+All objects are frozen dataclasses: a configuration is a value, never mutated
+after construction, and validated eagerly in ``__post_init__``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Tuple
+
+from .errors import ConfigError
+
+#: Width of one HBM channel read/write in bits (§3.2, citing Lu et al.).
+HBM_CHANNEL_BITS = 512
+
+#: Width of one packed sparse element in bits (§3.2).
+SPARSE_ELEMENT_BITS = 64
+
+#: Number of packed elements per 512-bit channel word.
+ELEMENTS_PER_WORD = HBM_CHANNEL_BITS // SPARSE_ELEMENT_BITS
+
+#: Floating-point accumulation latency in cycles on Alveo U55c (§2.2).
+ACCUMULATOR_LATENCY = 10
+
+#: Column window size — 13-bit column index (§3.2).
+COLUMN_WINDOW = 8192
+
+#: Row index field width in bits (§3.2) and the induced row window.
+ROW_INDEX_BITS = 15
+ROW_WINDOW = 1 << ROW_INDEX_BITS
+
+
+@dataclass(frozen=True)
+class HBMConfig:
+    """Parameters of the HBM stack on the target card.
+
+    Defaults describe the 16 GB, 32-channel HBM2 stack of the Alveo U55c
+    (§5.1): 14.37 GB/s peak per channel, 460 GB/s aggregate.
+    """
+
+    total_channels: int = 32
+    channel_bits: int = HBM_CHANNEL_BITS
+    bandwidth_per_channel_gbps: float = 14.37
+    capacity_gib: float = 16.0
+
+    def __post_init__(self) -> None:
+        if self.total_channels <= 0:
+            raise ConfigError("HBM must expose at least one channel")
+        if self.channel_bits % 8:
+            raise ConfigError("channel width must be a whole number of bytes")
+        if self.bandwidth_per_channel_gbps <= 0:
+            raise ConfigError("per-channel bandwidth must be positive")
+        if self.capacity_gib <= 0:
+            raise ConfigError("HBM capacity must be positive")
+
+    @property
+    def channel_bytes(self) -> int:
+        """Bytes moved by one channel transaction."""
+        return self.channel_bits // 8
+
+    @property
+    def peak_bandwidth_gbps(self) -> float:
+        """Aggregate peak bandwidth across all channels in GB/s."""
+        return self.total_channels * self.bandwidth_per_channel_gbps
+
+    def used_bandwidth_gbps(self, used_channels: int) -> float:
+        """Peak bandwidth of a design using ``used_channels`` channels."""
+        if not 0 < used_channels <= self.total_channels:
+            raise ConfigError(
+                f"design uses {used_channels} channels but the stack has "
+                f"{self.total_channels}"
+            )
+        return used_channels * self.bandwidth_per_channel_gbps
+
+
+@dataclass(frozen=True)
+class AcceleratorConfig:
+    """Common architectural parameters of Serpens-style streaming SpMV.
+
+    The configuration describes the *shape* of the design: how many HBM
+    channels stream matrix A, how many PEs sit behind each channel, the
+    accumulator latency the scheduler must respect, and the clock frequency
+    of the placed-and-routed design.
+    """
+
+    name: str = "accelerator"
+    sparse_channels: int = 16
+    pes_per_channel: int = ELEMENTS_PER_WORD
+    accumulator_latency: int = ACCUMULATOR_LATENCY
+    multiplier_latency: int = 3
+    frequency_mhz: float = 223.0
+    column_window: int = COLUMN_WINDOW
+    row_window: int = ROW_WINDOW
+    hbm: HBMConfig = field(default_factory=HBMConfig)
+    #: Extra channels used for x, y-in/y-out and the instruction stream.
+    dense_vector_channels: int = 3
+    #: Fixed cycles per SpMV invocation: instruction-stream fetch, kernel
+    #: start, FIFO flush and y write-back initiation.  Floors the latency
+    #: of tiny matrices, matching the measured sub-5-microsecond minimum
+    #: latencies of Table 3.
+    invocation_overhead_cycles: int = 1200
+
+    def __post_init__(self) -> None:
+        if self.sparse_channels <= 0:
+            raise ConfigError("need at least one sparse matrix channel")
+        if self.pes_per_channel <= 0:
+            raise ConfigError("need at least one PE per channel")
+        if self.pes_per_channel > ELEMENTS_PER_WORD:
+            raise ConfigError(
+                f"{self.pes_per_channel} PEs per channel cannot be fed by a "
+                f"{HBM_CHANNEL_BITS}-bit word of "
+                f"{ELEMENTS_PER_WORD} elements"
+            )
+        if self.accumulator_latency < 1:
+            raise ConfigError("accumulator latency must be >= 1 cycle")
+        if self.multiplier_latency < 0:
+            raise ConfigError("multiplier latency must be >= 0 cycles")
+        if self.frequency_mhz <= 0:
+            raise ConfigError("clock frequency must be positive")
+        if self.column_window <= 0 or self.row_window <= 0:
+            raise ConfigError("window sizes must be positive")
+        if self.invocation_overhead_cycles < 0:
+            raise ConfigError("invocation overhead must be non-negative")
+        total = self.sparse_channels + self.dense_vector_channels
+        if total > self.hbm.total_channels:
+            raise ConfigError(
+                f"design needs {total} HBM channels but the stack exposes "
+                f"{self.hbm.total_channels}"
+            )
+
+    @property
+    def total_pes(self) -> int:
+        """Total PEs across all PEGs (Eq. 1 denominator)."""
+        return self.sparse_channels * self.pes_per_channel
+
+    @property
+    def used_channels(self) -> int:
+        """All HBM channels the design occupies (19 for Chasoň, §5.1)."""
+        return self.sparse_channels + self.dense_vector_channels
+
+    @property
+    def frequency_hz(self) -> float:
+        return self.frequency_mhz * 1e6
+
+    @property
+    def cycle_time_ns(self) -> float:
+        return 1e3 / self.frequency_mhz
+
+    @property
+    def streaming_bandwidth_gbps(self) -> float:
+        """Peak bandwidth available to the sparse matrix stream."""
+        return self.hbm.used_bandwidth_gbps(self.sparse_channels)
+
+    def with_frequency(self, frequency_mhz: float) -> "AcceleratorConfig":
+        """Return a copy running at a different clock frequency."""
+        return replace(self, frequency_mhz=frequency_mhz)
+
+
+@dataclass(frozen=True)
+class SerpensConfig(AcceleratorConfig):
+    """The Serpens baseline (§4.4, §5.2).
+
+    Serpens uses the same channel/PE layout as Chasoň but supports only
+    intra-channel (PE-aware) scheduling, has no Reduction or Re-order units
+    and closes timing at 223 MHz on the U55c.
+    """
+
+    name: str = "serpens"
+    frequency_mhz: float = 223.0
+    #: Partial sums per PE live in a single URAM (§4.4).
+    urams_per_pe: int = 1
+
+
+@dataclass(frozen=True)
+class ChasonConfig(AcceleratorConfig):
+    """Chasoň (§4, §4.5): CrHCS support on top of the Serpens datapath.
+
+    ``scug_size`` is the number of shared-channel URAMs per PE (the paper
+    deploys 4 on the U55c after shrinking from the ideal 8, §4.5).
+    ``migration_span`` is how many next channels a channel may borrow from
+    (the paper implements 1, §3.1/§6.1).
+    """
+
+    name: str = "chason"
+    frequency_mhz: float = 301.0
+    scug_size: int = 4
+    migration_span: int = 1
+    #: Depth of the Reduction Unit adder tree: log2(8 PEs) = 3 levels.
+    reduction_tree_levels: int = 3
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.scug_size < 1:
+            raise ConfigError("each PE needs at least one shared URAM (§4.5)")
+        if self.scug_size > self.pes_per_channel:
+            raise ConfigError(
+                "ScUG cannot hold more URAMs than there are source PEs"
+            )
+        if not 0 <= self.migration_span < self.sparse_channels:
+            raise ConfigError(
+                "migration span must name a strict subset of other channels"
+            )
+        if self.reduction_tree_levels < 1:
+            raise ConfigError("reduction tree needs at least one level")
+
+
+#: Published reference configurations.
+DEFAULT_SERPENS = SerpensConfig()
+DEFAULT_CHASON = ChasonConfig()
+
+
+def paper_configs() -> Tuple[ChasonConfig, SerpensConfig]:
+    """The (Chasoň, Serpens) pair evaluated in the paper on the U55c."""
+    return DEFAULT_CHASON, DEFAULT_SERPENS

@@ -1,0 +1,42 @@
+"""Chasoň — the paper's primary contribution (§3, §4)."""
+
+from .accelerator import SpMVReport, StreamingAccelerator
+from .chason import ChasonAccelerator
+from .host import (
+    CPU_PROTOCOL,
+    DeploymentEstimate,
+    FPGA_PROTOCOL,
+    GPU_PROTOCOL,
+    HostLinkModel,
+    MeasurementProtocol,
+    estimate_deployment,
+)
+from .spmm import (
+    SpMMReport,
+    chason_spmm,
+    chason_spmm_report,
+    sextans_spmm_report,
+    spmm_config,
+)
+from .sptrsv import SpTRSVReport, chason_sptrsv, level_sets
+
+__all__ = [
+    "SpMVReport",
+    "StreamingAccelerator",
+    "ChasonAccelerator",
+    "CPU_PROTOCOL",
+    "DeploymentEstimate",
+    "FPGA_PROTOCOL",
+    "GPU_PROTOCOL",
+    "HostLinkModel",
+    "MeasurementProtocol",
+    "estimate_deployment",
+    "SpMMReport",
+    "chason_spmm",
+    "chason_spmm_report",
+    "sextans_spmm_report",
+    "spmm_config",
+    "SpTRSVReport",
+    "chason_sptrsv",
+    "level_sets",
+]

@@ -1,0 +1,150 @@
+"""Common façade for the streaming SpMV accelerators.
+
+:class:`StreamingAccelerator` wraps the full flow a user of the hardware
+would see: *preprocess* (schedule the non-zeros into HBM channel data
+lists), *analyze* (latency/throughput/efficiency from the schedule shape —
+Eqs. 4–7), and *run* (cycle-level functional execution returning y).
+
+Chasoň and the Serpens baseline are thin subclasses that plug in their
+scheduler and configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from ..config import AcceleratorConfig
+from ..errors import ShapeError
+from ..formats.coo import COOMatrix
+from ..formats.csr import CSRMatrix
+from ..metrics import (
+    bandwidth_efficiency,
+    energy_efficiency,
+    pe_underutilization_percent,
+    throughput_gflops,
+)
+from ..scheduling.base import TiledSchedule
+from ..sim.engine import (
+    CycleBreakdown,
+    SpMVExecution,
+    estimate_cycles,
+    execute_schedule,
+)
+
+Matrix = Union[COOMatrix, CSRMatrix]
+
+
+@dataclass(frozen=True)
+class SpMVReport:
+    """Everything Table 3 reports for one (matrix, accelerator) pair."""
+
+    accelerator: str
+    scheme: str
+    n_rows: int
+    n_cols: int
+    nnz: int
+    stream_cycles: int
+    total_cycles: int
+    latency_ms: float
+    throughput_gflops: float
+    underutilization_pct: float
+    traffic_bytes: int
+    bandwidth_gbps: float
+    bandwidth_efficiency: float
+    power_watts: float
+    energy_efficiency: float
+    migrated: int
+
+    @property
+    def latency_seconds(self) -> float:
+        return self.latency_ms * 1e-3
+
+    def as_table_row(self) -> str:
+        """One formatted Table 3 row."""
+        return (
+            f"{self.accelerator:<8s} lat={self.latency_ms:9.3f} ms  "
+            f"thr={self.throughput_gflops:7.3f} GFLOPS  "
+            f"bw-eff={self.bandwidth_efficiency:7.3f}  "
+            f"e-eff={self.energy_efficiency:6.3f} GFLOPS/W  "
+            f"underutil={self.underutilization_pct:5.1f}%"
+        )
+
+
+class StreamingAccelerator:
+    """Base class: schedule → analyze → run."""
+
+    #: Subclasses override with the platform's measured power (§5.3).
+    power_watts: float = 1.0
+    name: str = "streaming"
+
+    def __init__(self, config: AcceleratorConfig):
+        self.config = config
+
+    # -- hooks ----------------------------------------------------------------
+
+    def schedule(self, matrix: Matrix) -> TiledSchedule:
+        """Offline preprocessing: produce the HBM channel data lists."""
+        raise NotImplementedError
+
+    # -- shared flow ------------------------------------------------------------
+
+    def analyze(
+        self,
+        matrix: Matrix,
+        schedule: Optional[TiledSchedule] = None,
+    ) -> SpMVReport:
+        """Latency/throughput/efficiency without functional execution."""
+        schedule = schedule or self.schedule(matrix)
+        cycles = estimate_cycles(schedule, self.config)
+        return self.report_from_cycles(schedule, cycles)
+
+    def run(
+        self,
+        matrix: Matrix,
+        x: np.ndarray,
+        schedule: Optional[TiledSchedule] = None,
+    ) -> Tuple[SpMVExecution, SpMVReport]:
+        """Cycle-level functional execution of one SpMV iteration."""
+        x = np.asarray(x, dtype=np.float32)
+        if x.shape != (matrix.n_cols,):
+            raise ShapeError(
+                f"x of length {x.shape} incompatible with {matrix.shape}"
+            )
+        schedule = schedule or self.schedule(matrix)
+        execution = execute_schedule(schedule, x, self.config)
+        report = self.report_from_cycles(schedule, execution.cycles)
+        return execution, report
+
+    def report_from_cycles(
+        self, schedule: TiledSchedule, cycles: CycleBreakdown
+    ) -> SpMVReport:
+        """Assemble the §5.3 metrics from a schedule and its cycle count."""
+        config = self.config
+        latency_seconds = cycles.total / config.frequency_hz
+        gflops = throughput_gflops(
+            schedule.nnz, schedule.n_cols, latency_seconds
+        )
+        bandwidth = config.streaming_bandwidth_gbps
+        return SpMVReport(
+            accelerator=self.name,
+            scheme=schedule.scheme,
+            n_rows=schedule.n_rows,
+            n_cols=schedule.n_cols,
+            nnz=schedule.nnz,
+            stream_cycles=cycles.stream,
+            total_cycles=cycles.total,
+            latency_ms=latency_seconds * 1e3,
+            throughput_gflops=gflops,
+            underutilization_pct=pe_underutilization_percent(
+                schedule.total_stalls, schedule.nnz
+            ),
+            traffic_bytes=schedule.traffic_bytes,
+            bandwidth_gbps=bandwidth,
+            bandwidth_efficiency=bandwidth_efficiency(gflops, bandwidth),
+            power_watts=self.power_watts,
+            energy_efficiency=energy_efficiency(gflops, self.power_watts),
+            migrated=schedule.migrated_count,
+        )

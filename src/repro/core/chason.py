@@ -1,0 +1,59 @@
+"""The Chasoň accelerator (§4).
+
+Chasoň = the Serpens streaming datapath + CrHCS scheduling + the
+architectural support that keeps cross-channel migration functionally
+correct: per-PE Routers, Shared-Channel URAM Groups, a Reduction Unit per
+PEG and the Re-order/Arbiter/Merger pipeline (§4.2–4.4).  The placed
+design closes timing at 301 MHz on the Alveo U55c (§4.5).
+
+Typical use::
+
+    from repro import ChasonAccelerator, generate_named
+
+    matrix = generate_named("wiki-Vote")
+    chason = ChasonAccelerator()
+    report = chason.analyze(matrix)        # Eqs. 4-7 metrics
+    execution, report = chason.run(matrix, x)   # cycle-level SpMV
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..config import ChasonConfig, DEFAULT_CHASON
+from ..errors import ConfigError
+from ..power.devices import measured_power
+from ..scheduling.base import TiledSchedule
+from ..scheduling.crhcs import MigrationReport, schedule_crhcs
+from .accelerator import Matrix, StreamingAccelerator
+
+
+class ChasonAccelerator(StreamingAccelerator):
+    """CrHCS-scheduled streaming SpMV on 16 HBM channels."""
+
+    name = "chason"
+    power_watts = measured_power("chason")
+
+    def __init__(
+        self,
+        config: Optional[ChasonConfig] = None,
+        mode: str = "migrate",
+    ):
+        config = config or DEFAULT_CHASON
+        if not isinstance(config, ChasonConfig):
+            raise ConfigError("ChasonAccelerator requires a ChasonConfig")
+        super().__init__(config)
+        self.mode = mode
+        #: Migration bookkeeping of the most recent schedule() call.
+        self.last_migration: Optional[MigrationReport] = None
+
+    def schedule(self, matrix: Matrix) -> TiledSchedule:
+        report = MigrationReport()
+        tiled = schedule_crhcs(
+            matrix,
+            self.config,
+            mode=self.mode,
+            report=report,
+        )
+        self.last_migration = report
+        return tiled

@@ -1,0 +1,122 @@
+"""Host-side model: PCIe transfers, reconfiguration, and the §5.2 protocol.
+
+The paper measures FPGA kernels over 1000 iterations precisely because
+one-off costs — bitstream transfer, FPGA reconfiguration, moving the
+matrix image over PCIe — dwarf a single SpMV and must be amortised
+(§5.2).  This module makes those costs explicit so users can reason about
+end-to-end deployment latency, not just kernel latency:
+
+* PCIe Gen3 x16 moves ≈12 GB/s effective (§5.1 says the card is attached
+  Gen3 x16);
+* reconfiguring the U55c with a bitstream takes on the order of seconds
+  and happens once;
+* the schedule image (the serialized data lists) and the dense vectors
+  transfer once per matrix; y returns every iteration.
+
+``MeasurementProtocol`` reproduces the paper's iteration counts: 1000 for
+the FPGAs, 10 for the GPUs, 100 (after 100 warm-ups) for the CPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class HostLinkModel:
+    """PCIe link + configuration overheads of the FPGA deployment."""
+
+    pcie_bandwidth_gbps: float = 12.0
+    pcie_latency_s: float = 5e-6
+    reconfiguration_s: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.pcie_bandwidth_gbps <= 0:
+            raise ConfigError("PCIe bandwidth must be positive")
+        if self.pcie_latency_s < 0 or self.reconfiguration_s < 0:
+            raise ConfigError("latencies must be non-negative")
+
+    def transfer_seconds(self, n_bytes: int) -> float:
+        """One DMA transfer of ``n_bytes`` over the link."""
+        if n_bytes < 0:
+            raise ConfigError("cannot transfer a negative byte count")
+        return self.pcie_latency_s + n_bytes / (
+            self.pcie_bandwidth_gbps * 1e9
+        )
+
+
+@dataclass(frozen=True)
+class MeasurementProtocol:
+    """The §5.2 measurement methodology for one platform."""
+
+    name: str
+    iterations: int
+    warmup_iterations: int = 0
+
+    def __post_init__(self) -> None:
+        if self.iterations <= 0 or self.warmup_iterations < 0:
+            raise ConfigError("iteration counts must be sensible")
+
+
+#: The paper's protocols (§5.2).
+FPGA_PROTOCOL = MeasurementProtocol("fpga", iterations=1000)
+GPU_PROTOCOL = MeasurementProtocol("gpu", iterations=10)
+CPU_PROTOCOL = MeasurementProtocol("cpu", iterations=100,
+                                   warmup_iterations=100)
+
+
+@dataclass(frozen=True)
+class DeploymentEstimate:
+    """End-to-end cost of running N SpMV iterations on the FPGA."""
+
+    one_time_seconds: float
+    per_iteration_seconds: float
+    iterations: int
+
+    @property
+    def total_seconds(self) -> float:
+        return self.one_time_seconds + (
+            self.iterations * self.per_iteration_seconds
+        )
+
+    @property
+    def amortised_iteration_seconds(self) -> float:
+        """What a naive total/N measurement would report."""
+        return self.total_seconds / self.iterations
+
+    @property
+    def amortisation_error(self) -> float:
+        """Relative inflation of the naive measurement over the kernel."""
+        return (
+            self.amortised_iteration_seconds / self.per_iteration_seconds
+            - 1.0
+        )
+
+
+def estimate_deployment(
+    kernel_seconds: float,
+    schedule_bytes: int,
+    vector_bytes: int,
+    iterations: int = FPGA_PROTOCOL.iterations,
+    link: HostLinkModel = HostLinkModel(),
+    include_reconfiguration: bool = True,
+) -> DeploymentEstimate:
+    """End-to-end cost model for the §5.2 FPGA methodology.
+
+    ``kernel_seconds`` is the modelled per-iteration SpMV latency;
+    ``schedule_bytes`` the serialized data-list image (moved once);
+    ``vector_bytes`` the x upload + y download per iteration.
+    """
+    if kernel_seconds <= 0:
+        raise ConfigError("kernel latency must be positive")
+    one_time = link.transfer_seconds(schedule_bytes)
+    if include_reconfiguration:
+        one_time += link.reconfiguration_s
+    per_iteration = kernel_seconds + link.transfer_seconds(vector_bytes)
+    return DeploymentEstimate(
+        one_time_seconds=one_time,
+        per_iteration_seconds=per_iteration,
+        iterations=iterations,
+    )

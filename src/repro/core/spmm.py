@@ -1,0 +1,190 @@
+"""Chasoň for SpMM — the §7.2 extension.
+
+SpMM computes ``C = α·A·B + β·C`` with sparse A and dense B.  Following
+the prior OoO HBM-based SpMM accelerator (Sextans) and §7.2, the Chasoň
+SpMM variant keeps the 16-channel sparse stream for A and allocates 4
+channels to B, 8 to C and one to the instruction order (the stated 29
+channels in total); each streamed non-zero of A is
+multiplied against a 512-bit beat of B — eight FP32 columns — per cycle,
+so a B panel of ``bcols`` columns multiplies the stream cycle count by
+``ceil(bcols / 8)``.  The ScUG URAMs deepen to hold one partial sum per
+B column and the Reduction/Re-order Units operate per column group.
+
+The same CrHCS schedule (computed on A with the SpMM channel layout)
+drives both the functional computation and the latency model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from ..config import ChasonConfig, DEFAULT_CHASON
+from ..errors import ShapeError
+from ..formats.coo import COOMatrix
+from ..formats.csr import CSRMatrix
+from ..metrics import energy_efficiency
+from ..power.devices import measured_power
+from ..scheduling.crhcs import schedule_crhcs
+from ..sim.engine import estimate_cycles
+
+Matrix = Union[COOMatrix, CSRMatrix]
+
+#: FP32 columns of B consumed per cycle (one 512-bit beat ÷ 32 bits… the
+#: Sextans layout packs 8 columns of 64-bit data slots).
+B_COLUMNS_PER_BEAT = 8
+
+#: §7.2 channel allocation summing to the stated 29 channels: the sparse
+#: stream keeps the SpMV width (16), dense B gets 4, C read/write-back 8,
+#: and one channel carries the instruction order.
+SPMM_A_CHANNELS = 16
+SPMM_B_CHANNELS = 4
+SPMM_C_CHANNELS = 8
+SPMM_INSTRUCTION_CHANNELS = 1
+
+
+def spmm_config(base: Optional[ChasonConfig] = None) -> ChasonConfig:
+    """The Chasoň configuration re-provisioned for SpMM (§7.2)."""
+    base = base or DEFAULT_CHASON
+    return replace(
+        base,
+        name="chason-spmm",
+        sparse_channels=SPMM_A_CHANNELS,
+        dense_vector_channels=(
+            SPMM_B_CHANNELS + SPMM_C_CHANNELS + SPMM_INSTRUCTION_CHANNELS
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class SpMMReport:
+    """Latency/throughput of one SpMM invocation."""
+
+    n_rows: int
+    n_cols: int
+    b_cols: int
+    nnz: int
+    stream_cycles: int
+    total_cycles: int
+    latency_ms: float
+    throughput_gflops: float
+    underutilization_pct: float
+    energy_efficiency: float
+    migrated: int
+
+
+def chason_spmm(
+    matrix: Matrix,
+    b: np.ndarray,
+    c: Optional[np.ndarray] = None,
+    alpha: float = 1.0,
+    beta: float = 0.0,
+    config: Optional[ChasonConfig] = None,
+) -> Tuple[np.ndarray, SpMMReport]:
+    """Compute ``alpha·A·B + beta·C`` through the CrHCS schedule.
+
+    The accumulation walks the scheduled elements (so the computation is
+    exactly what the datapath would perform, migrated elements included);
+    the returned report carries the §7.2 latency model.
+    """
+    b = np.asarray(b, dtype=np.float32)
+    if b.ndim != 2 or b.shape[0] != matrix.n_cols:
+        raise ShapeError(
+            f"B of shape {b.shape} incompatible with A {matrix.shape}"
+        )
+    if c is None:
+        c_out = np.zeros((matrix.n_rows, b.shape[1]), dtype=np.float64)
+        beta = 0.0
+    else:
+        c = np.asarray(c, dtype=np.float64)
+        if c.shape != (matrix.n_rows, b.shape[1]):
+            raise ShapeError(
+                f"C of shape {c.shape} incompatible with output "
+                f"({matrix.n_rows}, {b.shape[1]})"
+            )
+        c_out = beta * c
+
+    cfg = spmm_config(config)
+    schedule = schedule_crhcs(matrix, cfg)
+    b64 = b.astype(np.float64)
+    for tile in schedule.tiles:
+        row_base, col_base = tile.row_base, tile.col_base
+        for grid in tile.grids:
+            for (cycle, pe), element in grid.occupied.items():
+                c_out[row_base + element.row] += (
+                    alpha * element.value * b64[col_base + element.col]
+                )
+
+    report = spmm_report_from_schedule(schedule, b.shape[1], cfg)
+    return c_out, report
+
+
+def spmm_report_from_schedule(
+    schedule, b_cols: int, config: ChasonConfig, power_key: str = "chason"
+) -> SpMMReport:
+    """Assemble the SpMM latency model from an A schedule."""
+    spmv_cycles = estimate_cycles(schedule, config)
+    panel_beats = math.ceil(max(b_cols, 1) / B_COLUMNS_PER_BEAT)
+    total = (
+        spmv_cycles.stream * panel_beats
+        + spmv_cycles.x_load * panel_beats  # B panels stream per beat group
+        + spmv_cycles.drain
+        + spmv_cycles.reduction * panel_beats
+        + spmv_cycles.output * panel_beats
+    )
+    latency_seconds = total / config.frequency_hz
+    flops = 2.0 * schedule.nnz * max(b_cols, 1)
+    gflops = flops / (latency_seconds * 1e9)
+    return SpMMReport(
+        n_rows=schedule.n_rows,
+        n_cols=schedule.n_cols,
+        b_cols=b_cols,
+        nnz=schedule.nnz,
+        stream_cycles=spmv_cycles.stream,
+        total_cycles=total,
+        latency_ms=latency_seconds * 1e3,
+        throughput_gflops=gflops,
+        underutilization_pct=100.0 * schedule.underutilization,
+        energy_efficiency=energy_efficiency(
+            gflops, measured_power(power_key)
+        ),
+        migrated=schedule.migrated_count,
+    )
+
+
+def chason_spmm_report(
+    matrix: Matrix,
+    b_cols: int,
+    config: Optional[ChasonConfig] = None,
+) -> SpMMReport:
+    """Latency/throughput of SpMM without materialising B (analysis path)."""
+    cfg = spmm_config(config)
+    schedule = schedule_crhcs(matrix, cfg)
+    return spmm_report_from_schedule(schedule, b_cols, cfg)
+
+
+def sextans_spmm_report(
+    matrix: Matrix,
+    b_cols: int,
+) -> SpMMReport:
+    """The Sextans-style baseline: PE-aware scheduling, Serpens clock.
+
+    Sextans is the prior OoO HBM SpMM accelerator §7.2 builds on; like
+    Serpens it schedules intra-channel only.  Modelling it as the SpMM
+    channel layout + PE-aware schedule + the 223 MHz Serpens clock gives
+    the baseline the §7.2 extension is compared against.
+    """
+    from ..config import DEFAULT_SERPENS
+    from ..scheduling.pe_aware import schedule_pe_aware
+
+    cfg = replace(
+        spmm_config(),
+        name="sextans-spmm",
+        frequency_mhz=DEFAULT_SERPENS.frequency_mhz,
+    )
+    schedule = schedule_pe_aware(matrix, cfg)
+    return spmm_report_from_schedule(schedule, b_cols, cfg,
+                                     power_key="serpens")

@@ -1,0 +1,43 @@
+"""Exception hierarchy for the Chasoň reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without catching unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigError(ReproError):
+    """An accelerator or HBM configuration is internally inconsistent."""
+
+
+class FormatError(ReproError):
+    """A sparse matrix (or packed stream element) is malformed."""
+
+
+class ShapeError(FormatError):
+    """Operand shapes are incompatible (e.g. SpMV with wrong vector length)."""
+
+
+class SchedulingError(ReproError):
+    """A scheduler produced (or was asked to produce) an invalid schedule."""
+
+
+class RawHazardError(SchedulingError):
+    """A schedule violates the read-after-write dependency distance."""
+
+
+class CapacityError(ReproError):
+    """An on-chip memory (URAM/BRAM) or HBM capacity limit was exceeded."""
+
+
+class SimulationError(ReproError):
+    """The cycle-level simulator reached an inconsistent state."""
+
+
+class DatasetError(ReproError):
+    """A matrix generator or named dataset request cannot be satisfied."""

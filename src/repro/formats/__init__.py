@@ -1,0 +1,53 @@
+"""Sparse matrix formats and the packed HBM stream element (§3.2)."""
+
+from .element import (
+    COL_BITS,
+    PE_SRC_BITS,
+    ROW_BITS,
+    PackedElement,
+    pack_element,
+    pack_stream,
+    unpack_element,
+    unpack_stream,
+)
+from .coo import COOMatrix
+from .csc import CSCMatrix
+from .csr import CSRMatrix
+from .ell import ELLMatrix
+from .convert import (
+    coo_to_csc,
+    coo_to_csr,
+    csc_to_coo,
+    csr_to_coo,
+    csr_to_ell,
+    ell_to_coo,
+    to_coo,
+    to_csr,
+)
+from .io import load_matrix_market, load_snap_edgelist, save_matrix_market
+
+__all__ = [
+    "COL_BITS",
+    "PE_SRC_BITS",
+    "ROW_BITS",
+    "PackedElement",
+    "pack_element",
+    "pack_stream",
+    "unpack_element",
+    "unpack_stream",
+    "COOMatrix",
+    "CSCMatrix",
+    "CSRMatrix",
+    "ELLMatrix",
+    "coo_to_csc",
+    "coo_to_csr",
+    "csc_to_coo",
+    "csr_to_coo",
+    "csr_to_ell",
+    "ell_to_coo",
+    "to_coo",
+    "to_csr",
+    "load_matrix_market",
+    "load_snap_edgelist",
+    "save_matrix_market",
+]

@@ -1,0 +1,101 @@
+"""Lossless conversions between sparse formats."""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from ..errors import FormatError
+from .coo import COOMatrix
+from .csc import CSCMatrix
+from .csr import CSRMatrix
+from .ell import ELLMatrix
+
+Matrix = Union[COOMatrix, CSRMatrix, CSCMatrix, ELLMatrix]
+
+
+def coo_to_csr(matrix: COOMatrix) -> CSRMatrix:
+    """Convert COO to canonical CSR (sorted columns, duplicates summed)."""
+    canonical = matrix.sum_duplicates()
+    indptr = np.zeros(matrix.n_rows + 1, dtype=np.int64)
+    np.add.at(indptr, canonical.rows + 1, 1)
+    np.cumsum(indptr, out=indptr)
+    return CSRMatrix(matrix.shape, indptr, canonical.cols, canonical.values)
+
+
+def csr_to_coo(matrix: CSRMatrix) -> COOMatrix:
+    """Convert CSR back to COO (already canonical)."""
+    rows = np.repeat(np.arange(matrix.n_rows), matrix.row_lengths())
+    return COOMatrix(matrix.shape, rows, matrix.indices, matrix.values)
+
+
+def coo_to_csc(matrix: COOMatrix) -> CSCMatrix:
+    """Convert COO to canonical CSC (sorted rows, duplicates summed)."""
+    canonical = matrix.sum_duplicates()
+    order = np.lexsort((canonical.rows, canonical.cols))
+    cols = canonical.cols[order]
+    indptr = np.zeros(matrix.n_cols + 1, dtype=np.int64)
+    np.add.at(indptr, cols + 1, 1)
+    np.cumsum(indptr, out=indptr)
+    return CSCMatrix(
+        matrix.shape, indptr, canonical.rows[order],
+        canonical.values[order],
+    )
+
+
+def csc_to_coo(matrix: CSCMatrix) -> COOMatrix:
+    """Convert CSC back to COO."""
+    cols = np.repeat(np.arange(matrix.n_cols), matrix.col_lengths())
+    return COOMatrix(matrix.shape, matrix.indices, cols, matrix.values)
+
+
+def csr_to_ell(matrix: CSRMatrix) -> ELLMatrix:
+    """Convert CSR to the padded ELL layout."""
+    lengths = matrix.row_lengths()
+    width = int(lengths.max()) if lengths.size and matrix.nnz else 0
+    width = max(width, 1)
+    columns = np.full((matrix.n_rows, width), -1, dtype=np.int64)
+    values = np.zeros((matrix.n_rows, width), dtype=np.float32)
+    for row in range(matrix.n_rows):
+        cols, vals = matrix.row(row)
+        columns[row, : cols.size] = cols
+        values[row, : vals.size] = vals
+    return ELLMatrix(matrix.shape, columns, values)
+
+
+def ell_to_coo(matrix: ELLMatrix) -> COOMatrix:
+    """Convert ELL back to COO (padding dropped)."""
+    rows, slots = np.nonzero(matrix.columns >= 0)
+    return COOMatrix(
+        matrix.shape,
+        rows,
+        matrix.columns[rows, slots],
+        matrix.values[rows, slots],
+    )
+
+
+def to_csr(matrix: Matrix) -> CSRMatrix:
+    """Coerce any supported matrix type to CSR."""
+    if isinstance(matrix, CSRMatrix):
+        return matrix
+    if isinstance(matrix, COOMatrix):
+        return coo_to_csr(matrix)
+    if isinstance(matrix, CSCMatrix):
+        return coo_to_csr(csc_to_coo(matrix))
+    if isinstance(matrix, ELLMatrix):
+        return coo_to_csr(ell_to_coo(matrix))
+    raise FormatError(f"cannot convert {type(matrix).__name__} to CSR")
+
+
+def to_coo(matrix: Matrix) -> COOMatrix:
+    """Coerce any supported matrix type to COO."""
+    if isinstance(matrix, COOMatrix):
+        return matrix
+    if isinstance(matrix, CSRMatrix):
+        return csr_to_coo(matrix)
+    if isinstance(matrix, CSCMatrix):
+        return csc_to_coo(matrix)
+    if isinstance(matrix, ELLMatrix):
+        return ell_to_coo(matrix)
+    raise FormatError(f"cannot convert {type(matrix).__name__} to COO")

@@ -1,0 +1,173 @@
+"""Coordinate (COO) sparse matrix.
+
+The COO format is the interchange format of the library: generators emit
+COO, schedulers consume CSR, and the two convert losslessly through
+:mod:`repro.formats.convert`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from ..errors import FormatError, ShapeError
+
+
+@dataclass(frozen=True)
+class COOMatrix:
+    """An immutable sparse matrix in coordinate form.
+
+    Duplicate coordinates are legal on construction and are summed by
+    :meth:`sum_duplicates` (and implicitly by CSR conversion), matching the
+    convention of every mainstream sparse library.
+    """
+
+    shape: Tuple[int, int]
+    rows: np.ndarray
+    cols: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        n_rows, n_cols = self.shape
+        if n_rows <= 0 or n_cols <= 0:
+            raise ShapeError(f"matrix shape {self.shape} must be positive")
+        rows = np.ascontiguousarray(self.rows, dtype=np.int64)
+        cols = np.ascontiguousarray(self.cols, dtype=np.int64)
+        values = np.ascontiguousarray(self.values, dtype=np.float32)
+        if not (rows.shape == cols.shape == values.shape):
+            raise FormatError("rows, cols and values must have equal length")
+        if rows.ndim != 1:
+            raise FormatError("COO arrays must be one-dimensional")
+        if rows.size and (rows.min() < 0 or rows.max() >= n_rows):
+            raise FormatError("row index out of bounds")
+        if cols.size and (cols.min() < 0 or cols.max() >= n_cols):
+            raise FormatError("column index out of bounds")
+        object.__setattr__(self, "rows", rows)
+        object.__setattr__(self, "cols", cols)
+        object.__setattr__(self, "values", values)
+
+    # -- basic properties -------------------------------------------------
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored entries (before duplicate summing)."""
+        return int(self.values.size)
+
+    @property
+    def n_rows(self) -> int:
+        return self.shape[0]
+
+    @property
+    def n_cols(self) -> int:
+        return self.shape[1]
+
+    @property
+    def density(self) -> float:
+        """Fraction of non-zero cells, as reported in Table 2."""
+        return self.nnz / (self.n_rows * self.n_cols)
+
+    def __iter__(self) -> Iterator[Tuple[int, int, float]]:
+        for r, c, v in zip(self.rows, self.cols, self.values):
+            yield int(r), int(c), float(v)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"COOMatrix(shape={self.shape}, nnz={self.nnz}, "
+            f"density={self.density:.3g})"
+        )
+
+    # -- construction helpers ---------------------------------------------
+
+    @classmethod
+    def from_entries(cls, shape, entries) -> "COOMatrix":
+        """Build from an iterable of ``(row, col, value)`` triples."""
+        entries = list(entries)
+        if entries:
+            rows, cols, values = map(np.asarray, zip(*entries))
+        else:
+            rows = cols = values = np.empty(0)
+        return cls(tuple(shape), rows, cols, values)
+
+    @classmethod
+    def from_dense(cls, dense) -> "COOMatrix":
+        """Build from a dense 2-D array, keeping exact non-zeros."""
+        dense = np.asarray(dense, dtype=np.float32)
+        if dense.ndim != 2:
+            raise ShapeError("dense input must be two-dimensional")
+        rows, cols = np.nonzero(dense)
+        return cls(dense.shape, rows, cols, dense[rows, cols])
+
+    # -- transformations ---------------------------------------------------
+
+    def sum_duplicates(self) -> "COOMatrix":
+        """Return an equivalent matrix with unique, sorted coordinates."""
+        if self.nnz == 0:
+            return self
+        keys = self.rows * self.n_cols + self.cols
+        order = np.argsort(keys, kind="stable")
+        keys = keys[order]
+        values = self.values[order]
+        unique_keys, start = np.unique(keys, return_index=True)
+        summed = np.add.reduceat(values.astype(np.float64), start)
+        rows = unique_keys // self.n_cols
+        cols = unique_keys % self.n_cols
+        return COOMatrix(self.shape, rows, cols, summed)
+
+    def prune(self, tolerance: float = 0.0) -> "COOMatrix":
+        """Drop entries whose magnitude is <= ``tolerance``."""
+        keep = np.abs(self.values) > tolerance
+        return COOMatrix(
+            self.shape, self.rows[keep], self.cols[keep], self.values[keep]
+        )
+
+    def transpose(self) -> "COOMatrix":
+        return COOMatrix(
+            (self.n_cols, self.n_rows), self.cols, self.rows, self.values
+        )
+
+    def scaled(self, alpha: float) -> "COOMatrix":
+        return COOMatrix(self.shape, self.rows, self.cols, alpha * self.values)
+
+    def submatrix(self, row_slice: slice, col_slice: slice) -> "COOMatrix":
+        """Extract a contiguous block; slices must have step 1."""
+        r0, r1, rs = row_slice.indices(self.n_rows)
+        c0, c1, cs = col_slice.indices(self.n_cols)
+        if rs != 1 or cs != 1:
+            raise ShapeError("submatrix slices must be contiguous")
+        keep = (
+            (self.rows >= r0)
+            & (self.rows < r1)
+            & (self.cols >= c0)
+            & (self.cols < c1)
+        )
+        return COOMatrix(
+            (max(r1 - r0, 1), max(c1 - c0, 1)),
+            self.rows[keep] - r0,
+            self.cols[keep] - c0,
+            self.values[keep],
+        )
+
+    # -- numerics ----------------------------------------------------------
+
+    def to_dense(self) -> np.ndarray:
+        """Materialise as a dense float64 array (duplicates summed)."""
+        dense = np.zeros(self.shape, dtype=np.float64)
+        np.add.at(dense, (self.rows, self.cols), self.values.astype(np.float64))
+        return dense
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Reference SpMV ``y = A @ x`` in float64 accumulation."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.n_cols,):
+            raise ShapeError(
+                f"vector of length {x.shape} incompatible with {self.shape}"
+            )
+        y = np.zeros(self.n_rows, dtype=np.float64)
+        np.add.at(y, self.rows, self.values.astype(np.float64) * x[self.cols])
+        return y
+
+    def row_lengths(self) -> np.ndarray:
+        """NNZ per row — the quantity scheduling imbalance depends on."""
+        return np.bincount(self.rows, minlength=self.n_rows)

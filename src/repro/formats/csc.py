@@ -1,0 +1,94 @@
+"""Compressed Sparse Column (CSC) matrix.
+
+CSC completes the standard interchange trio.  Streaming accelerators
+schedule by row (Eq. 1), but transpose-heavy workloads (e.g. the
+``A^T A`` products of least-squares problems) keep their operands in CSC;
+the converter turns one into the other without materialising a dense
+intermediate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import FormatError, ShapeError
+
+
+@dataclass(frozen=True)
+class CSCMatrix:
+    """An immutable CSC matrix with canonical (sorted, unique) rows."""
+
+    shape: Tuple[int, int]
+    indptr: np.ndarray
+    indices: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        n_rows, n_cols = self.shape
+        if n_rows <= 0 or n_cols <= 0:
+            raise ShapeError(f"matrix shape {self.shape} must be positive")
+        indptr = np.ascontiguousarray(self.indptr, dtype=np.int64)
+        indices = np.ascontiguousarray(self.indices, dtype=np.int64)
+        values = np.ascontiguousarray(self.values, dtype=np.float32)
+        if indptr.shape != (n_cols + 1,):
+            raise FormatError(f"indptr must have length n_cols+1 = {n_cols + 1}")
+        if indptr[0] != 0 or indptr[-1] != indices.size:
+            raise FormatError("indptr must start at 0 and end at nnz")
+        if np.any(np.diff(indptr) < 0):
+            raise FormatError("indptr must be non-decreasing")
+        if indices.shape != values.shape:
+            raise FormatError("indices and values must have equal length")
+        if indices.size and (indices.min() < 0 or indices.max() >= n_rows):
+            raise FormatError("row index out of bounds")
+        object.__setattr__(self, "indptr", indptr)
+        object.__setattr__(self, "indices", indices)
+        object.__setattr__(self, "values", values)
+
+    @property
+    def nnz(self) -> int:
+        return int(self.values.size)
+
+    @property
+    def n_rows(self) -> int:
+        return self.shape[0]
+
+    @property
+    def n_cols(self) -> int:
+        return self.shape[1]
+
+    @property
+    def density(self) -> float:
+        return self.nnz / (self.n_rows * self.n_cols)
+
+    def col_lengths(self) -> np.ndarray:
+        """NNZ per column."""
+        return np.diff(self.indptr)
+
+    def col(self, col: int) -> Tuple[np.ndarray, np.ndarray]:
+        """The ``(rows, values)`` of one column."""
+        if not 0 <= col < self.n_cols:
+            raise ShapeError(f"column {col} out of range for {self.shape}")
+        lo, hi = self.indptr[col], self.indptr[col + 1]
+        return self.indices[lo:hi], self.values[lo:hi]
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Reference SpMV ``y = A @ x`` (scatter formulation)."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.n_cols,):
+            raise ShapeError(
+                f"vector of length {x.shape} incompatible with {self.shape}"
+            )
+        y = np.zeros(self.n_rows, dtype=np.float64)
+        col_of = np.repeat(np.arange(self.n_cols), self.col_lengths())
+        np.add.at(y, self.indices,
+                  self.values.astype(np.float64) * x[col_of])
+        return y
+
+    def to_dense(self) -> np.ndarray:
+        dense = np.zeros(self.shape, dtype=np.float64)
+        col_of = np.repeat(np.arange(self.n_cols), self.col_lengths())
+        dense[self.indices, col_of] = self.values
+        return dense

@@ -1,0 +1,132 @@
+"""Compressed Sparse Row (CSR) matrix.
+
+CSR is the format the schedulers consume: the per-row layout makes the
+row-length distribution — the quantity PE-aware scheduling and CrHCS react
+to — directly addressable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import FormatError, ShapeError
+
+
+@dataclass(frozen=True)
+class CSRMatrix:
+    """An immutable CSR matrix with canonical (sorted, unique) columns."""
+
+    shape: Tuple[int, int]
+    indptr: np.ndarray
+    indices: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        n_rows, n_cols = self.shape
+        if n_rows <= 0 or n_cols <= 0:
+            raise ShapeError(f"matrix shape {self.shape} must be positive")
+        indptr = np.ascontiguousarray(self.indptr, dtype=np.int64)
+        indices = np.ascontiguousarray(self.indices, dtype=np.int64)
+        values = np.ascontiguousarray(self.values, dtype=np.float32)
+        if indptr.shape != (n_rows + 1,):
+            raise FormatError(
+                f"indptr must have length n_rows+1 = {n_rows + 1}"
+            )
+        if indptr[0] != 0 or indptr[-1] != indices.size:
+            raise FormatError("indptr must start at 0 and end at nnz")
+        if np.any(np.diff(indptr) < 0):
+            raise FormatError("indptr must be non-decreasing")
+        if indices.shape != values.shape:
+            raise FormatError("indices and values must have equal length")
+        if indices.size and (indices.min() < 0 or indices.max() >= n_cols):
+            raise FormatError("column index out of bounds")
+        object.__setattr__(self, "indptr", indptr)
+        object.__setattr__(self, "indices", indices)
+        object.__setattr__(self, "values", values)
+
+    # -- basic properties -------------------------------------------------
+
+    @property
+    def nnz(self) -> int:
+        return int(self.values.size)
+
+    @property
+    def n_rows(self) -> int:
+        return self.shape[0]
+
+    @property
+    def n_cols(self) -> int:
+        return self.shape[1]
+
+    @property
+    def density(self) -> float:
+        return self.nnz / (self.n_rows * self.n_cols)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CSRMatrix(shape={self.shape}, nnz={self.nnz}, "
+            f"density={self.density:.3g})"
+        )
+
+    # -- row access ---------------------------------------------------------
+
+    def row_length(self, row: int) -> int:
+        """NNZ in one row."""
+        if not 0 <= row < self.n_rows:
+            raise ShapeError(f"row {row} out of range for {self.shape}")
+        return int(self.indptr[row + 1] - self.indptr[row])
+
+    def row_lengths(self) -> np.ndarray:
+        """NNZ per row for the whole matrix."""
+        return np.diff(self.indptr)
+
+    def row(self, row: int) -> Tuple[np.ndarray, np.ndarray]:
+        """The ``(columns, values)`` of one row."""
+        if not 0 <= row < self.n_rows:
+            raise ShapeError(f"row {row} out of range for {self.shape}")
+        lo, hi = self.indptr[row], self.indptr[row + 1]
+        return self.indices[lo:hi], self.values[lo:hi]
+
+    # -- numerics ----------------------------------------------------------
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Reference SpMV ``y = A @ x`` with float64 accumulation."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.n_cols,):
+            raise ShapeError(
+                f"vector of length {x.shape} incompatible with {self.shape}"
+            )
+        products = self.values.astype(np.float64) * x[self.indices]
+        y = np.zeros(self.n_rows, dtype=np.float64)
+        np.add.at(y, np.repeat(np.arange(self.n_rows), self.row_lengths()),
+                  products)
+        return y
+
+    def to_dense(self) -> np.ndarray:
+        dense = np.zeros(self.shape, dtype=np.float64)
+        row_of = np.repeat(np.arange(self.n_rows), self.row_lengths())
+        dense[row_of, self.indices] = self.values
+        return dense
+
+    def transpose(self) -> "CSRMatrix":
+        """CSC view realised as the CSR of the transpose."""
+        from .convert import coo_to_csr, csr_to_coo
+
+        return coo_to_csr(csr_to_coo(self).transpose())
+
+    # -- statistics used by the evaluation ----------------------------------
+
+    def imbalance(self) -> float:
+        """Max/mean row length — a proxy for scheduling difficulty."""
+        lengths = self.row_lengths()
+        mean = lengths.mean()
+        if mean == 0:
+            return 0.0
+        return float(lengths.max() / mean)
+
+    def empty_row_fraction(self) -> float:
+        """Fraction of rows with no non-zeros (these become pure stalls)."""
+        return float(np.mean(self.row_lengths() == 0))

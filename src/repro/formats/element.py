@@ -1,0 +1,136 @@
+"""The 64-bit packed sparse stream element of CrHCS (§3.2).
+
+Each non-zero travelling over an HBM channel is packed into a 64-bit word:
+
+========  =====  ==================================================
+field     bits   meaning
+========  =====  ==================================================
+value     32     IEEE-754 float32 non-zero value
+row       15     row index *within the current row window*
+pvt       1      1 → belongs to the current (private) channel,
+                 0 → migrated from a neighbouring (shared) channel
+PE_src    3      PE the value was originally scheduled for in its
+                 home channel (meaningful when ``pvt == 0``)
+col       13     column index *within the current column window*
+========  =====  ==================================================
+
+Prior works (Serpens et al.) spend the same 32 metadata bits on a plain
+row/column pair; CrHCS steals 4 bits (1 pvt + 3 PE_src) from the indices so
+the PEG's Router can steer partial sums into ``URAM_pvt`` or the correct
+``URAM_sh`` bank, which is what makes cross-channel migration functionally
+correct (§3.2, §4.2.1).
+
+The bit layout used here (from most to least significant):
+
+``[ value:32 | row:15 | pvt:1 | PE_src:3 | col:13 ]``
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from ..errors import FormatError
+
+ROW_BITS = 15
+PVT_BITS = 1
+PE_SRC_BITS = 3
+COL_BITS = 13
+
+_ROW_MAX = (1 << ROW_BITS) - 1
+_PE_SRC_MAX = (1 << PE_SRC_BITS) - 1
+_COL_MAX = (1 << COL_BITS) - 1
+
+_COL_SHIFT = 0
+_PE_SRC_SHIFT = COL_BITS
+_PVT_SHIFT = _PE_SRC_SHIFT + PE_SRC_BITS
+_ROW_SHIFT = _PVT_SHIFT + PVT_BITS
+_VALUE_SHIFT = _ROW_SHIFT + ROW_BITS
+
+assert _VALUE_SHIFT == 32, "metadata must occupy exactly 32 bits"
+
+
+@dataclass(frozen=True)
+class PackedElement:
+    """A decoded sparse stream element.
+
+    ``row`` and ``col`` are window-local indices; the streaming engine knows
+    which (row window, column window) a data list belongs to, so global
+    coordinates are reconstructed as ``window_base + local_index``.
+    """
+
+    value: float
+    row: int
+    col: int
+    pvt: bool = True
+    pe_src: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.row <= _ROW_MAX:
+            raise FormatError(
+                f"row index {self.row} does not fit in {ROW_BITS} bits"
+            )
+        if not 0 <= self.col <= _COL_MAX:
+            raise FormatError(
+                f"column index {self.col} does not fit in {COL_BITS} bits"
+            )
+        if not 0 <= self.pe_src <= _PE_SRC_MAX:
+            raise FormatError(
+                f"PE_src {self.pe_src} does not fit in {PE_SRC_BITS} bits"
+            )
+
+    @property
+    def is_shared(self) -> bool:
+        """True when the element was migrated from a neighbouring channel."""
+        return not self.pvt
+
+
+def _float_to_bits(value: float) -> int:
+    """Round ``value`` to float32 and return its raw 32-bit pattern."""
+    return struct.unpack("<I", struct.pack("<f", value))[0]
+
+
+def _bits_to_float(bits: int) -> float:
+    return struct.unpack("<f", struct.pack("<I", bits))[0]
+
+
+def pack_element(element: PackedElement) -> int:
+    """Encode ``element`` into its 64-bit wire representation."""
+    word = _float_to_bits(element.value) << _VALUE_SHIFT
+    word |= element.row << _ROW_SHIFT
+    word |= (1 if element.pvt else 0) << _PVT_SHIFT
+    word |= element.pe_src << _PE_SRC_SHIFT
+    word |= element.col << _COL_SHIFT
+    return word
+
+
+def unpack_element(word: int) -> PackedElement:
+    """Decode a 64-bit wire word back into a :class:`PackedElement`."""
+    if not 0 <= word < (1 << 64):
+        raise FormatError(f"{word:#x} is not a 64-bit word")
+    value = _bits_to_float((word >> _VALUE_SHIFT) & 0xFFFFFFFF)
+    row = (word >> _ROW_SHIFT) & _ROW_MAX
+    pvt = bool((word >> _PVT_SHIFT) & 1)
+    pe_src = (word >> _PE_SRC_SHIFT) & _PE_SRC_MAX
+    col = (word >> _COL_SHIFT) & _COL_MAX
+    return PackedElement(value=value, row=row, col=col, pvt=pvt, pe_src=pe_src)
+
+
+def pack_stream(elements) -> bytes:
+    """Pack an iterable of elements into a little-endian byte stream.
+
+    Eight consecutive elements form one 512-bit HBM channel word; the order
+    of elements inside the stream is exactly the order in which the PEG
+    consumes them (the k-th element of each group goes to PE k, §3.2).
+    """
+    words = [pack_element(e) for e in elements]
+    return struct.pack(f"<{len(words)}Q", *words)
+
+
+def unpack_stream(data: bytes) -> list:
+    """Inverse of :func:`pack_stream`."""
+    if len(data) % 8:
+        raise FormatError("stream length must be a multiple of 8 bytes")
+    count = len(data) // 8
+    words = struct.unpack(f"<{count}Q", data)
+    return [unpack_element(w) for w in words]

@@ -1,0 +1,90 @@
+"""ELLPACK (ELL) format — the padded-row layout of ITPACK.
+
+ELL stores every row in ``width`` slots (the longest row's length),
+padding short rows.  The paper's related-work discussion (Copernicus
+et al., §7.1) studies exactly this padding cost; the format makes the
+connection between storage padding and the scheduler's zero-stalls
+tangible: ELL's ``padding_fraction`` is the storage analogue of Eq. 4's
+PE underutilization for a row-uniform schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import FormatError, ShapeError
+
+
+@dataclass(frozen=True)
+class ELLMatrix:
+    """An immutable ELL matrix.
+
+    ``columns[i, k]`` holds the column of the k-th non-zero of row i or
+    ``-1`` for padding; ``values`` is zero where padded.
+    """
+
+    shape: Tuple[int, int]
+    columns: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        n_rows, n_cols = self.shape
+        if n_rows <= 0 or n_cols <= 0:
+            raise ShapeError(f"matrix shape {self.shape} must be positive")
+        columns = np.ascontiguousarray(self.columns, dtype=np.int64)
+        values = np.ascontiguousarray(self.values, dtype=np.float32)
+        if columns.ndim != 2 or columns.shape[0] != n_rows:
+            raise FormatError("columns must be (n_rows, width)")
+        if values.shape != columns.shape:
+            raise FormatError("values must match columns in shape")
+        padded = columns < 0
+        if np.any(columns[~padded] >= n_cols):
+            raise FormatError("column index out of bounds")
+        if np.any(values[padded] != 0.0):
+            raise FormatError("padding slots must carry zero values")
+        object.__setattr__(self, "columns", columns)
+        object.__setattr__(self, "values", values)
+
+    @property
+    def n_rows(self) -> int:
+        return self.shape[0]
+
+    @property
+    def n_cols(self) -> int:
+        return self.shape[1]
+
+    @property
+    def width(self) -> int:
+        """Slots per row (the longest row's NNZ)."""
+        return int(self.columns.shape[1])
+
+    @property
+    def nnz(self) -> int:
+        return int(np.count_nonzero(self.columns >= 0))
+
+    @property
+    def padding_fraction(self) -> float:
+        """Fraction of stored slots that are padding — the ELL waste."""
+        slots = self.columns.size
+        return (slots - self.nnz) / slots if slots else 0.0
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Reference SpMV over the padded layout."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.n_cols,):
+            raise ShapeError(
+                f"vector of length {x.shape} incompatible with {self.shape}"
+            )
+        gathered = np.where(
+            self.columns >= 0, x[np.maximum(self.columns, 0)], 0.0
+        )
+        return (self.values.astype(np.float64) * gathered).sum(axis=1)
+
+    def to_dense(self) -> np.ndarray:
+        dense = np.zeros(self.shape, dtype=np.float64)
+        rows, slots = np.nonzero(self.columns >= 0)
+        dense[rows, self.columns[rows, slots]] = self.values[rows, slots]
+        return dense

@@ -1,0 +1,134 @@
+"""Minimal MatrixMarket coordinate reader/writer.
+
+SuiteSparse and SNAP matrices ship as MatrixMarket ``.mtx`` files; a user
+with local copies of the real collections can load them straight into the
+library instead of using the synthetic generators.
+
+Only the ``matrix coordinate real/integer/pattern general/symmetric``
+subset is supported — that covers every matrix in the paper's evaluation.
+"""
+
+from __future__ import annotations
+
+import gzip
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from ..errors import FormatError
+from .coo import COOMatrix
+
+_PathLike = Union[str, Path]
+
+
+def _open_text(path: Path, mode: str):
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t")
+    return open(path, mode)
+
+
+def load_matrix_market(path: _PathLike) -> COOMatrix:
+    """Load a MatrixMarket coordinate file (optionally gzip-compressed)."""
+    path = Path(path)
+    with _open_text(path, "r") as handle:
+        header = handle.readline().strip().split()
+        if len(header) < 5 or header[0] != "%%MatrixMarket":
+            raise FormatError(f"{path} is not a MatrixMarket file")
+        _, obj, fmt, field, symmetry = (token.lower() for token in header[:5])
+        if obj != "matrix" or fmt != "coordinate":
+            raise FormatError("only coordinate matrices are supported")
+        if field not in ("real", "integer", "pattern"):
+            raise FormatError(f"unsupported value field {field!r}")
+        if symmetry not in ("general", "symmetric"):
+            raise FormatError(f"unsupported symmetry {symmetry!r}")
+
+        line = handle.readline()
+        while line.startswith("%"):
+            line = handle.readline()
+        try:
+            n_rows, n_cols, nnz = (int(tok) for tok in line.split())
+        except ValueError as exc:
+            raise FormatError(f"bad size line in {path}: {line!r}") from exc
+
+        rows = np.empty(nnz, dtype=np.int64)
+        cols = np.empty(nnz, dtype=np.int64)
+        values = np.empty(nnz, dtype=np.float64)
+        for i in range(nnz):
+            parts = handle.readline().split()
+            if len(parts) < 2:
+                raise FormatError(f"truncated entry {i} in {path}")
+            rows[i] = int(parts[0]) - 1
+            cols[i] = int(parts[1]) - 1
+            values[i] = float(parts[2]) if field != "pattern" else 1.0
+
+    if symmetry == "symmetric":
+        off_diag = rows != cols
+        rows = np.concatenate([rows, cols[off_diag]])
+        cols = np.concatenate([cols, rows[: nnz][off_diag]])
+        values = np.concatenate([values, values[off_diag]])
+    return COOMatrix((n_rows, n_cols), rows, cols, values)
+
+
+def load_snap_edgelist(
+    path: _PathLike,
+    n_nodes: int = 0,
+    weighted: bool = False,
+) -> COOMatrix:
+    """Load a SNAP edge-list file (``# comments``, one edge per line).
+
+    The SNAP collection distributes graphs as whitespace-separated
+    ``src dst [weight]`` lines with ``#``-prefixed headers.  ``n_nodes``
+    fixes the matrix dimension; 0 infers it from the largest node id.
+    Duplicate edges are kept (they sum under CSR conversion, matching the
+    multigraph semantics of several SNAP datasets).
+    """
+    path = Path(path)
+    sources = []
+    targets = []
+    weights = []
+    with _open_text(path, "r") as handle:
+        for line_number, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line or line.startswith(("#", "%")):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise FormatError(
+                    f"{path}:{line_number}: expected 'src dst [weight]'"
+                )
+            sources.append(int(parts[0]))
+            targets.append(int(parts[1]))
+            if weighted:
+                if len(parts) < 3:
+                    raise FormatError(
+                        f"{path}:{line_number}: missing edge weight"
+                    )
+                weights.append(float(parts[2]))
+    rows = np.asarray(sources, dtype=np.int64)
+    cols = np.asarray(targets, dtype=np.int64)
+    if rows.size and (rows.min() < 0 or cols.min() < 0):
+        raise FormatError(f"{path}: negative node id")
+    inferred = int(max(rows.max(), cols.max())) + 1 if rows.size else 1
+    n = n_nodes or inferred
+    if n < inferred:
+        raise FormatError(
+            f"{path}: node id {inferred - 1} exceeds n_nodes={n_nodes}"
+        )
+    values = (
+        np.asarray(weights, dtype=np.float64)
+        if weighted
+        else np.ones(rows.size, dtype=np.float64)
+    )
+    return COOMatrix((n, n), rows, cols, values)
+
+
+def save_matrix_market(matrix: COOMatrix, path: _PathLike) -> None:
+    """Write ``matrix`` as a general real coordinate MatrixMarket file."""
+    path = Path(path)
+    with _open_text(path, "w") as handle:
+        handle.write("%%MatrixMarket matrix coordinate real general\n")
+        handle.write("% written by the Chason reproduction library\n")
+        handle.write(f"{matrix.n_rows} {matrix.n_cols} {matrix.nnz}\n")
+        for row, col, value in matrix:
+            handle.write(f"{row + 1} {col + 1} {value!r}\n")

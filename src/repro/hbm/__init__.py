@@ -1,0 +1,24 @@
+"""High Bandwidth Memory model (§2.1, §5.1)."""
+
+from .channel import ChannelBuffer, ChannelWord
+from .microbench import SUPPORTED_WIDTHS, ChannelMicrobenchModel
+from .stack import HBMStack
+from .stream import (
+    build_channel_words,
+    stack_from_schedule,
+    stream_traffic_bytes,
+)
+from .timing import TransferEstimate, estimate_transfer
+
+__all__ = [
+    "ChannelBuffer",
+    "ChannelWord",
+    "SUPPORTED_WIDTHS",
+    "ChannelMicrobenchModel",
+    "HBMStack",
+    "build_channel_words",
+    "stack_from_schedule",
+    "stream_traffic_bytes",
+    "TransferEstimate",
+    "estimate_transfer",
+]

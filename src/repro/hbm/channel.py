@@ -1,0 +1,117 @@
+"""A single HBM pseudo-channel.
+
+Each channel delivers one 512-bit word per cycle to its consumer (§3.2).
+The model is deliberately simple — a streaming accelerator reads channels
+sequentially at peak bandwidth, so a channel is a FIFO of
+:class:`ChannelWord` objects plus the bookkeeping needed for traffic
+accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..config import ELEMENTS_PER_WORD
+from ..errors import CapacityError, FormatError
+from ..formats.element import PackedElement
+
+
+@dataclass(frozen=True)
+class ChannelWord:
+    """One 512-bit channel beat: up to eight packed elements.
+
+    ``None`` slots are the explicit zeros PE-aware scheduling inserts to
+    keep the HLS pipeline at II=1 (§2.2); the k-th slot always feeds PE k.
+    """
+
+    slots: Tuple[Optional[PackedElement], ...]
+
+    def __post_init__(self) -> None:
+        if len(self.slots) != ELEMENTS_PER_WORD:
+            raise FormatError(
+                f"a channel word carries exactly {ELEMENTS_PER_WORD} slots"
+            )
+
+    @property
+    def stall_count(self) -> int:
+        """Number of idle-PE slots in this beat."""
+        return sum(1 for slot in self.slots if slot is None)
+
+    @property
+    def element_count(self) -> int:
+        return ELEMENTS_PER_WORD - self.stall_count
+
+    def element_for_pe(self, pe: int) -> Optional[PackedElement]:
+        if not 0 <= pe < ELEMENTS_PER_WORD:
+            raise FormatError(f"PE index {pe} out of range")
+        return self.slots[pe]
+
+
+class ChannelBuffer:
+    """The data list of one HBM channel, in streaming order.
+
+    The scheduler writes words into the buffer offline (the preprocessing
+    step, §4.1); the streaming engine then pops one word per cycle.
+    """
+
+    def __init__(self, channel_id: int, capacity_words: Optional[int] = None):
+        if channel_id < 0:
+            raise FormatError("channel id must be non-negative")
+        self.channel_id = channel_id
+        self.capacity_words = capacity_words
+        self._words: List[ChannelWord] = []
+        self._cursor = 0
+
+    def __len__(self) -> int:
+        return len(self._words)
+
+    @property
+    def words(self) -> Sequence[ChannelWord]:
+        return tuple(self._words)
+
+    def push(self, word: ChannelWord) -> None:
+        if (
+            self.capacity_words is not None
+            and len(self._words) >= self.capacity_words
+        ):
+            raise CapacityError(
+                f"channel {self.channel_id} exceeds "
+                f"{self.capacity_words} words"
+            )
+        self._words.append(word)
+
+    def extend(self, words) -> None:
+        for word in words:
+            self.push(word)
+
+    def reset_stream(self) -> None:
+        """Rewind to the first word (a new SpMV iteration)."""
+        self._cursor = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self._cursor >= len(self._words)
+
+    def pop(self) -> Optional[ChannelWord]:
+        """The next word, or ``None`` once the stream is exhausted."""
+        if self.exhausted:
+            return None
+        word = self._words[self._cursor]
+        self._cursor += 1
+        return word
+
+    # -- accounting ---------------------------------------------------------
+
+    @property
+    def stall_count(self) -> int:
+        return sum(word.stall_count for word in self._words)
+
+    @property
+    def element_count(self) -> int:
+        return sum(word.element_count for word in self._words)
+
+    @property
+    def traffic_bytes(self) -> int:
+        """Bytes this channel streams per SpMV iteration."""
+        return len(self._words) * (ELEMENTS_PER_WORD * 8)

@@ -1,0 +1,78 @@
+"""HBM access-width microbenchmark model (§3.2's 512-bit design point).
+
+§3.2 cites Lu et al.'s datacenter-FPGA microbenchmarking result: "the
+ideal bitwidth of read (Rd) or write (Wr) modules for an HBM channel is
+512 bits".  This module reproduces the *shape* of that study with a
+simple AXI-burst efficiency model so the design decision is checkable in
+code rather than taken on faith:
+
+* the HBM pseudo-channel delivers up to 32 bytes per memory-side clock
+  (~450 MHz), i.e. 64 bytes per ~225 MHz kernel-side clock;
+* a kernel reading ``width`` bits per cycle issues bursts whose payload
+  per transaction grows with the width, amortising the fixed protocol
+  overhead (address/handshake cycles) — below 512 bits the channel is
+  request-rate-limited, at 512 bits it saturates, and wider interfaces
+  cannot exceed the channel's physical rate.
+
+:func:`effective_bandwidth_gbps` exposes the curve; the associated test
+asserts its maximum sits at 512 bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable
+
+from ..errors import ConfigError
+
+#: Interface widths a Vitis kernel port can use.
+SUPPORTED_WIDTHS = (32, 64, 128, 256, 512, 1024)
+
+
+@dataclass(frozen=True)
+class ChannelMicrobenchModel:
+    """Effective-bandwidth model of one HBM pseudo-channel.
+
+    ``peak_gbps`` is the physical channel rate (14.37 GB/s on the U55c);
+    ``kernel_mhz`` the kernel-side port clock (a placed design runs near
+    300 MHz, §4.5); ``request_overhead_cycles`` the fixed per-transaction
+    cost; ``burst_beats`` the AXI burst length the controller issues.
+    """
+
+    peak_gbps: float = 14.37
+    kernel_mhz: float = 300.0
+    request_overhead_cycles: float = 2.0
+    burst_beats: int = 16
+
+    def __post_init__(self) -> None:
+        if self.peak_gbps <= 0 or self.kernel_mhz <= 0:
+            raise ConfigError("rates must be positive")
+        if self.burst_beats < 1:
+            raise ConfigError("burst length must be >= 1 beat")
+
+    def effective_bandwidth_gbps(self, width_bits: int) -> float:
+        """Sustained read bandwidth for a ``width_bits`` kernel port."""
+        if width_bits not in SUPPORTED_WIDTHS:
+            raise ConfigError(
+                f"width {width_bits} not in {SUPPORTED_WIDTHS}"
+            )
+        bytes_per_beat = width_bits / 8
+        payload = self.burst_beats * bytes_per_beat
+        cycles = self.burst_beats + self.request_overhead_cycles
+        request_limited = payload / cycles * self.kernel_mhz * 1e6 / 1e9
+        return min(self.peak_gbps, request_limited)
+
+    def sweep(
+        self, widths: Iterable[int] = SUPPORTED_WIDTHS
+    ) -> Dict[int, float]:
+        """Effective bandwidth for every width (the Lu et al. figure)."""
+        return {
+            width: self.effective_bandwidth_gbps(width) for width in widths
+        }
+
+    def ideal_width(self) -> int:
+        """The narrowest width that reaches peak bandwidth."""
+        for width in SUPPORTED_WIDTHS:
+            if self.effective_bandwidth_gbps(width) >= self.peak_gbps:
+                return width
+        return SUPPORTED_WIDTHS[-1]  # pragma: no cover - model saturates

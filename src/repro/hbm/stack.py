@@ -1,0 +1,76 @@
+"""The HBM stack: a bank of independent channels (§2.1).
+
+The Alveo U55c exposes 32 pseudo-channels of 14.37 GB/s each; Chasoň uses
+16 of them for the sparse matrix stream, one each for x, y and the
+instruction order (§4.1, §5.1).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from ..config import HBMConfig
+from ..errors import ConfigError
+from .channel import ChannelBuffer
+
+
+class HBMStack:
+    """A fixed set of :class:`ChannelBuffer` objects with shared config."""
+
+    def __init__(self, config: HBMConfig, used_channels: int):
+        if not 0 < used_channels <= config.total_channels:
+            raise ConfigError(
+                f"cannot allocate {used_channels} of "
+                f"{config.total_channels} channels"
+            )
+        self.config = config
+        self._channels: List[ChannelBuffer] = [
+            ChannelBuffer(channel_id=i) for i in range(used_channels)
+        ]
+
+    def __len__(self) -> int:
+        return len(self._channels)
+
+    def __iter__(self) -> Iterator[ChannelBuffer]:
+        return iter(self._channels)
+
+    def __getitem__(self, channel_id: int) -> ChannelBuffer:
+        return self._channels[channel_id]
+
+    def reset_streams(self) -> None:
+        for channel in self._channels:
+            channel.reset_stream()
+
+    @property
+    def exhausted(self) -> bool:
+        return all(channel.exhausted for channel in self._channels)
+
+    # -- aggregate accounting -------------------------------------------------
+
+    @property
+    def total_words(self) -> int:
+        return sum(len(channel) for channel in self._channels)
+
+    @property
+    def total_traffic_bytes(self) -> int:
+        return sum(channel.traffic_bytes for channel in self._channels)
+
+    @property
+    def total_stalls(self) -> int:
+        return sum(channel.stall_count for channel in self._channels)
+
+    @property
+    def total_elements(self) -> int:
+        return sum(channel.element_count for channel in self._channels)
+
+    @property
+    def stream_cycles(self) -> int:
+        """Cycles to drain the stack: channels stream in lockstep (§3.1),
+        so the longest data list sets the iteration length."""
+        if not self._channels:
+            return 0
+        return max(len(channel) for channel in self._channels)
+
+    def bandwidth_gbps(self) -> float:
+        """Peak bandwidth of the allocated channels."""
+        return self.config.used_bandwidth_gbps(len(self._channels))

@@ -1,0 +1,92 @@
+"""Helpers that turn schedule grids into channel word streams."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..config import ELEMENTS_PER_WORD
+from ..errors import FormatError, SchedulingError
+from ..formats.element import PackedElement
+from .channel import ChannelWord
+from .stack import HBMStack
+
+
+def build_channel_words(
+    slots: Sequence[Sequence[Optional[PackedElement]]],
+) -> List[ChannelWord]:
+    """Pack a grid of ``slots[cycle][pe]`` into channel words.
+
+    Every row of the grid must have exactly eight entries — the scheduler
+    produces fully-shaped grids where absent computations are explicit
+    ``None`` stalls (§2.2).
+    """
+    words = []
+    for cycle, row in enumerate(slots):
+        if len(row) != ELEMENTS_PER_WORD:
+            raise FormatError(
+                f"cycle {cycle} has {len(row)} slots, "
+                f"expected {ELEMENTS_PER_WORD}"
+            )
+        words.append(ChannelWord(slots=tuple(row)))
+    return words
+
+
+def stack_from_schedule(schedule) -> HBMStack:
+    """Populate HBM channel buffers with a schedule's data lists.
+
+    This is the memory image a real deployment writes before launching
+    the kernel: per sparse channel, one :class:`ChannelWord` per cycle,
+    with the §3.2 ``(pvt, PE_src)`` metadata encoded per element.  Tiles
+    stream back-to-back, so their words concatenate per channel.
+    """
+    config = schedule.config
+    channels = config.sparse_channels
+    stack = HBMStack(config.hbm, used_channels=channels)
+    for tile in schedule.tiles:
+        length = tile.stream_cycles
+        for grid in tile.grids:
+            buffer = stack[grid.channel_id]
+            for cycle in range(length):
+                slots: List[Optional[PackedElement]] = []
+                for pe in range(config.pes_per_channel):
+                    element = grid.slot(cycle, pe)
+                    if element is None:
+                        slots.append(None)
+                        continue
+                    pvt = element.origin_channel == grid.channel_id
+                    if not pvt:
+                        offset = (
+                            element.origin_channel - grid.channel_id
+                        ) % channels
+                        if offset != 1:
+                            raise SchedulingError(
+                                "the wire format encodes only immediate-"
+                                "next-channel migration (§3.2)"
+                            )
+                    slots.append(
+                        PackedElement(
+                            value=element.value,
+                            row=element.row,
+                            col=element.col,
+                            pvt=pvt,
+                            pe_src=element.origin_pe,
+                        )
+                    )
+                slots.extend(
+                    [None] * (ELEMENTS_PER_WORD - len(slots))
+                )
+                buffer.push(ChannelWord(slots=tuple(slots)))
+    return stack
+
+
+def stream_traffic_bytes(
+    words_per_channel: Sequence[int],
+    dense_vector_bytes: int = 0,
+) -> int:
+    """Total bytes one SpMV iteration moves over HBM.
+
+    ``words_per_channel`` is the (resized, equal) data-list length of each
+    sparse channel; ``dense_vector_bytes`` accounts for the x/y channels.
+    """
+    word_bytes = ELEMENTS_PER_WORD * 8
+    return sum(words_per_channel) * word_bytes + dense_vector_bytes

@@ -1,0 +1,42 @@
+"""Bandwidth-side timing estimates.
+
+A streaming accelerator is compute-limited at one word per channel per
+cycle, but the memory side imposes its own floor: moving ``bytes`` at the
+channels' aggregate bandwidth.  The dominant term for Chasoň/Serpens is the
+cycle count (they run below the bandwidth ceiling because 64 B/cycle/channel
+at ~300 MHz < 14.37 GB/s), but the estimate keeps the model honest for
+hypothetical higher clock rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class TransferEstimate:
+    """Outcome of a transfer-time estimate."""
+
+    bytes_moved: int
+    bandwidth_gbps: float
+    seconds: float
+
+    @property
+    def milliseconds(self) -> float:
+        return self.seconds * 1e3
+
+
+def estimate_transfer(bytes_moved: int, bandwidth_gbps: float):
+    """Time to move ``bytes_moved`` at ``bandwidth_gbps`` (GB = 1e9 bytes)."""
+    if bytes_moved < 0:
+        raise ConfigError("cannot move a negative number of bytes")
+    if bandwidth_gbps <= 0:
+        raise ConfigError("bandwidth must be positive")
+    seconds = bytes_moved / (bandwidth_gbps * 1e9)
+    return TransferEstimate(
+        bytes_moved=bytes_moved,
+        bandwidth_gbps=bandwidth_gbps,
+        seconds=seconds,
+    )

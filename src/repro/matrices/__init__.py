@@ -1,0 +1,40 @@
+"""Synthetic replacements for the SuiteSparse and SNAP collections (§5.4)."""
+
+from .generators import (
+    banded,
+    block_diagonal,
+    chung_lu_graph,
+    diagonal,
+    kronecker_rmat,
+    power_law_rows,
+    uniform_random,
+)
+from .named import NAMED_MATRICES, MatrixSpec, generate_named, named_specs
+from .operators import convection_diffusion_1d, laplacian_1d, laplacian_2d
+from .collection import CorpusSpec, corpus_specs, generate_corpus
+from .stats import MatrixStats, matrix_stats
+from .suite_loader import DATA_DIR_ENV, load_named
+
+__all__ = [
+    "banded",
+    "block_diagonal",
+    "chung_lu_graph",
+    "diagonal",
+    "kronecker_rmat",
+    "power_law_rows",
+    "uniform_random",
+    "convection_diffusion_1d",
+    "laplacian_1d",
+    "laplacian_2d",
+    "NAMED_MATRICES",
+    "MatrixSpec",
+    "generate_named",
+    "named_specs",
+    "CorpusSpec",
+    "corpus_specs",
+    "generate_corpus",
+    "MatrixStats",
+    "matrix_stats",
+    "DATA_DIR_ENV",
+    "load_named",
+]

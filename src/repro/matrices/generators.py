@@ -1,0 +1,262 @@
+"""Sparse matrix generators.
+
+The paper evaluates on real SuiteSparse and SNAP matrices.  Those
+collections are not available offline, so this module provides generators
+whose outputs match the *statistics that drive the scheduling behaviour*:
+
+* overall density and NNZ (Table 2 reports both for the 20 named matrices);
+* the row-length distribution — uniform matrices schedule easily, power-law
+  graph matrices (SNAP) and optimization matrices with empty row bands
+  (SuiteSparse) are exactly the imbalanced inputs where PE-aware scheduling
+  leaves 70 % of PEs idle (Fig. 3) and CrHCS shines.
+
+Every generator takes an explicit ``seed`` so that all experiments are
+reproducible, and returns a :class:`~repro.formats.coo.COOMatrix`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DatasetError
+from ..formats.coo import COOMatrix
+
+
+def _rng(seed) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def _values(rng: np.random.Generator, count: int) -> np.ndarray:
+    """Non-zero values: unit-scale normals, nudged away from zero.
+
+    Keeping |v| >= 1e-3 guarantees an entry never *is* zero — a zero value
+    would be indistinguishable from a scheduler stall slot.
+    """
+    values = rng.normal(0.0, 1.0, size=count)
+    tiny = np.abs(values) < 1e-3
+    values[tiny] = np.sign(values[tiny] + 0.5) * 1e-3
+    return values.astype(np.float32)
+
+
+def _dedupe(shape, rows, cols, rng, target_nnz) -> COOMatrix:
+    """Drop duplicate coordinates, then top up to ``target_nnz`` if short."""
+    n_rows, n_cols = shape
+    keys = rows.astype(np.int64) * n_cols + cols
+    unique = np.unique(keys)
+    attempts = 0
+    while unique.size < target_nnz and attempts < 60:
+        missing = target_nnz - unique.size
+        extra = rng.integers(0, n_rows * n_cols, size=2 * missing + 8)
+        unique = np.unique(np.concatenate([unique, extra]))
+        attempts += 1
+    if unique.size > target_nnz:
+        unique = rng.choice(unique, size=target_nnz, replace=False)
+        unique.sort()
+    rows = unique // n_cols
+    cols = unique % n_cols
+    return COOMatrix(shape, rows, cols, _values(rng, rows.size))
+
+
+def uniform_random(n_rows: int, n_cols: int, nnz: int, seed=0) -> COOMatrix:
+    """Uniformly random sparsity: every cell equally likely."""
+    if nnz < 0 or nnz > n_rows * n_cols:
+        raise DatasetError(
+            f"cannot place {nnz} non-zeros in a {n_rows}x{n_cols} matrix"
+        )
+    rng = _rng(seed)
+    flat = rng.integers(0, n_rows * n_cols, size=nnz)
+    return _dedupe((n_rows, n_cols), flat // n_cols, flat % n_cols, rng, nnz)
+
+
+def power_law_rows(
+    n_rows: int,
+    n_cols: int,
+    nnz: int,
+    alpha: float = 1.8,
+    max_row_nnz: int = 0,
+    seed=0,
+) -> COOMatrix:
+    """Rows draw their length from a Zipf-like distribution.
+
+    This reproduces the heavy row-imbalance of web/social graphs: a few hub
+    rows hold most non-zeros while many rows are empty — the worst case for
+    intra-channel scheduling because whole PEs starve (§2.2).
+
+    ``max_row_nnz`` (0 = unbounded) caps the hub rows, matching matrix
+    families — LP and circuit matrices — whose longest rows are bounded by
+    the physical problem even though the distribution is heavy-tailed.
+    """
+    if alpha <= 0:
+        raise DatasetError("power-law exponent must be positive")
+    if nnz > n_rows * n_cols:
+        raise DatasetError("requested nnz exceeds matrix capacity")
+    rng = _rng(seed)
+    weights = (np.arange(1, n_rows + 1, dtype=np.float64)) ** (-alpha)
+    rng.shuffle(weights)
+    if max_row_nnz:
+        # Water-filling clip: renormalising after a clip pushes clipped
+        # rows back above the limit, so iterate to a fixed point.
+        limit = max_row_nnz / max(nnz, 1)
+        weights = weights / weights.sum()
+        for _ in range(32):
+            clipped = np.minimum(weights, limit)
+            total = clipped.sum()
+            if total <= 0 or np.all(clipped / total <= limit * (1 + 1e-9)):
+                weights = clipped
+                break
+            weights = clipped / total
+    weights /= weights.sum()
+    rows = rng.choice(n_rows, size=nnz, p=weights)
+    cols = rng.integers(0, n_cols, size=nnz)
+    return _dedupe((n_rows, n_cols), rows, cols, rng, nnz)
+
+
+def chung_lu_graph(n_nodes: int, nnz: int, alpha: float = 2.1, seed=0):
+    """Chung–Lu random graph adjacency matrix (SNAP stand-in).
+
+    Both endpoints of an edge are drawn from the same power-law degree
+    sequence, giving a square matrix with correlated row *and* column
+    skew, like the wiki-Vote / email-Enron / as-caida graphs of Table 2.
+    """
+    if alpha <= 1:
+        raise DatasetError("Chung-Lu exponent must exceed 1")
+    rng = _rng(seed)
+    weights = (np.arange(1, n_nodes + 1, dtype=np.float64)) ** (
+        -1.0 / (alpha - 1.0)
+    )
+    rng.shuffle(weights)
+    prob = weights / weights.sum()
+    rows = rng.choice(n_nodes, size=nnz, p=prob)
+    cols = rng.choice(n_nodes, size=nnz, p=prob)
+    return _dedupe((n_nodes, n_nodes), rows, cols, rng, nnz)
+
+
+def kronecker_rmat(
+    scale: int,
+    nnz: int,
+    probabilities=(0.57, 0.19, 0.19, 0.05),
+    seed=0,
+) -> COOMatrix:
+    """R-MAT (recursive Kronecker) generator used by Graph500.
+
+    Produces the fractal community structure typical of large SNAP
+    graphs; ``scale`` gives a 2^scale square matrix.
+    """
+    a, b, c, d = probabilities
+    if not np.isclose(a + b + c + d, 1.0):
+        raise DatasetError("R-MAT probabilities must sum to 1")
+    n = 1 << scale
+    if nnz > n * n:
+        raise DatasetError("requested nnz exceeds matrix capacity")
+    rng = _rng(seed)
+    rows = np.zeros(nnz, dtype=np.int64)
+    cols = np.zeros(nnz, dtype=np.int64)
+    for level in range(scale):
+        quadrant = rng.choice(4, size=nnz, p=[a, b, c, d])
+        half = 1 << (scale - level - 1)
+        rows += np.where(quadrant >= 2, half, 0)
+        cols += np.where(quadrant % 2 == 1, half, 0)
+    return _dedupe((n, n), rows, cols, rng, nnz)
+
+
+def banded(
+    n_rows: int,
+    n_cols: int,
+    bandwidth: int,
+    fill: float = 1.0,
+    seed=0,
+) -> COOMatrix:
+    """Banded matrix: entries within ``bandwidth`` of the diagonal.
+
+    Stencil/PDE matrices from scientific computing look like this; row
+    lengths are nearly uniform, so they are the *easy* case for PE-aware
+    scheduling (small stall fraction even without migration).
+    """
+    if bandwidth < 0:
+        raise DatasetError("bandwidth must be non-negative")
+    if not 0 < fill <= 1:
+        raise DatasetError("fill must be in (0, 1]")
+    rng = _rng(seed)
+    rows_list = []
+    cols_list = []
+    for offset in range(-bandwidth, bandwidth + 1):
+        start = max(0, -offset)
+        stop = min(n_rows, n_cols - offset)
+        if stop <= start:
+            continue
+        rows = np.arange(start, stop)
+        if fill < 1.0:
+            keep = rng.random(rows.size) < fill
+            rows = rows[keep]
+        rows_list.append(rows)
+        cols_list.append(rows + offset)
+    if rows_list:
+        rows = np.concatenate(rows_list)
+        cols = np.concatenate(cols_list)
+    else:
+        rows = cols = np.empty(0, dtype=np.int64)
+    return COOMatrix((n_rows, n_cols), rows, cols, _values(rng, rows.size))
+
+
+def block_diagonal(
+    n_blocks: int,
+    block_size: int,
+    block_fill: float = 0.5,
+    row_skew: float = 0.0,
+    seed=0,
+) -> COOMatrix:
+    """Dense-ish blocks on the diagonal, empty elsewhere.
+
+    Models the block structure of trajectory-optimization matrices
+    (lowThrust, hangGlider, dynamicSoaringProblem in Table 2): collocation
+    constraints produce blocks whose rows mix short bound constraints with
+    long dynamics rows.  ``row_skew > 0`` draws per-row lengths from a
+    Zipf(``row_skew``) profile — the mixed-row-length pattern that makes
+    these matrices stall 80–100 % of PE slots under intra-channel
+    scheduling (Fig. 12, DY/RE/LO/HA).
+    """
+    if n_blocks <= 0 or block_size <= 0:
+        raise DatasetError("block count and size must be positive")
+    if not 0 < block_fill <= 1:
+        raise DatasetError("block fill must be in (0, 1]")
+    if row_skew < 0:
+        raise DatasetError("row skew must be non-negative")
+    rng = _rng(seed)
+    n = n_blocks * block_size
+    rows_list = []
+    cols_list = []
+    per_block = max(1, int(round(block_fill * block_size * block_size)))
+    if row_skew > 0:
+        base_weights = np.arange(1, block_size + 1, dtype=np.float64) ** (
+            -row_skew
+        )
+    else:
+        base_weights = np.ones(block_size, dtype=np.float64)
+    for block in range(n_blocks):
+        weights = base_weights.copy()
+        rng.shuffle(weights)
+        weights /= weights.sum()
+        counts = rng.multinomial(per_block, weights)
+        np.minimum(counts, block_size, out=counts)
+        base = block * block_size
+        for local_row, count in enumerate(counts):
+            if count == 0:
+                continue
+            local_cols = rng.choice(block_size, size=count, replace=False)
+            rows_list.append(
+                np.full(count, base + local_row, dtype=np.int64)
+            )
+            cols_list.append(base + local_cols)
+    if rows_list:
+        rows = np.concatenate(rows_list)
+        cols = np.concatenate(cols_list)
+    else:  # pragma: no cover - per_block >= 1 always places something
+        rows = cols = np.empty(0, dtype=np.int64)
+    return COOMatrix((n, n), rows, cols, _values(rng, rows.size))
+
+
+def diagonal(n: int, seed=0) -> COOMatrix:
+    """A plain diagonal matrix — the degenerate fully-balanced case."""
+    rng = _rng(seed)
+    idx = np.arange(n)
+    return COOMatrix((n, n), idx, idx, _values(rng, n))

@@ -1,0 +1,92 @@
+"""Discrete PDE operators — deterministic structured test matrices.
+
+The paper's scientific-computing motivation (§1) runs on discretised
+PDE systems; these constructors build the canonical ones exactly (no
+randomness), for the solvers, the examples, and as the fully balanced
+end of the scheduling spectrum.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..formats.coo import COOMatrix
+
+
+def laplacian_1d(n: int) -> COOMatrix:
+    """Tridiagonal 1-D Poisson operator (2 on the diagonal, −1 off)."""
+    if n <= 0:
+        raise ShapeError("system size must be positive")
+    rows = [np.arange(n)]
+    cols = [np.arange(n)]
+    values = [np.full(n, 2.0, dtype=np.float32)]
+    if n > 1:
+        off = np.arange(n - 1)
+        rows += [off + 1, off]
+        cols += [off, off + 1]
+        values += [np.full(n - 1, -1.0, dtype=np.float32)] * 2
+    return COOMatrix(
+        (n, n), np.concatenate(rows), np.concatenate(cols),
+        np.concatenate(values),
+    )
+
+
+def laplacian_2d(grid: int) -> COOMatrix:
+    """Five-point 2-D Poisson operator on a ``grid x grid`` mesh."""
+    if grid <= 0:
+        raise ShapeError("grid size must be positive")
+    n = grid * grid
+    rows, cols, values = [], [], []
+
+    def add(r: int, c: int, v: float) -> None:
+        rows.append(r)
+        cols.append(c)
+        values.append(v)
+
+    for i in range(grid):
+        for j in range(grid):
+            k = i * grid + j
+            add(k, k, 4.0)
+            if i > 0:
+                add(k, k - grid, -1.0)
+            if i < grid - 1:
+                add(k, k + grid, -1.0)
+            if j > 0:
+                add(k, k - 1, -1.0)
+            if j < grid - 1:
+                add(k, k + 1, -1.0)
+    return COOMatrix(
+        (n, n), np.array(rows), np.array(cols),
+        np.array(values, dtype=np.float32),
+    )
+
+
+def convection_diffusion_1d(n: int, peclet: float = 0.5) -> COOMatrix:
+    """Upwinded 1-D convection–diffusion operator (non-symmetric).
+
+    ``peclet`` sets the convection strength relative to diffusion; the
+    operator stays diagonally dominant for ``|peclet| <= 1`` so Jacobi
+    converges on it.
+    """
+    if n <= 0:
+        raise ShapeError("system size must be positive")
+    if abs(peclet) > 1.0:
+        raise ShapeError("|peclet| must be <= 1 for diagonal dominance")
+    rows, cols, values = [], [], []
+    for i in range(n):
+        rows.append(i)
+        cols.append(i)
+        values.append(2.0 + abs(peclet))
+        if i > 0:
+            rows.append(i)
+            cols.append(i - 1)
+            values.append(-1.0 - max(peclet, 0.0))
+        if i < n - 1:
+            rows.append(i)
+            cols.append(i + 1)
+            values.append(-1.0 + min(peclet, 0.0))
+    return COOMatrix(
+        (n, n), np.array(rows), np.array(cols),
+        np.array(values, dtype=np.float32),
+    )

@@ -1,0 +1,74 @@
+"""Descriptive statistics of sparse matrices.
+
+These are the quantities the evaluation narrates: density, row-length
+distribution and imbalance (max/mean), and the fraction of empty rows —
+the structural features that determine how many stalls PE-aware scheduling
+leaves behind (§2.2) and how much CrHCS can recover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from ..formats.convert import to_csr
+from ..formats.coo import COOMatrix
+from ..formats.csr import CSRMatrix
+
+Matrix = Union[COOMatrix, CSRMatrix]
+
+
+@dataclass(frozen=True)
+class MatrixStats:
+    """Summary statistics of one matrix."""
+
+    n_rows: int
+    n_cols: int
+    nnz: int
+    density: float
+    row_mean: float
+    row_max: int
+    row_std: float
+    imbalance: float
+    empty_row_fraction: float
+    gini: float
+
+    def as_row(self) -> str:
+        """Format like a Table 2 row (NNZ and density %)."""
+        return (
+            f"{self.n_rows}x{self.n_cols}  nnz={self.nnz}  "
+            f"density={100 * self.density:.4g}%  imbalance={self.imbalance:.1f}"
+        )
+
+
+def _gini(lengths: np.ndarray) -> float:
+    """Gini coefficient of the row-length distribution (0 = balanced)."""
+    if lengths.size == 0 or lengths.sum() == 0:
+        return 0.0
+    sorted_lengths = np.sort(lengths.astype(np.float64))
+    n = sorted_lengths.size
+    cumulative = np.cumsum(sorted_lengths)
+    return float(
+        (n + 1 - 2 * (cumulative / cumulative[-1]).sum()) / n
+    )
+
+
+def matrix_stats(matrix: Matrix) -> MatrixStats:
+    """Compute :class:`MatrixStats` for any supported matrix format."""
+    csr = to_csr(matrix)
+    lengths = csr.row_lengths()
+    mean = float(lengths.mean()) if lengths.size else 0.0
+    return MatrixStats(
+        n_rows=csr.n_rows,
+        n_cols=csr.n_cols,
+        nnz=csr.nnz,
+        density=csr.density,
+        row_mean=mean,
+        row_max=int(lengths.max()) if lengths.size else 0,
+        row_std=float(lengths.std()) if lengths.size else 0.0,
+        imbalance=csr.imbalance(),
+        empty_row_fraction=csr.empty_row_fraction(),
+        gini=_gini(lengths),
+    )

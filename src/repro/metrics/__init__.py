@@ -1,0 +1,19 @@
+"""Evaluation metrics (§5.3, Eqs. 4–7)."""
+
+from .definitions import (
+    bandwidth_efficiency,
+    energy_efficiency,
+    geometric_mean,
+    pe_underutilization_percent,
+    speedup,
+    throughput_gflops,
+)
+
+__all__ = [
+    "bandwidth_efficiency",
+    "energy_efficiency",
+    "geometric_mean",
+    "pe_underutilization_percent",
+    "speedup",
+    "throughput_gflops",
+]

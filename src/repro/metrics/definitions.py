@@ -1,0 +1,69 @@
+"""The evaluated metrics, defined exactly as in §5.3.
+
+* **PE underutilization** (Eq. 4): percentage of idle-PE instances over all
+  sparse-matrix channels — ``stalls / (NNZ + stalls) × 100``.
+* **Throughput** (Eq. 5): ``2 × (NNZ + K) / latency(ns)`` GFLOPS, where K
+  is the dense-vector length (the ``+K`` term accounts for the ``y``
+  update of the full SpMV).
+* **Energy efficiency** (Eq. 6): ``throughput / power`` in GFLOPS/W.
+* **Bandwidth efficiency** (Eq. 7): ``throughput / bandwidth`` in
+  GFLOPS/(GB/s).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from ..errors import ConfigError
+
+
+def pe_underutilization_percent(stalls: int, nnz: int) -> float:
+    """Eq. 4 from raw stall and non-zero counts."""
+    if stalls < 0 or nnz < 0:
+        raise ConfigError("stall and nnz counts must be non-negative")
+    denominator = nnz + stalls
+    if denominator == 0:
+        return 0.0
+    return 100.0 * stalls / denominator
+
+
+def throughput_gflops(nnz: int, k: int, latency_seconds: float) -> float:
+    """Eq. 5: SpMV throughput in GFLOPS."""
+    if latency_seconds <= 0:
+        raise ConfigError("latency must be positive")
+    if nnz < 0 or k < 0:
+        raise ConfigError("nnz and K must be non-negative")
+    latency_ns = latency_seconds * 1e9
+    return 2.0 * (nnz + k) / latency_ns
+
+
+def energy_efficiency(gflops: float, power_watts: float) -> float:
+    """Eq. 6: GFLOPS per watt."""
+    if power_watts <= 0:
+        raise ConfigError("power must be positive")
+    return gflops / power_watts
+
+
+def bandwidth_efficiency(gflops: float, bandwidth_gbps: float) -> float:
+    """Eq. 7: GFLOPS per GB/s of peak streaming bandwidth."""
+    if bandwidth_gbps <= 0:
+        raise ConfigError("bandwidth must be positive")
+    return gflops / bandwidth_gbps
+
+
+def speedup(baseline_latency: float, accelerated_latency: float) -> float:
+    """Latency ratio (> 1 means the accelerated design wins)."""
+    if baseline_latency <= 0 or accelerated_latency <= 0:
+        raise ConfigError("latencies must be positive")
+    return baseline_latency / accelerated_latency
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean, the aggregate the paper reports for speedups."""
+    values = list(values)
+    if not values:
+        raise ConfigError("geometric mean of an empty sequence")
+    if any(v <= 0 for v in values):
+        raise ConfigError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))

@@ -1,0 +1,25 @@
+"""Power and energy models for every evaluated platform (§5.1, §6.2)."""
+
+from .fpga import (
+    CHASON_POWER_BREAKDOWN,
+    FpgaPowerBreakdown,
+    chason_power_breakdown,
+)
+from .devices import (
+    DEVICE_POWER,
+    DevicePower,
+    measured_power,
+)
+from .energy import EnergyReport, energy_for_run, energy_per_nonzero_nj
+
+__all__ = [
+    "CHASON_POWER_BREAKDOWN",
+    "FpgaPowerBreakdown",
+    "chason_power_breakdown",
+    "DEVICE_POWER",
+    "DevicePower",
+    "measured_power",
+    "EnergyReport",
+    "energy_for_run",
+    "energy_per_nonzero_nj",
+]

@@ -1,0 +1,47 @@
+"""Measured power of every evaluated platform (§5.3, §6.2).
+
+These are the runtime power figures the paper feeds into Eq. 6:
+
+* Chasoň ≈ 39 W and Serpens ≈ 36 W measured with ``xbutil`` (§6.2.2);
+* Nvidia RTX 4090 ≈ 70 W and RTX A6000 ≈ 65 W average from
+  ``nvidia-smi`` (§6.2.1);
+* Intel Core i9-11980HK ≈ 132 W from the package-level RAPL counter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class DevicePower:
+    """Measured runtime power of one platform."""
+
+    name: str
+    watts: float
+    measurement: str
+
+    def __post_init__(self) -> None:
+        if self.watts <= 0:
+            raise ConfigError(f"{self.name}: power must be positive")
+
+
+DEVICE_POWER: Dict[str, DevicePower] = {
+    "chason": DevicePower("Chasoň (Alveo U55c)", 39.0, "xbutil"),
+    "serpens": DevicePower("Serpens (Alveo U55c)", 36.0, "xbutil"),
+    "rtx4090": DevicePower("Nvidia RTX 4090 (cuSPARSE)", 70.0, "nvidia-smi"),
+    "rtxa6000": DevicePower("Nvidia RTX A6000 (cuSPARSE)", 65.0, "nvidia-smi"),
+    "i9": DevicePower("Intel Core i9-11980HK (MKL)", 132.0, "RAPL"),
+}
+
+
+def measured_power(device: str) -> float:
+    """Runtime power in watts for one of the evaluated platforms."""
+    key = device.lower()
+    if key not in DEVICE_POWER:
+        known = ", ".join(sorted(DEVICE_POWER))
+        raise ConfigError(f"unknown device {device!r}; known: {known}")
+    return DEVICE_POWER[key].watts

@@ -1,0 +1,112 @@
+"""The FPGA power model and the Fig. 10 breakdown.
+
+The paper reports Chasoň's estimated power on the U55c as 48.715 W with
+the distribution of Fig. 10: HBM dominates (18.95 W), Chasoň's own logic
+takes only 8 % (2.76 W) and the on-chip memories 3–4 % each.  The runtime
+power measured with ``xbutil`` during the evaluation is lower — ≈39 W for
+Chasoň and ≈36 W for Serpens (§6.2.2) — and that measured figure is what
+the Eq. 6 energy-efficiency numbers use.
+
+The breakdown scales with the architecture parameters so the resource
+ablations can report estimated power: logic/BRAM/URAM/DSP components scale
+with their resource counts relative to the published design, HBM power
+scales with the number of active channels, and static/clock/GTY terms are
+fixed platform costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..config import ChasonConfig, DEFAULT_CHASON
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class FpgaPowerBreakdown:
+    """Per-component power in watts (Fig. 10)."""
+
+    static: float
+    clocks: float
+    signals: float
+    logic: float
+    bram: float
+    uram: float
+    dsp: float
+    gty: float
+    hbm: float
+
+    @property
+    def total(self) -> float:
+        return (
+            self.static + self.clocks + self.signals + self.logic
+            + self.bram + self.uram + self.dsp + self.gty + self.hbm
+        )
+
+    @property
+    def dynamic(self) -> float:
+        return self.total - self.static
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "static": self.static,
+            "clocks": self.clocks,
+            "signals": self.signals,
+            "logic": self.logic,
+            "bram": self.bram,
+            "uram": self.uram,
+            "dsp": self.dsp,
+            "gty": self.gty,
+            "hbm": self.hbm,
+        }
+
+    def fractions(self) -> Dict[str, float]:
+        total = self.total
+        return {name: watts / total for name, watts in self.as_dict().items()}
+
+
+#: Fig. 10 as published (48.715 W total, HBM 18.95 W, logic 8 %).
+CHASON_POWER_BREAKDOWN = FpgaPowerBreakdown(
+    static=12.845,
+    clocks=4.18,
+    signals=2.22,
+    logic=2.76,
+    bram=1.24,
+    uram=1.51,
+    dsp=0.56,
+    gty=4.36,
+    hbm=18.95,
+)
+
+
+def chason_power_breakdown(
+    config: ChasonConfig = DEFAULT_CHASON,
+) -> FpgaPowerBreakdown:
+    """Estimated power of a Chasoň variant, scaled from Fig. 10.
+
+    Dynamic components scale linearly with the driving quantity: logic,
+    signals and DSP with the PE count; URAM with the ScUG provisioning;
+    HBM with the used channels.  The published configuration returns the
+    published breakdown exactly.
+    """
+    if not isinstance(config, ChasonConfig):
+        raise ConfigError("chason_power_breakdown needs a ChasonConfig")
+    reference = CHASON_POWER_BREAKDOWN
+    base = DEFAULT_CHASON
+    pe_scale = config.total_pes / base.total_pes
+    uram_scale = (
+        config.total_pes * config.scug_size
+    ) / (base.total_pes * base.scug_size)
+    hbm_scale = config.used_channels / base.used_channels
+    return FpgaPowerBreakdown(
+        static=reference.static,
+        clocks=reference.clocks,
+        signals=reference.signals * pe_scale,
+        logic=reference.logic * pe_scale,
+        bram=reference.bram * pe_scale,
+        uram=reference.uram * uram_scale,
+        dsp=reference.dsp * pe_scale,
+        gty=reference.gty,
+        hbm=reference.hbm * hbm_scale,
+    )

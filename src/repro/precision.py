@@ -1,0 +1,99 @@
+"""Data-precision configurations (§5.5).
+
+The paper's deployed design uses 32-bit floating-point values with 32 bits
+of metadata: 64 bits per sparse element, eight elements per 512-bit HBM
+beat, eight PEs per PEG.  §5.5 describes the trade-off space:
+
+* **Lower precision** packs more elements per beat, allowing more PEs to
+  run in parallel but demanding more ``URAM_sh`` banks per ScUG;
+* **Higher precision** packs fewer: 64-bit values with 32-bit metadata
+  yield 96-bit elements, five per beat, so "the parallelism in each PEG
+  reduces from 8 to 5 PEs and similarly required URAM_sh per ScUG reduces
+  to 5".
+
+:func:`with_precision` derives a configuration for a precision from a
+base configuration, adjusting the PEG width and ScUG provisioning the way
+the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, TypeVar
+
+from .config import AcceleratorConfig, ChasonConfig, HBM_CHANNEL_BITS
+from .errors import ConfigError
+
+ConfigT = TypeVar("ConfigT", bound=AcceleratorConfig)
+
+
+@dataclass(frozen=True)
+class Precision:
+    """One operating precision of the datapath."""
+
+    name: str
+    value_bits: int
+    metadata_bits: int
+
+    def __post_init__(self) -> None:
+        if self.value_bits <= 0 or self.metadata_bits < 0:
+            raise ConfigError("field widths must be positive")
+        if self.element_bits > HBM_CHANNEL_BITS:
+            raise ConfigError(
+                f"{self.name}: element wider than one channel beat"
+            )
+
+    @property
+    def element_bits(self) -> int:
+        return self.value_bits + self.metadata_bits
+
+    @property
+    def elements_per_word(self) -> int:
+        """Sparse elements per 512-bit channel beat (§5.5)."""
+        return HBM_CHANNEL_BITS // self.element_bits
+
+    @property
+    def pes_per_peg(self) -> int:
+        """PEs a PEG can keep busy — one per streamed element."""
+        return self.elements_per_word
+
+
+#: §5.5's two named operating points: FP32 (deployed) and FP64.
+PRECISIONS: Dict[str, Precision] = {
+    "fp32": Precision(name="fp32", value_bits=32, metadata_bits=32),
+    "fp64": Precision(name="fp64", value_bits=64, metadata_bits=32),
+    #: A hypothetical reduced-precision point the paper alludes to
+    #: ("reducing the precision enables more than 8 PEs"): FP16 values
+    #: with 32-bit metadata give ten elements per beat.
+    "fp16": Precision(name="fp16", value_bits=16, metadata_bits=32),
+}
+
+
+def precision(name: str) -> Precision:
+    """Look up a named precision."""
+    key = name.lower()
+    if key not in PRECISIONS:
+        known = ", ".join(sorted(PRECISIONS))
+        raise ConfigError(f"unknown precision {name!r}; known: {known}")
+    return PRECISIONS[key]
+
+
+def with_precision(config: ConfigT, name: str) -> ConfigT:
+    """Re-provision a configuration for a different precision (§5.5).
+
+    The PEG width follows the elements-per-beat of the precision (capped
+    at the base width — a PEG never grows beyond its physical PEs without
+    a redesign); for Chasoň configurations the ScUG width follows the PEG
+    width, as §5.5 specifies.
+    """
+    target = precision(name)
+    pes = min(target.pes_per_peg, 8)
+    updates = {"pes_per_channel": pes}
+    if isinstance(config, ChasonConfig):
+        updates["scug_size"] = min(config.scug_size, pes)
+    return replace(config, **updates)
+
+
+def parallelism_ratio(a: str, b: str) -> float:
+    """PEG parallelism of precision ``a`` relative to ``b``."""
+    return precision(a).pes_per_peg / precision(b).pes_per_peg

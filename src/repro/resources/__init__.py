@@ -1,0 +1,19 @@
+"""FPGA resource model (§4.5, Eq. 3, Table 1)."""
+
+from .model import (
+    ALVEO_U55C,
+    FpgaDevice,
+    ResourceReport,
+    chason_resources,
+    serpens_resources,
+    uram_count,
+)
+
+__all__ = [
+    "ALVEO_U55C",
+    "FpgaDevice",
+    "ResourceReport",
+    "chason_resources",
+    "serpens_resources",
+    "uram_count",
+]

@@ -1,0 +1,200 @@
+"""Parametric FPGA resource model reproducing Table 1 and Eq. 3.
+
+The model prices each architectural unit (PE datapath, Router, Reduction
+Unit, Re-order Unit, memory blocks, HBM/host infrastructure) in LUT / FF /
+DSP / BRAM / URAM, calibrated so the *published configurations* (16 PEGs ×
+8 PEs; ScUG of 4 on Chasoň) reproduce the published Table 1 numbers, and
+scaling linearly for the §4.5 / §6.1 ablations (ScUG 8 → 4 → 2, different
+PEG counts).
+
+URAM accounting follows §4.5: the deployed Chasoň uses ``pes × scug_size``
+URAMs per PEG (16 × 8 × 4 = 512; the ideal ScUG of 8 gives 1024, above the
+960 on the U55c), with the private partial sums packed alongside (the
+72-bit URAM word holds two FP32 sums).  The theoretical floor of §4.5 —
+one shared + one private URAM per PE — corresponds to ``scug_size = 2``
+(256 URAMs).  Serpens stores private partial sums only, in 3 URAMs per PE
+(384 total, Table 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Union
+
+from ..config import (
+    ChasonConfig,
+    DEFAULT_CHASON,
+    DEFAULT_SERPENS,
+    SerpensConfig,
+)
+from ..errors import CapacityError, ConfigError
+
+
+@dataclass(frozen=True)
+class FpgaDevice:
+    """Available resources of the target card."""
+
+    name: str
+    luts: int
+    ffs: int
+    dsps: int
+    bram18k: int
+    urams: int
+
+
+#: AMD Xilinx Alveo U55c (derived from the Table 1 percentages and §4.5's
+#: statement that 960 URAMs are available).
+ALVEO_U55C = FpgaDevice(
+    name="Alveo U55c",
+    luts=1_303_680,
+    ffs=2_607_360,
+    dsps=9_024,
+    bram18k=4_032,
+    urams=960,
+)
+
+
+@dataclass(frozen=True)
+class ResourceReport:
+    """Resource usage of one design on one device (a Table 1 column)."""
+
+    design: str
+    device: FpgaDevice
+    luts: int
+    ffs: int
+    dsps: int
+    bram18k: int
+    urams: int
+
+    def utilization(self) -> Dict[str, float]:
+        """Fractions of the device, as Table 1 reports in parentheses."""
+        return {
+            "LUT": self.luts / self.device.luts,
+            "FF": self.ffs / self.device.ffs,
+            "DSP": self.dsps / self.device.dsps,
+            "BRAM18K": self.bram18k / self.device.bram18k,
+            "URAM": self.urams / self.device.urams,
+        }
+
+    def check_fits(self) -> None:
+        """Raise :class:`CapacityError` if the design exceeds the device."""
+        for name, fraction in self.utilization().items():
+            if fraction > 1.0:
+                raise CapacityError(
+                    f"{self.design} exceeds {self.device.name} {name} "
+                    f"({fraction:.0%})"
+                )
+
+
+# Per-unit costs, calibrated against Table 1 for the published designs.
+# Serpens: 219K LUT / 252K FF / 798 DSP across 128 PEs plus platform
+# infrastructure; Chasoň adds the Router (per PE), the Reduction and
+# Re-order Units (per PEG) and the upgraded Arbiter/Merger (§4.4, §4.5).
+_INFRA_LUT = 62_600
+_INFRA_FF = 60_000
+_INFRA_DSP = 30
+_PE_LUT = 1_222
+_PE_FF = 1_500
+_PE_DSP = 6
+_ROUTER_LUT = 400  # the §4.2.1 mux pair, per PE
+_ROUTER_FF = 700
+_REDUCTION_LUT = 3_200  # adder tree + sweep control, per PEG
+_REDUCTION_FF = 3_200
+_REDUCTION_DSP = 24  # 7 tree adders + pipeline, per PEG
+_REORDER_LUT = 1_537  # Re-order + upgraded Arbiter/Merger share, per PEG
+_REORDER_FF = 1_575
+_REORDER_DSP = 4.5  # merger add/reduce, per PEG
+_BRAM_PER_PEG = 32  # x-vector buffer (§4.5)
+_BRAM_INFRA = 512  # host/HBM interface buffering
+_SERPENS_URAMS_PER_PE = 3  # §4.4: deeper private partial-sum storage
+
+
+def uram_count(
+    pegs: int, pes_per_peg: int, scug_size: int
+) -> int:
+    """Eq. 3 as deployed: URAMs for a Chasoň variant (§4.5).
+
+    ``scug_size = 8`` gives the ideal 1024, the deployed 4 gives 512 and
+    the theoretical floor of one shared + one private URAM per PE is
+    ``scug_size = 2`` (256).
+    """
+    if pegs <= 0 or pes_per_peg <= 0:
+        raise ConfigError("PEG and PE counts must be positive")
+    if scug_size < 2:
+        raise ConfigError(
+            "each PE needs at least one URAM_sh and one URAM_pvt (§4.5)"
+        )
+    return pegs * pes_per_peg * scug_size
+
+
+def serpens_resources(
+    config: SerpensConfig = DEFAULT_SERPENS,
+    device: FpgaDevice = ALVEO_U55C,
+) -> ResourceReport:
+    """Resource usage of the Serpens baseline (Table 1, left column)."""
+    pes = config.total_pes
+    pegs = config.sparse_channels
+    return ResourceReport(
+        design="serpens",
+        device=device,
+        luts=_INFRA_LUT + pes * _PE_LUT,
+        ffs=_INFRA_FF + pes * _PE_FF,
+        dsps=_INFRA_DSP + pes * _PE_DSP,
+        bram18k=_BRAM_INFRA + pegs * _BRAM_PER_PEG,
+        urams=pes * _SERPENS_URAMS_PER_PE,
+    )
+
+
+def chason_resources(
+    config: ChasonConfig = DEFAULT_CHASON,
+    device: FpgaDevice = ALVEO_U55C,
+) -> ResourceReport:
+    """Resource usage of Chasoň (Table 1, right column).
+
+    The CrHCS support units are priced on top of the Serpens datapath:
+    a Router per PE, a Reduction Unit and Re-order/Arbiter/Merger per PEG,
+    all scaled by the migration span (each extra donor channel duplicates
+    the ScUGs and widens the reduction).
+    """
+    pes = config.total_pes
+    pegs = config.sparse_channels
+    span = max(config.migration_span, 1)
+    luts = (
+        _INFRA_LUT
+        + pes * (_PE_LUT + _ROUTER_LUT * span)
+        + pegs * (_REDUCTION_LUT + _REORDER_LUT) * span
+    )
+    ffs = (
+        _INFRA_FF
+        + pes * (_PE_FF + _ROUTER_FF * span)
+        + pegs * (_REDUCTION_FF + _REORDER_FF) * span
+    )
+    dsps = (
+        _INFRA_DSP
+        + pes * _PE_DSP
+        + int(pegs * (_REDUCTION_DSP + _REORDER_DSP) * span)
+    )
+    return ResourceReport(
+        design="chason",
+        device=device,
+        luts=int(luts),
+        ffs=int(ffs),
+        dsps=dsps,
+        bram18k=_BRAM_INFRA + pegs * _BRAM_PER_PEG,
+        urams=uram_count(pegs, config.pes_per_channel, config.scug_size)
+        * span,
+    )
+
+
+def resources_for(
+    config: Union[ChasonConfig, SerpensConfig],
+    device: FpgaDevice = ALVEO_U55C,
+) -> ResourceReport:
+    """Dispatch on the configuration type."""
+    if isinstance(config, ChasonConfig):
+        return chason_resources(config, device)
+    if isinstance(config, SerpensConfig):
+        return serpens_resources(config, device)
+    raise ConfigError(
+        f"no resource model for {type(config).__name__}"
+    )

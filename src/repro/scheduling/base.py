@@ -1,0 +1,342 @@
+"""Schedule data structures shared by every scheduling scheme.
+
+A *schedule* is what the offline preprocessing step produces and what the
+HBM channels stream at runtime: per channel, a grid of slots — one row of
+eight slots per cycle, the k-th slot feeding PE k of that channel's PEG
+(§3.2).  Empty slots are the explicit zeros / pseudo-stalls of §2.2.
+
+Grids store only occupied slots (a dict keyed by ``(cycle, pe)``) plus an
+explicit length; sparse schedules of large matrices would otherwise
+materialise millions of ``None`` entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, NamedTuple, Optional, Tuple
+
+from ..config import AcceleratorConfig
+from ..errors import RawHazardError, SchedulingError
+
+
+class ScheduledElement(NamedTuple):
+    """One scheduled non-zero.
+
+    ``row``/``col`` are tile-local coordinates (the windowing layer adds the
+    tile bases back).  ``origin_channel``/``origin_pe`` record where Eq. 1
+    originally mapped the element; when a CrHCS migration places the element
+    in a different channel these become the ``(pvt=0, PE_src)`` metadata of
+    §3.2.
+    """
+
+    row: int
+    col: int
+    value: float
+    origin_channel: int
+    origin_pe: int
+
+
+def pe_for_row(row: int, config: AcceleratorConfig) -> Tuple[int, int]:
+    """Eq. 1/2: map a (tile-local) row to its home (channel, local PE)."""
+    pe_global = row % config.total_pes
+    return (
+        pe_global // config.pes_per_channel,
+        pe_global % config.pes_per_channel,
+    )
+
+
+@dataclass
+class ChannelGrid:
+    """The data list of one channel: occupied slots over ``length`` cycles.
+
+    Mutable on purpose — CrHCS migration edits grids in place (it removes
+    donated elements from the donor and fills holes in the destination).
+    """
+
+    channel_id: int
+    pes: int
+    occupied: Dict[Tuple[int, int], ScheduledElement] = field(
+        default_factory=dict
+    )
+    length: int = 0
+
+    def __len__(self) -> int:
+        return self.length
+
+    def ensure_length(self, length: int) -> None:
+        """Pad with stall-only cycles up to ``length`` (§3.1 resizing)."""
+        if length > self.length:
+            self.length = length
+
+    def slot(self, cycle: int, pe: int) -> Optional[ScheduledElement]:
+        return self.occupied.get((cycle, pe))
+
+    def cycle_slots(self, cycle: int) -> List[Optional[ScheduledElement]]:
+        """The eight slots of one cycle (the 512-bit channel word)."""
+        return [self.occupied.get((cycle, pe)) for pe in range(self.pes)]
+
+    def place(self, cycle: int, pe: int, element: ScheduledElement) -> None:
+        if cycle < 0 or not 0 <= pe < self.pes:
+            raise SchedulingError(
+                f"slot (cycle={cycle}, pe={pe}) out of range"
+            )
+        key = (cycle, pe)
+        if key in self.occupied:
+            raise SchedulingError(
+                f"slot (cycle={cycle}, pe={pe}) of channel "
+                f"{self.channel_id} is already occupied"
+            )
+        self.occupied[key] = element
+        self.ensure_length(cycle + 1)
+
+    def take(self, cycle: int, pe: int) -> ScheduledElement:
+        """Remove and return the element at a slot (migration donor side)."""
+        element = self.occupied.pop((cycle, pe), None)
+        if element is None:
+            raise SchedulingError(
+                f"slot (cycle={cycle}, pe={pe}) of channel "
+                f"{self.channel_id} is empty"
+            )
+        return element
+
+    def trim_trailing_stalls(self) -> None:
+        """Drop all-stall cycles from the tail (post-migration compaction)."""
+        if not self.occupied:
+            self.length = 0
+            return
+        self.length = max(cycle for cycle, _ in self.occupied) + 1
+
+    # -- accounting ---------------------------------------------------------
+
+    @property
+    def element_count(self) -> int:
+        return len(self.occupied)
+
+    @property
+    def stall_count(self) -> int:
+        return self.length * self.pes - len(self.occupied)
+
+    def iter_elements(
+        self,
+    ) -> Iterator[Tuple[int, int, ScheduledElement]]:
+        """Yield ``(cycle, pe, element)`` in stream order."""
+        for (cycle, pe), element in sorted(self.occupied.items()):
+            yield cycle, pe, element
+
+    def holes(self) -> Iterator[Tuple[int, int]]:
+        """Yield ``(cycle, pe)`` for every stall slot, in stream order."""
+        for cycle in range(self.length):
+            for pe in range(self.pes):
+                if (cycle, pe) not in self.occupied:
+                    yield cycle, pe
+
+    def own_elements_tail_first(
+        self,
+    ) -> List[Tuple[int, int, ScheduledElement]]:
+        """This channel's private elements, latest cycles first.
+
+        These are the migration candidates CrHCS offers to the previous
+        channel; elements that already migrated *in* stay put (Fig. 5d
+        migrates only values that originally belonged to the donor).
+        """
+        channel_id = self.channel_id
+        own = [
+            (cycle, pe, element)
+            for (cycle, pe), element in self.occupied.items()
+            if element.origin_channel == channel_id
+        ]
+        # (cycle, pe) pairs are unique, so reverse tuple order sorts
+        # latest-cycle-first without ever comparing the elements.
+        own.sort(reverse=True)
+        return own
+
+
+@dataclass
+class Schedule:
+    """A complete schedule for one matrix tile.
+
+    ``grids`` has one :class:`ChannelGrid` per sparse channel, all resized
+    to equal length; ``scheme`` names the scheduler that produced it.
+    """
+
+    config: AcceleratorConfig
+    grids: List[ChannelGrid]
+    scheme: str
+    row_base: int = 0
+    col_base: int = 0
+    migrated_count: int = 0
+    #: Migration span the schedule was built with; ``None`` falls back to
+    #: the configuration's span during validation.
+    migration_span: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if len(self.grids) != self.config.sparse_channels:
+            raise SchedulingError(
+                f"{self.scheme}: expected {self.config.sparse_channels} "
+                f"grids, got {len(self.grids)}"
+            )
+
+    # -- shape ---------------------------------------------------------------
+
+    @property
+    def stream_cycles(self) -> int:
+        """Length of the (equalised) data lists = cycles to stream the tile."""
+        return max((len(g) for g in self.grids), default=0)
+
+    def equalise(self) -> None:
+        """Resize every channel list to the longest one (§3.1)."""
+        length = self.stream_cycles
+        for grid in self.grids:
+            grid.ensure_length(length)
+
+    # -- accounting -----------------------------------------------------------
+
+    @property
+    def nnz(self) -> int:
+        return sum(g.element_count for g in self.grids)
+
+    @property
+    def total_stalls(self) -> int:
+        """Stalls counted over the equalised lists (Eq. 4 numerator)."""
+        length = self.stream_cycles
+        pes = self.config.pes_per_channel
+        return length * pes * len(self.grids) - self.nnz
+
+    @property
+    def underutilization(self) -> float:
+        """Eq. 4 as a fraction in [0, 1]."""
+        stalls = self.total_stalls
+        denominator = self.nnz + stalls
+        if denominator == 0:
+            return 0.0
+        return stalls / denominator
+
+    @property
+    def words_per_channel(self) -> int:
+        """512-bit words each channel streams for this tile."""
+        return self.stream_cycles
+
+    @property
+    def traffic_bytes(self) -> int:
+        """Sparse-stream bytes for this tile (all channels)."""
+        word_bytes = self.config.pes_per_channel * 8
+        return self.stream_cycles * len(self.grids) * word_bytes
+
+    def channel_stalls(self) -> List[int]:
+        """Per-channel stall counts over the equalised length."""
+        length = self.stream_cycles
+        pes = self.config.pes_per_channel
+        return [length * pes - g.element_count for g in self.grids]
+
+    def channel_elements(self) -> List[int]:
+        return [g.element_count for g in self.grids]
+
+    # -- validation -------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check structural invariants; raise :class:`SchedulingError`.
+
+        * every occupied slot holds an element whose home channel is this
+          channel (``pvt``) or a donor within the migration span;
+        * private elements sit in their Eq. 1 PE lane;
+        * the RAW dependency distance is respected per (PE, row) within a
+          channel (§3.3) — this covers both private and migrated elements.
+        """
+        span = self.migration_span
+        if span is None:
+            span = getattr(self.config, "migration_span", 0)
+        channels = len(self.grids)
+        distance = self.config.accumulator_latency
+        for grid in self.grids:
+            last_cycle: Dict[Tuple[int, int], int] = {}
+            for cycle, pe, element in grid.iter_elements():
+                if element.origin_channel == grid.channel_id:
+                    if element.origin_pe != pe:
+                        raise SchedulingError(
+                            f"private element of row {element.row} sits in "
+                            f"PE {pe}, expected {element.origin_pe}"
+                        )
+                else:
+                    offset = (
+                        element.origin_channel - grid.channel_id
+                    ) % channels
+                    if not 1 <= offset <= span:
+                        raise SchedulingError(
+                            f"element migrated from channel "
+                            f"{element.origin_channel} to {grid.channel_id} "
+                            f"exceeds migration span {span}"
+                        )
+                key = (pe, element.row)
+                previous = last_cycle.get(key)
+                if previous is not None and cycle - previous < distance:
+                    raise RawHazardError(
+                        f"row {element.row} scheduled at cycles {previous} "
+                        f"and {cycle} in PE {pe} of channel "
+                        f"{grid.channel_id}: distance < {distance}"
+                    )
+                last_cycle[key] = cycle
+
+
+@dataclass
+class TiledSchedule:
+    """Schedules for every (row window × column window) tile of a matrix.
+
+    Tiles stream back-to-back, so aggregate cycle/stall/traffic counts are
+    sums over tiles; Eq. 4 is evaluated over the concatenated data lists.
+    """
+
+    config: AcceleratorConfig
+    tiles: List[Schedule]
+    scheme: str
+    n_rows: int = 0
+    n_cols: int = 0
+
+    @property
+    def nnz(self) -> int:
+        return sum(t.nnz for t in self.tiles)
+
+    @property
+    def stream_cycles(self) -> int:
+        return sum(t.stream_cycles for t in self.tiles)
+
+    @property
+    def total_stalls(self) -> int:
+        return sum(t.total_stalls for t in self.tiles)
+
+    @property
+    def migrated_count(self) -> int:
+        return sum(t.migrated_count for t in self.tiles)
+
+    @property
+    def underutilization(self) -> float:
+        stalls = self.total_stalls
+        denominator = self.nnz + stalls
+        if denominator == 0:
+            return 0.0
+        return stalls / denominator
+
+    @property
+    def words_per_channel(self) -> int:
+        return sum(t.words_per_channel for t in self.tiles)
+
+    @property
+    def traffic_bytes(self) -> int:
+        return sum(t.traffic_bytes for t in self.tiles)
+
+    def channel_stalls(self) -> List[int]:
+        totals = [0] * self.config.sparse_channels
+        for tile in self.tiles:
+            for channel, stalls in enumerate(tile.channel_stalls()):
+                totals[channel] += stalls
+        return totals
+
+    def channel_elements(self) -> List[int]:
+        totals = [0] * self.config.sparse_channels
+        for tile in self.tiles:
+            for channel, count in enumerate(tile.channel_elements()):
+                totals[channel] += count
+        return totals
+
+    def validate(self) -> None:
+        for tile in self.tiles:
+            tile.validate()

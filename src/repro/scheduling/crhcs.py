@@ -1,0 +1,483 @@
+"""CrHCS — Cross-HBM-Channel Out-of-Order non-zero scheduling (§3).
+
+CrHCS extends PE-aware scheduling with *data migration*: stalls in the
+data list of channel *c* are filled with non-zero values migrated from the
+next channel ``(c+1) % C`` (up to ``migration_span`` neighbours; the paper
+implements one, §3.1).  A migrated element carries ``pvt = 0`` and the
+3-bit ``PE_src`` of its home PE so the destination PEG can segregate its
+partial sum into the right ``URAM_sh`` bank (§3.2).
+
+Two modes are provided:
+
+``mode="migrate"`` (default, the paper's algorithm, Figs. 4/5)
+    Start from the PE-aware grids.  Walk the channels in ring order; for
+    each channel fill its stalls — earliest first — with the donor
+    channel's *own* elements, taken latest-cycle-first so the donor's list
+    shrinks from the tail (the wholesale emptying of Fig. 5b/5c).  A
+    candidate is skipped when the same row issued in the destination PE
+    fewer than ``distance`` cycles ago (§3.3) and is retried at the next
+    stall; repeats in *different* destination PEs are legal because their
+    partial sums live in different ScUG banks and only meet in the
+    Reduction Unit.  Donated slots become stalls in the donor (Fig. 5d);
+    trailing all-stall cycles are trimmed and all lists are resized to the
+    longest one (§3.1).
+
+``mode="rebuild"``
+    An idealised joint construction used for the ablation benchmarks: all
+    channels are rescheduled cycle-by-cycle, each PE issuing its own
+    eligible work first (greedy longest-remaining-first) and migrating
+    work in from the donor's most backlogged rows when it would stall.
+    This upper-bounds what cross-channel scheduling can achieve.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple, Union
+
+from ..config import AcceleratorConfig
+from ..errors import SchedulingError
+from ..formats.coo import COOMatrix
+from ..formats.csr import CSRMatrix
+from .base import ChannelGrid, Schedule, ScheduledElement, TiledSchedule
+from .pe_aware import group_rows_by_pe, pe_aware_grids
+from .window import Tile, tile_matrix
+
+Matrix = Union[COOMatrix, CSRMatrix]
+
+#: How many donor elements a stall examines before staying a stall.
+#: Bounds the offline scheduling cost; skipped candidates are retried at
+#: later stalls, so misses come from empty donors, not exhausted scans —
+#: matching the paper's observation that CrHCS "never fails to find a RAW
+#: dependency-free value to migrate" (§3.3).
+DEFAULT_STEAL_TRIES = 8
+
+
+@dataclass
+class MigrationReport:
+    """Bookkeeping of one CrHCS run (aggregated over tiles)."""
+
+    migrated: int = 0
+    own_issues: int = 0
+    raw_skips: int = 0
+    #: migrated counts keyed by (destination, donor) channel pair.
+    pair_counts: Dict[Tuple[int, int], int] = field(default_factory=dict)
+
+    def record_migration(self, dest: int, donor: int) -> None:
+        self.migrated += 1
+        key = (dest, donor)
+        self.pair_counts[key] = self.pair_counts.get(key, 0) + 1
+
+    def merge(self, other: "MigrationReport") -> None:
+        self.migrated += other.migrated
+        self.own_issues += other.own_issues
+        self.raw_skips += other.raw_skips
+        for key, count in other.pair_counts.items():
+            self.pair_counts[key] = self.pair_counts.get(key, 0) + count
+
+    @property
+    def migration_fraction(self) -> float:
+        total = self.migrated + self.own_issues
+        return self.migrated / total if total else 0.0
+
+
+def _resolve_span(
+    config: AcceleratorConfig, migration_span: Optional[int]
+) -> int:
+    if migration_span is None:
+        migration_span = getattr(config, "migration_span", 1)
+    if not 0 <= migration_span < max(config.sparse_channels, 1):
+        raise SchedulingError(
+            f"migration span {migration_span} invalid for "
+            f"{config.sparse_channels} channels"
+        )
+    return migration_span
+
+
+# ---------------------------------------------------------------------------
+# mode="migrate": the paper's hole-filling migration on PE-aware grids.
+# ---------------------------------------------------------------------------
+
+
+def migrate_grids(
+    grids: List[ChannelGrid],
+    config: AcceleratorConfig,
+    migration_span: int,
+    steal_tries: int = DEFAULT_STEAL_TRIES,
+    report: Optional[MigrationReport] = None,
+) -> None:
+    """Apply the CrHCS ring migration in place (§3.1, Fig. 5)."""
+    if steal_tries < 1:
+        raise SchedulingError("steal_tries must be >= 1")
+    channels = len(grids)
+    distance = config.accumulator_latency
+    if report is not None:
+        report.own_issues += sum(g.element_count for g in grids)
+    if migration_span == 0 or channels < 2:
+        for grid in grids:
+            grid.trim_trailing_stalls()
+        return
+
+    # §3.1: the data lists are resized to the longest one; the padded
+    # stalls of short (even empty) channels are exactly the slots
+    # migration fills.  Trailing leftovers are trimmed at the end.
+    longest = max((grid.length for grid in grids), default=0)
+    for grid in grids:
+        grid.ensure_length(longest)
+
+    pes = config.pes_per_channel
+    for c in range(channels):
+        dest = grids[c]
+        dest_occupied = dest.occupied
+        dest_length = dest.length
+        tracker: Dict[Tuple[int, int], int] = {}
+        tracker_get = tracker.get
+        for step in range(1, migration_span + 1):
+            donor_id = (c + step) % channels
+            donor = grids[donor_id]
+            donor_occupied = donor.occupied
+            candidates: Deque[Tuple[int, int, ScheduledElement]] = deque(
+                donor.own_elements_tail_first()
+            )
+            if not candidates:
+                continue
+            migrated_here = 0
+            raw_skips = 0
+            skipped: List[Tuple[int, int, ScheduledElement]] = []
+            for cycle in range(dest_length):
+                if not candidates:
+                    break
+                for pe in range(pes):
+                    if (cycle, pe) in dest_occupied:
+                        continue
+                    found = None
+                    for _ in range(min(steal_tries, len(candidates))):
+                        candidate = candidates.popleft()
+                        element = candidate[2]
+                        if tracker_get((pe, element.row), 0) <= cycle:
+                            found = candidate
+                            break
+                        skipped.append(candidate)
+                        raw_skips += 1
+                    if skipped:
+                        candidates.extendleft(reversed(skipped))
+                        skipped.clear()
+                    if found is not None:
+                        element = found[2]
+                        del donor_occupied[(found[0], found[1])]
+                        dest_occupied[(cycle, pe)] = element
+                        tracker[(pe, element.row)] = cycle + distance
+                        migrated_here += 1
+                    if not candidates:
+                        break
+            if report is not None and (migrated_here or raw_skips):
+                report.own_issues -= migrated_here
+                report.migrated += migrated_here
+                report.raw_skips += raw_skips
+                key = (c, donor_id)
+                report.pair_counts[key] = (
+                    report.pair_counts.get(key, 0) + migrated_here
+                )
+
+    for grid in grids:
+        grid.trim_trailing_stalls()
+
+
+# ---------------------------------------------------------------------------
+# mode="rebuild": idealised joint cycle-by-cycle construction (ablation).
+# ---------------------------------------------------------------------------
+
+
+class _ChannelPool:
+    """Undispatched non-zeros of one channel for the rebuild mode.
+
+    The home channel drains rows from the *front* (preserving CSR order);
+    migrating neighbours steal from the *back*.  Row priority heaps are
+    lazy: entries whose deque emptied under theft are dropped on pop.
+    """
+
+    def __init__(self, channel_id: int, pe_groups, distance: int):
+        self.channel_id = channel_id
+        self.distance = distance
+        self.pes = len(pe_groups)
+        self.row_elements: Dict[int, Deque[int]] = {}
+        self.row_home_pe: Dict[int, int] = {}
+        self.ready: List[List[Tuple[int, int]]] = [[] for _ in range(self.pes)]
+        self.waiting: List[List[Tuple[int, int, int]]] = [
+            [] for _ in range(self.pes)
+        ]
+        self.steal_heap: List[Tuple[int, int]] = []
+        self.remaining = 0
+        for pe, rows in enumerate(pe_groups):
+            for row, element_indices in rows:
+                if len(element_indices) == 0:
+                    continue
+                queue: Deque[int] = deque(int(i) for i in element_indices)
+                self.row_elements[row] = queue
+                self.row_home_pe[row] = pe
+                heapq.heappush(self.ready[pe], (-len(queue), row))
+                heapq.heappush(self.steal_heap, (-len(queue), row))
+                self.remaining += len(queue)
+
+    def pop_own(self, pe: int, cycle: int) -> Optional[Tuple[int, int]]:
+        """Issue one own element for ``pe`` at ``cycle`` if one is eligible."""
+        ready = self.ready[pe]
+        waiting = self.waiting[pe]
+        while waiting and waiting[0][0] <= cycle:
+            _, neg_rem, row = heapq.heappop(waiting)
+            heapq.heappush(ready, (neg_rem, row))
+        while ready:
+            _, row = heapq.heappop(ready)
+            queue = self.row_elements[row]
+            if not queue:  # drained by a migrating neighbour
+                continue
+            element_index = queue.popleft()
+            self.remaining -= 1
+            if queue:
+                heapq.heappush(
+                    waiting, (cycle + self.distance, -len(queue), row)
+                )
+            return row, element_index
+        return None
+
+    def steal(self, eligible, tries: int):
+        """Take one element from the back of the most backlogged row.
+
+        ``eligible(row) -> (ok, expiry)`` implements the §3.3 RAW check at
+        the destination.  Returns ``((row, element, home_pe) | None,
+        blocked_until, skips)``.
+        """
+        heap = self.steal_heap
+        skipped: List[Tuple[int, int]] = []
+        result = None
+        blocked_until: Optional[int] = None
+        skips = 0
+        for _ in range(tries):
+            if not heap:
+                break
+            neg_rem, row = heapq.heappop(heap)
+            queue = self.row_elements[row]
+            if not queue:
+                continue
+            ok, expiry = eligible(row)
+            if ok:
+                element_index = queue.pop()
+                self.remaining -= 1
+                if queue:
+                    heapq.heappush(heap, (-len(queue), row))
+                result = (row, element_index, self.row_home_pe[row])
+                break
+            skips += 1
+            skipped.append((neg_rem, row))
+            if blocked_until is None or expiry < blocked_until:
+                blocked_until = expiry
+        for entry in skipped:
+            heapq.heappush(heap, entry)
+        return result, blocked_until, skips
+
+    def min_waiting_cycle(self) -> Optional[int]:
+        heads = [w[0][0] for w in self.waiting if w]
+        return min(heads) if heads else None
+
+
+def rebuild_grids(
+    tile: Tile,
+    config: AcceleratorConfig,
+    migration_span: int,
+    steal_tries: int = DEFAULT_STEAL_TRIES,
+    report: Optional[MigrationReport] = None,
+) -> List[ChannelGrid]:
+    """Joint cycle-by-cycle construction of CrHCS grids (rebuild mode)."""
+    channels = config.sparse_channels
+    pes = config.pes_per_channel
+    distance = config.accumulator_latency
+    if steal_tries < 1:
+        raise SchedulingError("steal_tries must be >= 1")
+
+    groups = group_rows_by_pe(tile, config)
+    pools = [_ChannelPool(c, groups[c], distance) for c in range(channels)]
+    grids = [ChannelGrid(channel_id=c, pes=pes) for c in range(channels)]
+    trackers: List[Dict[Tuple[int, int], int]] = [
+        dict() for _ in range(channels)
+    ]
+    donor_ids = [
+        [(c + s) % channels for s in range(1, migration_span + 1)]
+        for c in range(channels)
+    ]
+
+    total = sum(pool.remaining for pool in pools)
+    cycle = 0
+    while total > 0:
+        placed_any = False
+        blocked_min: Optional[int] = None
+        filled = [[False] * pes for _ in range(channels)]
+
+        # Phase 1: every PE issues its own work first.
+        for c in range(channels):
+            pool = pools[c]
+            if not pool.remaining:
+                continue
+            grid = grids[c]
+            for pe in range(pes):
+                own = pool.pop_own(pe, cycle)
+                if own is None:
+                    continue
+                row, element_index = own
+                grid.place(
+                    cycle,
+                    pe,
+                    ScheduledElement(
+                        row=row,
+                        col=int(tile.cols[element_index]),
+                        value=float(tile.values[element_index]),
+                        origin_channel=c,
+                        origin_pe=pe,
+                    ),
+                )
+                filled[c][pe] = True
+                placed_any = True
+                total -= 1
+                if report is not None:
+                    report.own_issues += 1
+
+        # Phase 2: idle PEs migrate data in from their donor channels.
+        if migration_span:
+            for c in range(channels):
+                donors = [d for d in donor_ids[c] if pools[d].remaining]
+                if not donors:
+                    continue
+                grid = grids[c]
+                tracker = trackers[c]
+                for pe in range(pes):
+                    if filled[c][pe]:
+                        continue
+                    for donor in donors:
+                        def _eligible(row, _pe=pe, _tracker=tracker):
+                            expiry = _tracker.get((_pe, row), 0)
+                            return expiry <= cycle, expiry
+
+                        stolen, blocked, skips = pools[donor].steal(
+                            _eligible, steal_tries
+                        )
+                        if report is not None:
+                            report.raw_skips += skips
+                        if blocked is not None and (
+                            blocked_min is None or blocked < blocked_min
+                        ):
+                            blocked_min = blocked
+                        if stolen is None:
+                            continue
+                        row, element_index, home_pe = stolen
+                        grid.place(
+                            cycle,
+                            pe,
+                            ScheduledElement(
+                                row=row,
+                                col=int(tile.cols[element_index]),
+                                value=float(tile.values[element_index]),
+                                origin_channel=donor,
+                                origin_pe=home_pe,
+                            ),
+                        )
+                        tracker[(pe, row)] = cycle + distance
+                        filled[c][pe] = True
+                        placed_any = True
+                        total -= 1
+                        if report is not None:
+                            report.record_migration(c, donor)
+                        break
+
+        if placed_any:
+            cycle += 1
+            continue
+        # Nothing could issue: jump ahead to the next cycle where a waiting
+        # row (home side) or a RAW-blocked migration (destination side)
+        # becomes eligible.  Progress is guaranteed because every non-empty
+        # row sits in some home waiting heap.
+        candidates = [blocked_min] if blocked_min is not None else []
+        for pool in pools:
+            if pool.remaining:
+                head = pool.min_waiting_cycle()
+                if head is not None:
+                    candidates.append(head)
+        cycle = max(cycle + 1, min(candidates)) if candidates else cycle + 1
+
+    for grid in grids:
+        grid.ensure_length(cycle)
+    return grids
+
+
+# ---------------------------------------------------------------------------
+# public entry points
+# ---------------------------------------------------------------------------
+
+
+def schedule_crhcs_tile(
+    tile: Tile,
+    config: AcceleratorConfig,
+    migration_span: Optional[int] = None,
+    steal_tries: int = DEFAULT_STEAL_TRIES,
+    mode: str = "migrate",
+    report: Optional[MigrationReport] = None,
+) -> Schedule:
+    """Schedule one tile with CrHCS and equalise the channel lists."""
+    span = _resolve_span(config, migration_span)
+    tile_report = MigrationReport()
+    if mode == "migrate":
+        grids = pe_aware_grids(tile, config)
+        migrate_grids(
+            grids, config, span, steal_tries=steal_tries, report=tile_report
+        )
+        scheme = "crhcs"
+    elif mode == "rebuild":
+        grids = rebuild_grids(
+            tile, config, span, steal_tries=steal_tries, report=tile_report
+        )
+        scheme = "crhcs_rebuild"
+    else:
+        raise SchedulingError(f"unknown CrHCS mode {mode!r}")
+    if report is not None:
+        report.merge(tile_report)
+    schedule = Schedule(
+        config=config,
+        grids=grids,
+        scheme=scheme,
+        row_base=tile.row_base,
+        col_base=tile.col_base,
+        migrated_count=tile_report.migrated,
+        migration_span=span,
+    )
+    schedule.equalise()
+    return schedule
+
+
+def schedule_crhcs(
+    matrix: Matrix,
+    config: AcceleratorConfig,
+    migration_span: Optional[int] = None,
+    steal_tries: int = DEFAULT_STEAL_TRIES,
+    mode: str = "migrate",
+    max_rows_per_pass: int = 0,
+    report: Optional[MigrationReport] = None,
+) -> TiledSchedule:
+    """Schedule a whole matrix with CrHCS (§3)."""
+    tiles = tile_matrix(matrix, config, max_rows_per_pass)
+    return TiledSchedule(
+        config=config,
+        tiles=[
+            schedule_crhcs_tile(
+                tile,
+                config,
+                migration_span=migration_span,
+                steal_tries=steal_tries,
+                mode=mode,
+                report=report,
+            )
+            for tile in tiles
+        ],
+        scheme="crhcs" if mode == "migrate" else "crhcs_rebuild",
+        n_rows=matrix.n_rows,
+        n_cols=matrix.n_cols,
+    )

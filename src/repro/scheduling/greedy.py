@@ -1,0 +1,129 @@
+"""Greedy intra-channel OoO scheduling (ablation scheme ``"greedy_ooo"``).
+
+An idealised variant of PE-aware scheduling: instead of the fixed
+round-robin window of §2.2, each PE picks — every cycle — the eligible row
+(RAW distance satisfied) with the most remaining non-zeros.  This is the
+classic longest-remaining-first greedy for cooldown scheduling and is an
+upper bound on what *intra-channel* scheduling can achieve.
+
+It exists for the scheduling-policy ablation: comparing ``pe_aware`` →
+``greedy_ooo`` → ``crhcs`` separates how much of CrHCS's win comes from
+smarter ordering versus from crossing the channel boundary.  The paper's
+point — that intra-channel scheduling fundamentally cannot fill stalls
+when a channel's rows run out of non-zeros (§2.3) — is visible here too:
+``greedy_ooo`` still stalls whenever a channel's eligible work dries up.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Sequence, Tuple, Union
+
+from ..config import AcceleratorConfig
+from ..errors import SchedulingError
+from ..formats.coo import COOMatrix
+from ..formats.csr import CSRMatrix
+from .base import ChannelGrid, Schedule, ScheduledElement, TiledSchedule
+from .pe_aware import RowGroup, group_rows_by_pe
+from .window import Tile, tile_matrix
+
+Matrix = Union[COOMatrix, CSRMatrix]
+
+
+def schedule_single_pe_greedy(
+    rows: Sequence[RowGroup], distance: int
+) -> Tuple[List[int], List[int], int]:
+    """Greedy cooldown schedule of one PE's rows.
+
+    Returns ``(cycles, element_indices, length)``; cycles absent from the
+    output are stalls.
+    """
+    if distance < 1:
+        raise SchedulingError("dependency distance must be >= 1")
+    ready: List[Tuple[int, int]] = []  # (-remaining, row)
+    waiting: List[Tuple[int, int, int]] = []  # (eligible, -remaining, row)
+    arrays = {}
+    pointers = {}
+    for row, element_indices in rows:
+        if len(element_indices) == 0:
+            continue
+        arrays[row] = element_indices
+        pointers[row] = 0
+        heapq.heappush(ready, (-len(element_indices), row))
+
+    out_cycles: List[int] = []
+    out_elements: List[int] = []
+    cycle = 0
+    while ready or waiting:
+        while waiting and waiting[0][0] <= cycle:
+            _, neg_rem, row = heapq.heappop(waiting)
+            heapq.heappush(ready, (neg_rem, row))
+        if not ready:
+            cycle = waiting[0][0]
+            continue
+        neg_rem, row = heapq.heappop(ready)
+        pointer = pointers[row]
+        out_cycles.append(cycle)
+        out_elements.append(int(arrays[row][pointer]))
+        pointers[row] = pointer + 1
+        remaining = -neg_rem - 1
+        if remaining:
+            heapq.heappush(waiting, (cycle + distance, -remaining, row))
+        cycle += 1
+    return out_cycles, out_elements, cycle
+
+
+def greedy_grids(tile: Tile, config: AcceleratorConfig) -> List[ChannelGrid]:
+    """Unequalised per-channel grids under greedy intra-channel OoO."""
+    groups = group_rows_by_pe(tile, config)
+    distance = config.accumulator_latency
+    grids: List[ChannelGrid] = []
+    for channel_id in range(config.sparse_channels):
+        grid = ChannelGrid(channel_id=channel_id, pes=config.pes_per_channel)
+        for pe in range(config.pes_per_channel):
+            cycles, elements, pe_length = schedule_single_pe_greedy(
+                groups[channel_id][pe], distance
+            )
+            grid.ensure_length(pe_length)
+            for cycle, element_index in zip(cycles, elements):
+                grid.place(
+                    cycle,
+                    pe,
+                    ScheduledElement(
+                        row=int(tile.rows[element_index]),
+                        col=int(tile.cols[element_index]),
+                        value=float(tile.values[element_index]),
+                        origin_channel=channel_id,
+                        origin_pe=pe,
+                    ),
+                )
+        grids.append(grid)
+    return grids
+
+
+def schedule_greedy_tile(tile: Tile, config: AcceleratorConfig) -> Schedule:
+    schedule = Schedule(
+        config=config,
+        grids=greedy_grids(tile, config),
+        scheme="greedy_ooo",
+        row_base=tile.row_base,
+        col_base=tile.col_base,
+    )
+    schedule.equalise()
+    return schedule
+
+
+def schedule_greedy_ooo(
+    matrix: Matrix,
+    config: AcceleratorConfig,
+    max_rows_per_pass: int = 0,
+) -> TiledSchedule:
+    """Schedule a whole matrix with greedy intra-channel OoO scheduling."""
+    tiles = tile_matrix(matrix, config, max_rows_per_pass)
+    return TiledSchedule(
+        config=config,
+        tiles=[schedule_greedy_tile(tile, config) for tile in tiles],
+        scheme="greedy_ooo",
+        n_rows=matrix.n_rows,
+        n_cols=matrix.n_cols,
+    )

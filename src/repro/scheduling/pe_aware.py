@@ -1,0 +1,182 @@
+"""PE-aware non-zero OoO scheduling — the Serpens baseline (§2.2, Fig. 2b).
+
+Rows map to PEs via Eq. 1 (``row % total_pes``).  Within a PE the scheduler
+walks the PE's rows in fixed *round-robin windows*: it takes the next
+``distance`` rows assigned to the PE (10 on the U55c — "PE-aware non-zero
+scheduling maps at least 10 rows per PE", §2.2) and emits one slot per row
+per rotation, cycling until the longest row in the window drains.  A
+rotation slot whose row has no non-zero left becomes an **explicit zero**
+in the channel data list — the pseudo-stall that keeps the HLS pipeline at
+II=1 (§2.2).
+
+The window width equals the accumulator latency by construction, so the
+same row recurs exactly ``distance`` cycles later and the RAW constraint
+holds with no further checks — this is exactly the Fig. 2b interleave
+(rows 0, 4, 8, …, 36 rotating through PE0, stalling on the empty rows
+20–36).
+
+Its weakness, and the paper's motivation: the scheduler can only fill a
+rotation slot with non-zeros *from the same window of the same channel*,
+so imbalanced row lengths turn directly into stalls (≈70 % of slots across
+the 800-matrix corpus, Fig. 3).  Scheme name: ``"pe_aware"``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple, Union
+
+import numpy as np
+
+from ..config import AcceleratorConfig
+from ..errors import SchedulingError
+from ..formats.coo import COOMatrix
+from ..formats.csr import CSRMatrix
+from .base import ChannelGrid, Schedule, ScheduledElement, TiledSchedule, pe_for_row
+from .window import Tile, tile_matrix
+
+Matrix = Union[COOMatrix, CSRMatrix]
+
+#: A per-PE row group: (row id, element indices in column order).
+RowGroup = Tuple[int, np.ndarray]
+
+
+def group_rows_by_pe(
+    tile: Tile, config: AcceleratorConfig
+) -> List[List[List[RowGroup]]]:
+    """Partition a tile's non-zeros into ``groups[channel][pe]`` row lists.
+
+    Element indices refer to the tile's ``rows``/``cols``/``values`` arrays;
+    each row's indices are sorted by column, matching the CSR streaming
+    order of the preprocessing step.  Rows without non-zeros do not appear;
+    schedulers that need them (the round-robin window) re-insert them from
+    the row id gaps.
+    """
+    groups: List[List[List[RowGroup]]] = [
+        [[] for _ in range(config.pes_per_channel)]
+        for _ in range(config.sparse_channels)
+    ]
+    if tile.nnz == 0:
+        return groups
+    order = np.lexsort((tile.cols, tile.rows))
+    rows_sorted = tile.rows[order]
+    boundaries = np.flatnonzero(np.diff(rows_sorted)) + 1
+    starts = np.concatenate([[0], boundaries])
+    ends = np.concatenate([boundaries, [rows_sorted.size]])
+    for start, end in zip(starts, ends):
+        row = int(rows_sorted[start])
+        channel, pe = pe_for_row(row, config)
+        groups[channel][pe].append((row, order[start:end]))
+    return groups
+
+
+def schedule_single_pe_round_robin(
+    rows: List[RowGroup], distance: int, total_pes: int
+) -> Tuple[List[int], List[int], int]:
+    """Windowed round-robin schedule of one PE's rows.
+
+    The window walks the PE's assigned rows *in row-id order, including
+    empty rows* — Fig. 2b shows the empty rows 20–36 stalling PE0's
+    rotation.  A row's position within its PE is ``row // total_pes``
+    (Eq. 1 strides rows across PEs), its window is ``position //
+    distance`` and its lane within the window ``position % distance``.
+    Each window rotates until its longest row drains, emitting one slot
+    per lane per rotation; lanes whose row has run out (or never had
+    non-zeros) are the explicit zeros of §2.2.  Windows that contain no
+    non-zeros at all contribute no rotations — the preprocessing simply
+    skips them.
+
+    Returns ``(cycles, element_indices, length)``.
+    """
+    if distance < 1:
+        raise SchedulingError("dependency distance must be >= 1")
+    out_cycles: List[int] = []
+    out_elements: List[int] = []
+    base = 0
+    window_rows: List[Tuple[int, np.ndarray]] = []  # (lane, indices)
+
+    def _flush() -> int:
+        rotations = max(len(indices) for _, indices in window_rows)
+        for lane, indices in window_rows:
+            for rotation in range(len(indices)):
+                out_cycles.append(base + rotation * distance + lane)
+                out_elements.append(int(indices[rotation]))
+        return base + rotations * distance
+
+    current_window = None
+    for row_id, indices in rows:
+        position = row_id // total_pes
+        window_index, lane = divmod(position, distance)
+        if window_index != current_window:
+            if window_rows:
+                base = _flush()
+                window_rows.clear()
+            current_window = window_index
+        window_rows.append((lane, indices))
+    if window_rows:
+        base = _flush()
+    return out_cycles, out_elements, base
+
+
+def pe_aware_grids(tile: Tile, config: AcceleratorConfig) -> List[ChannelGrid]:
+    """Unequalised per-channel grids for one tile.
+
+    This is the intermediate CrHCS starts from: each channel is as long as
+    its own slowest PE, before the global resize of §3.1.
+    """
+    groups = group_rows_by_pe(tile, config)
+    distance = config.accumulator_latency
+    # Plain-list views make the per-element hot loop cheap.
+    rows_list = tile.rows.tolist()
+    cols_list = tile.cols.tolist()
+    values_list = tile.values.tolist()
+    grids: List[ChannelGrid] = []
+    for channel_id in range(config.sparse_channels):
+        grid = ChannelGrid(channel_id=channel_id, pes=config.pes_per_channel)
+        occupied = grid.occupied
+        for pe in range(config.pes_per_channel):
+            cycles, elements, pe_length = schedule_single_pe_round_robin(
+                groups[channel_id][pe], distance, config.total_pes
+            )
+            grid.ensure_length(pe_length)
+            for cycle, element_index in zip(cycles, elements):
+                occupied[(cycle, pe)] = ScheduledElement(
+                    rows_list[element_index],
+                    cols_list[element_index],
+                    values_list[element_index],
+                    channel_id,
+                    pe,
+                )
+        # A data list ends at its last non-zero; the trailing rotation
+        # stalls of the final window carry no information.
+        grid.trim_trailing_stalls()
+        grids.append(grid)
+    return grids
+
+
+def schedule_pe_aware_tile(tile: Tile, config: AcceleratorConfig) -> Schedule:
+    """Schedule one tile with PE-aware OoO scheduling and equalise lists."""
+    schedule = Schedule(
+        config=config,
+        grids=pe_aware_grids(tile, config),
+        scheme="pe_aware",
+        row_base=tile.row_base,
+        col_base=tile.col_base,
+    )
+    schedule.equalise()
+    return schedule
+
+
+def schedule_pe_aware(
+    matrix: Matrix,
+    config: AcceleratorConfig,
+    max_rows_per_pass: int = 0,
+) -> TiledSchedule:
+    """Schedule a whole matrix with the PE-aware (Serpens) scheme."""
+    tiles = tile_matrix(matrix, config, max_rows_per_pass)
+    return TiledSchedule(
+        config=config,
+        tiles=[schedule_pe_aware_tile(tile, config) for tile in tiles],
+        scheme="pe_aware",
+        n_rows=matrix.n_rows,
+        n_cols=matrix.n_cols,
+    )

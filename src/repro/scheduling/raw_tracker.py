@@ -1,0 +1,49 @@
+"""Read-after-write dependency tracking (§2.2, §3.3).
+
+The floating-point accumulator of the PE takes ``distance`` cycles
+(10 on the Alveo U55c); two accumulations into the same partial sum — i.e.
+two non-zeros of the same row processed by the same PE — must issue at
+least ``distance`` cycles apart, because HLS pipelines cannot forward
+intermediate adder stages (§2.2).
+
+The tracker is keyed by ``(pe, row)``: the same row migrated into two
+*different* destination PEs accumulates into two different URAM banks
+(URAM_pvt vs the per-source-PE URAM_sh of each ScUG), which the Reduction
+Unit later merges, so cross-PE repeats carry no hazard (§3.3, §4.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..errors import RawHazardError
+
+
+class RawTracker:
+    """Tracks the earliest legal issue cycle per ``(pe, row)``."""
+
+    def __init__(self, distance: int):
+        if distance < 1:
+            raise RawHazardError("dependency distance must be >= 1")
+        self.distance = distance
+        self._next_free: Dict[Tuple[int, int], int] = {}
+
+    def earliest(self, pe: int, row: int) -> int:
+        """First cycle at which ``row`` may issue again in ``pe``."""
+        return self._next_free.get((pe, row), 0)
+
+    def eligible(self, pe: int, row: int, cycle: int) -> bool:
+        """Can ``row`` issue in ``pe`` at ``cycle`` without a RAW hazard?"""
+        return cycle >= self.earliest(pe, row)
+
+    def commit(self, pe: int, row: int, cycle: int) -> None:
+        """Record an issue; raises if it would violate the distance."""
+        if not self.eligible(pe, row, cycle):
+            raise RawHazardError(
+                f"row {row} issued in PE {pe} at cycle {cycle}, "
+                f"earliest legal cycle is {self.earliest(pe, row)}"
+            )
+        self._next_free[(pe, row)] = cycle + self.distance
+
+    def __len__(self) -> int:
+        return len(self._next_free)

@@ -1,0 +1,95 @@
+"""Row-based non-zero scheduling — the naive baseline (§2.2, Fig. 1/2a).
+
+All non-zeros of a row go to the same PE *in row order*: the PE finishes
+row r before starting the next row assigned to it.  Consecutive non-zeros
+of the same row form a RAW chain, so each issues a full dependency
+distance after its predecessor; the first non-zero of the *next* row has
+no dependency and issues on the following cycle.
+
+The result is the 0.10 non-zeros/cycle throughput of Fig. 2a — roughly one
+element per ``distance`` cycles whenever rows have more than one non-zero.
+This scheduler exists as the motivational baseline and for the scheduling
+ablation; Serpens-class accelerators already improve on it with PE-aware
+scheduling.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple, Union
+
+from ..config import AcceleratorConfig
+from ..formats.coo import COOMatrix
+from ..formats.csr import CSRMatrix
+from .base import ChannelGrid, Schedule, ScheduledElement, TiledSchedule
+from .pe_aware import group_rows_by_pe
+from .window import Tile, tile_matrix
+
+Matrix = Union[COOMatrix, CSRMatrix]
+
+
+def _schedule_pe_in_order(rows, distance: int) -> Tuple[List[int], List[int], int]:
+    """In-order schedule of one PE's rows (no OoO interleaving)."""
+    out_cycles: List[int] = []
+    out_elements: List[int] = []
+    cycle = 0
+    for row, element_indices in rows:
+        for position, element_index in enumerate(element_indices):
+            out_cycles.append(cycle)
+            out_elements.append(int(element_index))
+            is_last = position == len(element_indices) - 1
+            # Next element of the same row waits the full RAW distance;
+            # the first element of the next row only waits one cycle.
+            cycle += 1 if is_last else distance
+    return out_cycles, out_elements, cycle
+
+
+def schedule_row_based_tile(tile: Tile, config: AcceleratorConfig) -> Schedule:
+    """Row-based schedule of one tile."""
+    groups = group_rows_by_pe(tile, config)
+    distance = config.accumulator_latency
+    grids: List[ChannelGrid] = []
+    for channel_id in range(config.sparse_channels):
+        grid = ChannelGrid(channel_id=channel_id, pes=config.pes_per_channel)
+        for pe in range(config.pes_per_channel):
+            cycles, elements, pe_length = _schedule_pe_in_order(
+                groups[channel_id][pe], distance
+            )
+            grid.ensure_length(pe_length)
+            for cycle, element_index in zip(cycles, elements):
+                grid.place(
+                    cycle,
+                    pe,
+                    ScheduledElement(
+                        row=int(tile.rows[element_index]),
+                        col=int(tile.cols[element_index]),
+                        value=float(tile.values[element_index]),
+                        origin_channel=channel_id,
+                        origin_pe=pe,
+                    ),
+                )
+        grids.append(grid)
+    schedule = Schedule(
+        config=config,
+        grids=grids,
+        scheme="row_based",
+        row_base=tile.row_base,
+        col_base=tile.col_base,
+    )
+    schedule.equalise()
+    return schedule
+
+
+def schedule_row_based(
+    matrix: Matrix,
+    config: AcceleratorConfig,
+    max_rows_per_pass: int = 0,
+) -> TiledSchedule:
+    """Schedule a whole matrix with naive row-based scheduling."""
+    tiles = tile_matrix(matrix, config, max_rows_per_pass)
+    return TiledSchedule(
+        config=config,
+        tiles=[schedule_row_based_tile(tile, config) for tile in tiles],
+        scheme="row_based",
+        n_rows=matrix.n_rows,
+        n_cols=matrix.n_cols,
+    )

@@ -1,0 +1,191 @@
+"""Schedule serialization in the §3.2 wire format.
+
+The offline preprocessing step of a real deployment produces binary HBM
+channel images: for every tile and channel, one 64-bit packed element per
+slot in stream order, with stalls encoded as all-zero words (the explicit
+zeros of §2.2 — the hardware skips a slot whose value is 0.0, which is
+why the generators never emit exactly-zero non-zeros).
+
+The container format is::
+
+    header:  magic 'CHSN' | version u16 | channels u16 | pes u16 |
+             span u16 | n_rows u64 | n_cols u64 | n_tiles u32 |
+             scheme (16 bytes, NUL padded)
+    tile:    row_base u64 | col_base u64 | length u32 |
+             channels x length x pes x u64 packed elements
+
+Because the wire format carries only the 1-bit ``pvt`` flag, the donor
+channel of a migrated element is implicit: it is the next channel in the
+ring.  Schedules built with ``migration_span > 1`` therefore cannot be
+serialized losslessly and are rejected — the same constraint the §3.2
+encoding imposes on the hardware.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List
+
+from ..config import AcceleratorConfig
+from ..errors import FormatError, SchedulingError
+from ..formats.element import PackedElement, pack_element, unpack_element
+from .base import ChannelGrid, Schedule, ScheduledElement, TiledSchedule
+
+MAGIC = b"CHSN"
+VERSION = 1
+_HEADER = struct.Struct("<4sHHHHQQI16s")
+_TILE_HEADER = struct.Struct("<QQI")
+_STALL_WORD = 0
+
+
+def _element_to_word(
+    element: ScheduledElement, channel_id: int, channels: int
+) -> int:
+    pvt = element.origin_channel == channel_id
+    if not pvt:
+        offset = (element.origin_channel - channel_id) % channels
+        if offset != 1:
+            raise SchedulingError(
+                "the §3.2 wire format encodes only immediate-next-channel "
+                f"migration; found an element from {offset} channels away"
+            )
+    packed = PackedElement(
+        value=element.value,
+        row=element.row,
+        col=element.col,
+        pvt=pvt,
+        pe_src=element.origin_pe,
+    )
+    word = pack_element(packed)
+    if word == _STALL_WORD and element.value == 0.0:
+        raise SchedulingError(
+            "cannot serialize a zero-valued non-zero: it is "
+            "indistinguishable from a stall word (§2.2)"
+        )
+    return word
+
+
+def serialize_schedule(schedule: TiledSchedule) -> bytes:
+    """Encode a schedule as binary HBM channel images."""
+    config = schedule.config
+    channels = config.sparse_channels
+    pes = config.pes_per_channel
+    span = getattr(config, "migration_span", 0)
+    chunks: List[bytes] = [
+        _HEADER.pack(
+            MAGIC,
+            VERSION,
+            channels,
+            pes,
+            span,
+            schedule.n_rows,
+            schedule.n_cols,
+            len(schedule.tiles),
+            schedule.scheme.encode()[:16],
+        )
+    ]
+    for tile in schedule.tiles:
+        length = tile.stream_cycles
+        chunks.append(_TILE_HEADER.pack(tile.row_base, tile.col_base,
+                                        length))
+        words = []
+        for grid in tile.grids:
+            for cycle in range(length):
+                for pe in range(pes):
+                    element = grid.slot(cycle, pe)
+                    if element is None:
+                        words.append(_STALL_WORD)
+                    else:
+                        words.append(
+                            _element_to_word(element, grid.channel_id,
+                                             channels)
+                        )
+        chunks.append(struct.pack(f"<{len(words)}Q", *words))
+    return b"".join(chunks)
+
+
+def deserialize_schedule(
+    data: bytes, config: AcceleratorConfig
+) -> TiledSchedule:
+    """Decode binary channel images back into a schedule."""
+    if len(data) < _HEADER.size:
+        raise FormatError("truncated schedule image: missing header")
+    (magic, version, channels, pes, span, n_rows, n_cols, n_tiles,
+     scheme_raw) = _HEADER.unpack_from(data, 0)
+    if magic != MAGIC:
+        raise FormatError("not a Chasoň schedule image")
+    if version != VERSION:
+        raise FormatError(f"unsupported schedule image version {version}")
+    if channels != config.sparse_channels or pes != config.pes_per_channel:
+        raise FormatError(
+            f"image built for {channels} channels x {pes} PEs, "
+            f"configuration has {config.sparse_channels} x "
+            f"{config.pes_per_channel}"
+        )
+    scheme = scheme_raw.rstrip(b"\x00").decode()
+
+    offset = _HEADER.size
+    tiles: List[Schedule] = []
+    for _ in range(n_tiles):
+        if len(data) < offset + _TILE_HEADER.size:
+            raise FormatError("truncated schedule image: missing tile")
+        row_base, col_base, length = _TILE_HEADER.unpack_from(data, offset)
+        offset += _TILE_HEADER.size
+        word_count = channels * length * pes
+        end = offset + 8 * word_count
+        if len(data) < end:
+            raise FormatError("truncated schedule image: missing words")
+        words = struct.unpack_from(f"<{word_count}Q", data, offset)
+        offset = end
+
+        grids = []
+        migrated = 0
+        index = 0
+        for channel_id in range(channels):
+            grid = ChannelGrid(channel_id=channel_id, pes=pes)
+            grid.ensure_length(length)
+            for cycle in range(length):
+                for pe in range(pes):
+                    word = words[index]
+                    index += 1
+                    if word == _STALL_WORD:
+                        continue
+                    packed = unpack_element(word)
+                    if packed.pvt:
+                        origin_channel, origin_pe = channel_id, pe
+                    else:
+                        origin_channel = (channel_id + 1) % channels
+                        origin_pe = packed.pe_src
+                        migrated += 1
+                    grid.place(
+                        cycle,
+                        pe,
+                        ScheduledElement(
+                            row=packed.row,
+                            col=packed.col,
+                            value=packed.value,
+                            origin_channel=origin_channel,
+                            origin_pe=origin_pe,
+                        ),
+                    )
+            grids.append(grid)
+        tiles.append(
+            Schedule(
+                config=config,
+                grids=grids,
+                scheme=scheme,
+                row_base=row_base,
+                col_base=col_base,
+                migrated_count=migrated,
+                migration_span=span,
+            )
+        )
+    if offset != len(data):
+        raise FormatError("trailing bytes after the last tile")
+    return TiledSchedule(
+        config=config,
+        tiles=tiles,
+        scheme=scheme,
+        n_rows=n_rows,
+        n_cols=n_cols,
+    )

@@ -1,0 +1,68 @@
+"""Bounded FIFO streams between architectural units (Fig. 6).
+
+TAPA/HLS designs connect kernels with FIFO channels; the simulator uses the
+same abstraction so unit boundaries match the hardware block diagram.  The
+depth bound exists to surface design errors (a unit that would deadlock in
+hardware overflows here).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Generic, Iterable, Iterator, Optional, TypeVar
+
+from ..errors import CapacityError, SimulationError
+
+T = TypeVar("T")
+
+
+class FifoStream(Generic[T]):
+    """A bounded first-in-first-out stream."""
+
+    def __init__(self, name: str, depth: int = 0):
+        if depth < 0:
+            raise CapacityError("FIFO depth must be non-negative (0 = ∞)")
+        self.name = name
+        self.depth = depth
+        self._queue: Deque[T] = deque()
+        self.total_pushed = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._queue)
+
+    @property
+    def empty(self) -> bool:
+        return not self._queue
+
+    @property
+    def full(self) -> bool:
+        return self.depth > 0 and len(self._queue) >= self.depth
+
+    def push(self, item: T) -> None:
+        if self.full:
+            raise CapacityError(
+                f"FIFO {self.name!r} overflow at depth {self.depth}"
+            )
+        self._queue.append(item)
+        self.total_pushed += 1
+
+    def push_all(self, items: Iterable[T]) -> None:
+        for item in items:
+            self.push(item)
+
+    def pop(self) -> T:
+        if not self._queue:
+            raise SimulationError(f"FIFO {self.name!r} popped while empty")
+        return self._queue.popleft()
+
+    def try_pop(self) -> Optional[T]:
+        if not self._queue:
+            return None
+        return self._queue.popleft()
+
+    def drain(self) -> Iterator[T]:
+        while self._queue:
+            yield self._queue.popleft()

@@ -1,0 +1,150 @@
+"""On-chip memory models: URAM partial-sum banks and BRAM x-buffers (§4.2).
+
+* ``UramBank`` — one 72-bit-wide UltraRAM holding two FP32 partial sums per
+  slot (4096 slots → 8192 partial sums, 36 KB on the U55c, §4.5).  A PE's
+  private partial sums live in one bank (``URAM_pvt``); partial sums it
+  computes *for a neighbouring channel* live in the Shared-Channel URAM
+  Group (``ScugBankGroup``), one bank per source PE (§4.2.1).
+* ``BramXBuffer`` — the dual-port BRAM copy of the dense-vector window x
+  (32 BRAM18K blocks per PEG, 8192 FP32 values, §4.5).
+
+Banks index partial sums by *row position within the PE* so that capacity
+accounting matches the hardware address space, and they count reads/writes
+so benchmarks can report on-chip traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+import numpy as np
+
+from ..errors import CapacityError, SimulationError
+
+#: FP32 partial sums one URAM holds: 4096 slots x two 32-bit halves (§4.2.1).
+URAM_PARTIAL_SUMS = 8192
+
+#: FP32 elements of x one PEG's BRAM group holds (§4.1, §4.5).
+BRAM_X_CAPACITY = 8192
+
+
+class UramBank:
+    """One URAM of partial sums, addressed by row position."""
+
+    def __init__(self, name: str, capacity: int = URAM_PARTIAL_SUMS):
+        if capacity <= 0:
+            raise CapacityError("URAM capacity must be positive")
+        self.name = name
+        self.capacity = capacity
+        self._sums: Dict[int, float] = {}
+        self.reads = 0
+        self.writes = 0
+
+    def __len__(self) -> int:
+        return len(self._sums)
+
+    def accumulate(self, address: int, product: float) -> float:
+        """Read-modify-write one partial sum (the PE's adder path)."""
+        if address < 0:
+            raise SimulationError(f"negative URAM address in {self.name}")
+        if address >= self.capacity and address not in self._sums:
+            raise CapacityError(
+                f"URAM {self.name!r}: address {address} exceeds capacity "
+                f"{self.capacity}"
+            )
+        self.reads += 1
+        self.writes += 1
+        updated = self._sums.get(address, 0.0) + product
+        self._sums[address] = updated
+        return updated
+
+    def read(self, address: int) -> float:
+        self.reads += 1
+        return self._sums.get(address, 0.0)
+
+    def items(self) -> Iterator[Tuple[int, float]]:
+        return iter(sorted(self._sums.items()))
+
+    def clear(self) -> None:
+        self._sums.clear()
+
+
+class ScugBankGroup:
+    """The Shared-Channel URAM Group of one PE (§4.2.1).
+
+    One bank per source PE of the donor channel; with ``scug_size`` smaller
+    than the PEG width, pairs of source PEs share a physical URAM (the
+    §4.5 down-sizing) — shared banks halve the per-source address space but
+    keep sums segregated by an address offset, exactly like the hardware.
+    """
+
+    def __init__(self, name: str, source_pes: int, scug_size: int):
+        if not 1 <= scug_size <= source_pes:
+            raise CapacityError(
+                f"ScUG size {scug_size} must be in 1..{source_pes}"
+            )
+        self.name = name
+        self.source_pes = source_pes
+        self.scug_size = scug_size
+        #: How many source PEs share one physical URAM.
+        self.sharing = -(-source_pes // scug_size)
+        per_source_capacity = URAM_PARTIAL_SUMS // self.sharing
+        self._banks = [
+            UramBank(f"{name}.sh{k}", capacity=per_source_capacity)
+            for k in range(source_pes)
+        ]
+
+    def bank(self, source_pe: int) -> UramBank:
+        if not 0 <= source_pe < self.source_pes:
+            raise SimulationError(
+                f"source PE {source_pe} out of range in {self.name}"
+            )
+        return self._banks[source_pe]
+
+    def accumulate(self, source_pe: int, address: int, product: float):
+        return self.bank(source_pe).accumulate(address, product)
+
+    @property
+    def reads(self) -> int:
+        return sum(bank.reads for bank in self._banks)
+
+    @property
+    def writes(self) -> int:
+        return sum(bank.writes for bank in self._banks)
+
+    def clear(self) -> None:
+        for bank in self._banks:
+            bank.clear()
+
+
+class BramXBuffer:
+    """The PEG-local BRAM copy of one dense-vector window (§4.2.1)."""
+
+    def __init__(self, name: str, capacity: int = BRAM_X_CAPACITY):
+        if capacity <= 0:
+            raise CapacityError("BRAM capacity must be positive")
+        self.name = name
+        self.capacity = capacity
+        self._window = np.zeros(0, dtype=np.float32)
+        self.reads = 0
+        self.loads = 0
+
+    def load_window(self, window: np.ndarray) -> None:
+        """Copy one column window of x into the buffer."""
+        window = np.asarray(window, dtype=np.float32)
+        if window.size > self.capacity:
+            raise CapacityError(
+                f"x window of {window.size} exceeds BRAM capacity "
+                f"{self.capacity} in {self.name}"
+            )
+        self._window = window.copy()
+        self.loads += 1
+
+    def read(self, local_col: int) -> float:
+        if not 0 <= local_col < self._window.size:
+            raise SimulationError(
+                f"x[{local_col}] outside loaded window of "
+                f"{self._window.size} in {self.name}"
+            )
+        self.reads += 1
+        return float(self._window[local_col])

@@ -1,0 +1,98 @@
+"""The Rearrange Unit: Re-order + Arbiter + Merger (§4.3, Fig. 8).
+
+Each PEG emits two streams after a row window completes:
+
+* ``pvt_ch`` — its eight consolidated ``URAM_pvt`` banks (private partial
+  sums, already in this channel's row order);
+* ``sh_ch``  — the Reduction Unit's consolidated shared sums, which belong
+  to a *different* channel (the donor the PEG migrated data from).
+
+The Re-order Unit realigns the shared streams with the channel they belong
+to; the Arbiter collects both stream kinds per channel; the Merger adds
+the private and shared contributions so every output value of a channel is
+complete, then packs the results into the single 16-FP32 ``stream_Ax``
+(§4.3) that the dense-vector kernels consume.  Functionally this is
+``y[row] = pvt[row] + Σ shared contributions``, which is what this model
+computes while tracking the merge traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from ..config import AcceleratorConfig
+from ..errors import SimulationError
+from .peg import ProcessingElementGroup
+from .reduction import ReducedSums
+
+
+@dataclass
+class RearrangeStats:
+    """Traffic counters of the Rearrange Unit."""
+
+    private_values: int = 0
+    shared_values: int = 0
+    merged_rows: int = 0
+
+
+class RearrangeUnit:
+    """Gathers all PEGs' streams into the output vector of one row window."""
+
+    def __init__(self, config: AcceleratorConfig):
+        self.config = config
+        self.stats = RearrangeStats()
+
+    def merge(
+        self,
+        pegs: List[ProcessingElementGroup],
+        reductions: Dict[int, ReducedSums],
+        row_base: int,
+        n_rows: int,
+        y_out: np.ndarray,
+    ) -> None:
+        """Accumulate one row window's outputs into ``y_out``.
+
+        ``reductions[c]`` is the Reduction output of channel ``c``'s PEG;
+        its ``(origin_channel, origin_pe)`` sums are re-ordered onto the
+        rows of the *origin* channel — the Fig. 8 realignment.
+        """
+        config = self.config
+        total_pes = config.total_pes
+        if len(pegs) != config.sparse_channels:
+            raise SimulationError(
+                f"expected {config.sparse_channels} PEGs, got {len(pegs)}"
+            )
+
+        # Private streams: URAM_pvt of PE p in channel c covers rows
+        # row_base + (c*8 + p) + address*total_pes.
+        for channel, peg in enumerate(pegs):
+            for pe_id, pe in enumerate(peg.pes):
+                lane = channel * config.pes_per_channel + pe_id
+                for address, value in pe.uram_pvt.items():
+                    row = row_base + lane + address * total_pes
+                    if row - row_base >= n_rows:
+                        raise SimulationError(
+                            f"private sum for row {row} outside window"
+                        )
+                    y_out[row] += value
+                    self.stats.private_values += 1
+
+        # Shared streams: re-ordered onto their origin channel's rows.
+        for channel, reduced in reductions.items():
+            for (origin_channel, origin_pe), sums in reduced.sums.items():
+                lane = (
+                    origin_channel * config.pes_per_channel + origin_pe
+                )
+                for address, value in sums.items():
+                    row = row_base + lane + address * total_pes
+                    if row - row_base >= n_rows:
+                        raise SimulationError(
+                            f"shared sum for row {row} outside window"
+                        )
+                    y_out[row] += value
+                    self.stats.shared_values += 1
+
+        self.stats.merged_rows += n_rows

@@ -1,0 +1,67 @@
+"""The Reduction Unit (§4.2.2, Fig. 7c).
+
+After a PEG finishes streaming, each of its eight PEs holds — per donor
+channel — a ScUG of partial sums for the donor's PEs.  The Reduction Unit
+sweeps the k-th ``URAM_sh`` of all eight ScUGs address by address and folds
+them through an adder tree, producing a single per-source-PE partial-sum
+bank that the Rearrange Unit then routes back to the donor channel's
+output stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from .peg import ProcessingElementGroup
+
+
+@dataclass
+class ReducedSums:
+    """Output of one Reduction-Unit sweep.
+
+    ``sums[(origin_channel, origin_pe)][address]`` is the reduced partial
+    sum destined for the donor channel's PE — the contents of the
+    consolidated ``URAM_sh0`` of Fig. 7c.
+    """
+
+    sums: Dict[Tuple[int, int], Dict[int, float]] = field(default_factory=dict)
+    addresses_swept: int = 0
+    tree_additions: int = 0
+
+    def contribution(self, origin_channel: int, origin_pe: int):
+        return self.sums.get((origin_channel, origin_pe), {})
+
+
+class ReductionUnit:
+    """Adder-tree reduction across the eight ScUGs of one PEG."""
+
+    def __init__(self, peg: ProcessingElementGroup):
+        self.peg = peg
+
+    def reduce(self) -> ReducedSums:
+        """Fold all ScUG banks; returns per-(donor, source-PE) sums."""
+        result = ReducedSums()
+        donor_channels = set()
+        for pe in self.peg.pes:
+            donor_channels.update(pe.scugs.keys())
+        for donor in sorted(donor_channels):
+            for source_pe in range(self.peg.config.pes_per_channel):
+                merged: Dict[int, float] = {}
+                contributors = 0
+                for pe in self.peg.pes:
+                    scug = pe.scugs.get(donor)
+                    if scug is None:
+                        continue
+                    bank = scug.bank(source_pe)
+                    for address, value in bank.items():
+                        if address in merged:
+                            merged[address] += value
+                            result.tree_additions += 1
+                        else:
+                            merged[address] = value
+                        contributors += 1
+                if merged:
+                    result.sums[(donor, source_pe)] = merged
+                    result.addresses_swept += len(merged)
+        return result

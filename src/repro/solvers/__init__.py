@@ -1,0 +1,20 @@
+"""Iterative solvers driven by the modelled accelerators.
+
+The paper motivates Chasoň with workloads — scientific computing,
+optimization, graph problems — whose kernels are *iterated* SpMVs.  These
+solvers run their SpMV on any :class:`~repro.core.StreamingAccelerator`
+(scheduling once, streaming many times, exactly the paper's §5.2
+measurement methodology) and account the modelled accelerator time.
+"""
+
+from .result import SolverResult
+from .jacobi import jacobi
+from .power_iteration import power_iteration
+from .cg import conjugate_gradient
+
+__all__ = [
+    "SolverResult",
+    "jacobi",
+    "power_iteration",
+    "conjugate_gradient",
+]

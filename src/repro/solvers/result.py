@@ -1,0 +1,34 @@
+"""Common solver result object."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+
+@dataclass
+class SolverResult:
+    """Outcome of an accelerator-driven iterative solve."""
+
+    solution: np.ndarray
+    iterations: int
+    converged: bool
+    residual: float
+    #: Modelled accelerator time spent in SpMV across all iterations.
+    accelerator_seconds: float
+    #: Residual (or convergence metric) after every iteration.
+    history: List[float] = field(default_factory=list)
+
+    @property
+    def accelerator_ms(self) -> float:
+        return self.accelerator_seconds * 1e3
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        status = "converged" if self.converged else "NOT converged"
+        return (
+            f"SolverResult({status} in {self.iterations} iterations, "
+            f"residual={self.residual:.3e}, "
+            f"accelerator={self.accelerator_ms:.3f} ms)"
+        )

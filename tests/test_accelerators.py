@@ -1,0 +1,138 @@
+"""Chasoň / Serpens accelerator façades and the SpMM extension."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.serpens import SerpensAccelerator
+from repro.config import ChasonConfig, SerpensConfig
+from repro.core.chason import ChasonAccelerator
+from repro.core.spmm import chason_spmm, chason_spmm_report, spmm_config
+from repro.errors import ConfigError, ShapeError
+from repro.matrices import generators
+
+
+@pytest.fixture
+def chason(small_chason):
+    return ChasonAccelerator(small_chason)
+
+
+@pytest.fixture
+def serpens(small_serpens):
+    return SerpensAccelerator(small_serpens)
+
+
+class TestChasonAccelerator:
+    def test_analyze_report_fields(self, chason, skewed_matrix):
+        report = chason.analyze(skewed_matrix)
+        assert report.accelerator == "chason"
+        assert report.scheme == "crhcs"
+        assert report.nnz == skewed_matrix.nnz
+        assert report.latency_ms > 0
+        assert report.throughput_gflops > 0
+        assert 0 <= report.underutilization_pct < 100
+        assert report.migrated > 0
+        assert report.power_watts == pytest.approx(39.0)
+
+    def test_run_verifies(self, chason, skewed_matrix, rng):
+        x = rng.normal(size=skewed_matrix.n_cols).astype(np.float32)
+        execution, report = chason.run(skewed_matrix, x)
+        assert execution.verify(skewed_matrix.matvec(x))
+        assert report.total_cycles == execution.cycles.total
+
+    def test_run_shape_check(self, chason, skewed_matrix):
+        with pytest.raises(ShapeError):
+            chason.run(skewed_matrix, np.zeros(5, dtype=np.float32))
+
+    def test_migration_report_exposed(self, chason, skewed_matrix):
+        chason.analyze(skewed_matrix)
+        assert chason.last_migration is not None
+        assert chason.last_migration.migrated > 0
+
+    def test_requires_chason_config(self, small_serpens):
+        with pytest.raises(ConfigError):
+            ChasonAccelerator(small_serpens)
+
+    def test_energy_efficiency_from_power(self, chason, skewed_matrix):
+        report = chason.analyze(skewed_matrix)
+        assert report.energy_efficiency == pytest.approx(
+            report.throughput_gflops / 39.0
+        )
+
+    def test_bandwidth_efficiency(self, chason, skewed_matrix):
+        report = chason.analyze(skewed_matrix)
+        assert report.bandwidth_efficiency == pytest.approx(
+            report.throughput_gflops / report.bandwidth_gbps
+        )
+
+    def test_as_table_row(self, chason, skewed_matrix):
+        row = chason.analyze(skewed_matrix).as_table_row()
+        assert "chason" in row and "GFLOPS" in row
+
+
+class TestSerpensAccelerator:
+    def test_analyze(self, serpens, skewed_matrix):
+        report = serpens.analyze(skewed_matrix)
+        assert report.accelerator == "serpens"
+        assert report.scheme == "pe_aware"
+        assert report.migrated == 0
+        assert report.power_watts == pytest.approx(36.0)
+
+    def test_run_verifies(self, serpens, skewed_matrix, rng):
+        x = rng.normal(size=skewed_matrix.n_cols).astype(np.float32)
+        execution, _ = serpens.run(skewed_matrix, x)
+        assert execution.verify(skewed_matrix.matvec(x))
+
+    def test_requires_serpens_config(self, small_chason):
+        with pytest.raises(ConfigError):
+            SerpensAccelerator(small_chason)
+
+    def test_chason_beats_serpens_on_skew(self, chason, serpens,
+                                          skewed_matrix):
+        chason_report = chason.analyze(skewed_matrix)
+        serpens_report = serpens.analyze(skewed_matrix)
+        assert chason_report.latency_ms < serpens_report.latency_ms
+        assert (
+            chason_report.underutilization_pct
+            < serpens_report.underutilization_pct
+        )
+
+
+class TestSpMM:
+    def test_spmm_config_channels(self):
+        config = spmm_config()
+        assert config.sparse_channels == 16
+        # §7.2: 29 channels in total.
+        assert config.used_channels == 29
+
+    def test_functional_result(self, rng):
+        matrix = generators.uniform_random(60, 40, 300, seed=23)
+        b = rng.normal(size=(40, 5)).astype(np.float32)
+        result, report = chason_spmm(matrix, b)
+        expected = matrix.to_dense() @ b.astype(np.float64)
+        np.testing.assert_allclose(result, expected, rtol=1e-4, atol=1e-5)
+        assert report.nnz == matrix.nnz
+        assert report.b_cols == 5
+
+    def test_alpha_beta(self, rng):
+        matrix = generators.uniform_random(20, 20, 80, seed=24)
+        b = rng.normal(size=(20, 3)).astype(np.float32)
+        c = rng.normal(size=(20, 3))
+        result, _ = chason_spmm(matrix, b, c=c, alpha=2.0, beta=0.5)
+        expected = 2.0 * matrix.to_dense() @ b.astype(np.float64) + 0.5 * c
+        np.testing.assert_allclose(result, expected, rtol=1e-4, atol=1e-5)
+
+    def test_shape_checks(self, rng):
+        matrix = generators.uniform_random(20, 20, 80, seed=25)
+        with pytest.raises(ShapeError):
+            chason_spmm(matrix, rng.normal(size=(19, 3)))
+        with pytest.raises(ShapeError):
+            chason_spmm(matrix, rng.normal(size=(20, 3)),
+                        c=np.zeros((20, 4)))
+
+    def test_report_scales_with_b_cols(self):
+        matrix = generators.uniform_random(100, 100, 600, seed=26)
+        narrow = chason_spmm_report(matrix, b_cols=8)
+        wide = chason_spmm_report(matrix, b_cols=64)
+        assert wide.latency_ms > narrow.latency_ms
+        # Wider panels amortise overheads: throughput improves or holds.
+        assert wide.throughput_gflops >= narrow.throughput_gflops * 0.9

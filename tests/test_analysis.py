@@ -1,0 +1,119 @@
+"""Analysis statistics, experiment runners, and report formatting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import (
+    compare_on_corpus,
+    compare_on_named,
+    corpus_matrices,
+    default_corpus_size,
+    gpu_cpu_comparison,
+)
+from repro.analysis.report import format_table, format_table1, format_table3
+from repro.analysis.stats import describe, gaussian_kde_pdf, histogram_pdf
+from repro.errors import ConfigError
+from repro.resources.model import chason_resources, serpens_resources
+
+
+class TestDensityEstimates:
+    def test_histogram_mode(self):
+        values = [10.0] * 50 + [90.0] * 5
+        pdf = histogram_pdf(values)
+        assert pdf.mode == pytest.approx(10.0, abs=5.0)
+
+    def test_histogram_normalised(self):
+        pdf = histogram_pdf(np.random.default_rng(0).uniform(0, 100, 500))
+        step = pdf.centers[1] - pdf.centers[0]
+        assert np.sum(pdf.density) * step == pytest.approx(1.0, abs=0.01)
+
+    def test_kde_smooth_and_normalised(self):
+        values = np.random.default_rng(1).normal(50, 10, 300)
+        pdf = gaussian_kde_pdf(values)
+        step = pdf.centers[1] - pdf.centers[0]
+        assert np.sum(pdf.density) * step == pytest.approx(1.0, abs=0.05)
+        assert pdf.mode == pytest.approx(50.0, abs=5.0)
+
+    def test_mass_below(self):
+        values = [10.0] * 50 + [90.0] * 50
+        pdf = histogram_pdf(values)
+        assert pdf.mass_below(50.0) == pytest.approx(0.5, abs=0.05)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            histogram_pdf([])
+        with pytest.raises(ConfigError):
+            gaussian_kde_pdf([])
+
+    def test_describe(self):
+        summary = describe([1.0, 2.0, 3.0])
+        assert summary["min"] == 1.0
+        assert summary["max"] == 3.0
+        assert summary["count"] == 3.0
+
+
+class TestExperimentRunners:
+    def test_default_corpus_size_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL_CORPUS", raising=False)
+        monkeypatch.setenv("REPRO_CORPUS_COUNT", "12")
+        monkeypatch.setenv("REPRO_CORPUS_NNZ_CAP", "5000")
+        assert default_corpus_size() == (12, 5000)
+        monkeypatch.setenv("REPRO_FULL_CORPUS", "1")
+        assert default_corpus_size() == (800, None)
+
+    def test_corpus_matrices_yields_pairs(self):
+        pairs = list(corpus_matrices(count=3, nnz_cap=2000))
+        assert len(pairs) == 3
+        for spec, matrix in pairs:
+            assert matrix.shape == (spec.n_rows, spec.n_cols)
+
+    def test_compare_on_named_subset(self):
+        results = compare_on_named(names=["CollegeMsg", "as-735"])
+        assert [r.matrix_id for r in results] == ["CM", "A7"]
+        for result in results:
+            assert result.speedup > 1.0
+            assert result.transfer_reduction > 1.0
+            assert result.energy_efficiency_improvement > 0
+
+    def test_compare_on_corpus_small(self):
+        result = compare_on_corpus(count=4, nnz_cap=3000)
+        assert result.count == 4
+        assert len(result.speedups) == 4
+        assert result.geomean_speedup > 1.0
+        assert all(
+            c <= s
+            for c, s in zip(
+                result.chason_underutilization,
+                result.serpens_underutilization,
+            )
+        )
+
+    def test_gpu_cpu_comparison_rows(self):
+        rows = gpu_cpu_comparison(count=3, nnz_cap=3000)
+        assert len(rows) == 9  # 3 matrices x 3 baselines
+        baselines = {row.baseline for row in rows}
+        assert baselines == {"rtx4090", "rtxa6000", "i9"}
+        for row in rows:
+            assert row.speedup > 0
+            assert row.energy_gain > 0
+
+
+class TestReportFormatting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bbb"], [["1", "2"], ["33", "4"]],
+                            title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bbb" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table1(self):
+        text = format_table1([serpens_resources(), chason_resources()])
+        assert "URAM" in text
+        assert "512" in text and "384" in text
+
+    def test_format_table3(self):
+        comparisons = compare_on_named(names=["CollegeMsg"])
+        text = format_table3(comparisons)
+        assert "CM" in text
+        assert "Latency" in text

@@ -1,0 +1,121 @@
+"""GPU / CPU baseline models and the reference SpMV."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.cpu import CORE_I9_11980HK, MklCpuModel
+from repro.baselines.gpu import (
+    CusparseGpuModel,
+    GpuSpec,
+    RTX_4090,
+    RTX_A6000,
+)
+from repro.baselines.reference import reference_spmv
+from repro.errors import ConfigError
+from repro.matrices import generators
+
+
+class TestGpuModel:
+    def test_latency_positive_and_bounded_below_by_overhead(self):
+        model = CusparseGpuModel(RTX_4090)
+        matrix = generators.uniform_random(100, 100, 500, seed=1)
+        assert model.latency_seconds(matrix) > RTX_4090.launch_overhead_s
+
+    def test_larger_matrices_take_longer(self):
+        model = CusparseGpuModel(RTX_4090)
+        small = generators.uniform_random(200, 200, 2000, seed=2)
+        large = generators.uniform_random(2000, 2000, 200000, seed=2)
+        assert model.latency_seconds(large) > model.latency_seconds(small)
+
+    def test_effective_bandwidth_below_peak(self):
+        model = CusparseGpuModel(RTX_4090)
+        matrix = generators.uniform_random(500, 500, 5000, seed=3)
+        assert (
+            model.effective_bandwidth_gbps(matrix)
+            < RTX_4090.peak_bandwidth_gbps
+        )
+
+    def test_imbalance_hurts_gpu(self):
+        model = CusparseGpuModel(RTX_4090)
+        uniform = generators.uniform_random(1000, 1000, 20000, seed=4)
+        skewed = generators.power_law_rows(1000, 1000, 20000, alpha=1.8,
+                                           seed=4)
+        assert (
+            model.effective_bandwidth_gbps(skewed)
+            < model.effective_bandwidth_gbps(uniform)
+        )
+
+    def test_a6000_beats_4090_on_small(self):
+        # §6.2.1 shape: the server card handles small kernels much better.
+        matrix = generators.uniform_random(300, 300, 3000, seed=5)
+        lat_4090 = CusparseGpuModel(RTX_4090).latency_seconds(matrix)
+        lat_a6000 = CusparseGpuModel(RTX_A6000).latency_seconds(matrix)
+        assert lat_a6000 < lat_4090
+
+    def test_throughput_formula(self):
+        model = CusparseGpuModel(RTX_A6000)
+        matrix = generators.uniform_random(400, 400, 4000, seed=6)
+        expected = 2 * (matrix.nnz + matrix.n_cols) / (
+            model.latency_seconds(matrix) * 1e9
+        )
+        assert model.throughput_gflops(matrix) == pytest.approx(expected)
+
+    def test_spec_validation(self):
+        with pytest.raises(ConfigError):
+            GpuSpec("bad", -1, 1, 1, 1e-6, 0.5, 1e6, 0.5, 100)
+        with pytest.raises(ConfigError):
+            GpuSpec("bad", 100, 1, 1, 1e-6, 1.5, 1e6, 0.5, 100)
+
+
+class TestCpuModel:
+    def test_cache_resident_fast_path(self):
+        model = MklCpuModel()
+        matrix = generators.uniform_random(500, 500, 10000, seed=7)
+        assert (
+            model.effective_bandwidth_gbps(matrix)
+            > 0.5 * CORE_I9_11980HK.cache_bandwidth_gbps
+        )
+
+    def test_out_of_cache_penalty(self):
+        model = MklCpuModel()
+        # ~36 MB of traffic: beyond the 24 MB cache.
+        big = generators.uniform_random(4000, 4000, 3_000_000, seed=8)
+        small = generators.uniform_random(500, 500, 10000, seed=8)
+        assert (
+            model.effective_bandwidth_gbps(big)
+            < model.effective_bandwidth_gbps(small)
+        )
+
+    def test_cpu_tolerates_imbalance_better_than_gpu(self):
+        cpu = MklCpuModel()
+        gpu = CusparseGpuModel(RTX_4090)
+        uniform = generators.uniform_random(1000, 1000, 20000, seed=9)
+        skewed = generators.power_law_rows(1000, 1000, 20000, alpha=1.8,
+                                           seed=9)
+        cpu_ratio = cpu.latency_seconds(skewed) / cpu.latency_seconds(uniform)
+        gpu_ratio = gpu.latency_seconds(skewed) / gpu.latency_seconds(uniform)
+        assert cpu_ratio < gpu_ratio
+
+    def test_peak_throughput_band(self):
+        # §6.2.1: the i9 peaks at ≈24 GFLOPS on cache-resident matrices.
+        model = MklCpuModel()
+        matrix = generators.uniform_random(1400, 1400, 1_000_000, seed=10)
+        assert 10.0 < model.throughput_gflops(matrix) < 40.0
+
+
+class TestReference:
+    def test_reference_matches_dense(self, rng):
+        matrix = generators.uniform_random(50, 60, 400, seed=11)
+        x = rng.normal(size=60)
+        np.testing.assert_allclose(
+            reference_spmv(matrix, x), matrix.to_dense() @ x
+        )
+
+    def test_reference_accepts_csr(self, rng):
+        from repro.formats.convert import to_csr
+
+        matrix = generators.uniform_random(50, 60, 400, seed=12)
+        x = rng.normal(size=60)
+        np.testing.assert_allclose(
+            reference_spmv(to_csr(matrix), x), reference_spmv(matrix, x)
+        )

@@ -1,0 +1,116 @@
+"""Format conversions and MatrixMarket IO."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.formats.convert import coo_to_csr, csr_to_coo, to_coo, to_csr
+from repro.formats.coo import COOMatrix
+from repro.formats.io import load_matrix_market, save_matrix_market
+from repro.matrices import generators
+
+
+class TestConvert:
+    def test_coo_csr_roundtrip(self):
+        coo = generators.uniform_random(30, 40, 120, seed=5)
+        back = csr_to_coo(coo_to_csr(coo))
+        np.testing.assert_allclose(back.to_dense(), coo.to_dense())
+
+    def test_conversion_sums_duplicates(self):
+        coo = COOMatrix.from_entries(
+            (2, 2), [(0, 1, 1.0), (0, 1, 2.5)]
+        )
+        csr = coo_to_csr(coo)
+        assert csr.nnz == 1
+        assert csr.to_dense()[0, 1] == pytest.approx(3.5)
+
+    def test_csr_columns_sorted(self):
+        coo = COOMatrix.from_entries(
+            (1, 5), [(0, 4, 1.0), (0, 1, 2.0), (0, 3, 3.0)]
+        )
+        csr = coo_to_csr(coo)
+        assert csr.indices.tolist() == [1, 3, 4]
+
+    def test_to_csr_idempotent(self):
+        csr = coo_to_csr(generators.diagonal(5, seed=1))
+        assert to_csr(csr) is csr
+
+    def test_to_coo_idempotent(self):
+        coo = generators.diagonal(5, seed=1)
+        assert to_coo(coo) is coo
+
+    def test_to_csr_rejects_other_types(self):
+        with pytest.raises(FormatError):
+            to_csr(np.zeros((2, 2)))
+
+
+class TestMatrixMarket:
+    def test_roundtrip(self, tmp_path):
+        matrix = generators.uniform_random(10, 12, 30, seed=3)
+        path = tmp_path / "m.mtx"
+        save_matrix_market(matrix, path)
+        loaded = load_matrix_market(path)
+        np.testing.assert_allclose(
+            loaded.to_dense(), matrix.to_dense(), rtol=1e-6
+        )
+
+    def test_gzip_roundtrip(self, tmp_path):
+        matrix = generators.diagonal(6, seed=2)
+        path = tmp_path / "m.mtx.gz"
+        save_matrix_market(matrix, path)
+        loaded = load_matrix_market(path)
+        np.testing.assert_allclose(
+            loaded.to_dense(), matrix.to_dense(), rtol=1e-6
+        )
+
+    def test_pattern_field(self, tmp_path):
+        path = tmp_path / "p.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "2 2 2\n1 1\n2 2\n"
+        )
+        loaded = load_matrix_market(path)
+        assert loaded.nnz == 2
+        assert set(loaded.values.tolist()) == {1.0}
+
+    def test_symmetric_expansion(self, tmp_path):
+        path = tmp_path / "s.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "3 3 2\n2 1 5.0\n3 3 1.0\n"
+        )
+        loaded = load_matrix_market(path)
+        dense = loaded.to_dense()
+        assert dense[1, 0] == pytest.approx(5.0)
+        assert dense[0, 1] == pytest.approx(5.0)
+        assert dense[2, 2] == pytest.approx(1.0)
+        assert loaded.nnz == 3  # off-diagonal mirrored once
+
+    def test_rejects_non_matrixmarket(self, tmp_path):
+        path = tmp_path / "bad.mtx"
+        path.write_text("hello world\n")
+        with pytest.raises(FormatError):
+            load_matrix_market(path)
+
+    def test_rejects_array_format(self, tmp_path):
+        path = tmp_path / "bad.mtx"
+        path.write_text("%%MatrixMarket matrix array real general\n2 2\n")
+        with pytest.raises(FormatError):
+            load_matrix_market(path)
+
+    def test_rejects_truncated_entries(self, tmp_path):
+        path = tmp_path / "bad.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n"
+        )
+        with pytest.raises(FormatError):
+            load_matrix_market(path)
+
+    def test_comment_lines_skipped(self, tmp_path):
+        path = tmp_path / "c.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real general\n"
+            "% a comment\n% another\n1 1 1\n1 1 9.0\n"
+        )
+        loaded = load_matrix_market(path)
+        assert loaded.to_dense()[0, 0] == pytest.approx(9.0)

@@ -1,0 +1,122 @@
+"""COO matrix behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError, ShapeError
+from repro.formats.coo import COOMatrix
+
+
+def make(shape=(4, 5), entries=((0, 0, 1.0), (1, 2, -2.0), (3, 4, 0.5))):
+    return COOMatrix.from_entries(shape, entries)
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        matrix = make()
+        assert matrix.nnz == 3
+        assert matrix.n_rows == 4
+        assert matrix.n_cols == 5
+        assert matrix.density == pytest.approx(3 / 20)
+
+    def test_from_dense(self):
+        dense = np.array([[0, 1.5], [2.5, 0]])
+        matrix = COOMatrix.from_dense(dense)
+        assert matrix.nnz == 2
+        np.testing.assert_allclose(matrix.to_dense(), dense)
+
+    def test_from_dense_rejects_1d(self):
+        with pytest.raises(ShapeError):
+            COOMatrix.from_dense(np.ones(3))
+
+    def test_empty_matrix(self):
+        matrix = COOMatrix.from_entries((3, 3), [])
+        assert matrix.nnz == 0
+        assert matrix.row_lengths().tolist() == [0, 0, 0]
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ShapeError):
+            COOMatrix.from_entries((0, 3), [])
+
+    def test_rejects_out_of_bounds_row(self):
+        with pytest.raises(FormatError):
+            make(entries=[(4, 0, 1.0)])
+
+    def test_rejects_out_of_bounds_col(self):
+        with pytest.raises(FormatError):
+            make(entries=[(0, 5, 1.0)])
+
+    def test_rejects_ragged_arrays(self):
+        with pytest.raises(FormatError):
+            COOMatrix((2, 2), np.array([0]), np.array([0, 1]),
+                      np.array([1.0]))
+
+    def test_iteration_yields_triples(self):
+        triples = list(make())
+        assert triples[0] == (0, 0, 1.0)
+        assert len(triples) == 3
+
+
+class TestTransforms:
+    def test_sum_duplicates(self):
+        matrix = COOMatrix.from_entries(
+            (2, 2), [(0, 0, 1.0), (0, 0, 2.0), (1, 1, 3.0)]
+        )
+        summed = matrix.sum_duplicates()
+        assert summed.nnz == 2
+        assert summed.to_dense()[0, 0] == pytest.approx(3.0)
+
+    def test_sum_duplicates_empty(self):
+        matrix = COOMatrix.from_entries((2, 2), [])
+        assert matrix.sum_duplicates().nnz == 0
+
+    def test_prune(self):
+        matrix = COOMatrix.from_entries(
+            (2, 2), [(0, 0, 1e-9), (1, 1, 5.0)]
+        )
+        assert matrix.prune(1e-6).nnz == 1
+
+    def test_transpose(self):
+        matrix = make()
+        transposed = matrix.transpose()
+        assert transposed.shape == (5, 4)
+        np.testing.assert_allclose(
+            transposed.to_dense(), matrix.to_dense().T
+        )
+
+    def test_scaled(self):
+        np.testing.assert_allclose(
+            make().scaled(2.0).to_dense(), 2.0 * make().to_dense()
+        )
+
+    def test_submatrix(self):
+        matrix = make()
+        block = matrix.submatrix(slice(0, 2), slice(0, 3))
+        assert block.shape == (2, 3)
+        np.testing.assert_allclose(
+            block.to_dense(), matrix.to_dense()[:2, :3]
+        )
+
+    def test_submatrix_rejects_step(self):
+        with pytest.raises(ShapeError):
+            make().submatrix(slice(0, 4, 2), slice(0, 5))
+
+
+class TestNumerics:
+    def test_matvec_matches_dense(self):
+        matrix = make()
+        x = np.arange(5, dtype=float)
+        np.testing.assert_allclose(
+            matrix.matvec(x), matrix.to_dense() @ x
+        )
+
+    def test_matvec_sums_duplicates(self):
+        matrix = COOMatrix.from_entries((1, 1), [(0, 0, 1.0), (0, 0, 2.0)])
+        assert matrix.matvec(np.ones(1))[0] == pytest.approx(3.0)
+
+    def test_matvec_shape_check(self):
+        with pytest.raises(ShapeError):
+            make().matvec(np.ones(4))
+
+    def test_row_lengths(self):
+        assert make().row_lengths().tolist() == [1, 1, 0, 1]

@@ -1,0 +1,132 @@
+"""CSC and ELL formats plus their conversions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError, ShapeError
+from repro.formats.convert import (
+    coo_to_csc,
+    coo_to_csr,
+    csc_to_coo,
+    csr_to_ell,
+    ell_to_coo,
+    to_coo,
+    to_csr,
+)
+from repro.formats.coo import COOMatrix
+from repro.formats.csc import CSCMatrix
+from repro.formats.ell import ELLMatrix
+from repro.matrices import generators
+
+
+@pytest.fixture
+def sample():
+    return generators.uniform_random(40, 30, 200, seed=61)
+
+
+class TestCSC:
+    def test_roundtrip(self, sample):
+        back = csc_to_coo(coo_to_csc(sample))
+        np.testing.assert_allclose(back.to_dense(), sample.to_dense(),
+                                   rtol=1e-6)
+
+    def test_matvec_matches_coo(self, sample):
+        x = np.random.default_rng(0).normal(size=30)
+        np.testing.assert_allclose(
+            coo_to_csc(sample).matvec(x), sample.matvec(x), rtol=1e-5
+        )
+
+    def test_col_access(self):
+        coo = COOMatrix.from_entries(
+            (4, 3), [(0, 1, 2.0), (3, 1, 4.0), (2, 0, 1.0)]
+        )
+        csc = coo_to_csc(coo)
+        rows, values = csc.col(1)
+        assert rows.tolist() == [0, 3]
+        assert values.tolist() == [2.0, 4.0]
+        assert csc.col_lengths().tolist() == [1, 2, 0]
+
+    def test_col_bounds(self, sample):
+        with pytest.raises(ShapeError):
+            coo_to_csc(sample).col(30)
+
+    def test_matvec_shape_check(self, sample):
+        with pytest.raises(ShapeError):
+            coo_to_csc(sample).matvec(np.ones(29))
+
+    def test_validation(self):
+        with pytest.raises(FormatError):
+            CSCMatrix((2, 2), np.array([0, 1]), np.array([0]),
+                      np.array([1.0]))
+        with pytest.raises(FormatError):
+            CSCMatrix((2, 2), np.array([0, 1, 1]), np.array([5]),
+                      np.array([1.0]))
+
+    def test_duplicates_summed(self):
+        coo = COOMatrix.from_entries((2, 2), [(0, 0, 1.0), (0, 0, 2.0)])
+        assert coo_to_csc(coo).nnz == 1
+
+    def test_to_csr_accepts_csc(self, sample):
+        csr = to_csr(coo_to_csc(sample))
+        np.testing.assert_allclose(csr.to_dense(), sample.to_dense(),
+                                   rtol=1e-6)
+
+
+class TestELL:
+    def test_roundtrip(self, sample):
+        ell = csr_to_ell(coo_to_csr(sample))
+        np.testing.assert_allclose(
+            ell_to_coo(ell).to_dense(), sample.to_dense(), rtol=1e-6
+        )
+
+    def test_width_is_longest_row(self):
+        coo = COOMatrix.from_entries(
+            (3, 5), [(0, 0, 1.0), (1, 0, 1.0), (1, 1, 1.0), (1, 2, 1.0)]
+        )
+        ell = csr_to_ell(coo_to_csr(coo))
+        assert ell.width == 3
+        assert ell.nnz == 4
+
+    def test_padding_fraction(self):
+        coo = COOMatrix.from_entries(
+            (2, 4), [(0, 0, 1.0), (0, 1, 1.0), (0, 2, 1.0), (0, 3, 1.0),
+                     (1, 0, 1.0)]
+        )
+        ell = csr_to_ell(coo_to_csr(coo))
+        # widths: row0=4, row1=1 → 8 slots, 5 filled.
+        assert ell.padding_fraction == pytest.approx(3 / 8)
+
+    def test_padding_grows_with_imbalance(self):
+        uniform = generators.uniform_random(100, 100, 800, seed=62)
+        skewed = generators.power_law_rows(100, 100, 800, alpha=1.8,
+                                           seed=62)
+        pad_uniform = csr_to_ell(coo_to_csr(uniform)).padding_fraction
+        pad_skewed = csr_to_ell(coo_to_csr(skewed)).padding_fraction
+        assert pad_skewed > pad_uniform
+
+    def test_matvec_matches(self, sample):
+        ell = csr_to_ell(coo_to_csr(sample))
+        x = np.random.default_rng(1).normal(size=30)
+        np.testing.assert_allclose(ell.matvec(x), sample.matvec(x),
+                                   rtol=1e-5)
+
+    def test_matvec_shape_check(self, sample):
+        with pytest.raises(ShapeError):
+            csr_to_ell(coo_to_csr(sample)).matvec(np.ones(31))
+
+    def test_empty_matrix(self):
+        ell = csr_to_ell(coo_to_csr(COOMatrix.from_entries((3, 3), [])))
+        assert ell.nnz == 0
+        assert np.all(ell.matvec(np.ones(3)) == 0.0)
+
+    def test_validation(self):
+        with pytest.raises(FormatError):
+            ELLMatrix((2, 2), np.array([[0], [5]]),
+                      np.array([[1.0], [1.0]], dtype=np.float32))
+        with pytest.raises(FormatError):
+            ELLMatrix((2, 2), np.array([[-1], [0]]),
+                      np.array([[2.0], [1.0]], dtype=np.float32))
+
+    def test_to_coo_accepts_ell(self, sample):
+        ell = csr_to_ell(coo_to_csr(sample))
+        assert to_coo(ell).nnz == sample.nnz

@@ -1,0 +1,94 @@
+"""CSR matrix behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError, ShapeError
+from repro.formats.convert import coo_to_csr
+from repro.formats.coo import COOMatrix
+from repro.formats.csr import CSRMatrix
+
+
+def make():
+    coo = COOMatrix.from_entries(
+        (3, 4), [(0, 1, 2.0), (0, 3, 4.0), (2, 0, -1.0)]
+    )
+    return coo_to_csr(coo)
+
+
+class TestConstruction:
+    def test_canonical_fields(self):
+        csr = make()
+        assert csr.indptr.tolist() == [0, 2, 2, 3]
+        assert csr.indices.tolist() == [1, 3, 0]
+        assert csr.nnz == 3
+
+    def test_rejects_bad_indptr_length(self):
+        with pytest.raises(FormatError):
+            CSRMatrix((2, 2), np.array([0, 1]), np.array([0]),
+                      np.array([1.0]))
+
+    def test_rejects_decreasing_indptr(self):
+        with pytest.raises(FormatError):
+            CSRMatrix((2, 2), np.array([0, 2, 1]), np.array([0]),
+                      np.array([1.0]))
+
+    def test_rejects_indptr_nnz_mismatch(self):
+        with pytest.raises(FormatError):
+            CSRMatrix((2, 2), np.array([0, 1, 3]), np.array([0]),
+                      np.array([1.0]))
+
+    def test_rejects_column_out_of_bounds(self):
+        with pytest.raises(FormatError):
+            CSRMatrix((1, 2), np.array([0, 1]), np.array([2]),
+                      np.array([1.0]))
+
+
+class TestRowAccess:
+    def test_row_length(self):
+        csr = make()
+        assert csr.row_length(0) == 2
+        assert csr.row_length(1) == 0
+
+    def test_row_contents(self):
+        cols, values = make().row(0)
+        assert cols.tolist() == [1, 3]
+        assert values.tolist() == [2.0, 4.0]
+
+    def test_row_bounds(self):
+        with pytest.raises(ShapeError):
+            make().row(3)
+        with pytest.raises(ShapeError):
+            make().row_length(-1)
+
+    def test_row_lengths(self):
+        assert make().row_lengths().tolist() == [2, 0, 1]
+
+
+class TestNumerics:
+    def test_matvec(self):
+        csr = make()
+        x = np.array([1.0, 2.0, 3.0, 4.0])
+        np.testing.assert_allclose(csr.matvec(x), csr.to_dense() @ x)
+
+    def test_matvec_shape_check(self):
+        with pytest.raises(ShapeError):
+            make().matvec(np.ones(3))
+
+    def test_transpose_roundtrip(self):
+        csr = make()
+        np.testing.assert_allclose(
+            csr.transpose().to_dense(), csr.to_dense().T
+        )
+
+    def test_imbalance(self):
+        csr = make()
+        # row lengths 2,0,1 → mean 1, max 2.
+        assert csr.imbalance() == pytest.approx(2.0)
+
+    def test_empty_row_fraction(self):
+        assert make().empty_row_fraction() == pytest.approx(1 / 3)
+
+    def test_imbalance_of_empty_matrix(self):
+        empty = coo_to_csr(COOMatrix.from_entries((2, 2), []))
+        assert empty.imbalance() == 0.0

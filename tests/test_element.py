@@ -1,0 +1,104 @@
+"""The 64-bit packed stream element (§3.2)."""
+
+import math
+
+import pytest
+
+from repro.errors import FormatError
+from repro.formats.element import (
+    COL_BITS,
+    PE_SRC_BITS,
+    ROW_BITS,
+    PackedElement,
+    pack_element,
+    pack_stream,
+    unpack_element,
+    unpack_stream,
+)
+
+
+class TestFieldLayout:
+    def test_bit_budget_is_64(self):
+        # 32-bit value + 15-bit row + 1-bit pvt + 3-bit PE_src + 13-bit col.
+        assert 32 + ROW_BITS + 1 + PE_SRC_BITS + COL_BITS == 64
+
+    def test_row_window_matches_bits(self):
+        PackedElement(1.0, row=(1 << ROW_BITS) - 1, col=0)
+        with pytest.raises(FormatError):
+            PackedElement(1.0, row=1 << ROW_BITS, col=0)
+
+    def test_col_window_matches_bits(self):
+        PackedElement(1.0, row=0, col=(1 << COL_BITS) - 1)
+        with pytest.raises(FormatError):
+            PackedElement(1.0, row=0, col=1 << COL_BITS)
+
+    def test_pe_src_three_bits(self):
+        PackedElement(1.0, row=0, col=0, pvt=False, pe_src=7)
+        with pytest.raises(FormatError):
+            PackedElement(1.0, row=0, col=0, pvt=False, pe_src=8)
+
+    def test_negative_indices_rejected(self):
+        with pytest.raises(FormatError):
+            PackedElement(1.0, row=-1, col=0)
+        with pytest.raises(FormatError):
+            PackedElement(1.0, row=0, col=-2)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("value", [0.0, 1.0, -3.25, 1e-20, 6.02e23])
+    def test_value_survives(self, value):
+        element = PackedElement(value, row=5, col=9)
+        decoded = unpack_element(pack_element(element))
+        assert decoded.value == pytest.approx(value, rel=1e-6)
+
+    def test_metadata_survives(self):
+        element = PackedElement(2.5, row=31000, col=8000, pvt=False, pe_src=5)
+        decoded = unpack_element(pack_element(element))
+        assert decoded.row == 31000
+        assert decoded.col == 8000
+        assert decoded.pvt is False
+        assert decoded.pe_src == 5
+
+    def test_private_flag_default(self):
+        decoded = unpack_element(pack_element(PackedElement(1.0, 3, 4)))
+        assert decoded.pvt is True
+        assert decoded.is_shared is False
+
+    def test_shared_property(self):
+        shared = PackedElement(1.0, 0, 0, pvt=False, pe_src=2)
+        assert shared.is_shared is True
+
+    def test_nan_value(self):
+        decoded = unpack_element(pack_element(PackedElement(math.nan, 1, 1)))
+        assert math.isnan(decoded.value)
+
+    def test_word_is_64_bits(self):
+        word = pack_element(
+            PackedElement(-1.5e30, row=(1 << ROW_BITS) - 1,
+                          col=(1 << COL_BITS) - 1, pvt=False, pe_src=7)
+        )
+        assert 0 <= word < (1 << 64)
+
+    def test_unpack_rejects_oversized_word(self):
+        with pytest.raises(FormatError):
+            unpack_element(1 << 64)
+
+
+class TestStreams:
+    def test_stream_roundtrip(self):
+        elements = [
+            PackedElement(float(i), row=i, col=2 * i, pvt=i % 2 == 0,
+                          pe_src=i % 8)
+            for i in range(16)
+        ]
+        data = pack_stream(elements)
+        assert len(data) == 16 * 8  # 64 bits each
+        decoded = unpack_stream(data)
+        assert decoded == elements
+
+    def test_stream_rejects_ragged_bytes(self):
+        with pytest.raises(FormatError):
+            unpack_stream(b"\x00" * 9)
+
+    def test_empty_stream(self):
+        assert unpack_stream(pack_stream([])) == []

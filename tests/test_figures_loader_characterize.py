@@ -1,0 +1,176 @@
+"""ASCII figures, the real-dataset loader, and workload characterization."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.characterize import characterize, rank_by_benefit
+from repro.analysis.figures import (
+    render_bar_groups,
+    render_histogram,
+    render_pdf_curves,
+)
+from repro.analysis.stats import gaussian_kde_pdf
+from repro.errors import ConfigError, DatasetError
+from repro.formats.io import save_matrix_market
+from repro.matrices import generators
+from repro.matrices.named import NAMED_MATRICES
+from repro.matrices.suite_loader import dataset_path, load_named
+
+
+class TestFigureRendering:
+    def test_pdf_curves_render(self):
+        rng = np.random.default_rng(0)
+        curves = {
+            "serpens": gaussian_kde_pdf(rng.normal(70, 8, 200)),
+            "chason": gaussian_kde_pdf(rng.normal(30, 8, 200)),
+        }
+        text = render_pdf_curves(curves)
+        assert "S=serpens" in text and "C=chason" in text
+        assert "S" in text and "C" in text
+        # Peaks land on the correct halves of the canvas.
+        for line in text.splitlines():
+            if "C" in line and "=" not in line:
+                first_c = line.index("C")
+                assert first_c < len(line)
+                break
+
+    def test_pdf_curves_validation(self):
+        with pytest.raises(ConfigError):
+            render_pdf_curves({})
+        with pytest.raises(ConfigError):
+            render_pdf_curves(
+                {"x": gaussian_kde_pdf([50.0] * 5)}, width=4
+            )
+
+    def test_histogram_counts(self):
+        text = render_histogram([10.0] * 3 + [90.0], bins=10,
+                                label="demo")
+        assert text.startswith("demo")
+        assert " 3" in text and " 1" in text
+
+    def test_histogram_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            render_histogram([])
+
+    def test_bar_groups(self):
+        text = render_bar_groups(
+            [("DY", 4.5), ("RE", 2.0)], reference=1.0
+        )
+        assert "DY" in text and "4.50x" in text
+        assert "|" in text  # reference marker
+
+    def test_bar_groups_validation(self):
+        with pytest.raises(ConfigError):
+            render_bar_groups([])
+        with pytest.raises(ConfigError):
+            render_bar_groups([("x", 0.0)])
+
+
+class TestSuiteLoader:
+    def test_synthetic_fallback(self, tmp_path):
+        matrix, source = load_named("CollegeMsg", data_dir=tmp_path)
+        assert source == "synthetic"
+        assert matrix.nnz == NAMED_MATRICES["CollegeMsg"].nnz
+
+    def test_real_matrixmarket_preferred(self, tmp_path):
+        real = generators.uniform_random(50, 50, 120, seed=9)
+        save_matrix_market(real, tmp_path / "CollegeMsg.mtx")
+        matrix, source = load_named("CollegeMsg", data_dir=tmp_path)
+        assert source == "real"
+        assert matrix.shape == (50, 50)
+        assert matrix.nnz == 120
+
+    def test_real_snap_edgelist(self, tmp_path):
+        (tmp_path / "wiki-Vote.txt").write_text("# c\n0 1\n1 2\n1 2\n")
+        matrix, source = load_named("wiki-Vote", data_dir=tmp_path)
+        assert source == "real"
+        # duplicates summed by normalisation
+        assert matrix.nnz == 2
+        assert matrix.to_dense()[1, 2] == pytest.approx(2.0)
+
+    def test_env_var_directory(self, tmp_path, monkeypatch):
+        real = generators.diagonal(8, seed=1)
+        save_matrix_market(real, tmp_path / "as-735.mtx")
+        monkeypatch.setenv("REPRO_DATA_DIR", str(tmp_path))
+        matrix, source = load_named("as-735")
+        assert source == "real"
+        assert matrix.nnz == 8
+
+    def test_unknown_name(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_named("unknown", data_dir=tmp_path)
+
+    def test_dataset_path_suffix_priority(self, tmp_path):
+        (tmp_path / "c52.mtx").write_text("x")
+        (tmp_path / "c52.txt").write_text("x")
+        assert dataset_path("c52", tmp_path).suffix == ".mtx"
+        assert dataset_path("missing", tmp_path) is None
+
+
+class TestCharacterize:
+    def test_fields_populated(self):
+        matrix = generators.chung_lu_graph(800, 8000, alpha=2.1, seed=3)
+        character = characterize(matrix)
+        assert character.nnz == matrix.nnz
+        assert character.row_cv > 0
+        assert 0 <= character.gini <= 1
+        assert (
+            0
+            <= character.predicted_chason_underutilization
+            <= character.predicted_serpens_underutilization
+            <= 100
+        )
+
+    def test_graphs_predicted_to_benefit(self):
+        graph = generators.chung_lu_graph(800, 8000, alpha=2.1, seed=4)
+        assert characterize(graph).migration_worthwhile
+
+    def test_balanced_predicted_low_benefit(self):
+        banded = generators.banded(512, 512, bandwidth=3, fill=1.0, seed=5)
+        character = characterize(banded)
+        assert (
+            character.predicted_serpens_underutilization
+            < characterize(
+                generators.chung_lu_graph(800, 8000, alpha=2.1, seed=4)
+            ).predicted_serpens_underutilization
+        )
+
+    def test_ranking_matches_measured_extremes(self, paper_chason,
+                                               paper_serpens):
+        """The predictor's *ranking* agrees with measured schedules on
+        clearly separated workloads."""
+        from repro.scheduling import schedule_crhcs, schedule_pe_aware
+
+        workloads = [
+            ("banded", generators.banded(1024, 1024, 3, fill=1.0, seed=6)),
+            ("uniform", generators.uniform_random(1000, 1000, 5000,
+                                                  seed=6)),
+            ("graph", generators.chung_lu_graph(1000, 10000, alpha=2.1,
+                                                seed=6)),
+        ]
+        predicted = {
+            name: character.predicted_improvement
+            for name, character in rank_by_benefit(workloads)
+        }
+        measured = {}
+        for name, matrix in workloads:
+            serpens = schedule_pe_aware(matrix, paper_serpens)
+            chason = schedule_crhcs(matrix, paper_chason)
+            measured[name] = 100 * (
+                serpens.underutilization - chason.underutilization
+            )
+        # The banded workload benefits least in both rankings.
+        assert min(predicted, key=predicted.get) == "banded"
+        assert min(measured, key=measured.get) == "banded"
+        # The graph workload is ranked beneficial by both.
+        assert predicted["graph"] > predicted["banded"]
+        assert measured["graph"] > measured["banded"]
+
+    def test_rank_order(self):
+        workloads = [
+            ("banded", generators.banded(512, 512, 3, fill=1.0, seed=7)),
+            ("graph", generators.chung_lu_graph(800, 8000, alpha=2.1,
+                                                seed=7)),
+        ]
+        ranked = rank_by_benefit(workloads)
+        assert ranked[0][0] == "graph"

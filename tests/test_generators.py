@@ -1,0 +1,115 @@
+"""Matrix generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.matrices import generators
+from repro.matrices.stats import matrix_stats
+
+
+class TestUniform:
+    def test_exact_nnz(self):
+        matrix = generators.uniform_random(100, 100, 500, seed=1)
+        assert matrix.nnz == 500
+
+    def test_deterministic(self):
+        a = generators.uniform_random(50, 50, 200, seed=9)
+        b = generators.uniform_random(50, 50, 200, seed=9)
+        np.testing.assert_array_equal(a.rows, b.rows)
+        np.testing.assert_array_equal(a.cols, b.cols)
+        np.testing.assert_array_equal(a.values, b.values)
+
+    def test_different_seeds_differ(self):
+        a = generators.uniform_random(50, 50, 200, seed=1)
+        b = generators.uniform_random(50, 50, 200, seed=2)
+        assert not np.array_equal(a.rows, b.rows)
+
+    def test_no_zero_values(self):
+        matrix = generators.uniform_random(60, 60, 600, seed=4)
+        assert np.all(np.abs(matrix.values) >= 1e-3)
+
+    def test_unique_coordinates(self):
+        matrix = generators.uniform_random(40, 40, 800, seed=3)
+        keys = matrix.rows * 40 + matrix.cols
+        assert len(np.unique(keys)) == matrix.nnz
+
+    def test_rejects_overfull(self):
+        with pytest.raises(DatasetError):
+            generators.uniform_random(3, 3, 10, seed=0)
+
+
+class TestPowerLaw:
+    def test_row_skew(self):
+        matrix = generators.power_law_rows(500, 500, 4000, alpha=1.8, seed=2)
+        stats = matrix_stats(matrix)
+        assert stats.imbalance > 4  # hub rows dominate
+
+    def test_max_row_cap(self):
+        matrix = generators.power_law_rows(
+            500, 500, 4000, alpha=1.4, max_row_nnz=30, seed=2
+        )
+        # The cap clips the expected share; allow sampling slack.
+        assert matrix.row_lengths().max() <= 60
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(DatasetError):
+            generators.power_law_rows(10, 10, 5, alpha=0.0)
+
+
+class TestGraphs:
+    def test_chung_lu_square(self):
+        matrix = generators.chung_lu_graph(300, 2000, alpha=2.1, seed=5)
+        assert matrix.shape == (300, 300)
+        assert matrix.nnz == 2000
+
+    def test_chung_lu_rejects_alpha_below_one(self):
+        with pytest.raises(DatasetError):
+            generators.chung_lu_graph(100, 200, alpha=1.0)
+
+    def test_rmat_dimensions(self):
+        matrix = generators.kronecker_rmat(8, 1500, seed=6)
+        assert matrix.shape == (256, 256)
+        assert matrix.nnz == 1500
+
+    def test_rmat_rejects_bad_probabilities(self):
+        with pytest.raises(DatasetError):
+            generators.kronecker_rmat(4, 10, probabilities=(1, 1, 1, 1))
+
+    def test_rmat_skewed_quadrants(self):
+        matrix = generators.kronecker_rmat(9, 4000, seed=7)
+        # The default (0.57,0.19,0.19,0.05) parameters concentrate mass in
+        # the top-left quadrant.
+        top_left = np.sum((matrix.rows < 256) & (matrix.cols < 256))
+        assert top_left > matrix.nnz * 0.35
+
+
+class TestStructured:
+    def test_banded_within_band(self):
+        matrix = generators.banded(50, 50, bandwidth=2, seed=1)
+        assert np.all(np.abs(matrix.rows - matrix.cols) <= 2)
+
+    def test_banded_full_fill_count(self):
+        matrix = generators.banded(10, 10, bandwidth=1, fill=1.0, seed=1)
+        assert matrix.nnz == 10 + 9 + 9
+
+    def test_banded_rejects_bad_fill(self):
+        with pytest.raises(DatasetError):
+            generators.banded(10, 10, 1, fill=0.0)
+
+    def test_block_diagonal_confined(self):
+        matrix = generators.block_diagonal(4, 8, block_fill=0.5, seed=2)
+        assert matrix.shape == (32, 32)
+        assert np.all(matrix.rows // 8 == matrix.cols // 8)
+
+    def test_block_diagonal_skew_increases_imbalance(self):
+        flat = generators.block_diagonal(6, 32, 0.2, row_skew=0.0, seed=3)
+        skewed = generators.block_diagonal(6, 32, 0.2, row_skew=1.5, seed=3)
+        assert (
+            matrix_stats(skewed).imbalance > matrix_stats(flat).imbalance
+        )
+
+    def test_diagonal(self):
+        matrix = generators.diagonal(7, seed=0)
+        assert matrix.nnz == 7
+        assert np.all(matrix.rows == matrix.cols)

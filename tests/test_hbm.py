@@ -1,0 +1,134 @@
+"""HBM channel/stack/stream/timing models."""
+
+import pytest
+
+from repro.config import HBMConfig
+from repro.errors import CapacityError, ConfigError, FormatError
+from repro.formats.element import PackedElement
+from repro.hbm.channel import ChannelBuffer, ChannelWord
+from repro.hbm.stack import HBMStack
+from repro.hbm.stream import build_channel_words, stream_traffic_bytes
+from repro.hbm.timing import estimate_transfer
+
+
+def word_with(count):
+    slots = [None] * 8
+    for i in range(count):
+        slots[i] = PackedElement(1.0, row=i, col=i)
+    return ChannelWord(slots=tuple(slots))
+
+
+class TestChannelWord:
+    def test_exactly_eight_slots(self):
+        with pytest.raises(FormatError):
+            ChannelWord(slots=(None,) * 7)
+
+    def test_stall_accounting(self):
+        word = word_with(3)
+        assert word.element_count == 3
+        assert word.stall_count == 5
+
+    def test_element_for_pe(self):
+        word = word_with(2)
+        assert word.element_for_pe(1).row == 1
+        assert word.element_for_pe(5) is None
+        with pytest.raises(FormatError):
+            word.element_for_pe(8)
+
+
+class TestChannelBuffer:
+    def test_streaming_order(self):
+        buffer = ChannelBuffer(0)
+        buffer.extend([word_with(1), word_with(2)])
+        assert buffer.pop().element_count == 1
+        assert buffer.pop().element_count == 2
+        assert buffer.pop() is None
+        assert buffer.exhausted
+
+    def test_reset_stream(self):
+        buffer = ChannelBuffer(0)
+        buffer.push(word_with(1))
+        buffer.pop()
+        buffer.reset_stream()
+        assert not buffer.exhausted
+
+    def test_capacity_limit(self):
+        buffer = ChannelBuffer(0, capacity_words=1)
+        buffer.push(word_with(0))
+        with pytest.raises(CapacityError):
+            buffer.push(word_with(0))
+
+    def test_accounting(self):
+        buffer = ChannelBuffer(0)
+        buffer.extend([word_with(8), word_with(4)])
+        assert buffer.element_count == 12
+        assert buffer.stall_count == 4
+        assert buffer.traffic_bytes == 2 * 64
+
+    def test_rejects_negative_id(self):
+        with pytest.raises(FormatError):
+            ChannelBuffer(-1)
+
+
+class TestHBMStack:
+    def test_allocation(self):
+        stack = HBMStack(HBMConfig(), used_channels=19)
+        assert len(stack) == 19
+        assert stack.bandwidth_gbps() == pytest.approx(19 * 14.37)
+
+    def test_rejects_overallocation(self):
+        with pytest.raises(ConfigError):
+            HBMStack(HBMConfig(total_channels=4), used_channels=5)
+
+    def test_lockstep_stream_cycles(self):
+        stack = HBMStack(HBMConfig(), used_channels=2)
+        stack[0].extend([word_with(8)] * 3)
+        stack[1].extend([word_with(8)] * 5)
+        assert stack.stream_cycles == 5
+        assert stack.total_words == 8
+
+    def test_aggregate_stats(self):
+        stack = HBMStack(HBMConfig(), used_channels=2)
+        stack[0].push(word_with(6))
+        stack[1].push(word_with(2))
+        assert stack.total_elements == 8
+        assert stack.total_stalls == 8
+        assert stack.total_traffic_bytes == 128
+
+    def test_reset_streams(self):
+        stack = HBMStack(HBMConfig(), used_channels=1)
+        stack[0].push(word_with(1))
+        stack[0].pop()
+        assert stack.exhausted
+        stack.reset_streams()
+        assert not stack.exhausted
+
+
+class TestStreamHelpers:
+    def test_build_channel_words(self):
+        element = PackedElement(1.0, 0, 0)
+        words = build_channel_words([[element] + [None] * 7])
+        assert len(words) == 1
+        assert words[0].element_count == 1
+
+    def test_build_rejects_ragged(self):
+        with pytest.raises(FormatError):
+            build_channel_words([[None] * 7])
+
+    def test_traffic_bytes(self):
+        assert stream_traffic_bytes([10, 10], dense_vector_bytes=100) == (
+            20 * 64 + 100
+        )
+
+
+class TestTiming:
+    def test_transfer_estimate(self):
+        estimate = estimate_transfer(64_000_000, 64.0)
+        assert estimate.seconds == pytest.approx(1e-3)
+        assert estimate.milliseconds == pytest.approx(1.0)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ConfigError):
+            estimate_transfer(-1, 10.0)
+        with pytest.raises(ConfigError):
+            estimate_transfer(10, 0.0)

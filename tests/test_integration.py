@@ -1,0 +1,110 @@
+"""End-to-end integration tests across the whole stack."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ChasonAccelerator,
+    SerpensAccelerator,
+    generate_named,
+    geometric_mean,
+    reference_spmv,
+)
+from repro.analysis.experiments import compare_on_named
+from repro.config import ChasonConfig, SerpensConfig
+from repro.matrices import generators
+
+
+class TestPaperConfigEndToEnd:
+    """Full-size (16x8) configurations on small real-shaped matrices."""
+
+    def test_graph_matrix_full_flow(self):
+        matrix = generators.chung_lu_graph(2000, 15000, alpha=2.1, seed=41)
+        x = np.random.default_rng(41).normal(size=2000).astype(np.float32)
+        reference = reference_spmv(matrix, x)
+
+        chason = ChasonAccelerator()
+        serpens = SerpensAccelerator()
+        chason_exec, chason_report = chason.run(matrix, x)
+        serpens_exec, serpens_report = serpens.run(matrix, x)
+
+        assert chason_exec.verify(reference)
+        assert serpens_exec.verify(reference)
+        # The headline claims, in shape:
+        assert chason_report.latency_ms < serpens_report.latency_ms
+        assert (
+            chason_report.underutilization_pct
+            < serpens_report.underutilization_pct
+        )
+        assert chason_report.traffic_bytes < serpens_report.traffic_bytes
+        assert (
+            chason_report.energy_efficiency
+            > serpens_report.energy_efficiency
+        )
+
+    def test_multiwindow_matrix_full_flow(self):
+        # Spans several column windows (8192) and one row window.
+        matrix = generators.power_law_rows(
+            20000, 20000, 60000, alpha=1.7, seed=43
+        )
+        x = np.random.default_rng(43).normal(size=20000).astype(np.float32)
+        chason_exec, _ = ChasonAccelerator().run(matrix, x)
+        assert chason_exec.verify(reference_spmv(matrix, x))
+
+    def test_iterative_solver_style_loop(self):
+        # Three chained SpMVs (power iteration) stay correct.
+        matrix = generators.uniform_random(1500, 1500, 12000, seed=44)
+        chason = ChasonAccelerator()
+        schedule = chason.schedule(matrix)
+        x = np.ones(1500, dtype=np.float32)
+        reference = x.astype(np.float64)
+        for _ in range(3):
+            execution, _ = chason.run(matrix, x, schedule=schedule)
+            reference = reference_spmv(matrix, reference)
+            assert execution.verify(reference, rtol=1e-3)
+            norm = np.max(np.abs(execution.y)) or 1.0
+            x = (execution.y / norm).astype(np.float32)
+            reference = reference / norm
+
+
+class TestNamedMatrixShape:
+    def test_named_comparison_matches_paper_direction(self):
+        results = compare_on_named(names=["CollegeMsg", "as-735",
+                                          "wb-cs-stanford"])
+        speedups = [r.speedup for r in results]
+        reductions = [r.transfer_reduction for r in results]
+        # Fig. 15: every SNAP matrix shows a speedup and a multi-x
+        # transfer reduction.
+        assert all(s > 1.5 for s in speedups)
+        assert all(r > 1.5 for r in reductions)
+        assert geometric_mean(speedups) > 2.0
+
+
+class TestScaledConfigurations:
+    """The architecture generalises beyond the published sizes."""
+
+    @pytest.mark.parametrize("channels,pes", [(2, 2), (8, 4), (16, 8)])
+    def test_functional_across_sizes(self, channels, pes):
+        chason = ChasonAccelerator(
+            ChasonConfig(
+                sparse_channels=channels,
+                pes_per_channel=pes,
+                scug_size=min(4, pes),
+                column_window=128,
+                row_window=512,
+            )
+        )
+        matrix = generators.uniform_random(300, 300, 2500, seed=45)
+        x = np.random.default_rng(45).normal(size=300).astype(np.float32)
+        execution, _ = chason.run(matrix, x)
+        assert execution.verify(reference_spmv(matrix, x))
+
+    def test_more_channels_means_fewer_cycles(self):
+        matrix = generators.uniform_random(4000, 4000, 40000, seed=46)
+        narrow = ChasonAccelerator(
+            ChasonConfig(sparse_channels=4)
+        ).analyze(matrix)
+        wide = ChasonAccelerator(
+            ChasonConfig(sparse_channels=16)
+        ).analyze(matrix)
+        assert wide.stream_cycles < narrow.stream_cycles

@@ -1,0 +1,45 @@
+"""Matrix statistics."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.formats.coo import COOMatrix
+from repro.matrices import generators
+from repro.matrices.stats import matrix_stats
+
+
+class TestMatrixStats:
+    def test_basic_fields(self):
+        matrix = generators.diagonal(10, seed=0)
+        stats = matrix_stats(matrix)
+        assert stats.nnz == 10
+        assert stats.row_mean == pytest.approx(1.0)
+        assert stats.row_max == 1
+        assert stats.imbalance == pytest.approx(1.0)
+        assert stats.empty_row_fraction == 0.0
+
+    def test_gini_balanced_is_zero(self):
+        stats = matrix_stats(generators.diagonal(20, seed=1))
+        assert stats.gini == pytest.approx(0.0, abs=1e-9)
+
+    def test_gini_increases_with_skew(self):
+        uniform = generators.uniform_random(200, 200, 2000, seed=2)
+        skewed = generators.power_law_rows(200, 200, 2000, alpha=1.8, seed=2)
+        assert matrix_stats(skewed).gini > matrix_stats(uniform).gini
+
+    def test_empty_matrix(self):
+        stats = matrix_stats(COOMatrix.from_entries((5, 5), []))
+        assert stats.nnz == 0
+        assert stats.gini == 0.0
+        assert stats.row_max == 0
+
+    def test_as_row_format(self):
+        text = matrix_stats(generators.diagonal(10, seed=0)).as_row()
+        assert "nnz=10" in text
+        assert "10x10" in text
+
+    def test_accepts_csr(self):
+        from repro.formats.convert import coo_to_csr
+
+        coo = generators.uniform_random(30, 30, 100, seed=4)
+        assert matrix_stats(coo_to_csr(coo)).nnz == matrix_stats(coo).nnz

@@ -1,0 +1,112 @@
+"""Table 2 named matrices and the 800-matrix corpus."""
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.matrices.collection import (
+    CORPUS_SIZE,
+    corpus_specs,
+    generate_corpus,
+)
+from repro.matrices.named import (
+    NAMED_MATRICES,
+    generate_named,
+    named_specs,
+)
+
+
+class TestNamedSpecs:
+    def test_twenty_matrices(self):
+        assert len(named_specs()) == 20
+
+    def test_collections_split_ten_ten(self):
+        assert len(named_specs("SuiteSparse")) == 10
+        assert len(named_specs("SNAP")) == 10
+
+    def test_unknown_collection(self):
+        with pytest.raises(DatasetError):
+            named_specs("GraphChallenge")
+
+    def test_table2_nnz_values(self):
+        # Spot-check Table 2 rows.
+        assert NAMED_MATRICES["wiki-Vote"].nnz == 103689
+        assert NAMED_MATRICES["mycielskian12"].nnz == 407200
+        assert NAMED_MATRICES["trans5"].nnz == 749800
+        assert NAMED_MATRICES["CollegeMsg"].density_pct == pytest.approx(0.562)
+
+    def test_dimension_consistent_with_density(self):
+        for spec in named_specs():
+            implied = spec.nnz / (spec.dimension**2)
+            assert implied == pytest.approx(spec.density, rel=0.05)
+
+
+class TestGenerateNamed:
+    @pytest.mark.parametrize(
+        "name", ["CollegeMsg", "as-735", "c52", "dynamicSoaringProblem_8"]
+    )
+    def test_exact_nnz(self, name):
+        matrix = generate_named(name)
+        assert matrix.nnz == NAMED_MATRICES[name].nnz
+
+    def test_density_close_to_table2(self):
+        matrix = generate_named("wiki-Vote")
+        spec = NAMED_MATRICES["wiki-Vote"]
+        assert matrix.density == pytest.approx(spec.density, rel=0.15)
+
+    def test_deterministic(self):
+        a = generate_named("CollegeMsg")
+        b = generate_named("CollegeMsg")
+        assert (a.rows == b.rows).all()
+        assert (a.values == b.values).all()
+
+    def test_seed_override_changes_pattern(self):
+        a = generate_named("CollegeMsg")
+        b = generate_named("CollegeMsg", seed=42)
+        assert not (a.rows == b.rows).all()
+
+    def test_unknown_name(self):
+        with pytest.raises(DatasetError):
+            generate_named("not-a-matrix")
+
+
+class TestCorpus:
+    def test_spec_count(self):
+        assert len(corpus_specs()) == CORPUS_SIZE
+
+    def test_prefix_is_stable(self):
+        first = corpus_specs(count=10)
+        again = corpus_specs(count=10)
+        assert first == again
+        assert corpus_specs(count=50)[:10] == first
+
+    def test_count_bounds(self):
+        with pytest.raises(DatasetError):
+            corpus_specs(count=0)
+        with pytest.raises(DatasetError):
+            corpus_specs(count=CORPUS_SIZE + 1)
+
+    def test_density_range(self):
+        for spec in corpus_specs(count=100):
+            assert 1e-7 < spec.density <= 0.2
+
+    def test_nnz_cap_preserves_density(self):
+        uncapped = corpus_specs(count=50)
+        capped = corpus_specs(count=50, nnz_cap=5000)
+        for a, b in zip(uncapped, capped):
+            assert b.nnz <= max(5000, 64 * 64)
+            if a.nnz > 5000 and b.n_rows > 64:
+                assert b.density == pytest.approx(a.density, rel=0.6)
+
+    def test_generate_corpus_members(self):
+        matrices = list(generate_corpus(count=5, nnz_cap=2000))
+        assert len(matrices) == 5
+        for spec, matrix in zip(corpus_specs(5, 2000), matrices):
+            assert matrix.shape == (spec.n_rows, spec.n_cols)
+            # generators may fall slightly short on dense corner cases but
+            # never exceed the spec
+            assert matrix.nnz <= spec.nnz
+
+    def test_families_all_present(self):
+        families = {spec.family for spec in corpus_specs()}
+        assert families == {"graph", "power_law", "uniform", "banded",
+                            "block"}

@@ -1,0 +1,142 @@
+"""PDE operators and result export."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import (
+    compare_on_corpus,
+    compare_on_named,
+    gpu_cpu_comparison,
+)
+from repro.analysis.export import (
+    baseline_records,
+    comparison_records,
+    corpus_records,
+    read_json,
+    write_csv,
+    write_json,
+)
+from repro.errors import ConfigError, ShapeError
+from repro.matrices.operators import (
+    convection_diffusion_1d,
+    laplacian_1d,
+    laplacian_2d,
+)
+
+
+class TestOperators:
+    def test_laplacian_1d_structure(self):
+        matrix = laplacian_1d(5)
+        dense = matrix.to_dense()
+        assert np.all(np.diag(dense) == 2.0)
+        assert np.all(np.diag(dense, 1) == -1.0)
+        assert np.all(np.diag(dense, -1) == -1.0)
+        assert matrix.nnz == 5 + 2 * 4
+
+    def test_laplacian_1d_spd(self):
+        dense = laplacian_1d(16).to_dense()
+        np.testing.assert_allclose(dense, dense.T)
+        assert np.min(np.linalg.eigvalsh(dense)) > 0
+
+    def test_laplacian_1d_single_point(self):
+        assert laplacian_1d(1).nnz == 1
+
+    def test_laplacian_2d_row_sums(self):
+        # Interior rows sum to 0; boundary rows are positive.
+        dense = laplacian_2d(4).to_dense()
+        sums = dense.sum(axis=1)
+        interior = 1 * 4 + 1  # node (1,1)
+        assert sums[interior] == pytest.approx(0.0)
+        assert sums[0] > 0
+
+    def test_laplacian_2d_spd(self):
+        dense = laplacian_2d(5).to_dense()
+        np.testing.assert_allclose(dense, dense.T)
+        assert np.min(np.linalg.eigvalsh(dense)) > 0
+
+    def test_convection_diffusion_nonsymmetric(self):
+        dense = convection_diffusion_1d(8, peclet=0.5).to_dense()
+        assert not np.allclose(dense, dense.T)
+        # Diagonally dominant.
+        for i in range(8):
+            off = np.sum(np.abs(dense[i])) - abs(dense[i, i])
+            assert abs(dense[i, i]) >= off
+
+    def test_convection_diffusion_reduces_to_laplacian(self):
+        np.testing.assert_allclose(
+            convection_diffusion_1d(6, peclet=0.0).to_dense(),
+            laplacian_1d(6).to_dense(),
+        )
+
+    def test_validation(self):
+        with pytest.raises(ShapeError):
+            laplacian_1d(0)
+        with pytest.raises(ShapeError):
+            laplacian_2d(-1)
+        with pytest.raises(ShapeError):
+            convection_diffusion_1d(4, peclet=1.5)
+
+    def test_solver_integration(self, small_chason):
+        from repro.core.chason import ChasonAccelerator
+        from repro.solvers import conjugate_gradient
+
+        matrix = laplacian_1d(64)
+        b = matrix.matvec(np.ones(64))
+        result = conjugate_gradient(
+            ChasonAccelerator(small_chason), matrix, b, tolerance=1e-5
+        )
+        assert result.converged
+
+
+class TestExport:
+    @pytest.fixture(scope="class")
+    def named(self):
+        return compare_on_named(names=["CollegeMsg", "as-735"])
+
+    def test_comparison_records(self, named):
+        records = comparison_records(named)
+        assert len(records) == 2
+        assert records[0]["id"] == "CM"
+        assert records[0]["speedup"] > 1
+
+    def test_json_roundtrip(self, named, tmp_path):
+        path = write_json(comparison_records(named), tmp_path / "r.json")
+        loaded = read_json(path)
+        assert loaded[1]["name"] == "as-735"
+
+    def test_csv_export(self, named, tmp_path):
+        path = write_csv(comparison_records(named), tmp_path / "r.csv")
+        with open(path) as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 2
+        assert float(rows[0]["speedup"]) > 1
+
+    def test_csv_rejects_empty(self, tmp_path):
+        with pytest.raises(ConfigError):
+            write_csv([], tmp_path / "empty.csv")
+
+    def test_corpus_records(self):
+        result = compare_on_corpus(count=3, nnz_cap=2000)
+        records = corpus_records(result)
+        assert len(records) == 3
+        assert all(
+            r["chason_underutilization_pct"]
+            <= r["serpens_underutilization_pct"] + 1e-9
+            for r in records
+        )
+
+    def test_baseline_records(self):
+        rows = gpu_cpu_comparison(count=2, nnz_cap=2000)
+        records = baseline_records(rows)
+        assert len(records) == 6
+        assert {r["baseline"] for r in records} == {
+            "rtx4090", "rtxa6000", "i9"
+        }
+
+    def test_write_json_accepts_dataclass(self, tmp_path):
+        result = compare_on_corpus(count=2, nnz_cap=2000)
+        path = write_json(result, tmp_path / "corpus.json")
+        loaded = read_json(path)
+        assert loaded["count"] == 2

@@ -1,0 +1,157 @@
+"""PE-aware (round-robin window) scheduling — the Serpens baseline."""
+
+import numpy as np
+import pytest
+
+from repro.formats.coo import COOMatrix
+from repro.matrices import generators
+from repro.scheduling.pe_aware import (
+    group_rows_by_pe,
+    schedule_pe_aware,
+    schedule_single_pe_round_robin,
+)
+from repro.scheduling.window import tile_matrix
+
+
+def rows_fixture(counts):
+    """Build a RowGroup list: row id i*stride with counts[i] elements."""
+    rows = []
+    base = 0
+    for i, count in enumerate(counts):
+        rows.append((i, np.arange(base, base + count)))
+        base += count
+    return rows
+
+
+class TestSinglePERoundRobin:
+    def test_fig2b_interleave(self):
+        # Two rows of 3 elements each, distance 10, rows at positions 0, 1
+        # (row ids 0 and 1 with total_pes=1): lanes 0 and 1 of one window.
+        rows = [(0, np.array([0, 1, 2])), (1, np.array([3, 4, 5]))]
+        cycles, elements, length = schedule_single_pe_round_robin(
+            rows, distance=10, total_pes=1
+        )
+        assert length == 30  # 3 rotations x 10 lanes
+        # Row 0 occupies lane 0 of each rotation: cycles 0, 10, 20.
+        assert cycles[:3] == [0, 10, 20]
+        # Row 1 occupies lane 1: cycles 1, 11, 21.
+        assert cycles[3:] == [1, 11, 21]
+
+    def test_raw_distance_by_construction(self):
+        rows = rows_fixture([5, 2, 7])
+        cycles, elements, _ = schedule_single_pe_round_robin(
+            rows, distance=10, total_pes=1
+        )
+        by_row = {}
+        for (row, indices) in rows:
+            by_row[row] = [
+                c for c, e in zip(cycles, elements) if e in set(indices)
+            ]
+        for row_cycles in by_row.values():
+            gaps = np.diff(sorted(row_cycles))
+            assert np.all(gaps >= 10)
+
+    def test_window_length_set_by_longest_row(self):
+        rows = rows_fixture([1, 9, 2])
+        _, _, length = schedule_single_pe_round_robin(
+            rows, distance=10, total_pes=1
+        )
+        assert length == 90  # 9 rotations x 10
+
+    def test_stall_count_matches_imbalance(self):
+        rows = rows_fixture([1, 9, 2])
+        cycles, _, length = schedule_single_pe_round_robin(
+            rows, distance=10, total_pes=1
+        )
+        assert length - len(cycles) == 90 - 12
+
+    def test_multiple_windows(self):
+        # 12 rows of 1 element with distance 10: two windows.
+        rows = rows_fixture([1] * 12)
+        cycles, _, length = schedule_single_pe_round_robin(
+            rows, distance=10, total_pes=1
+        )
+        assert length == 20
+        assert len(cycles) == 12
+
+    def test_empty_rows_between_windows_skipped(self):
+        # Rows 0 and 25 (positions 0 and 25): windows 0 and 2; window 1 is
+        # all-empty and contributes no cycles.
+        rows = [(0, np.array([0])), (25, np.array([1]))]
+        _, _, length = schedule_single_pe_round_robin(
+            rows, distance=10, total_pes=1
+        )
+        assert length == 20
+
+    def test_empty_input(self):
+        cycles, elements, length = schedule_single_pe_round_robin(
+            [], distance=10, total_pes=1
+        )
+        assert cycles == [] and elements == [] and length == 0
+
+
+class TestGroupRowsByPe:
+    def test_eq1_grouping(self, small_serpens):
+        matrix = generators.diagonal(32, seed=0)
+        tile = tile_matrix(matrix, small_serpens)[0]
+        groups = group_rows_by_pe(tile, small_serpens)
+        # Row 5 → channel 1, PE 1 (4 channels x 4 PEs).
+        rows_in = [row for row, _ in groups[1][1]]
+        assert 5 in rows_in
+        assert all(row % 16 == 5 for row in rows_in)
+
+    def test_element_order_is_by_column(self, small_serpens):
+        coo = COOMatrix.from_entries(
+            (4, 8), [(0, 5, 1.0), (0, 2, 2.0), (0, 7, 3.0)]
+        )
+        tile = tile_matrix(coo, small_serpens)[0]
+        groups = group_rows_by_pe(tile, small_serpens)
+        row, indices = groups[0][0][0]
+        assert row == 0
+        assert tile.cols[indices].tolist() == [2, 5, 7]
+
+    def test_empty_tile(self, small_serpens):
+        tile = tile_matrix(COOMatrix.from_entries((4, 4), []),
+                           small_serpens)[0]
+        groups = group_rows_by_pe(tile, small_serpens)
+        assert all(not pe for ch in groups for pe in ch)
+
+
+class TestSchedulePeAware:
+    def test_every_nonzero_scheduled_once(self, small_serpens, small_matrix):
+        schedule = schedule_pe_aware(small_matrix, small_serpens)
+        assert schedule.nnz == small_matrix.nnz
+        schedule.validate()
+
+    def test_all_elements_private(self, small_serpens, small_matrix):
+        schedule = schedule_pe_aware(small_matrix, small_serpens)
+        for tile in schedule.tiles:
+            for grid in tile.grids:
+                for _, _, element in grid.iter_elements():
+                    assert element.origin_channel == grid.channel_id
+
+    def test_lists_equalised(self, small_serpens, small_matrix):
+        schedule = schedule_pe_aware(small_matrix, small_serpens)
+        for tile in schedule.tiles:
+            lengths = {len(g) for g in tile.grids}
+            assert len(lengths) == 1
+
+    def test_balanced_diagonal_has_low_stalls(self, small_serpens):
+        # One element per row: every window rotates once, no stalls except
+        # channel equalisation.
+        matrix = generators.diagonal(64, seed=1)
+        schedule = schedule_pe_aware(matrix, small_serpens)
+        assert schedule.underutilization == pytest.approx(0.0)
+
+    def test_imbalance_causes_stalls(self, small_serpens, skewed_matrix):
+        uniform = generators.uniform_random(300, 300, 1500, seed=13)
+        skewed_schedule = schedule_pe_aware(skewed_matrix, small_serpens)
+        uniform_schedule = schedule_pe_aware(uniform, small_serpens)
+        assert (
+            skewed_schedule.underutilization
+            > uniform_schedule.underutilization
+        )
+
+    def test_migrated_count_is_zero(self, small_serpens, small_matrix):
+        schedule = schedule_pe_aware(small_matrix, small_serpens)
+        assert schedule.migrated_count == 0

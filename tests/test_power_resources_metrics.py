@@ -1,0 +1,215 @@
+"""Power models, resource model, and metric definitions."""
+
+import pytest
+
+from repro.config import ChasonConfig, SerpensConfig
+from repro.errors import CapacityError, ConfigError
+from repro.metrics import (
+    bandwidth_efficiency,
+    energy_efficiency,
+    geometric_mean,
+    pe_underutilization_percent,
+    speedup,
+    throughput_gflops,
+)
+from repro.power.devices import DEVICE_POWER, measured_power
+from repro.power.fpga import CHASON_POWER_BREAKDOWN, chason_power_breakdown
+from repro.resources.model import (
+    ALVEO_U55C,
+    chason_resources,
+    resources_for,
+    serpens_resources,
+    uram_count,
+)
+
+
+class TestFpgaPower:
+    def test_published_total(self):
+        # Fig. 10: 48.715 W estimated total.
+        assert CHASON_POWER_BREAKDOWN.total == pytest.approx(48.715,
+                                                             abs=0.15)
+
+    def test_hbm_dominates(self):
+        fractions = CHASON_POWER_BREAKDOWN.fractions()
+        assert fractions["hbm"] == max(fractions.values())
+        assert fractions["hbm"] == pytest.approx(0.39, abs=0.03)
+
+    def test_logic_is_eight_percent(self):
+        assert CHASON_POWER_BREAKDOWN.fractions()["logic"] == pytest.approx(
+            0.08, abs=0.03
+        )
+
+    def test_default_config_returns_published(self):
+        assert chason_power_breakdown().total == pytest.approx(
+            CHASON_POWER_BREAKDOWN.total
+        )
+
+    def test_scaling_with_channels(self):
+        smaller = chason_power_breakdown(
+            ChasonConfig(sparse_channels=8, migration_span=1)
+        )
+        assert smaller.hbm < CHASON_POWER_BREAKDOWN.hbm
+        assert smaller.static == CHASON_POWER_BREAKDOWN.static
+
+    def test_requires_chason_config(self):
+        with pytest.raises(ConfigError):
+            chason_power_breakdown(SerpensConfig())
+
+    def test_dynamic_power(self):
+        assert CHASON_POWER_BREAKDOWN.dynamic == pytest.approx(
+            CHASON_POWER_BREAKDOWN.total - 12.845
+        )
+
+
+class TestDevicePower:
+    def test_published_values(self):
+        assert measured_power("chason") == 39.0
+        assert measured_power("serpens") == 36.0
+        assert measured_power("rtx4090") == 70.0
+        assert measured_power("rtxa6000") == 65.0
+        assert measured_power("i9") == 132.0
+
+    def test_unknown_device(self):
+        with pytest.raises(ConfigError):
+            measured_power("tpu")
+
+    def test_all_devices_have_measurement_source(self):
+        for device in DEVICE_POWER.values():
+            assert device.measurement
+
+
+class TestResources:
+    def test_table1_serpens(self):
+        report = serpens_resources()
+        assert report.luts == pytest.approx(219_000, rel=0.01)
+        assert report.ffs == 252_000
+        assert report.dsps == 798
+        assert report.bram18k == 1024
+        assert report.urams == 384
+
+    def test_table1_chason(self):
+        report = chason_resources()
+        assert report.luts == pytest.approx(346_000, rel=0.01)
+        assert report.ffs == 418_000
+        assert report.dsps == 1254
+        assert report.bram18k == 1024
+        assert report.urams == 512
+
+    def test_utilization_percentages(self):
+        util = chason_resources().utilization()
+        assert util["URAM"] == pytest.approx(0.533, abs=0.01)
+        assert util["LUT"] == pytest.approx(0.26, abs=0.02)
+
+    def test_ideal_scug_exceeds_device(self):
+        # §4.5: ScUG of 8 needs 1024 URAMs > 960 available.
+        ideal = chason_resources(ChasonConfig(scug_size=8))
+        assert ideal.urams == 1024
+        with pytest.raises(CapacityError):
+            ideal.check_fits()
+
+    def test_minimum_scug_floor(self):
+        assert uram_count(16, 8, 2) == 256
+        with pytest.raises(ConfigError):
+            uram_count(16, 8, 1)
+
+    def test_deployed_design_fits(self):
+        chason_resources().check_fits()
+        serpens_resources().check_fits()
+
+    def test_dispatch(self):
+        assert resources_for(ChasonConfig()).design == "chason"
+        assert resources_for(SerpensConfig()).design == "serpens"
+        with pytest.raises(ConfigError):
+            resources_for(object())
+
+
+class TestMetrics:
+    def test_eq4(self):
+        assert pe_underutilization_percent(30, 70) == pytest.approx(30.0)
+        assert pe_underutilization_percent(0, 0) == 0.0
+        with pytest.raises(ConfigError):
+            pe_underutilization_percent(-1, 5)
+
+    def test_eq5(self):
+        # 2*(nnz+k)/latency_ns.
+        assert throughput_gflops(1000, 100, 1e-6) == pytest.approx(2.2)
+        with pytest.raises(ConfigError):
+            throughput_gflops(10, 10, 0.0)
+
+    def test_eq6(self):
+        assert energy_efficiency(10.0, 40.0) == pytest.approx(0.25)
+        with pytest.raises(ConfigError):
+            energy_efficiency(1.0, 0.0)
+
+    def test_eq7(self):
+        assert bandwidth_efficiency(23.0, 230.0) == pytest.approx(0.1)
+
+    def test_speedup(self):
+        assert speedup(10.0, 2.0) == pytest.approx(5.0)
+        with pytest.raises(ConfigError):
+            speedup(0.0, 1.0)
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geometric_mean([2.0, 2.0, 2.0]) == pytest.approx(2.0)
+        with pytest.raises(ConfigError):
+            geometric_mean([])
+        with pytest.raises(ConfigError):
+            geometric_mean([1.0, -1.0])
+
+
+class TestEnergyAccounting:
+    def _run(self, latency=1e-4, traffic=10_000_000, macs=500_000):
+        from repro.power.energy import energy_for_run
+
+        return energy_for_run(latency, traffic, macs)
+
+    def test_total_is_sum_of_parts(self):
+        report = self._run()
+        assert report.total_j == pytest.approx(
+            report.static_j + report.hbm_j + report.compute_j
+            + report.onchip_memory_j
+        )
+        assert sum(report.fractions().values()) == pytest.approx(1.0)
+
+    def test_static_floor_always_burns(self):
+        from repro.power.energy import energy_for_run
+
+        idle = energy_for_run(1e-4, 0, 0)
+        assert idle.hbm_j == 0.0
+        assert idle.compute_j == 0.0
+        assert idle.static_j > 0.0
+
+    def test_hbm_energy_scales_with_traffic(self):
+        light = self._run(traffic=1_000_000)
+        heavy = self._run(traffic=10_000_000)
+        assert heavy.hbm_j == pytest.approx(10 * light.hbm_j, rel=1e-6)
+
+    def test_utilisation_capped_at_peak(self):
+        from repro.power.energy import energy_for_run
+
+        saturated = energy_for_run(1e-6, 10**12, 10**12)
+        assert saturated.hbm_j <= 18.95 * 1e-6 * 1.0001
+
+    def test_transfer_reduction_cuts_energy(self):
+        # The §6.2.2 energy argument: same MACs, 7x less traffic.
+        serpens_like = self._run(traffic=70_000_000, latency=7e-4)
+        chason_like = self._run(traffic=10_000_000, latency=1e-4)
+        assert chason_like.total_j < serpens_like.total_j
+
+    def test_energy_per_nonzero(self):
+        from repro.power.energy import energy_per_nonzero_nj
+
+        report = self._run()
+        per_nnz = energy_per_nonzero_nj(report, 500_000)
+        assert per_nnz > 0
+        with pytest.raises(ConfigError):
+            energy_per_nonzero_nj(report, 0)
+
+    def test_validation(self):
+        from repro.power.energy import energy_for_run
+
+        with pytest.raises(ConfigError):
+            energy_for_run(0.0, 1, 1)
+        with pytest.raises(ConfigError):
+            energy_for_run(1e-4, -1, 1)

@@ -1,0 +1,93 @@
+"""Data-precision configurations (§5.5)."""
+
+import pytest
+
+from repro.config import ChasonConfig, SerpensConfig
+from repro.errors import ConfigError
+from repro.matrices import generators
+from repro.precision import (
+    PRECISIONS,
+    Precision,
+    parallelism_ratio,
+    precision,
+    with_precision,
+)
+from repro.scheduling import schedule_crhcs
+
+
+class TestPrecisionTable:
+    def test_fp32_is_the_deployed_point(self):
+        fp32 = precision("fp32")
+        assert fp32.element_bits == 64
+        assert fp32.elements_per_word == 8
+        assert fp32.pes_per_peg == 8
+
+    def test_fp64_reduces_parallelism_to_five(self):
+        # §5.5: 64-bit values + 32-bit metadata → 5 elements per beat.
+        fp64 = precision("fp64")
+        assert fp64.element_bits == 96
+        assert fp64.elements_per_word == 5
+        assert fp64.pes_per_peg == 5
+
+    def test_fp16_packs_more(self):
+        assert precision("fp16").elements_per_word == 10
+
+    def test_unknown_precision(self):
+        with pytest.raises(ConfigError):
+            precision("bf8")
+
+    def test_parallelism_ratio(self):
+        assert parallelism_ratio("fp32", "fp64") == pytest.approx(8 / 5)
+
+    def test_element_wider_than_beat_rejected(self):
+        with pytest.raises(ConfigError):
+            Precision(name="huge", value_bits=512, metadata_bits=32)
+
+    def test_all_presets_valid(self):
+        for name, spec in PRECISIONS.items():
+            assert spec.name == name
+            assert spec.elements_per_word >= 1
+
+
+class TestWithPrecision:
+    def test_fp64_chason_config(self):
+        config = with_precision(ChasonConfig(), "fp64")
+        assert config.pes_per_channel == 5
+        assert config.scug_size == 4  # min(deployed 4, 5 PEs)
+        assert isinstance(config, ChasonConfig)
+
+    def test_fp64_scug_follows_peg_width(self):
+        config = with_precision(ChasonConfig(scug_size=8), "fp64")
+        # §5.5: "required URAM_sh per ScUG reduces to 5".
+        assert config.scug_size == 5
+
+    def test_fp16_capped_at_physical_pes(self):
+        config = with_precision(SerpensConfig(), "fp16")
+        assert config.pes_per_channel == 8
+
+    def test_fp32_roundtrip_identity(self):
+        base = ChasonConfig()
+        assert with_precision(base, "fp32").pes_per_channel == 8
+
+    def test_fp64_schedule_still_correct(self):
+        import numpy as np
+
+        from repro.sim import execute_schedule
+
+        config = with_precision(
+            ChasonConfig(column_window=128, row_window=512), "fp64"
+        )
+        matrix = generators.uniform_random(200, 120, 900, seed=31)
+        schedule = schedule_crhcs(matrix, config)
+        schedule.validate()
+        assert schedule.nnz == matrix.nnz
+        x = np.random.default_rng(31).normal(size=120).astype(np.float32)
+        assert execute_schedule(schedule, x).verify(matrix.matvec(x))
+
+    def test_fp64_needs_more_cycles(self):
+        matrix = generators.uniform_random(600, 600, 6000, seed=32)
+        fp32 = schedule_crhcs(matrix, ChasonConfig())
+        fp64 = schedule_crhcs(matrix, with_precision(ChasonConfig(),
+                                                     "fp64"))
+        # 5 PEs per PEG instead of 8: fewer slots per cycle.
+        assert fp64.stream_cycles > fp32.stream_cycles

@@ -1,0 +1,159 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+These are the invariants the whole reproduction rests on:
+
+* packed elements survive a pack/unpack round trip bit-exactly;
+* every scheduler emits each non-zero exactly once, in a RAW-safe slot,
+  and the executed SpMV equals the float64 reference;
+* CrHCS never schedules worse than PE-aware (same cycles or fewer) and
+  Eq. 4 is consistent with the slot grids.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import ChasonConfig, HBMConfig, SerpensConfig
+from repro.formats.coo import COOMatrix
+from repro.formats.element import PackedElement, pack_element, unpack_element
+from repro.scheduling.crhcs import schedule_crhcs
+from repro.scheduling.greedy import schedule_greedy_ooo
+from repro.scheduling.pe_aware import schedule_pe_aware
+from repro.scheduling.row_based import schedule_row_based
+from repro.sim.engine import execute_schedule
+
+SMALL_HBM = HBMConfig(total_channels=8)
+SERPENS = SerpensConfig(
+    sparse_channels=4, pes_per_channel=4, accumulator_latency=4,
+    column_window=32, row_window=128, hbm=SMALL_HBM,
+)
+CHASON = ChasonConfig(
+    sparse_channels=4, pes_per_channel=4, accumulator_latency=4,
+    column_window=32, row_window=128, scug_size=4, hbm=SMALL_HBM,
+)
+
+settings.register_profile(
+    "repro",
+    deadline=None,
+    max_examples=30,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@st.composite
+def packed_elements(draw):
+    return PackedElement(
+        value=draw(
+            st.floats(
+                allow_nan=False,
+                allow_infinity=False,
+                width=32,
+            )
+        ),
+        row=draw(st.integers(0, 2**15 - 1)),
+        col=draw(st.integers(0, 2**13 - 1)),
+        pvt=draw(st.booleans()),
+        pe_src=draw(st.integers(0, 7)),
+    )
+
+
+@st.composite
+def sparse_matrices(draw, max_dim=96, max_nnz=220):
+    n_rows = draw(st.integers(1, max_dim))
+    n_cols = draw(st.integers(1, max_dim))
+    capacity = n_rows * n_cols
+    nnz = draw(st.integers(0, min(max_nnz, capacity)))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    flat = rng.choice(capacity, size=nnz, replace=False)
+    values = rng.normal(size=nnz).astype(np.float32)
+    values[np.abs(values) < 1e-3] = 1.0
+    return COOMatrix(
+        (n_rows, n_cols), flat // n_cols, flat % n_cols, values
+    )
+
+
+class TestPackedElementProperties:
+    @given(packed_elements())
+    def test_roundtrip_exact(self, element):
+        decoded = unpack_element(pack_element(element))
+        assert decoded.row == element.row
+        assert decoded.col == element.col
+        assert decoded.pvt == element.pvt
+        assert decoded.pe_src == element.pe_src
+        expected = np.float32(element.value)
+        if np.isnan(expected):  # pragma: no cover - filtered by strategy
+            assert np.isnan(decoded.value)
+        else:
+            assert np.float32(decoded.value) == expected
+
+    @given(packed_elements())
+    def test_word_fits_64_bits(self, element):
+        assert 0 <= pack_element(element) < 2**64
+
+
+class TestSchedulerProperties:
+    @given(sparse_matrices())
+    def test_pe_aware_completeness_and_raw(self, matrix):
+        schedule = schedule_pe_aware(matrix, SERPENS)
+        assert schedule.nnz == matrix.nnz
+        schedule.validate()
+
+    @given(sparse_matrices())
+    def test_crhcs_completeness_and_raw(self, matrix):
+        schedule = schedule_crhcs(matrix, CHASON)
+        assert schedule.nnz == matrix.nnz
+        schedule.validate()
+
+    @given(sparse_matrices())
+    def test_crhcs_never_longer_than_pe_aware(self, matrix):
+        crhcs = schedule_crhcs(matrix, CHASON)
+        pe_aware = schedule_pe_aware(matrix, SERPENS)
+        assert crhcs.stream_cycles <= pe_aware.stream_cycles
+
+    @given(sparse_matrices())
+    def test_eq4_consistent_with_grids(self, matrix):
+        schedule = schedule_crhcs(matrix, CHASON)
+        for tile in schedule.tiles:
+            slots = tile.stream_cycles * 4 * 4
+            assert tile.total_stalls == slots - tile.nnz
+
+    @given(sparse_matrices(max_dim=64, max_nnz=120))
+    def test_row_based_and_greedy_complete(self, matrix):
+        for scheduler in (schedule_row_based, schedule_greedy_ooo):
+            schedule = scheduler(matrix, SERPENS)
+            assert schedule.nnz == matrix.nnz
+            schedule.validate()
+
+    @given(sparse_matrices(max_dim=64, max_nnz=120))
+    def test_values_preserved_through_scheduling(self, matrix):
+        schedule = schedule_crhcs(matrix, CHASON)
+        total = 0.0
+        for tile in schedule.tiles:
+            for grid in tile.grids:
+                for _, _, element in grid.iter_elements():
+                    total += element.value
+        assert total == pytest.approx(
+            float(np.sum(matrix.values, dtype=np.float64)), rel=1e-4,
+            abs=1e-4,
+        )
+
+
+class TestFunctionalProperties:
+    @given(sparse_matrices(max_dim=80, max_nnz=160),
+           st.integers(0, 2**31 - 1))
+    def test_crhcs_execution_matches_reference(self, matrix, x_seed):
+        rng = np.random.default_rng(x_seed)
+        x = rng.normal(size=matrix.n_cols).astype(np.float32)
+        schedule = schedule_crhcs(matrix, CHASON)
+        execution = execute_schedule(schedule, x)
+        assert execution.verify(matrix.matvec(x))
+
+    @given(sparse_matrices(max_dim=80, max_nnz=160))
+    def test_serpens_execution_matches_reference(self, matrix):
+        x = np.linspace(-1.0, 1.0, matrix.n_cols).astype(np.float32)
+        schedule = schedule_pe_aware(matrix, SERPENS)
+        execution = execute_schedule(schedule, x)
+        assert execution.verify(matrix.matvec(x))

@@ -1,0 +1,122 @@
+"""Property-based tests for the extension modules."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import ChasonConfig, HBMConfig
+from repro.formats.coo import COOMatrix
+from repro.scheduling.crhcs import schedule_crhcs
+from repro.scheduling.reorder import balancing_permutation
+from repro.scheduling.serialize import (
+    deserialize_schedule,
+    serialize_schedule,
+)
+
+CHASON = ChasonConfig(
+    sparse_channels=4, pes_per_channel=4, accumulator_latency=4,
+    column_window=32, row_window=128, scug_size=4,
+    hbm=HBMConfig(total_channels=8),
+)
+
+settings.register_profile(
+    "repro-ext",
+    deadline=None,
+    max_examples=30,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro-ext")
+
+
+@st.composite
+def sparse_matrices(draw, max_dim=96, max_nnz=180):
+    n_rows = draw(st.integers(1, max_dim))
+    n_cols = draw(st.integers(1, max_dim))
+    capacity = n_rows * n_cols
+    nnz = draw(st.integers(0, min(max_nnz, capacity)))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    flat = rng.choice(capacity, size=nnz, replace=False)
+    values = rng.normal(size=nnz).astype(np.float32)
+    values[np.abs(values) < 1e-3] = 1.0
+    return COOMatrix(
+        (n_rows, n_cols), flat // n_cols, flat % n_cols, values
+    )
+
+
+class TestSerializeProperties:
+    @given(sparse_matrices())
+    def test_roundtrip_preserves_all_counters(self, matrix):
+        schedule = schedule_crhcs(matrix, CHASON)
+        loaded = deserialize_schedule(
+            serialize_schedule(schedule), CHASON
+        )
+        assert loaded.nnz == schedule.nnz
+        assert loaded.stream_cycles == schedule.stream_cycles
+        assert loaded.total_stalls == schedule.total_stalls
+        assert loaded.migrated_count == schedule.migrated_count
+        loaded.validate()
+
+    @given(sparse_matrices(max_dim=48, max_nnz=100))
+    def test_roundtrip_preserves_slot_positions(self, matrix):
+        schedule = schedule_crhcs(matrix, CHASON)
+        loaded = deserialize_schedule(
+            serialize_schedule(schedule), CHASON
+        )
+        for original, reloaded in zip(schedule.tiles, loaded.tiles):
+            for grid_a, grid_b in zip(original.grids, reloaded.grids):
+                assert set(grid_a.occupied) == set(grid_b.occupied)
+                for key, element in grid_a.occupied.items():
+                    other = grid_b.occupied[key]
+                    assert other.row == element.row
+                    assert other.col == element.col
+                    assert other.origin_channel == element.origin_channel
+                    assert other.origin_pe == element.origin_pe
+
+
+class TestReorderProperties:
+    @given(sparse_matrices(max_dim=80, max_nnz=160),
+           st.integers(0, 2**31 - 1))
+    def test_permuted_spmv_equals_original(self, matrix, seed):
+        permutation = balancing_permutation(matrix, CHASON)
+        permuted = permutation.apply(matrix)
+        x = np.random.default_rng(seed).normal(size=matrix.n_cols)
+        np.testing.assert_allclose(
+            permutation.restore_vector(permuted.matvec(x)),
+            matrix.matvec(x),
+            rtol=1e-5,
+            atol=1e-8,
+        )
+
+    @given(sparse_matrices(max_dim=80, max_nnz=160))
+    def test_permutation_is_bijective(self, matrix):
+        permutation = balancing_permutation(matrix, CHASON)
+        np.testing.assert_array_equal(
+            np.sort(permutation.forward), np.arange(matrix.n_rows)
+        )
+        np.testing.assert_array_equal(
+            permutation.forward[permutation.inverse],
+            np.arange(matrix.n_rows),
+        )
+
+    @given(sparse_matrices(max_dim=80, max_nnz=160))
+    def test_nnz_preserved(self, matrix):
+        permutation = balancing_permutation(matrix, CHASON)
+        assert permutation.apply(matrix).nnz == matrix.nnz
+
+
+class TestSchedulePropertiesUnderMigrationSpan:
+    @given(sparse_matrices(max_dim=64, max_nnz=120),
+           st.integers(0, 3))
+    def test_any_span_schedules_everything(self, matrix, span):
+        schedule = schedule_crhcs(matrix, CHASON, migration_span=span)
+        assert schedule.nnz == matrix.nnz
+        schedule.validate()
+
+    @given(sparse_matrices(max_dim=64, max_nnz=120))
+    def test_underutilization_bounds(self, matrix):
+        schedule = schedule_crhcs(matrix, CHASON)
+        assert 0.0 <= schedule.underutilization < 1.0 or (
+            matrix.nnz == 0 and schedule.underutilization == 0.0
+        )

@@ -1,0 +1,114 @@
+"""RAW tracker and matrix tiling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RawHazardError
+from repro.matrices import generators
+from repro.scheduling.raw_tracker import RawTracker
+from repro.scheduling.window import tile_matrix
+
+
+class TestRawTracker:
+    def test_initially_eligible(self):
+        tracker = RawTracker(distance=10)
+        assert tracker.eligible(0, 42, 0)
+        assert tracker.earliest(0, 42) == 0
+
+    def test_commit_blocks_for_distance(self):
+        tracker = RawTracker(distance=10)
+        tracker.commit(0, 42, 5)
+        assert not tracker.eligible(0, 42, 14)
+        assert tracker.eligible(0, 42, 15)
+
+    def test_commit_violation_raises(self):
+        tracker = RawTracker(distance=4)
+        tracker.commit(1, 7, 0)
+        with pytest.raises(RawHazardError):
+            tracker.commit(1, 7, 3)
+
+    def test_pes_independent(self):
+        tracker = RawTracker(distance=4)
+        tracker.commit(0, 7, 0)
+        assert tracker.eligible(1, 7, 0)
+
+    def test_rows_independent(self):
+        tracker = RawTracker(distance=4)
+        tracker.commit(0, 7, 0)
+        assert tracker.eligible(0, 8, 1)
+
+    def test_rejects_bad_distance(self):
+        with pytest.raises(RawHazardError):
+            RawTracker(distance=0)
+
+    def test_len_counts_keys(self):
+        tracker = RawTracker(distance=2)
+        tracker.commit(0, 1, 0)
+        tracker.commit(1, 1, 0)
+        assert len(tracker) == 2
+
+
+class TestTiling:
+    def test_single_tile_small_matrix(self, small_serpens):
+        matrix = generators.uniform_random(100, 60, 300, seed=1)
+        tiles = tile_matrix(matrix, small_serpens)
+        # 100 rows fit one 256-row window; 60 cols fit one 64-col window.
+        assert len(tiles) == 1
+        assert tiles[0].nnz == 300
+
+    def test_column_windows(self, small_serpens):
+        matrix = generators.uniform_random(100, 200, 600, seed=2)
+        tiles = tile_matrix(matrix, small_serpens)
+        assert len(tiles) == 4  # ceil(200/64)
+        assert sum(t.nnz for t in tiles) == 600
+        assert sorted({t.col_base for t in tiles}) == [0, 64, 128, 192]
+
+    def test_row_windows(self, small_serpens):
+        matrix = generators.uniform_random(600, 60, 900, seed=3)
+        tiles = tile_matrix(matrix, small_serpens)
+        assert sorted({t.row_base for t in tiles}) == [0, 256, 512]
+
+    def test_local_coordinates(self, small_serpens):
+        matrix = generators.uniform_random(600, 200, 2000, seed=4)
+        for tile in tile_matrix(matrix, small_serpens):
+            assert tile.rows.size == tile.nnz
+            if tile.nnz:
+                assert tile.rows.max() < tile.n_rows
+                assert tile.cols.max() < tile.n_cols
+                assert tile.rows.min() >= 0
+
+    def test_tiles_reassemble_matrix(self, small_serpens):
+        matrix = generators.uniform_random(300, 150, 1500, seed=5)
+        dense = matrix.to_dense()
+        rebuilt = np.zeros_like(dense)
+        for tile in tile_matrix(matrix, small_serpens):
+            rebuilt[
+                tile.row_base + tile.rows, tile.col_base + tile.cols
+            ] += tile.values
+        np.testing.assert_allclose(rebuilt, dense, rtol=1e-6)
+
+    def test_empty_tiles_skipped(self, small_serpens):
+        # Matrix with content only in the top-left corner.
+        matrix = generators.uniform_random(50, 50, 100, seed=6)
+        from repro.formats.coo import COOMatrix
+
+        padded = COOMatrix((1000, 1000), matrix.rows, matrix.cols,
+                           matrix.values)
+        tiles = tile_matrix(padded, small_serpens)
+        assert all(t.nnz > 0 for t in tiles)
+
+    def test_empty_matrix_gets_one_tile(self, small_serpens):
+        from repro.formats.coo import COOMatrix
+
+        tiles = tile_matrix(
+            COOMatrix.from_entries((10, 10), []), small_serpens
+        )
+        assert len(tiles) == 1
+        assert tiles[0].nnz == 0
+
+    def test_max_rows_per_pass_override(self, small_serpens):
+        matrix = generators.uniform_random(600, 60, 900, seed=3)
+        tiles = tile_matrix(matrix, small_serpens, max_rows_per_pass=100)
+        assert sorted({t.row_base for t in tiles}) == [
+            0, 100, 200, 300, 400, 500
+        ]

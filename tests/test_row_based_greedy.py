@@ -1,0 +1,94 @@
+"""Row-based and greedy-OoO scheduling schemes."""
+
+import numpy as np
+import pytest
+
+from repro.formats.coo import COOMatrix
+from repro.matrices import generators
+from repro.scheduling.greedy import (
+    schedule_greedy_ooo,
+    schedule_single_pe_greedy,
+)
+from repro.scheduling.pe_aware import schedule_pe_aware
+from repro.scheduling.row_based import schedule_row_based
+
+
+class TestRowBased:
+    def test_all_elements_scheduled(self, small_serpens, small_matrix):
+        schedule = schedule_row_based(small_matrix, small_serpens)
+        assert schedule.nnz == small_matrix.nnz
+        schedule.validate()
+
+    def test_fig2a_serialization(self, small_serpens):
+        # A single row of 3 non-zeros on one PE: issues at 0, D, 2D.
+        matrix = COOMatrix.from_entries(
+            (16, 16), [(0, 1, 1.0), (0, 5, 2.0), (0, 9, 3.0)]
+        )
+        schedule = schedule_row_based(matrix, small_serpens)
+        grid = schedule.tiles[0].grids[0]
+        cycles = sorted(c for c, _, _ in grid.iter_elements())
+        distance = small_serpens.accumulator_latency
+        assert cycles == [0, distance, 2 * distance]
+
+    def test_next_row_starts_next_cycle(self, small_serpens):
+        # Row 0 (one nz) then row 16 (one nz) on PE0: cycles 0, 1.
+        matrix = COOMatrix.from_entries(
+            (32, 16), [(0, 1, 1.0), (16, 5, 2.0)]
+        )
+        schedule = schedule_row_based(matrix, small_serpens)
+        grid = schedule.tiles[0].grids[0]
+        cycles = sorted(c for c, _, _ in grid.iter_elements())
+        assert cycles == [0, 1]
+
+    def test_worse_than_pe_aware_on_multirow(self, small_serpens):
+        matrix = generators.uniform_random(64, 64, 512, seed=8)
+        row_based = schedule_row_based(matrix, small_serpens)
+        pe_aware = schedule_pe_aware(matrix, small_serpens)
+        assert row_based.stream_cycles >= pe_aware.stream_cycles
+
+
+class TestGreedySinglePe:
+    def test_respects_raw_distance(self):
+        rows = [(0, np.arange(6)), (1, np.arange(6, 9))]
+        cycles, elements, _ = schedule_single_pe_greedy(rows, distance=4)
+        issue = {}
+        for cycle, element in zip(cycles, elements):
+            row = 0 if element < 6 else 1
+            issue.setdefault(row, []).append(cycle)
+        for row_cycles in issue.values():
+            assert np.all(np.diff(sorted(row_cycles)) >= 4)
+
+    def test_longest_remaining_first(self):
+        rows = [(0, np.arange(1)), (1, np.arange(1, 6))]
+        cycles, elements, _ = schedule_single_pe_greedy(rows, distance=4)
+        # The 5-element row must issue first.
+        assert elements[0] == 1
+
+    def test_lower_bound_length(self):
+        # 3 independent rows of 1: 3 cycles, no stalls.
+        rows = [(i, np.array([i])) for i in range(3)]
+        cycles, _, length = schedule_single_pe_greedy(rows, distance=10)
+        assert length == 3
+        assert cycles == [0, 1, 2]
+
+    def test_single_chain_length(self):
+        rows = [(0, np.arange(4))]
+        _, _, length = schedule_single_pe_greedy(rows, distance=10)
+        assert length == 31  # 3 gaps of 10 + final issue
+
+    def test_empty(self):
+        assert schedule_single_pe_greedy([], distance=4) == ([], [], 0)
+
+
+class TestGreedyScheme:
+    def test_no_worse_than_pe_aware(self, small_serpens, skewed_matrix):
+        greedy = schedule_greedy_ooo(skewed_matrix, small_serpens)
+        pe_aware = schedule_pe_aware(skewed_matrix, small_serpens)
+        greedy.validate()
+        assert greedy.stream_cycles <= pe_aware.stream_cycles
+
+    def test_scheme_name(self, small_serpens, tiny_matrix):
+        assert (
+            schedule_greedy_ooo(tiny_matrix, small_serpens).scheme
+            == "greedy_ooo"
+        )

@@ -1,0 +1,135 @@
+"""Reduction, rearrange, and the end-to-end execution engine."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.matrices import generators
+from repro.scheduling.crhcs import schedule_crhcs
+from repro.scheduling.pe_aware import schedule_pe_aware
+from repro.scheduling.row_based import schedule_row_based
+from repro.sim.engine import estimate_cycles, execute_schedule
+from repro.sim.peg import ProcessingElementGroup
+from repro.sim.reduction import ReductionUnit
+from repro.scheduling.base import ScheduledElement
+
+
+class TestReductionUnit:
+    def test_reduces_across_pes(self, small_chason):
+        peg = ProcessingElementGroup(0, small_chason)
+        peg.load_x_window(np.ones(small_chason.column_window,
+                                  dtype=np.float32))
+        # Same donor row (channel 1, PE 2, row 6) processed in two dest PEs.
+        peg.pes[0].process(ScheduledElement(6, 0, 2.0, 1, 2))
+        peg.pes[3].process(ScheduledElement(6, 0, 5.0, 1, 2))
+        reduced = ReductionUnit(peg).reduce()
+        assert reduced.sums[(1, 2)][0] == pytest.approx(7.0)
+        assert reduced.tree_additions == 1
+
+    def test_empty_scugs(self, small_chason):
+        peg = ProcessingElementGroup(0, small_chason)
+        reduced = ReductionUnit(peg).reduce()
+        assert reduced.sums == {}
+        assert reduced.addresses_swept == 0
+
+
+class TestExecuteFunctional:
+    @pytest.mark.parametrize("scheduler", [
+        schedule_pe_aware, schedule_row_based, schedule_crhcs,
+    ])
+    def test_matches_reference(self, scheduler, small_chason, small_serpens,
+                               skewed_matrix, rng):
+        config = (
+            small_chason if scheduler is schedule_crhcs else small_serpens
+        )
+        schedule = scheduler(skewed_matrix, config)
+        x = rng.normal(size=skewed_matrix.n_cols).astype(np.float32)
+        execution = execute_schedule(schedule, x)
+        assert execution.verify(skewed_matrix.matvec(x))
+
+    def test_multi_window_matrix(self, small_chason, rng):
+        matrix = generators.uniform_random(600, 300, 3000, seed=17)
+        schedule = schedule_crhcs(matrix, small_chason)
+        x = rng.normal(size=300).astype(np.float32)
+        execution = execute_schedule(schedule, x)
+        assert execution.verify(matrix.matvec(x))
+
+    def test_empty_matrix(self, small_chason):
+        from repro.formats.coo import COOMatrix
+
+        matrix = COOMatrix.from_entries((8, 8), [])
+        schedule = schedule_crhcs(matrix, small_chason)
+        execution = execute_schedule(schedule, np.zeros(8,
+                                                        dtype=np.float32))
+        assert np.all(execution.y == 0.0)
+
+    def test_mac_count_matches_nnz(self, small_chason, tiny_matrix, rng):
+        schedule = schedule_crhcs(tiny_matrix, small_chason)
+        x = rng.normal(size=16).astype(np.float32)
+        execution = execute_schedule(schedule, x)
+        assert execution.total_macs == tiny_matrix.nnz
+
+    def test_shared_fraction_positive_for_crhcs(self, small_chason,
+                                                skewed_matrix, rng):
+        schedule = schedule_crhcs(skewed_matrix, small_chason)
+        x = rng.normal(size=skewed_matrix.n_cols).astype(np.float32)
+        execution = execute_schedule(schedule, x)
+        assert execution.stats["shared_fraction"] > 0.0
+        assert execution.shared_macs == schedule.migrated_count
+
+    def test_rejects_wrong_x_length(self, small_chason, tiny_matrix):
+        schedule = schedule_crhcs(tiny_matrix, small_chason)
+        with pytest.raises(ShapeError):
+            execute_schedule(schedule, np.zeros(7, dtype=np.float32))
+
+    def test_verify_shape_check(self, small_chason, tiny_matrix, rng):
+        schedule = schedule_crhcs(tiny_matrix, small_chason)
+        x = rng.normal(size=16).astype(np.float32)
+        execution = execute_schedule(schedule, x)
+        with pytest.raises(ShapeError):
+            execution.verify(np.zeros(3))
+
+    def test_verify_detects_corruption(self, small_chason, tiny_matrix,
+                                       rng):
+        schedule = schedule_crhcs(tiny_matrix, small_chason)
+        x = rng.normal(size=16).astype(np.float32)
+        execution = execute_schedule(schedule, x)
+        wrong = tiny_matrix.matvec(x) + 1.0
+        assert not execution.verify(wrong)
+
+
+class TestCycleModel:
+    def test_estimate_matches_execution(self, small_chason, skewed_matrix,
+                                        rng):
+        schedule = schedule_crhcs(skewed_matrix, small_chason)
+        estimated = estimate_cycles(schedule)
+        x = rng.normal(size=skewed_matrix.n_cols).astype(np.float32)
+        executed = execute_schedule(schedule, x)
+        assert estimated.total == executed.cycles.total
+        assert estimated.stream == executed.cycles.stream
+        assert estimated.reduction == executed.cycles.reduction
+
+    def test_serpens_has_no_reduction_cycles(self, small_serpens,
+                                             skewed_matrix):
+        schedule = schedule_pe_aware(skewed_matrix, small_serpens)
+        assert estimate_cycles(schedule).reduction == 0
+
+    def test_stream_cycles_dominate(self, small_serpens, skewed_matrix):
+        cycles = estimate_cycles(schedule_pe_aware(skewed_matrix,
+                                                   small_serpens))
+        assert cycles.stream > cycles.drain
+        assert cycles.total == (
+            cycles.stream + cycles.x_load + cycles.drain
+            + cycles.reduction + cycles.output + cycles.overhead
+        )
+        assert cycles.overhead > 0
+
+    def test_latency_uses_frequency(self, small_chason, small_serpens,
+                                    skewed_matrix, rng):
+        x = rng.normal(size=skewed_matrix.n_cols).astype(np.float32)
+        chason_exec = execute_schedule(
+            schedule_crhcs(skewed_matrix, small_chason), x
+        )
+        assert chason_exec.latency_seconds == pytest.approx(
+            chason_exec.cycles.total / (301e6)
+        )

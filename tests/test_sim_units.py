@@ -1,0 +1,232 @@
+"""FIFO, URAM/BRAM, PE and PEG unit models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CapacityError, SimulationError
+from repro.scheduling.base import ScheduledElement
+from repro.sim.fifo import FifoStream
+from repro.sim.memory import (
+    BRAM_X_CAPACITY,
+    URAM_PARTIAL_SUMS,
+    BramXBuffer,
+    ScugBankGroup,
+    UramBank,
+)
+from repro.sim.pe import ProcessingElement
+from repro.sim.peg import ProcessingElementGroup
+
+
+class TestFifo:
+    def test_fifo_order(self):
+        fifo = FifoStream("s")
+        fifo.push_all([1, 2, 3])
+        assert fifo.pop() == 1
+        assert fifo.pop() == 2
+        assert list(fifo.drain()) == [3]
+        assert fifo.empty
+
+    def test_bounded_overflow(self):
+        fifo = FifoStream("s", depth=2)
+        fifo.push_all([1, 2])
+        assert fifo.full
+        with pytest.raises(CapacityError):
+            fifo.push(3)
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            FifoStream("s").pop()
+
+    def test_try_pop(self):
+        fifo = FifoStream("s")
+        assert fifo.try_pop() is None
+        fifo.push(7)
+        assert fifo.try_pop() == 7
+
+    def test_total_pushed_counter(self):
+        fifo = FifoStream("s")
+        fifo.push_all(range(5))
+        assert fifo.total_pushed == 5
+
+    def test_negative_depth_rejected(self):
+        with pytest.raises(CapacityError):
+            FifoStream("s", depth=-1)
+
+
+class TestUramBank:
+    def test_accumulate_read_modify_write(self):
+        bank = UramBank("u")
+        assert bank.accumulate(0, 1.5) == pytest.approx(1.5)
+        assert bank.accumulate(0, 2.0) == pytest.approx(3.5)
+        assert bank.read(0) == pytest.approx(3.5)
+
+    def test_capacity_enforced(self):
+        bank = UramBank("u", capacity=4)
+        bank.accumulate(3, 1.0)
+        with pytest.raises(CapacityError):
+            bank.accumulate(4, 1.0)
+
+    def test_default_capacity_is_8192_sums(self):
+        assert URAM_PARTIAL_SUMS == 8192
+
+    def test_access_counters(self):
+        bank = UramBank("u")
+        bank.accumulate(0, 1.0)
+        bank.read(0)
+        assert bank.reads == 2
+        assert bank.writes == 1
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(SimulationError):
+            UramBank("u").accumulate(-1, 1.0)
+
+    def test_clear(self):
+        bank = UramBank("u")
+        bank.accumulate(0, 1.0)
+        bank.clear()
+        assert bank.read(0) == 0.0
+
+
+class TestScugBankGroup:
+    def test_one_bank_per_source_pe(self):
+        scug = ScugBankGroup("s", source_pes=8, scug_size=8)
+        scug.accumulate(3, 0, 2.0)
+        assert scug.bank(3).read(0) == pytest.approx(2.0)
+        assert scug.bank(2).read(0) == 0.0
+
+    def test_shrunk_scug_halves_capacity(self):
+        # §4.5: ScUG of 4 means two source PEs share a physical URAM.
+        scug = ScugBankGroup("s", source_pes=8, scug_size=4)
+        assert scug.sharing == 2
+        assert scug.bank(0).capacity == URAM_PARTIAL_SUMS // 2
+
+    def test_invalid_sizes(self):
+        with pytest.raises(CapacityError):
+            ScugBankGroup("s", source_pes=8, scug_size=0)
+        with pytest.raises(CapacityError):
+            ScugBankGroup("s", source_pes=8, scug_size=9)
+
+    def test_source_pe_bounds(self):
+        scug = ScugBankGroup("s", source_pes=4, scug_size=4)
+        with pytest.raises(SimulationError):
+            scug.bank(4)
+
+    def test_aggregate_counters(self):
+        scug = ScugBankGroup("s", source_pes=2, scug_size=2)
+        scug.accumulate(0, 0, 1.0)
+        scug.accumulate(1, 0, 1.0)
+        assert scug.reads == 2 and scug.writes == 2
+
+
+class TestBramXBuffer:
+    def test_load_and_read(self):
+        buffer = BramXBuffer("x")
+        buffer.load_window(np.array([1.0, 2.0, 3.0]))
+        assert buffer.read(1) == pytest.approx(2.0)
+        assert buffer.reads == 1
+        assert buffer.loads == 1
+
+    def test_capacity(self):
+        buffer = BramXBuffer("x", capacity=4)
+        with pytest.raises(CapacityError):
+            buffer.load_window(np.zeros(5))
+        assert BRAM_X_CAPACITY == 8192
+
+    def test_out_of_window_read(self):
+        buffer = BramXBuffer("x")
+        buffer.load_window(np.ones(4))
+        with pytest.raises(SimulationError):
+            buffer.read(4)
+
+
+class TestProcessingElement:
+    def _pe(self, config, channel=0, pe=0):
+        xbuf = BramXBuffer("x", capacity=config.column_window)
+        xbuf.load_window(np.arange(1, config.column_window + 1,
+                                   dtype=np.float32))
+        return ProcessingElement(channel, pe, config, xbuf)
+
+    def test_private_accumulation(self, small_chason):
+        pe = self._pe(small_chason)
+        pe.process(ScheduledElement(0, 2, 2.0, 0, 0))  # x[2] = 3
+        assert pe.uram_pvt.read(0) == pytest.approx(6.0)
+        assert pe.stats.private_accumulations == 1
+
+    def test_wrong_lane_private_rejected(self, small_chason):
+        pe = self._pe(small_chason, channel=0, pe=0)
+        with pytest.raises(SimulationError):
+            pe.process(ScheduledElement(1, 0, 1.0, 0, 1))
+
+    def test_shared_routed_to_scug(self, small_chason):
+        pe = self._pe(small_chason, channel=0, pe=0)
+        # Element of channel 1, PE 2 (row 6 in the small config).
+        pe.process(ScheduledElement(6, 0, 3.0, 1, 2))
+        scug = pe.scugs[1]
+        assert scug.bank(2).read(0) == pytest.approx(3.0)
+        assert pe.stats.shared_accumulations == 1
+
+    def test_serpens_pe_rejects_migrated(self, small_serpens):
+        pe = self._pe(small_serpens)
+        with pytest.raises(SimulationError):
+            pe.process(ScheduledElement(6, 0, 3.0, 1, 2))
+
+    def test_span_limits_scug_count(self, small_chason):
+        pe = self._pe(small_chason)
+        pe.process(ScheduledElement(6, 0, 1.0, 1, 2))
+        with pytest.raises(SimulationError):
+            # A second donor channel exceeds migration_span=1.
+            pe.process(ScheduledElement(10, 0, 1.0, 2, 2))
+
+    def test_address_uses_row_position(self, small_chason):
+        pe = self._pe(small_chason)
+        # Rows 0 and 16 are both PE (0,0); addresses 0 and 1.
+        pe.process(ScheduledElement(0, 0, 1.0, 0, 0))
+        pe.process(ScheduledElement(16, 0, 1.0, 0, 0))
+        assert pe.uram_pvt.read(0) == pytest.approx(1.0)
+        assert pe.uram_pvt.read(1) == pytest.approx(1.0)
+
+    def test_reset_clears_sums(self, small_chason):
+        pe = self._pe(small_chason)
+        pe.process(ScheduledElement(0, 0, 1.0, 0, 0))
+        pe.process(ScheduledElement(6, 0, 1.0, 1, 2))
+        pe.reset()
+        assert pe.uram_pvt.read(0) == 0.0
+        assert pe.scugs[1].bank(2).read(0) == 0.0
+
+
+class TestPEG:
+    def test_consume_word_routes_by_lane(self, small_chason):
+        peg = ProcessingElementGroup(0, small_chason)
+        peg.load_x_window(np.ones(small_chason.column_window,
+                                  dtype=np.float32))
+        slots = [None] * small_chason.pes_per_channel
+        slots[2] = ScheduledElement(2, 0, 4.0, 0, 2)
+        peg.consume_word(slots)
+        assert peg.pes[2].uram_pvt.read(0) == pytest.approx(4.0)
+        assert peg.pes[0].stats.idle_cycles == 1
+        assert peg.cycles_consumed == 1
+
+    def test_consume_word_checks_width(self, small_chason):
+        peg = ProcessingElementGroup(0, small_chason)
+        with pytest.raises(SimulationError):
+            peg.consume_word([None] * 3)
+
+    def test_consume_grid_counts_idle(self, small_chason):
+        from repro.scheduling.base import ChannelGrid
+
+        peg = ProcessingElementGroup(0, small_chason)
+        peg.load_x_window(np.ones(small_chason.column_window,
+                                  dtype=np.float32))
+        grid = ChannelGrid(channel_id=0, pes=small_chason.pes_per_channel)
+        grid.place(0, 0, ScheduledElement(0, 0, 1.0, 0, 0))
+        grid.ensure_length(5)
+        peg.consume_grid(grid)
+        assert peg.total_macs == 1
+        assert peg.total_idle == 5 * 4 - 1
+
+    def test_consume_grid_checks_channel(self, small_chason):
+        from repro.scheduling.base import ChannelGrid
+
+        peg = ProcessingElementGroup(0, small_chason)
+        with pytest.raises(SimulationError):
+            peg.consume_grid(ChannelGrid(channel_id=1, pes=4))

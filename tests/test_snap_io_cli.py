@@ -1,0 +1,127 @@
+"""SNAP edge-list loader and the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.errors import FormatError
+from repro.formats.io import load_matrix_market, load_snap_edgelist
+
+
+class TestSnapEdgeList:
+    def test_basic_load(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text(
+            "# Directed graph\n# FromNodeId  ToNodeId\n"
+            "0 1\n1 2\n2 0\n0 2\n"
+        )
+        graph = load_snap_edgelist(path)
+        assert graph.shape == (3, 3)
+        assert graph.nnz == 4
+        assert np.all(graph.values == 1.0)
+
+    def test_explicit_node_count(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("0 1\n")
+        graph = load_snap_edgelist(path, n_nodes=10)
+        assert graph.shape == (10, 10)
+
+    def test_node_count_too_small(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("0 5\n")
+        with pytest.raises(FormatError):
+            load_snap_edgelist(path, n_nodes=3)
+
+    def test_weighted(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("0 1 2.5\n1 0 -1.0\n")
+        graph = load_snap_edgelist(path, weighted=True)
+        assert graph.to_dense()[0, 1] == pytest.approx(2.5)
+
+    def test_weighted_missing_weight(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("0 1\n")
+        with pytest.raises(FormatError):
+            load_snap_edgelist(path, weighted=True)
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("0\n")
+        with pytest.raises(FormatError):
+            load_snap_edgelist(path)
+
+    def test_gzip(self, tmp_path):
+        import gzip
+
+        path = tmp_path / "graph.txt.gz"
+        with gzip.open(path, "wt") as handle:
+            handle.write("0 1\n1 0\n")
+        assert load_snap_edgelist(path).nnz == 2
+
+    def test_duplicate_edges_kept(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("0 1\n0 1\n")
+        graph = load_snap_edgelist(path)
+        assert graph.nnz == 2  # multigraph edges sum under CSR
+
+
+class TestCli:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "301 MHz" in out
+        assert "URAM" in out
+
+    def test_matrices(self, capsys):
+        assert main(["matrices"]) == 0
+        out = capsys.readouterr().out
+        assert "wiki-Vote" in out
+        assert "103689" in out
+
+    def test_schedule(self, capsys):
+        assert main(["schedule", "CollegeMsg", "--scheme", "pe_aware"]) == 0
+        out = capsys.readouterr().out
+        assert "pe_aware" in out
+        assert "underutilization" in out
+
+    def test_compare(self, capsys):
+        assert main(["compare", "CollegeMsg"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "chason" in out and "serpens" in out
+
+    def test_corpus(self, capsys):
+        assert main(["corpus", "--count", "3", "--cap", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "geomean speedup" in out
+
+    def test_generate_roundtrip(self, tmp_path, capsys):
+        out_path = tmp_path / "cm.mtx"
+        assert main(["generate", "CollegeMsg", "--out", str(out_path)]) == 0
+        matrix = load_matrix_market(out_path)
+        assert matrix.nnz == 20296
+
+    def test_unknown_matrix_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["compare", "not-a-matrix"])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+
+    def test_characterize(self, capsys):
+        assert main(["characterize", "wiki-Vote"]) == 0
+        out = capsys.readouterr().out
+        assert "predicted underutilization" in out
+        assert "migration worthwhile: yes" in out
+
+    def test_spmm(self, capsys):
+        assert main(["spmm", "CollegeMsg", "--bcols", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "chason  SpMM" in out
+        assert "speedup" in out
+
+    def test_schedule_row_split(self, capsys):
+        assert main(["schedule", "as-735", "--scheme", "row_split"]) == 0
+        assert "row_split" in capsys.readouterr().out

@@ -1,0 +1,156 @@
+"""Accelerator-driven iterative solvers."""
+
+import numpy as np
+import pytest
+
+from repro.core.chason import ChasonAccelerator
+from repro.baselines.serpens import SerpensAccelerator
+from repro.errors import ShapeError, SimulationError
+from repro.formats.coo import COOMatrix
+from repro.matrices import generators
+from repro.solvers import conjugate_gradient, jacobi, power_iteration
+
+
+def laplacian_1d(n: int) -> COOMatrix:
+    """Tridiagonal SPD system (1-D Poisson)."""
+    entries = []
+    for i in range(n):
+        entries.append((i, i, 2.0))
+        if i > 0:
+            entries.append((i, i - 1, -1.0))
+        if i < n - 1:
+            entries.append((i, i + 1, -1.0))
+    return COOMatrix.from_entries((n, n), entries)
+
+
+def diag_dominant(n: int, seed: int = 0) -> COOMatrix:
+    """Random strictly diagonally dominant matrix (Jacobi converges)."""
+    base = generators.uniform_random(n, n, 4 * n, seed=seed)
+    rows = np.concatenate([base.rows, np.arange(n)])
+    cols = np.concatenate([base.cols, np.arange(n)])
+    values = np.concatenate(
+        [0.1 * base.values, np.full(n, 5.0, dtype=np.float32)]
+    )
+    return COOMatrix((n, n), rows, cols, values)
+
+
+@pytest.fixture
+def chason(small_chason):
+    return ChasonAccelerator(small_chason)
+
+
+class TestJacobi:
+    def test_converges_on_diag_dominant(self, chason):
+        matrix = diag_dominant(120, seed=2)
+        rng = np.random.default_rng(2)
+        solution = rng.normal(size=120)
+        b = matrix.matvec(solution)
+        result = jacobi(chason, matrix, b, tolerance=1e-5,
+                        max_iterations=300)
+        assert result.converged
+        assert np.allclose(result.solution, solution, atol=1e-3)
+        assert result.accelerator_seconds > 0
+        assert len(result.history) == result.iterations
+        assert result.history[-1] <= result.history[0]
+
+    def test_weighted_jacobi(self, chason):
+        matrix = diag_dominant(80, seed=3)
+        b = matrix.matvec(np.ones(80))
+        damped = jacobi(chason, matrix, b, omega=0.7, tolerance=1e-5,
+                        max_iterations=400)
+        assert damped.converged
+
+    def test_rejects_zero_diagonal(self, chason):
+        matrix = COOMatrix.from_entries((2, 2), [(0, 1, 1.0), (1, 0, 1.0)])
+        with pytest.raises(SimulationError):
+            jacobi(chason, matrix, np.ones(2))
+
+    def test_rejects_nonsquare(self, chason):
+        matrix = generators.uniform_random(4, 6, 8, seed=1)
+        with pytest.raises(ShapeError):
+            jacobi(chason, matrix, np.ones(4))
+
+    def test_rejects_bad_rhs(self, chason):
+        with pytest.raises(ShapeError):
+            jacobi(chason, diag_dominant(10), np.ones(9))
+
+    def test_non_convergence_reported(self, chason):
+        matrix = diag_dominant(60, seed=4)
+        b = matrix.matvec(np.ones(60))
+        result = jacobi(chason, matrix, b, tolerance=1e-14,
+                        max_iterations=3)
+        assert not result.converged
+        assert result.iterations == 3
+
+
+class TestPowerIteration:
+    def test_finds_dominant_eigenpair(self, chason):
+        # Symmetric matrix with a known dominant eigenvector.
+        matrix = laplacian_1d(64)
+        result = power_iteration(chason, matrix, tolerance=1e-6,
+                                 max_iterations=600, seed=5)
+        eigenvalue = result.history[-1]
+        dense = matrix.to_dense()
+        true_max = np.max(np.linalg.eigvalsh(dense))
+        assert eigenvalue == pytest.approx(true_max, rel=1e-2)
+        # Rayleigh residual: ||A v - lambda v|| small.
+        residual = np.linalg.norm(
+            dense @ result.solution - eigenvalue * result.solution
+        )
+        assert residual < 0.1
+
+    def test_unit_norm_solution(self, chason):
+        matrix = laplacian_1d(32)
+        result = power_iteration(chason, matrix, max_iterations=50, seed=6)
+        assert np.linalg.norm(result.solution) == pytest.approx(1.0,
+                                                                abs=1e-5)
+
+    def test_rejects_nonsquare(self, chason):
+        with pytest.raises(ShapeError):
+            power_iteration(chason,
+                            generators.uniform_random(4, 6, 8, seed=1))
+
+
+class TestConjugateGradient:
+    def test_solves_spd_system(self, chason):
+        matrix = laplacian_1d(96)
+        rng = np.random.default_rng(7)
+        solution = rng.normal(size=96)
+        b = matrix.matvec(solution)
+        # float32 SpMV noise floors the achievable residual near 1e-6.
+        result = conjugate_gradient(chason, matrix, b, tolerance=1e-5)
+        assert result.converged
+        assert np.allclose(result.solution, solution, atol=1e-2)
+        # CG on an n-dim SPD system needs at most n SpMVs (plus noise).
+        assert result.iterations <= 96
+
+    def test_works_on_serpens_too(self, small_serpens):
+        serpens = SerpensAccelerator(small_serpens)
+        matrix = laplacian_1d(48)
+        b = matrix.matvec(np.ones(48))
+        result = conjugate_gradient(serpens, matrix, b, tolerance=1e-6)
+        assert result.converged
+
+    def test_accounts_accelerator_time(self, chason):
+        matrix = laplacian_1d(48)
+        b = matrix.matvec(np.ones(48))
+        result = conjugate_gradient(chason, matrix, b, tolerance=1e-6)
+        assert result.accelerator_seconds > 0
+        assert result.accelerator_ms == pytest.approx(
+            1e3 * result.accelerator_seconds
+        )
+
+    def test_zero_rhs_trivial(self, chason):
+        matrix = laplacian_1d(16)
+        result = conjugate_gradient(chason, matrix, np.zeros(16))
+        assert result.converged
+        assert np.allclose(result.solution, 0.0)
+
+    def test_rejects_bad_shapes(self, chason):
+        with pytest.raises(ShapeError):
+            conjugate_gradient(chason, laplacian_1d(8), np.ones(9))
+        with pytest.raises(ShapeError):
+            conjugate_gradient(
+                chason, generators.uniform_random(4, 6, 8, seed=1),
+                np.ones(4),
+            )

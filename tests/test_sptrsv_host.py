@@ -1,0 +1,214 @@
+"""SpTRSV extension, host/deployment model, and the Sextans baseline."""
+
+import numpy as np
+import pytest
+
+from repro.config import ChasonConfig
+from repro.core.host import (
+    CPU_PROTOCOL,
+    FPGA_PROTOCOL,
+    GPU_PROTOCOL,
+    HostLinkModel,
+    MeasurementProtocol,
+    estimate_deployment,
+)
+from repro.core.spmm import chason_spmm_report, sextans_spmm_report
+from repro.core.sptrsv import chason_sptrsv, level_sets
+from repro.errors import ConfigError, ShapeError, SimulationError
+from repro.formats.coo import COOMatrix
+from repro.matrices import generators
+
+
+def lower_triangular(n: int, extra_per_row: int = 2, seed: int = 0):
+    """Random lower-triangular matrix with a safe diagonal."""
+    rng = np.random.default_rng(seed)
+    rows, cols, values = [], [], []
+    for i in range(n):
+        rows.append(i)
+        cols.append(i)
+        values.append(4.0 + rng.random())
+        if i:
+            count = int(rng.integers(0, min(extra_per_row, i) + 1))
+            below = rng.choice(i, size=count, replace=False)
+            for j in below:
+                rows.append(i)
+                cols.append(int(j))
+                values.append(float(rng.normal()))
+    return COOMatrix((n, n), np.array(rows), np.array(cols),
+                     np.array(values, dtype=np.float32))
+
+
+@pytest.fixture
+def small_cfg(small_chason):
+    return small_chason
+
+
+class TestLevelSets:
+    def test_diagonal_is_single_level(self):
+        matrix = generators.diagonal(12, seed=0)
+        levels = level_sets(matrix)
+        assert len(levels) == 1
+        assert levels[0].size == 12
+
+    def test_bidiagonal_is_fully_serial(self):
+        entries = [(i, i, 2.0) for i in range(6)]
+        entries += [(i, i - 1, 1.0) for i in range(1, 6)]
+        matrix = COOMatrix.from_entries((6, 6), entries)
+        levels = level_sets(matrix)
+        assert len(levels) == 6
+        assert all(level.size == 1 for level in levels)
+
+    def test_levels_partition_rows(self):
+        matrix = lower_triangular(60, seed=1)
+        levels = level_sets(matrix)
+        combined = np.sort(np.concatenate(levels))
+        np.testing.assert_array_equal(combined, np.arange(60))
+
+    def test_dependencies_respected(self):
+        matrix = lower_triangular(60, seed=2)
+        levels = level_sets(matrix)
+        level_of = np.empty(60, dtype=int)
+        for index, level in enumerate(levels):
+            level_of[level] = index
+        for row, col, _ in matrix:
+            if col < row:
+                assert level_of[col] < level_of[row]
+
+    def test_rejects_upper_entries(self):
+        matrix = COOMatrix.from_entries((3, 3),
+                                        [(0, 0, 1.0), (0, 2, 1.0)])
+        with pytest.raises(ShapeError):
+            level_sets(matrix)
+
+    def test_rejects_nonsquare(self):
+        with pytest.raises(ShapeError):
+            level_sets(generators.uniform_random(3, 4, 2, seed=0))
+
+
+class TestSpTRSV:
+    def test_solves_system(self, small_cfg):
+        matrix = lower_triangular(80, seed=3)
+        rng = np.random.default_rng(3)
+        solution = rng.normal(size=80)
+        b = matrix.matvec(solution)
+        x, report = chason_sptrsv(matrix, b, config=small_cfg)
+        np.testing.assert_allclose(x, solution, rtol=1e-3, atol=1e-3)
+        assert report.levels == len(level_sets(matrix))
+        assert report.total_cycles > 0
+        assert report.latency_ms > 0
+
+    def test_analytic_path_matches_functional(self, small_cfg):
+        matrix = lower_triangular(60, seed=4)
+        b = matrix.matvec(np.ones(60))
+        x_func, rep_func = chason_sptrsv(matrix, b, config=small_cfg,
+                                         functional=True)
+        x_fast, rep_fast = chason_sptrsv(matrix, b, config=small_cfg,
+                                         functional=False)
+        np.testing.assert_allclose(x_fast, x_func, rtol=1e-3, atol=1e-4)
+        assert rep_fast.total_cycles == rep_func.total_cycles
+
+    def test_serial_chain_is_latency_bound(self, small_cfg):
+        # A bidiagonal chain has n levels of one row each: latency is
+        # dominated by per-level overheads, not streaming.
+        entries = [(i, i, 2.0) for i in range(20)]
+        entries += [(i, i - 1, 1.0) for i in range(1, 20)]
+        chain = COOMatrix.from_entries((20, 20), entries)
+        b = chain.matvec(np.ones(20))
+        _, report = chason_sptrsv(chain, b, config=small_cfg,
+                                  functional=False)
+        assert report.levels == 20
+        assert report.total_cycles >= (
+            20 * small_cfg.invocation_overhead_cycles
+        )
+
+    def test_rejects_zero_diagonal(self, small_cfg):
+        matrix = COOMatrix.from_entries((2, 2), [(1, 0, 1.0), (0, 0, 1.0)])
+        with pytest.raises(SimulationError):
+            chason_sptrsv(matrix, np.ones(2), config=small_cfg)
+
+    def test_rejects_bad_rhs(self, small_cfg):
+        with pytest.raises(ShapeError):
+            chason_sptrsv(lower_triangular(5), np.ones(4),
+                          config=small_cfg)
+
+    def test_mean_level_width(self, small_cfg):
+        matrix = generators.diagonal(16, seed=0)
+        _, report = chason_sptrsv(matrix, np.ones(16), config=small_cfg,
+                                  functional=False)
+        assert report.mean_level_width == pytest.approx(16.0)
+
+
+class TestHostModel:
+    def test_transfer_time(self):
+        link = HostLinkModel(pcie_bandwidth_gbps=12.0, pcie_latency_s=0.0)
+        assert link.transfer_seconds(12_000_000_000) == pytest.approx(1.0)
+
+    def test_latency_floor(self):
+        link = HostLinkModel()
+        assert link.transfer_seconds(0) == pytest.approx(link.pcie_latency_s)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            HostLinkModel(pcie_bandwidth_gbps=0)
+        with pytest.raises(ConfigError):
+            HostLinkModel().transfer_seconds(-1)
+        with pytest.raises(ConfigError):
+            MeasurementProtocol("x", iterations=0)
+
+    def test_paper_protocols(self):
+        # §5.2: 1000 FPGA iterations, 10 GPU, 100 CPU after 100 warm-ups.
+        assert FPGA_PROTOCOL.iterations == 1000
+        assert GPU_PROTOCOL.iterations == 10
+        assert CPU_PROTOCOL.iterations == 100
+        assert CPU_PROTOCOL.warmup_iterations == 100
+
+    def test_amortisation_rationale(self):
+        # The §5.2 methodology: at 1000 iterations the one-time costs stop
+        # distorting the per-iteration measurement; at 1 they dominate.
+        estimate_1 = estimate_deployment(
+            kernel_seconds=20e-6, schedule_bytes=10_000_000,
+            vector_bytes=64_000, iterations=1,
+        )
+        estimate_1000 = estimate_deployment(
+            kernel_seconds=20e-6, schedule_bytes=10_000_000,
+            vector_bytes=64_000, iterations=1000,
+        )
+        assert estimate_1.amortisation_error > 100.0
+        assert estimate_1000.amortisation_error < 100.0
+        assert (
+            estimate_1000.amortised_iteration_seconds
+            < estimate_1.amortised_iteration_seconds
+        )
+
+    def test_totals_add_up(self):
+        estimate = estimate_deployment(
+            kernel_seconds=1e-5, schedule_bytes=1_000_000,
+            vector_bytes=10_000, iterations=10,
+            include_reconfiguration=False,
+        )
+        assert estimate.total_seconds == pytest.approx(
+            estimate.one_time_seconds
+            + 10 * estimate.per_iteration_seconds
+        )
+
+    def test_kernel_latency_validated(self):
+        with pytest.raises(ConfigError):
+            estimate_deployment(0.0, 1, 1)
+
+
+class TestSextansBaseline:
+    def test_chason_beats_sextans_on_graphs(self):
+        matrix = generators.chung_lu_graph(1500, 15000, alpha=2.1, seed=9)
+        chason = chason_spmm_report(matrix, b_cols=16)
+        sextans = sextans_spmm_report(matrix, b_cols=16)
+        assert chason.latency_ms < sextans.latency_ms
+        assert chason.throughput_gflops > sextans.throughput_gflops
+        assert sextans.migrated == 0
+        assert chason.migrated > 0
+
+    def test_same_flop_count(self):
+        matrix = generators.uniform_random(400, 400, 3000, seed=10)
+        chason = chason_spmm_report(matrix, b_cols=8)
+        sextans = sextans_spmm_report(matrix, b_cols=8)
+        assert chason.nnz == sextans.nnz == matrix.nnz
+        assert chason.b_cols == sextans.b_cols
