@@ -8,12 +8,20 @@ Each evaluation figure/table reduces to one of three sweeps:
   (Figs. 3/11);
 * :func:`gpu_cpu_comparison` — Chasoň vs the GPU/CPU models (Fig. 14).
 
-The corpus sweeps honour two environment variables so the benchmark suite
-stays tractable by default but can reproduce the full-scale evaluation:
+The corpus sweeps honour three environment variables so the benchmark
+suite stays tractable by default but can reproduce the full-scale
+evaluation:
 
 * ``REPRO_FULL_CORPUS=1`` runs all 800 matrices at full size;
 * ``REPRO_CORPUS_COUNT=<n>`` / ``REPRO_CORPUS_NNZ_CAP=<m>`` override the
-  defaults (96 matrices, 40 000 non-zero cap) individually.
+  defaults (96 matrices, 40 000 non-zero cap) individually;
+* ``REPRO_CORPUS_WORKERS=<w>`` fans the per-matrix work out over ``w``
+  processes (default serial; results are ordered by spec index either
+  way, so the two modes are bit-identical).
+
+Schedules are memoised through :mod:`repro.scheduling.cache`, so sweeps
+that share matrices (Figs. 11/14, Fig. 15/Table 3) schedule each input
+once per scheme.
 """
 
 from __future__ import annotations
@@ -29,8 +37,15 @@ from ..core.accelerator import SpMVReport
 from ..core.chason import ChasonAccelerator
 from ..formats.coo import COOMatrix
 from ..matrices.collection import CORPUS_SIZE, CorpusSpec, corpus_specs
-from ..matrices.named import generate_named, named_specs
-from ..metrics import energy_efficiency, geometric_mean, speedup
+from ..matrices.named import MatrixSpec, generate_named, named_specs
+from ..metrics import (
+    energy_efficiency,
+    geometric_mean,
+    pe_underutilization_percent_batch,
+    speedup,
+)
+from ..scheduling.cache import global_schedule_cache
+from .runner import run_over_specs
 
 DEFAULT_CORPUS_COUNT = 96
 DEFAULT_CORPUS_NNZ_CAP = 40_000
@@ -46,16 +61,23 @@ def default_corpus_size() -> Tuple[int, Optional[int]]:
     return count, cap
 
 
+def _resolve_corpus_specs(
+    count: Optional[int], nnz_cap: Optional[int]
+) -> List[CorpusSpec]:
+    """The spec list of one corpus sweep, after env-default resolution."""
+    if count is None:
+        count, default_cap = default_corpus_size()
+        if nnz_cap is None:
+            nnz_cap = default_cap
+    return list(corpus_specs(count, nnz_cap))
+
+
 def corpus_matrices(
     count: Optional[int] = None,
     nnz_cap: Optional[int] = None,
 ) -> Iterator[Tuple[CorpusSpec, COOMatrix]]:
     """Yield (spec, matrix) pairs of the evaluation corpus."""
-    if count is None:
-        count, default_cap = default_corpus_size()
-        if nnz_cap is None:
-            nnz_cap = default_cap
-    for spec in corpus_specs(count, nnz_cap):
+    for spec in _resolve_corpus_specs(count, nnz_cap):
         yield spec, spec.generate()
 
 
@@ -95,6 +117,42 @@ class MatrixComparison:
         return self.chason.energy_efficiency / self.serpens.energy_efficiency
 
 
+def _named_comparison_worker(
+    task: Tuple[MatrixSpec, bool]
+) -> MatrixComparison:
+    """One Table 2 matrix through both accelerators (picklable worker)."""
+    from ..scheduling.stats import channel_underutilization
+
+    spec, include_channel_stats = task
+    cache = global_schedule_cache()
+    matrix = generate_named(spec.name)
+    chason = ChasonAccelerator()
+    serpens = SerpensAccelerator()
+    chason_schedule = cache.get_or_build(
+        ("named", spec.name), chason.config, "crhcs",
+        lambda: chason.schedule(matrix),
+    )
+    serpens_schedule = cache.get_or_build(
+        ("named", spec.name), serpens.config, "pe_aware",
+        lambda: serpens.schedule(matrix),
+    )
+    chason_pegs: Tuple[float, ...] = ()
+    serpens_pegs: Tuple[float, ...] = ()
+    if include_channel_stats:
+        chason_pegs = tuple(channel_underutilization(chason_schedule))
+        serpens_pegs = tuple(channel_underutilization(serpens_schedule))
+    return MatrixComparison(
+        matrix_id=spec.matrix_id,
+        name=spec.name,
+        collection=spec.collection,
+        nnz=matrix.nnz,
+        chason=chason.analyze(matrix, schedule=chason_schedule),
+        serpens=serpens.analyze(matrix, schedule=serpens_schedule),
+        chason_peg_underutilization=chason_pegs,
+        serpens_peg_underutilization=serpens_pegs,
+    )
+
+
 def compare_on_named(
     names: Optional[Sequence[str]] = None,
     collection: Optional[str] = None,
@@ -102,42 +160,20 @@ def compare_on_named(
 ) -> List[MatrixComparison]:
     """Run Chasoň and Serpens on (a subset of) the Table 2 matrices.
 
-    Each matrix is scheduled once per accelerator; with
-    ``include_channel_stats=True`` the per-PEG underutilization of
-    Figs. 12/13 is extracted from the schedules before they are dropped.
+    Each matrix is scheduled once per accelerator (memoised across calls
+    by the schedule cache); with ``include_channel_stats=True`` the
+    per-PEG underutilization of Figs. 12/13 is extracted from the
+    schedules before they are dropped.
     """
-    from ..scheduling.stats import channel_underutilization
-
     if names is None:
         specs = named_specs(collection)
     else:
         all_specs = {spec.name: spec for spec in named_specs()}
         specs = [all_specs[name] for name in names]
-    chason = ChasonAccelerator()
-    serpens = SerpensAccelerator()
-    results = []
-    for spec in specs:
-        matrix = generate_named(spec.name)
-        chason_schedule = chason.schedule(matrix)
-        serpens_schedule = serpens.schedule(matrix)
-        chason_pegs: Tuple[float, ...] = ()
-        serpens_pegs: Tuple[float, ...] = ()
-        if include_channel_stats:
-            chason_pegs = tuple(channel_underutilization(chason_schedule))
-            serpens_pegs = tuple(channel_underutilization(serpens_schedule))
-        results.append(
-            MatrixComparison(
-                matrix_id=spec.matrix_id,
-                name=spec.name,
-                collection=spec.collection,
-                nnz=matrix.nnz,
-                chason=chason.analyze(matrix, schedule=chason_schedule),
-                serpens=serpens.analyze(matrix, schedule=serpens_schedule),
-                chason_peg_underutilization=chason_pegs,
-                serpens_peg_underutilization=serpens_pegs,
-            )
-        )
-    return results
+    return run_over_specs(
+        _named_comparison_worker,
+        [(spec, include_channel_stats) for spec in specs],
+    )
 
 
 @dataclass
@@ -161,34 +197,86 @@ class CorpusResult:
         return max(self.chason_throughputs)
 
 
+def _corpus_comparison_worker(
+    spec: CorpusSpec,
+) -> Tuple[float, float, float, float, float, float]:
+    """Both schedulers on one corpus spec (picklable worker).
+
+    The matrix is regenerated from the seeded spec inside the worker, so
+    a parallel task ships a few integers, not the COO payload.
+    """
+    matrix = spec.generate()
+    cache = global_schedule_cache()
+    chason = ChasonAccelerator()
+    serpens = SerpensAccelerator()
+    chason_report = chason.analyze(
+        matrix,
+        schedule=cache.get_or_build(
+            spec, chason.config, "crhcs", lambda: chason.schedule(matrix)
+        ),
+    )
+    serpens_report = serpens.analyze(
+        matrix,
+        schedule=cache.get_or_build(
+            spec, serpens.config, "pe_aware",
+            lambda: serpens.schedule(matrix),
+        ),
+    )
+    return (
+        serpens_report.underutilization_pct,
+        chason_report.underutilization_pct,
+        speedup(serpens_report.latency_ms, chason_report.latency_ms),
+        serpens_report.traffic_bytes / max(chason_report.traffic_bytes, 1),
+        chason_report.throughput_gflops,
+        serpens_report.throughput_gflops,
+    )
+
+
 def compare_on_corpus(
     count: Optional[int] = None,
     nnz_cap: Optional[int] = None,
 ) -> CorpusResult:
     """Chasoň vs Serpens over the evaluation corpus."""
-    chason = ChasonAccelerator()
-    serpens = SerpensAccelerator()
-    result = CorpusResult(count=0)
-    for _spec, matrix in corpus_matrices(count, nnz_cap):
-        chason_report = chason.analyze(matrix)
-        serpens_report = serpens.analyze(matrix)
-        result.count += 1
-        result.serpens_underutilization.append(
-            serpens_report.underutilization_pct
-        )
-        result.chason_underutilization.append(
-            chason_report.underutilization_pct
-        )
-        result.speedups.append(
-            speedup(serpens_report.latency_ms, chason_report.latency_ms)
-        )
-        result.transfer_reductions.append(
-            serpens_report.traffic_bytes
-            / max(chason_report.traffic_bytes, 1)
-        )
-        result.chason_throughputs.append(chason_report.throughput_gflops)
-        result.serpens_throughputs.append(serpens_report.throughput_gflops)
+    specs = _resolve_corpus_specs(count, nnz_cap)
+    rows = run_over_specs(_corpus_comparison_worker, specs)
+    result = CorpusResult(count=len(rows))
+    for (serpens_pct, chason_pct, ratio, transfer, chason_gflops,
+         serpens_gflops) in rows:
+        result.serpens_underutilization.append(serpens_pct)
+        result.chason_underutilization.append(chason_pct)
+        result.speedups.append(ratio)
+        result.transfer_reductions.append(transfer)
+        result.chason_throughputs.append(chason_gflops)
+        result.serpens_throughputs.append(serpens_gflops)
     return result
+
+
+def _stall_survey_worker(spec: CorpusSpec) -> Tuple[int, int]:
+    """(stalls, nnz) of the PE-aware schedule of one corpus spec."""
+    matrix = spec.generate()
+    serpens = SerpensAccelerator()
+    schedule = global_schedule_cache().get_or_build(
+        spec, serpens.config, "pe_aware", lambda: serpens.schedule(matrix)
+    )
+    return schedule.total_stalls, schedule.nnz
+
+
+def pe_aware_stall_survey(
+    count: Optional[int] = None,
+    nnz_cap: Optional[int] = None,
+) -> List[float]:
+    """The Fig. 3 distribution: per-matrix Eq. 4 under PE-aware scheduling.
+
+    Only the Serpens baseline is scheduled, making this the cheapest (and
+    most parallel) of the corpus sweeps — the survey honours
+    ``REPRO_CORPUS_WORKERS`` like the full comparisons.
+    """
+    specs = _resolve_corpus_specs(count, nnz_cap)
+    counts = run_over_specs(_stall_survey_worker, specs)
+    return pe_underutilization_percent_batch(
+        [stalls for stalls, _ in counts],
+        [nnz for _, nnz in counts],
+    )
 
 
 @dataclass(frozen=True)
@@ -213,35 +301,44 @@ class BaselineComparison:
         return self.chason_eff / self.baseline_eff
 
 
+def _gpu_cpu_worker(spec: CorpusSpec) -> List[BaselineComparison]:
+    """Chasoň vs every GPU/CPU baseline on one spec (picklable worker)."""
+    matrix = spec.generate()
+    chason = ChasonAccelerator()
+    chason_report = chason.analyze(
+        matrix,
+        schedule=global_schedule_cache().get_or_build(
+            spec, chason.config, "crhcs", lambda: chason.schedule(matrix)
+        ),
+    )
+    rows: List[BaselineComparison] = []
+    for key, model in (
+        ("rtx4090", CusparseGpuModel(RTX_4090)),
+        ("rtxa6000", CusparseGpuModel(RTX_A6000)),
+        ("i9", MklCpuModel()),
+    ):
+        latency = model.latency_seconds(matrix)
+        gflops = model.throughput_gflops(matrix)
+        rows.append(
+            BaselineComparison(
+                baseline=key,
+                matrix_label=f"corpus#{spec.index}",
+                chason_latency_ms=chason_report.latency_ms,
+                baseline_latency_ms=latency * 1e3,
+                chason_gflops=chason_report.throughput_gflops,
+                baseline_gflops=gflops,
+                chason_eff=chason_report.energy_efficiency,
+                baseline_eff=energy_efficiency(gflops, model.power_watts),
+            )
+        )
+    return rows
+
+
 def gpu_cpu_comparison(
     count: Optional[int] = None,
     nnz_cap: Optional[int] = None,
 ) -> List[BaselineComparison]:
     """Chasoň vs RTX 4090 / RTX A6000 / Core i9 over the corpus."""
-    chason = ChasonAccelerator()
-    baselines = [
-        ("rtx4090", CusparseGpuModel(RTX_4090)),
-        ("rtxa6000", CusparseGpuModel(RTX_A6000)),
-        ("i9", MklCpuModel()),
-    ]
-    rows: List[BaselineComparison] = []
-    for spec, matrix in corpus_matrices(count, nnz_cap):
-        chason_report = chason.analyze(matrix)
-        for key, model in baselines:
-            latency = model.latency_seconds(matrix)
-            gflops = model.throughput_gflops(matrix)
-            rows.append(
-                BaselineComparison(
-                    baseline=key,
-                    matrix_label=f"corpus#{spec.index}",
-                    chason_latency_ms=chason_report.latency_ms,
-                    baseline_latency_ms=latency * 1e3,
-                    chason_gflops=chason_report.throughput_gflops,
-                    baseline_gflops=gflops,
-                    chason_eff=chason_report.energy_efficiency,
-                    baseline_eff=energy_efficiency(
-                        gflops, model.power_watts
-                    ),
-                )
-            )
-    return rows
+    specs = _resolve_corpus_specs(count, nnz_cap)
+    per_spec = run_over_specs(_gpu_cpu_worker, specs)
+    return [row for rows in per_spec for row in rows]

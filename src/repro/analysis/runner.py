@@ -1,0 +1,65 @@
+"""Parallel corpus execution (the outer loop of the Fig. 3/11/14 sweeps).
+
+The corpus experiments are embarrassingly parallel — every matrix is
+generated from a seeded :class:`~repro.matrices.collection.CorpusSpec` and
+scheduled independently — so the runner fans specs out over a
+``ProcessPoolExecutor`` when ``REPRO_CORPUS_WORKERS`` asks for more than
+one worker.  Determinism is preserved by construction:
+
+* the default is **serial** (``REPRO_CORPUS_WORKERS`` unset, empty, or
+  ``<= 1``), so CI runs never depend on multiprocessing start methods;
+* parallel results come back through ``Executor.map``, which yields in
+  submission order — results are ordered by spec index regardless of
+  which worker finishes first;
+* workers receive the *spec*, not the matrix, and regenerate it from the
+  seed, so a task ships a few integers instead of megabytes of COO data.
+
+Worker callables must be module-level functions (picklable); the
+experiment runners in :mod:`repro.analysis.experiments` follow this rule.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+_ItemT = TypeVar("_ItemT")
+_ResultT = TypeVar("_ResultT")
+
+#: Environment variable selecting the worker count (default: serial).
+WORKERS_ENV = "REPRO_CORPUS_WORKERS"
+
+
+def corpus_worker_count() -> int:
+    """The configured worker count; ``1`` (serial) when unset or invalid."""
+    raw = os.environ.get(WORKERS_ENV, "").strip()
+    if not raw:
+        return 1
+    try:
+        count = int(raw)
+    except ValueError:
+        return 1
+    return count if count > 1 else 1
+
+
+def run_over_specs(
+    worker: Callable[[_ItemT], _ResultT],
+    items: Sequence[_ItemT],
+    workers: Optional[int] = None,
+) -> List[_ResultT]:
+    """Map ``worker`` over ``items``, preserving input order.
+
+    ``worker`` must be a module-level (picklable) function when more than
+    one worker is requested.  With ``workers <= 1`` the map runs serially
+    in-process, producing bit-identical results to the parallel path.
+    """
+    if workers is None:
+        workers = corpus_worker_count()
+    items = list(items)
+    if workers <= 1 or len(items) <= 1:
+        return [worker(item) for item in items]
+    workers = min(workers, len(items))
+    chunksize = max(1, len(items) // (workers * 4))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(worker, items, chunksize=chunksize))

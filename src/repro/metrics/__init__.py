@@ -5,6 +5,7 @@ from .definitions import (
     energy_efficiency,
     geometric_mean,
     pe_underutilization_percent,
+    pe_underutilization_percent_batch,
     speedup,
     throughput_gflops,
 )
@@ -14,6 +15,7 @@ __all__ = [
     "energy_efficiency",
     "geometric_mean",
     "pe_underutilization_percent",
+    "pe_underutilization_percent_batch",
     "speedup",
     "throughput_gflops",
 ]

@@ -13,7 +13,7 @@
 from __future__ import annotations
 
 import math
-from typing import Iterable
+from typing import Iterable, List, Sequence
 
 from ..errors import ConfigError
 
@@ -26,6 +26,22 @@ def pe_underutilization_percent(stalls: int, nnz: int) -> float:
     if denominator == 0:
         return 0.0
     return 100.0 * stalls / denominator
+
+
+def pe_underutilization_percent_batch(
+    stalls: Sequence[int], nnzs: Sequence[int]
+) -> List[float]:
+    """Eq. 4 over a whole sweep (one value per matrix).
+
+    Matches :func:`pe_underutilization_percent` exactly — the Fig. 3
+    distribution is built from these per-matrix percentages.
+    """
+    if len(stalls) != len(nnzs):
+        raise ConfigError("stall and nnz sequences must have equal length")
+    return [
+        pe_underutilization_percent(stall_count, nnz)
+        for stall_count, nnz in zip(stalls, nnzs)
+    ]
 
 
 def throughput_gflops(nnz: int, k: int, latency_seconds: float) -> float:

@@ -5,18 +5,35 @@ HBM channels stream at runtime: per channel, a grid of slots — one row of
 eight slots per cycle, the k-th slot feeding PE k of that channel's PEG
 (§3.2).  Empty slots are the explicit zeros / pseudo-stalls of §2.2.
 
-Grids store only occupied slots (a dict keyed by ``(cycle, pe)``) plus an
-explicit length; sparse schedules of large matrices would otherwise
-materialise millions of ``None`` entries.
+Grids are **array-backed**: per channel, dense NumPy arrays of shape
+``(capacity, pes)`` hold ``value``/``row``/``col``/``origin_channel``/
+``origin_pe``, with :data:`STALL_SENTINEL` (``-1``) in ``origin_channel``
+marking a stall slot.  The dense layout is what lets the schedulers, the
+stats, the serializer and the simulator operate with vectorized NumPy
+arithmetic instead of per-slot dict probes; stall-only padding beyond the
+occupied prefix costs nothing because ``length`` can exceed the allocated
+``capacity`` (the §3.1 resize of an empty channel never materialises
+storage).  A dict-style compatibility view (:attr:`ChannelGrid.occupied`)
+plus ``slot()``/``iter_elements()``/``holes()`` keep pre-array callers and
+tests working unchanged.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from collections.abc import MutableMapping
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, NamedTuple, Optional, Tuple
+
+import numpy as np
 
 from ..config import AcceleratorConfig
 from ..errors import RawHazardError, SchedulingError
+
+#: ``origin_channel`` value marking an empty (stall) slot in the arrays.
+STALL_SENTINEL = -1
+
+#: Smallest non-zero cycle capacity a grid allocates.
+_MIN_CAPACITY = 8
 
 
 class ScheduledElement(NamedTuple):
@@ -45,110 +62,435 @@ def pe_for_row(row: int, config: AcceleratorConfig) -> Tuple[int, int]:
     )
 
 
-@dataclass
+class _OccupiedView(MutableMapping):
+    """Dict-compatible live view of a grid's occupied slots.
+
+    Keys are ``(cycle, pe)`` tuples, values :class:`ScheduledElement`;
+    reads and writes go straight to the grid's backing arrays.  Iteration
+    is in stream order (cycle-major), which is a superset of what the old
+    dict guaranteed.
+    """
+
+    __slots__ = ("_grid",)
+
+    def __init__(self, grid: "ChannelGrid"):
+        self._grid = grid
+
+    def __getitem__(self, key: Tuple[int, int]) -> ScheduledElement:
+        element = self._grid.slot(key[0], key[1])
+        if element is None:
+            raise KeyError(key)
+        return element
+
+    def get(self, key, default=None):
+        element = self._grid.slot(key[0], key[1])
+        return default if element is None else element
+
+    def __setitem__(self, key: Tuple[int, int], element: ScheduledElement):
+        self._grid.set_slot(key[0], key[1], element)
+
+    def __delitem__(self, key: Tuple[int, int]) -> None:
+        cycle, pe = key
+        if self._grid.slot(cycle, pe) is None:
+            raise KeyError(key)
+        self._grid.clear_slot(cycle, pe)
+
+    def __contains__(self, key) -> bool:
+        return self._grid.slot(key[0], key[1]) is not None
+
+    def __iter__(self) -> Iterator[Tuple[int, int]]:
+        cycles, pes = self._grid.occupied_coords()
+        for cycle, pe in zip(cycles.tolist(), pes.tolist()):
+            yield (cycle, pe)
+
+    def __len__(self) -> int:
+        return self._grid.element_count
+
+    def items(self):
+        return [
+            ((cycle, pe), element)
+            for cycle, pe, element in self._grid.iter_elements()
+        ]
+
+    def values(self):
+        return [e for _, _, e in self._grid.iter_elements()]
+
+    def keys(self):
+        return list(self)
+
+
 class ChannelGrid:
     """The data list of one channel: occupied slots over ``length`` cycles.
 
     Mutable on purpose — CrHCS migration edits grids in place (it removes
     donated elements from the donor and fills holes in the destination).
+
+    Storage is five dense ``(capacity, pes)`` arrays; ``origin_channel ==
+    STALL_SENTINEL`` marks an empty slot.  ``length`` may exceed
+    ``capacity``: cycles past the allocated prefix are implicit stalls, so
+    resizing a short channel to a long one (§3.1) is O(1).
     """
 
-    channel_id: int
-    pes: int
-    occupied: Dict[Tuple[int, int], ScheduledElement] = field(
-        default_factory=dict
+    __slots__ = (
+        "channel_id",
+        "pes",
+        "length",
+        "_capacity",
+        "_value",
+        "_row",
+        "_col",
+        "_origin_channel",
+        "_origin_pe",
+        "_count",
+        "_max_cycle",
+        "_max_dirty",
     )
-    length: int = 0
+
+    def __init__(self, channel_id: int, pes: int, length: int = 0):
+        self.channel_id = channel_id
+        self.pes = pes
+        self.length = length
+        self._capacity = 0
+        self._value = np.empty((0, pes), dtype=np.float64)
+        self._row = np.empty((0, pes), dtype=np.int64)
+        self._col = np.empty((0, pes), dtype=np.int64)
+        self._origin_channel = np.empty((0, pes), dtype=np.int64)
+        self._origin_pe = np.empty((0, pes), dtype=np.int64)
+        self._count = 0
+        #: Largest occupied cycle, tracked incrementally so
+        #: :meth:`trim_trailing_stalls` never rescans the grid; a removal
+        #: at the tracked maximum marks it dirty for a lazy recompute.
+        self._max_cycle = -1
+        self._max_dirty = False
+
+    def __repr__(self) -> str:
+        return (
+            f"ChannelGrid(channel_id={self.channel_id}, pes={self.pes}, "
+            f"length={self.length}, elements={self._count})"
+        )
 
     def __len__(self) -> int:
         return self.length
 
+    # -- storage ------------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        """Allocated cycle rows (≤ ``length`` when the tail is all stalls)."""
+        return self._capacity
+
+    @property
+    def occupied(self) -> "_OccupiedView":
+        """Dict-style ``(cycle, pe) -> element`` view of the arrays."""
+        return _OccupiedView(self)
+
+    def reserve(self, cycles: int) -> None:
+        """Pre-allocate storage for ``cycles`` cycle rows."""
+        if cycles > self._capacity:
+            new_capacity = max(cycles, 2 * self._capacity, _MIN_CAPACITY)
+            old = self._capacity
+            grown_value = np.empty((new_capacity, self.pes), dtype=np.float64)
+            grown_row = np.empty((new_capacity, self.pes), dtype=np.int64)
+            grown_col = np.empty((new_capacity, self.pes), dtype=np.int64)
+            grown_och = np.empty((new_capacity, self.pes), dtype=np.int64)
+            grown_ope = np.empty((new_capacity, self.pes), dtype=np.int64)
+            if old:
+                grown_value[:old] = self._value
+                grown_row[:old] = self._row
+                grown_col[:old] = self._col
+                grown_och[:old] = self._origin_channel
+                grown_ope[:old] = self._origin_pe
+            grown_value[old:] = 0.0
+            grown_row[old:] = STALL_SENTINEL
+            grown_col[old:] = STALL_SENTINEL
+            grown_och[old:] = STALL_SENTINEL
+            grown_ope[old:] = STALL_SENTINEL
+            self._value = grown_value
+            self._row = grown_row
+            self._col = grown_col
+            self._origin_channel = grown_och
+            self._origin_pe = grown_ope
+            self._capacity = new_capacity
+
     def ensure_length(self, length: int) -> None:
-        """Pad with stall-only cycles up to ``length`` (§3.1 resizing)."""
+        """Pad with stall-only cycles up to ``length`` (§3.1 resizing).
+
+        Purely logical — implicit-stall cycles allocate no storage.
+        """
         if length > self.length:
             self.length = length
 
+    # -- single-slot API ------------------------------------------------------
+
     def slot(self, cycle: int, pe: int) -> Optional[ScheduledElement]:
-        return self.occupied.get((cycle, pe))
+        if (
+            cycle < 0
+            or cycle >= self._capacity
+            or not 0 <= pe < self.pes
+            or self._origin_channel[cycle, pe] < 0
+        ):
+            return None
+        return ScheduledElement(
+            int(self._row[cycle, pe]),
+            int(self._col[cycle, pe]),
+            float(self._value[cycle, pe]),
+            int(self._origin_channel[cycle, pe]),
+            int(self._origin_pe[cycle, pe]),
+        )
 
     def cycle_slots(self, cycle: int) -> List[Optional[ScheduledElement]]:
         """The eight slots of one cycle (the 512-bit channel word)."""
-        return [self.occupied.get((cycle, pe)) for pe in range(self.pes)]
+        return [self.slot(cycle, pe) for pe in range(self.pes)]
+
+    def set_slot(self, cycle: int, pe: int, element: ScheduledElement) -> None:
+        """Write a slot, overwriting whatever was there (dict semantics)."""
+        if cycle < 0 or not 0 <= pe < self.pes:
+            raise SchedulingError(
+                f"slot (cycle={cycle}, pe={pe}) out of range"
+            )
+        self.reserve(cycle + 1)
+        if self._origin_channel[cycle, pe] < 0:
+            self._count += 1
+        self._row[cycle, pe] = element.row
+        self._col[cycle, pe] = element.col
+        self._value[cycle, pe] = element.value
+        self._origin_channel[cycle, pe] = element.origin_channel
+        self._origin_pe[cycle, pe] = element.origin_pe
+        if cycle > self._max_cycle:
+            self._max_cycle = cycle
+        self.ensure_length(cycle + 1)
 
     def place(self, cycle: int, pe: int, element: ScheduledElement) -> None:
         if cycle < 0 or not 0 <= pe < self.pes:
             raise SchedulingError(
                 f"slot (cycle={cycle}, pe={pe}) out of range"
             )
-        key = (cycle, pe)
-        if key in self.occupied:
+        if cycle < self._capacity and self._origin_channel[cycle, pe] >= 0:
             raise SchedulingError(
                 f"slot (cycle={cycle}, pe={pe}) of channel "
                 f"{self.channel_id} is already occupied"
             )
-        self.occupied[key] = element
-        self.ensure_length(cycle + 1)
+        self.set_slot(cycle, pe, element)
+
+    def clear_slot(self, cycle: int, pe: int) -> None:
+        """Turn one occupied slot back into a stall."""
+        self._origin_channel[cycle, pe] = STALL_SENTINEL
+        self._row[cycle, pe] = STALL_SENTINEL
+        self._col[cycle, pe] = STALL_SENTINEL
+        self._origin_pe[cycle, pe] = STALL_SENTINEL
+        self._value[cycle, pe] = 0.0
+        self._count -= 1
+        if cycle == self._max_cycle:
+            self._max_dirty = True
 
     def take(self, cycle: int, pe: int) -> ScheduledElement:
         """Remove and return the element at a slot (migration donor side)."""
-        element = self.occupied.pop((cycle, pe), None)
+        element = self.slot(cycle, pe)
         if element is None:
             raise SchedulingError(
                 f"slot (cycle={cycle}, pe={pe}) of channel "
                 f"{self.channel_id} is empty"
             )
+        self.clear_slot(cycle, pe)
         return element
 
-    def trim_trailing_stalls(self) -> None:
-        """Drop all-stall cycles from the tail (post-migration compaction)."""
-        if not self.occupied:
-            self.length = 0
+    # -- bulk array API -------------------------------------------------------
+
+    def occupied_mask(self, length: Optional[int] = None) -> np.ndarray:
+        """Boolean ``(length, pes)`` mask of occupied slots."""
+        if length is None:
+            length = self.length
+        stored = min(length, self._capacity)
+        mask = np.zeros((length, self.pes), dtype=bool)
+        if stored:
+            mask[:stored] = self._origin_channel[:stored] >= 0
+        return mask
+
+    def occupied_coords(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(cycles, pes)`` of occupied slots in stream order."""
+        stored = min(self.length, self._capacity)
+        flat = np.flatnonzero(self._origin_channel[:stored].ravel() >= 0)
+        return flat // self.pes, flat % self.pes
+
+    def hole_coords(
+        self, length: Optional[int] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``(cycles, pes)`` of stall slots in stream order."""
+        if length is None:
+            length = self.length
+        flat = np.flatnonzero(~self.occupied_mask(length).ravel())
+        return flat // self.pes, flat % self.pes
+
+    def element_arrays(
+        self,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray,
+               np.ndarray, np.ndarray]:
+        """``(cycles, pes, rows, cols, values, origin_channels, origin_pes)``
+        of every occupied slot, in stream order."""
+        cycles, pes = self.occupied_coords()
+        return (
+            cycles,
+            pes,
+            self._row[cycles, pes],
+            self._col[cycles, pes],
+            self._value[cycles, pes],
+            self._origin_channel[cycles, pes],
+            self._origin_pe[cycles, pes],
+        )
+
+    def fill_lane(
+        self,
+        pe: int,
+        cycles: np.ndarray,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        values: np.ndarray,
+    ) -> None:
+        """Bulk-place private elements of one PE lane (scheduler fast path).
+
+        The caller guarantees the target slots are empty and the cycles
+        unique — the invariant every single-PE scheduler provides.
+        """
+        if cycles.size == 0:
             return
-        self.length = max(cycle for cycle, _ in self.occupied) + 1
+        top = int(cycles.max())
+        self.reserve(top + 1)
+        self._row[cycles, pe] = rows
+        self._col[cycles, pe] = cols
+        self._value[cycles, pe] = values
+        self._origin_channel[cycles, pe] = self.channel_id
+        self._origin_pe[cycles, pe] = pe
+        self._count += int(cycles.size)
+        if top > self._max_cycle:
+            self._max_cycle = top
+        self.ensure_length(top + 1)
+
+    def fill_slots(
+        self,
+        cycles: np.ndarray,
+        pes: np.ndarray,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        values: np.ndarray,
+        origin_channels,
+        origin_pes,
+    ) -> None:
+        """Bulk-place elements at distinct empty ``(cycle, pe)`` slots."""
+        cycles = np.asarray(cycles, dtype=np.int64)
+        if cycles.size == 0:
+            return
+        top = int(cycles.max())
+        self.reserve(top + 1)
+        self._row[cycles, pes] = rows
+        self._col[cycles, pes] = cols
+        self._value[cycles, pes] = values
+        self._origin_channel[cycles, pes] = origin_channels
+        self._origin_pe[cycles, pes] = origin_pes
+        self._count += int(cycles.size)
+        if top > self._max_cycle:
+            self._max_cycle = top
+        self.ensure_length(top + 1)
+
+    def clear_slots(self, cycles: np.ndarray, pes: np.ndarray) -> None:
+        """Bulk-remove elements (migration donor side)."""
+        cycles = np.asarray(cycles, dtype=np.int64)
+        if cycles.size == 0:
+            return
+        self._origin_channel[cycles, pes] = STALL_SENTINEL
+        self._row[cycles, pes] = STALL_SENTINEL
+        self._col[cycles, pes] = STALL_SENTINEL
+        self._origin_pe[cycles, pes] = STALL_SENTINEL
+        self._value[cycles, pes] = 0.0
+        self._count -= int(cycles.size)
+        self._max_dirty = True
+
+    # -- compaction ---------------------------------------------------------
+
+    def trim_trailing_stalls(self) -> None:
+        """Drop all-stall cycles from the tail (post-migration compaction).
+
+        O(1) thanks to the incrementally tracked maximum occupied cycle;
+        only a removal at the old maximum forces a (vectorized) rescan.
+        """
+        if self._count == 0:
+            self.length = 0
+            self._max_cycle = -1
+            self._max_dirty = False
+            return
+        if self._max_dirty:
+            stored = min(self.length, self._capacity)
+            occupied_rows = np.flatnonzero(
+                (self._origin_channel[:stored] >= 0).any(axis=1)
+            )
+            self._max_cycle = int(occupied_rows[-1])
+            self._max_dirty = False
+        self.length = self._max_cycle + 1
 
     # -- accounting ---------------------------------------------------------
 
     @property
     def element_count(self) -> int:
-        return len(self.occupied)
+        return self._count
 
     @property
     def stall_count(self) -> int:
-        return self.length * self.pes - len(self.occupied)
+        return self.length * self.pes - self._count
 
     def iter_elements(
         self,
     ) -> Iterator[Tuple[int, int, ScheduledElement]]:
         """Yield ``(cycle, pe, element)`` in stream order."""
-        for (cycle, pe), element in sorted(self.occupied.items()):
-            yield cycle, pe, element
+        cycles, pes, rows, cols, values, och, ope = self.element_arrays()
+        for cycle, pe, row, col, value, channel, origin_pe in zip(
+            cycles.tolist(), pes.tolist(), rows.tolist(), cols.tolist(),
+            values.tolist(), och.tolist(), ope.tolist(),
+        ):
+            yield cycle, pe, ScheduledElement(
+                row, col, value, channel, origin_pe
+            )
 
     def holes(self) -> Iterator[Tuple[int, int]]:
         """Yield ``(cycle, pe)`` for every stall slot, in stream order."""
-        for cycle in range(self.length):
-            for pe in range(self.pes):
-                if (cycle, pe) not in self.occupied:
-                    yield cycle, pe
+        cycles, pes = self.hole_coords()
+        for cycle, pe in zip(cycles.tolist(), pes.tolist()):
+            yield cycle, pe
 
-    def own_elements_tail_first(
+    def own_arrays_tail_first(
         self,
-    ) -> List[Tuple[int, int, ScheduledElement]]:
-        """This channel's private elements, latest cycles first.
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray,
+               np.ndarray]:
+        """``(cycles, pes, rows, cols, values, origin_pes)`` of this
+        channel's private elements, latest ``(cycle, pe)`` first.
 
         These are the migration candidates CrHCS offers to the previous
         channel; elements that already migrated *in* stay put (Fig. 5d
         migrates only values that originally belonged to the donor).
         """
+        cycles, pes = self.occupied_coords()
+        own = self._origin_channel[cycles, pes] == self.channel_id
+        cycles, pes = cycles[own][::-1], pes[own][::-1]
+        return (
+            cycles,
+            pes,
+            self._row[cycles, pes],
+            self._col[cycles, pes],
+            self._value[cycles, pes],
+            self._origin_pe[cycles, pes],
+        )
+
+    def own_elements_tail_first(
+        self,
+    ) -> List[Tuple[int, int, ScheduledElement]]:
+        """This channel's private elements, latest cycles first."""
+        cycles, pes, rows, cols, values, ope = self.own_arrays_tail_first()
         channel_id = self.channel_id
-        own = [
-            (cycle, pe, element)
-            for (cycle, pe), element in self.occupied.items()
-            if element.origin_channel == channel_id
+        return [
+            (cycle, pe, ScheduledElement(row, col, value, channel_id, origin))
+            for cycle, pe, row, col, value, origin in zip(
+                cycles.tolist(), pes.tolist(), rows.tolist(), cols.tolist(),
+                values.tolist(), ope.tolist(),
+            )
         ]
-        # (cycle, pe) pairs are unique, so reverse tuple order sorts
-        # latest-cycle-first without ever comparing the elements.
-        own.sort(reverse=True)
-        return own
 
 
 @dataclass

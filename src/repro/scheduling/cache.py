@@ -1,0 +1,154 @@
+"""Schedule memoisation keyed by ``(matrix spec, config, scheme)``.
+
+Several experiments reschedule the same inputs: Fig. 11 and Fig. 14 walk
+the same corpus, Fig. 15 and Table 3 walk the same named matrices, and the
+ablation sweeps re-run one matrix under many schemes.  Scheduling is the
+dominant cost, and every matrix in the reproduction is *seeded* — its
+identity is its spec, not its COO payload — so a schedule can be memoised
+under a small hashable key.
+
+Two tiers:
+
+* **in-memory LRU** (always on, bounded by ``REPRO_SCHEDULE_CACHE_SIZE``,
+  default 16 schedules, ``0`` disables caching entirely);
+* **on-disk images** (opt-in via ``REPRO_SCHEDULE_CACHE_DIR``): schedules
+  are stored in the §3.2 wire format through
+  :mod:`repro.scheduling.serialize`, so a cache file is exactly the HBM
+  channel image a deployment would ship.  Schedules the wire format
+  cannot carry (``migration_span > 1``) silently skip the disk tier.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from collections import OrderedDict
+from typing import Callable, Hashable, Optional, Tuple
+
+from ..errors import FormatError, SchedulingError
+from .base import TiledSchedule
+
+_SIZE_ENV = "REPRO_SCHEDULE_CACHE_SIZE"
+_DIR_ENV = "REPRO_SCHEDULE_CACHE_DIR"
+_DEFAULT_SIZE = 16
+
+CacheKey = Tuple[Hashable, Hashable, str]
+
+
+class ScheduleCache:
+    """A bounded LRU of schedules with an optional disk tier."""
+
+    def __init__(
+        self,
+        capacity: int = _DEFAULT_SIZE,
+        disk_dir: Optional[str] = None,
+    ):
+        self.capacity = max(capacity, 0)
+        self.disk_dir = disk_dir
+        self._entries: "OrderedDict[CacheKey, TiledSchedule]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @staticmethod
+    def key(spec_key: Hashable, config: Hashable, scheme: str) -> CacheKey:
+        """The cache key; configs are frozen dataclasses, hence hashable."""
+        return (spec_key, config, scheme)
+
+    def _disk_path(self, key: CacheKey) -> str:
+        digest = hashlib.sha256(repr(key).encode()).hexdigest()[:32]
+        return os.path.join(self.disk_dir, f"{digest}.chsn")
+
+    def get_or_build(
+        self,
+        spec_key: Hashable,
+        config,
+        scheme: str,
+        build: Callable[[], TiledSchedule],
+    ) -> TiledSchedule:
+        """Return the cached schedule for the key, building it on a miss."""
+        if self.capacity == 0 and self.disk_dir is None:
+            return build()
+        key = self.key(spec_key, config, scheme)
+        cached = self._entries.get(key)
+        if cached is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return cached
+
+        schedule: Optional[TiledSchedule] = None
+        if self.disk_dir is not None:
+            path = self._disk_path(key)
+            if os.path.exists(path):
+                from .serialize import deserialize_schedule
+
+                try:
+                    with open(path, "rb") as handle:
+                        schedule = deserialize_schedule(
+                            handle.read(), config
+                        )
+                    self.hits += 1
+                except (FormatError, OSError):
+                    schedule = None
+        if schedule is None:
+            self.misses += 1
+            schedule = build()
+            if self.disk_dir is not None:
+                self._store_disk(key, schedule)
+        self._store_memory(key, schedule)
+        return schedule
+
+    def _store_memory(self, key: CacheKey, schedule: TiledSchedule) -> None:
+        if self.capacity == 0:
+            return
+        self._entries[key] = schedule
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def _store_disk(self, key: CacheKey, schedule: TiledSchedule) -> None:
+        from .serialize import serialize_schedule
+
+        try:
+            image = serialize_schedule(schedule)
+        except SchedulingError:
+            return  # e.g. migration_span > 1: not wire-encodable (§3.2)
+        os.makedirs(self.disk_dir, exist_ok=True)
+        path = self._disk_path(key)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp, "wb") as handle:
+                handle.write(image)
+            os.replace(tmp, path)
+        except OSError:
+            if os.path.exists(tmp):
+                try:
+                    os.remove(tmp)
+                except OSError:
+                    pass
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+_GLOBAL: Optional[ScheduleCache] = None
+
+
+def global_schedule_cache() -> ScheduleCache:
+    """The process-wide cache, configured from the environment once."""
+    global _GLOBAL
+    if _GLOBAL is None:
+        raw = os.environ.get(_SIZE_ENV, "").strip()
+        try:
+            capacity = int(raw) if raw else _DEFAULT_SIZE
+        except ValueError:
+            capacity = _DEFAULT_SIZE
+        _GLOBAL = ScheduleCache(
+            capacity=capacity,
+            disk_dir=os.environ.get(_DIR_ENV) or None,
+        )
+    return _GLOBAL

@@ -33,9 +33,11 @@ Two modes are provided:
 from __future__ import annotations
 
 import heapq
-from collections import deque
+from collections import Counter, deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Tuple, Union
+
+import numpy as np
 
 from ..config import AcceleratorConfig
 from ..errors import SchedulingError
@@ -63,19 +65,18 @@ class MigrationReport:
     own_issues: int = 0
     raw_skips: int = 0
     #: migrated counts keyed by (destination, donor) channel pair.
-    pair_counts: Dict[Tuple[int, int], int] = field(default_factory=dict)
+    pair_counts: Counter = field(default_factory=Counter)
 
     def record_migration(self, dest: int, donor: int) -> None:
         self.migrated += 1
-        key = (dest, donor)
-        self.pair_counts[key] = self.pair_counts.get(key, 0) + 1
+        self.pair_counts[(dest, donor)] += 1
 
     def merge(self, other: "MigrationReport") -> None:
         self.migrated += other.migrated
         self.own_issues += other.own_issues
         self.raw_skips += other.raw_skips
-        for key, count in other.pair_counts.items():
-            self.pair_counts[key] = self.pair_counts.get(key, 0) + count
+        # Counter.update adds counts, so overlapping pairs accumulate.
+        self.pair_counts.update(other.pair_counts)
 
     @property
     def migration_fraction(self) -> float:
@@ -108,7 +109,15 @@ def migrate_grids(
     steal_tries: int = DEFAULT_STEAL_TRIES,
     report: Optional[MigrationReport] = None,
 ) -> None:
-    """Apply the CrHCS ring migration in place (§3.1, Fig. 5)."""
+    """Apply the CrHCS ring migration in place (§3.1, Fig. 5).
+
+    The stall scan and the donor tail walk both operate on index arrays
+    extracted once per (destination, donor) step — the destination's holes
+    in stream order and the donor's own elements latest-first — so the
+    inner matching loop touches plain Python ints and one RAW-tracker
+    dict, never a per-slot grid probe.  Accepted transfers are applied to
+    both grids in two bulk array writes at the end of the step.
+    """
     if steal_tries < 1:
         raise SchedulingError("steal_tries must be >= 1")
     channels = len(grids)
@@ -127,36 +136,77 @@ def migrate_grids(
     for grid in grids:
         grid.ensure_length(longest)
 
-    pes = config.pes_per_channel
     for c in range(channels):
         dest = grids[c]
-        dest_occupied = dest.occupied
         dest_length = dest.length
         tracker: Dict[Tuple[int, int], int] = {}
         tracker_get = tracker.get
         for step in range(1, migration_span + 1):
             donor_id = (c + step) % channels
             donor = grids[donor_id]
-            donor_occupied = donor.occupied
-            candidates: Deque[Tuple[int, int, ScheduledElement]] = deque(
-                donor.own_elements_tail_first()
-            )
-            if not candidates:
+            (cand_cycles, cand_pes, cand_rows, cand_cols, cand_values,
+             cand_origin_pes) = donor.own_arrays_tail_first()
+            if cand_cycles.size == 0:
                 continue
-            migrated_here = 0
+            hole_cycles, hole_pes = dest.hole_coords(dest_length)
+            n_cand = cand_cycles.size
+            pairs = min(n_cand, hole_cycles.size)
+
+            # Optimistic vectorized pass: while no candidate is ever
+            # skipped, hole i simply takes candidate i.  A lexsort groups
+            # the tentative assignments by (dest PE, row); a RAW violation
+            # is two same-group assignments fewer than ``distance`` cycles
+            # apart (hole cycles ascend, so checking neighbours suffices).
+            # Everything before the first violation is exactly what the
+            # sequential walk would accept, so it is taken wholesale and
+            # the walk resumes from the violating hole.
+            prefix = 0
+            if pairs and not tracker:
+                a_pe = hole_pes[:pairs]
+                a_cycle = hole_cycles[:pairs]
+                a_row = cand_rows[:pairs]
+                group = np.lexsort((np.arange(pairs), a_row, a_pe))
+                same = (a_pe[group][1:] == a_pe[group][:-1]) & (
+                    a_row[group][1:] == a_row[group][:-1]
+                )
+                close = (a_cycle[group][1:] - a_cycle[group][:-1]) < distance
+                violation = same & close
+                if not violation.any():
+                    prefix = pairs
+                else:
+                    prefix = int(group[1:][violation].min())
+
+            migrated_here = prefix
             raw_skips = 0
-            skipped: List[Tuple[int, int, ScheduledElement]] = []
-            for cycle in range(dest_length):
-                if not candidates:
-                    break
-                for pe in range(pes):
-                    if (cycle, pe) in dest_occupied:
-                        continue
-                    found = None
-                    for _ in range(min(steal_tries, len(candidates))):
+            accepted: List[int] = []
+            accepted_cycles: List[int] = []
+            accepted_pes: List[int] = []
+            if prefix < pairs:
+                # Sequential tail from the first RAW conflict on, seeded
+                # with the tracker state the prefix would have built.
+                hole_pes_list = hole_pes[prefix:].tolist()
+                hole_cycles_list = hole_cycles[prefix:].tolist()
+                cand_rows_list = cand_rows.tolist()
+                for j in range(prefix):
+                    tracker[
+                        (int(hole_pes[j]), cand_rows_list[j])
+                    ] = int(hole_cycles[j]) + distance
+                # Candidate ids walk the donor tail-first; skipped ids
+                # return to the front of the deque in original order.
+                candidates: Deque[int] = deque(range(prefix, n_cand))
+                skipped: List[int] = []
+                for cycle, pe in zip(hole_cycles_list, hole_pes_list):
+                    if not candidates:
+                        break
+                    found = -1
+                    tries = steal_tries
+                    if tries > len(candidates):
+                        tries = len(candidates)
+                    for _ in range(tries):
                         candidate = candidates.popleft()
-                        element = candidate[2]
-                        if tracker_get((pe, element.row), 0) <= cycle:
+                        if tracker_get(
+                            (pe, cand_rows_list[candidate]), 0
+                        ) <= cycle:
                             found = candidate
                             break
                         skipped.append(candidate)
@@ -164,22 +214,58 @@ def migrate_grids(
                     if skipped:
                         candidates.extendleft(reversed(skipped))
                         skipped.clear()
-                    if found is not None:
-                        element = found[2]
-                        del donor_occupied[(found[0], found[1])]
-                        dest_occupied[(cycle, pe)] = element
-                        tracker[(pe, element.row)] = cycle + distance
+                    if found >= 0:
+                        accepted.append(found)
+                        accepted_cycles.append(cycle)
+                        accepted_pes.append(pe)
+                        tracker[(pe, cand_rows_list[found])] = (
+                            cycle + distance
+                        )
                         migrated_here += 1
-                    if not candidates:
-                        break
+            elif prefix and step < migration_span:
+                # Later donor steps reuse this tracker; materialise the
+                # entries the wholesale accept implies.
+                rows_list = cand_rows[:prefix].tolist()
+                pes_list = hole_pes[:prefix].tolist()
+                cycles_list = hole_cycles[:prefix].tolist()
+                for pe_i, row_i, cycle_i in zip(
+                    pes_list, rows_list, cycles_list
+                ):
+                    tracker[(pe_i, row_i)] = cycle_i + distance
+
+            if migrated_here:
+                if accepted:
+                    taken = np.concatenate([
+                        np.arange(prefix, dtype=np.int64),
+                        np.asarray(accepted, dtype=np.int64),
+                    ])
+                    new_cycles = np.concatenate([
+                        hole_cycles[:prefix],
+                        np.asarray(accepted_cycles, dtype=np.int64),
+                    ])
+                    new_pes = np.concatenate([
+                        hole_pes[:prefix],
+                        np.asarray(accepted_pes, dtype=np.int64),
+                    ])
+                else:
+                    taken = np.arange(prefix, dtype=np.int64)
+                    new_cycles = hole_cycles[:prefix]
+                    new_pes = hole_pes[:prefix]
+                donor.clear_slots(cand_cycles[taken], cand_pes[taken])
+                dest.fill_slots(
+                    new_cycles,
+                    new_pes,
+                    cand_rows[taken],
+                    cand_cols[taken],
+                    cand_values[taken],
+                    donor_id,
+                    cand_origin_pes[taken],
+                )
             if report is not None and (migrated_here or raw_skips):
                 report.own_issues -= migrated_here
                 report.migrated += migrated_here
                 report.raw_skips += raw_skips
-                key = (c, donor_id)
-                report.pair_counts[key] = (
-                    report.pair_counts.get(key, 0) + migrated_here
-                )
+                report.pair_counts[(c, donor_id)] += migrated_here
 
     for grid in grids:
         grid.trim_trailing_stalls()

@@ -1,0 +1,249 @@
+"""The original slot-at-a-time schedule builders (reference semantics).
+
+These are the pre-vectorization PE-aware and CrHCS builders, preserved
+verbatim: one dict-style slot insert per non-zero, one per-slot membership
+probe per stall scan.  They define the *reference semantics* the
+vectorized fast paths in :mod:`repro.scheduling.pe_aware` and
+:mod:`repro.scheduling.crhcs` must reproduce slot-for-slot — the
+differential test (``tests/test_differential_legacy.py``) schedules a
+seeded mini-corpus through both and asserts equality.
+
+They are intentionally slow and exist only for verification; nothing in
+the library calls them outside tests and the hotpath benchmark's
+``--legacy`` mode.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple, Union
+
+from ..config import AcceleratorConfig
+from ..errors import SchedulingError
+from ..formats.coo import COOMatrix
+from ..formats.csr import CSRMatrix
+from .base import ChannelGrid, Schedule, ScheduledElement, TiledSchedule
+from .crhcs import (
+    DEFAULT_STEAL_TRIES,
+    MigrationReport,
+    _resolve_span,
+)
+from .pe_aware import RowGroup, group_rows_by_pe
+from .window import Tile, tile_matrix
+
+Matrix = Union[COOMatrix, CSRMatrix]
+
+
+def legacy_schedule_single_pe_round_robin(
+    rows: List[RowGroup], distance: int, total_pes: int
+) -> Tuple[List[int], List[int], int]:
+    """The incremental windowed round-robin walk of one PE's rows."""
+    if distance < 1:
+        raise SchedulingError("dependency distance must be >= 1")
+    out_cycles: List[int] = []
+    out_elements: List[int] = []
+    base = 0
+    window_rows: List[Tuple[int, object]] = []  # (lane, indices)
+
+    def _flush() -> int:
+        rotations = max(len(indices) for _, indices in window_rows)
+        for lane, indices in window_rows:
+            for rotation in range(len(indices)):
+                out_cycles.append(base + rotation * distance + lane)
+                out_elements.append(int(indices[rotation]))
+        return base + rotations * distance
+
+    current_window = None
+    for row_id, indices in rows:
+        position = row_id // total_pes
+        window_index, lane = divmod(position, distance)
+        if window_index != current_window:
+            if window_rows:
+                base = _flush()
+                window_rows.clear()
+            current_window = window_index
+        window_rows.append((lane, indices))
+    if window_rows:
+        base = _flush()
+    return out_cycles, out_elements, base
+
+
+def legacy_pe_aware_grids(
+    tile: Tile, config: AcceleratorConfig
+) -> List[ChannelGrid]:
+    """Dict-style per-element grid construction (the original hot loop)."""
+    groups = group_rows_by_pe(tile, config)
+    distance = config.accumulator_latency
+    rows_list = tile.rows.tolist()
+    cols_list = tile.cols.tolist()
+    values_list = tile.values.tolist()
+    grids: List[ChannelGrid] = []
+    for channel_id in range(config.sparse_channels):
+        grid = ChannelGrid(channel_id=channel_id, pes=config.pes_per_channel)
+        occupied = grid.occupied
+        for pe in range(config.pes_per_channel):
+            cycles, elements, pe_length = (
+                legacy_schedule_single_pe_round_robin(
+                    groups[channel_id][pe], distance, config.total_pes
+                )
+            )
+            grid.ensure_length(pe_length)
+            for cycle, element_index in zip(cycles, elements):
+                occupied[(cycle, pe)] = ScheduledElement(
+                    rows_list[element_index],
+                    cols_list[element_index],
+                    values_list[element_index],
+                    channel_id,
+                    pe,
+                )
+        grid.trim_trailing_stalls()
+        grids.append(grid)
+    return grids
+
+
+def legacy_migrate_grids(
+    grids: List[ChannelGrid],
+    config: AcceleratorConfig,
+    migration_span: int,
+    steal_tries: int = DEFAULT_STEAL_TRIES,
+    report: Optional[MigrationReport] = None,
+) -> None:
+    """The original per-slot-probe CrHCS ring migration (§3.1, Fig. 5)."""
+    if steal_tries < 1:
+        raise SchedulingError("steal_tries must be >= 1")
+    channels = len(grids)
+    distance = config.accumulator_latency
+    if report is not None:
+        report.own_issues += sum(g.element_count for g in grids)
+    if migration_span == 0 or channels < 2:
+        for grid in grids:
+            grid.trim_trailing_stalls()
+        return
+
+    longest = max((grid.length for grid in grids), default=0)
+    for grid in grids:
+        grid.ensure_length(longest)
+
+    pes = config.pes_per_channel
+    for c in range(channels):
+        dest = grids[c]
+        dest_occupied = dest.occupied
+        dest_length = dest.length
+        tracker: Dict[Tuple[int, int], int] = {}
+        tracker_get = tracker.get
+        for step in range(1, migration_span + 1):
+            donor_id = (c + step) % channels
+            donor = grids[donor_id]
+            donor_occupied = donor.occupied
+            candidates: Deque[Tuple[int, int, ScheduledElement]] = deque(
+                donor.own_elements_tail_first()
+            )
+            if not candidates:
+                continue
+            migrated_here = 0
+            raw_skips = 0
+            skipped: List[Tuple[int, int, ScheduledElement]] = []
+            for cycle in range(dest_length):
+                if not candidates:
+                    break
+                for pe in range(pes):
+                    if (cycle, pe) in dest_occupied:
+                        continue
+                    found = None
+                    for _ in range(min(steal_tries, len(candidates))):
+                        candidate = candidates.popleft()
+                        element = candidate[2]
+                        if tracker_get((pe, element.row), 0) <= cycle:
+                            found = candidate
+                            break
+                        skipped.append(candidate)
+                        raw_skips += 1
+                    if skipped:
+                        candidates.extendleft(reversed(skipped))
+                        skipped.clear()
+                    if found is not None:
+                        element = found[2]
+                        del donor_occupied[(found[0], found[1])]
+                        dest_occupied[(cycle, pe)] = element
+                        tracker[(pe, element.row)] = cycle + distance
+                        migrated_here += 1
+                    if not candidates:
+                        break
+            if report is not None and (migrated_here or raw_skips):
+                report.own_issues -= migrated_here
+                report.migrated += migrated_here
+                report.raw_skips += raw_skips
+                key = (c, donor_id)
+                report.pair_counts[key] = (
+                    report.pair_counts.get(key, 0) + migrated_here
+                )
+
+    for grid in grids:
+        grid.trim_trailing_stalls()
+
+
+def legacy_schedule_pe_aware(
+    matrix: Matrix,
+    config: AcceleratorConfig,
+    max_rows_per_pass: int = 0,
+) -> TiledSchedule:
+    """Whole-matrix PE-aware scheduling through the legacy builder."""
+    tiles = tile_matrix(matrix, config, max_rows_per_pass)
+    schedules = []
+    for tile in tiles:
+        schedule = Schedule(
+            config=config,
+            grids=legacy_pe_aware_grids(tile, config),
+            scheme="pe_aware",
+            row_base=tile.row_base,
+            col_base=tile.col_base,
+        )
+        schedule.equalise()
+        schedules.append(schedule)
+    return TiledSchedule(
+        config=config,
+        tiles=schedules,
+        scheme="pe_aware",
+        n_rows=matrix.n_rows,
+        n_cols=matrix.n_cols,
+    )
+
+
+def legacy_schedule_crhcs(
+    matrix: Matrix,
+    config: AcceleratorConfig,
+    migration_span: Optional[int] = None,
+    steal_tries: int = DEFAULT_STEAL_TRIES,
+    max_rows_per_pass: int = 0,
+    report: Optional[MigrationReport] = None,
+) -> TiledSchedule:
+    """Whole-matrix CrHCS (migrate mode) through the legacy builders."""
+    span = _resolve_span(config, migration_span)
+    tiles = tile_matrix(matrix, config, max_rows_per_pass)
+    schedules = []
+    for tile in tiles:
+        tile_report = MigrationReport()
+        grids = legacy_pe_aware_grids(tile, config)
+        legacy_migrate_grids(
+            grids, config, span, steal_tries=steal_tries, report=tile_report
+        )
+        if report is not None:
+            report.merge(tile_report)
+        schedule = Schedule(
+            config=config,
+            grids=grids,
+            scheme="crhcs",
+            row_base=tile.row_base,
+            col_base=tile.col_base,
+            migrated_count=tile_report.migrated,
+            migration_span=span,
+        )
+        schedule.equalise()
+        schedules.append(schedule)
+    return TiledSchedule(
+        config=config,
+        tiles=schedules,
+        scheme="crhcs",
+        n_rows=matrix.n_rows,
+        n_cols=matrix.n_cols,
+    )

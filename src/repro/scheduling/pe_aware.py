@@ -31,7 +31,7 @@ from ..config import AcceleratorConfig
 from ..errors import SchedulingError
 from ..formats.coo import COOMatrix
 from ..formats.csr import CSRMatrix
-from .base import ChannelGrid, Schedule, ScheduledElement, TiledSchedule, pe_for_row
+from .base import ChannelGrid, Schedule, TiledSchedule, pe_for_row
 from .window import Tile, tile_matrix
 
 Matrix = Union[COOMatrix, CSRMatrix]
@@ -69,6 +69,60 @@ def group_rows_by_pe(
     return groups
 
 
+def round_robin_arrays(
+    rows: List[RowGroup], distance: int, total_pes: int
+) -> Tuple[np.ndarray, np.ndarray, int]:
+    """Vectorized windowed round-robin schedule of one PE's rows.
+
+    Same contract as :func:`schedule_single_pe_round_robin` but returning
+    NumPy index arrays — the cycle assignment is pure arithmetic over the
+    row groups (window base + rotation × distance + lane), so the whole
+    lane schedules without a per-element Python loop.
+    """
+    if distance < 1:
+        raise SchedulingError("dependency distance must be >= 1")
+    if not rows:
+        return (
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            0,
+        )
+    row_ids = np.fromiter(
+        (row for row, _ in rows), dtype=np.int64, count=len(rows)
+    )
+    lengths = np.fromiter(
+        (len(indices) for _, indices in rows),
+        dtype=np.int64,
+        count=len(rows),
+    )
+    positions = row_ids // total_pes
+    windows = positions // distance
+    lanes = positions % distance
+
+    # Windows flush on change of window id (consecutive runs), exactly as
+    # the incremental builder did.
+    run_starts = np.concatenate(
+        [[0], np.flatnonzero(np.diff(windows)) + 1]
+    )
+    rotations = np.maximum.reduceat(lengths, run_starts)
+    spans = rotations * distance
+    bases = np.concatenate([[0], np.cumsum(spans)[:-1]])
+    run_lengths = np.diff(np.concatenate([run_starts, [len(rows)]]))
+    row_bases = np.repeat(bases, run_lengths)
+
+    starts = row_bases + lanes
+    total = int(lengths.sum())
+    offsets = np.concatenate([[0], np.cumsum(lengths)[:-1]])
+    rotation_index = np.arange(total, dtype=np.int64) - np.repeat(
+        offsets, lengths
+    )
+    out_cycles = np.repeat(starts, lengths) + distance * rotation_index
+    out_elements = np.concatenate(
+        [np.asarray(indices, dtype=np.int64) for _, indices in rows]
+    )
+    return out_cycles, out_elements, int(bases[-1] + spans[-1])
+
+
 def schedule_single_pe_round_robin(
     rows: List[RowGroup], distance: int, total_pes: int
 ) -> Tuple[List[int], List[int], int]:
@@ -87,34 +141,8 @@ def schedule_single_pe_round_robin(
 
     Returns ``(cycles, element_indices, length)``.
     """
-    if distance < 1:
-        raise SchedulingError("dependency distance must be >= 1")
-    out_cycles: List[int] = []
-    out_elements: List[int] = []
-    base = 0
-    window_rows: List[Tuple[int, np.ndarray]] = []  # (lane, indices)
-
-    def _flush() -> int:
-        rotations = max(len(indices) for _, indices in window_rows)
-        for lane, indices in window_rows:
-            for rotation in range(len(indices)):
-                out_cycles.append(base + rotation * distance + lane)
-                out_elements.append(int(indices[rotation]))
-        return base + rotations * distance
-
-    current_window = None
-    for row_id, indices in rows:
-        position = row_id // total_pes
-        window_index, lane = divmod(position, distance)
-        if window_index != current_window:
-            if window_rows:
-                base = _flush()
-                window_rows.clear()
-            current_window = window_index
-        window_rows.append((lane, indices))
-    if window_rows:
-        base = _flush()
-    return out_cycles, out_elements, base
+    cycles, elements, length = round_robin_arrays(rows, distance, total_pes)
+    return cycles.tolist(), elements.tolist(), length
 
 
 def pe_aware_grids(tile: Tile, config: AcceleratorConfig) -> List[ChannelGrid]:
@@ -122,34 +150,101 @@ def pe_aware_grids(tile: Tile, config: AcceleratorConfig) -> List[ChannelGrid]:
 
     This is the intermediate CrHCS starts from: each channel is as long as
     its own slowest PE, before the global resize of §3.1.
+
+    The whole tile is scheduled in one vectorized pass: a single lexsort
+    puts elements in (global PE, row, column) order, segmented reductions
+    compute each round-robin window's rotation count and base cycle, and
+    every element's slot follows from ``base + rotation × distance +
+    lane`` — no per-element (or per-lane) Python loop.
     """
-    groups = group_rows_by_pe(tile, config)
+    channels_n = config.sparse_channels
+    ppc = config.pes_per_channel
+    total_pes = config.total_pes
     distance = config.accumulator_latency
-    # Plain-list views make the per-element hot loop cheap.
-    rows_list = tile.rows.tolist()
-    cols_list = tile.cols.tolist()
-    values_list = tile.values.tolist()
-    grids: List[ChannelGrid] = []
-    for channel_id in range(config.sparse_channels):
-        grid = ChannelGrid(channel_id=channel_id, pes=config.pes_per_channel)
-        occupied = grid.occupied
-        for pe in range(config.pes_per_channel):
-            cycles, elements, pe_length = schedule_single_pe_round_robin(
-                groups[channel_id][pe], distance, config.total_pes
+    if distance < 1:
+        raise SchedulingError("dependency distance must be >= 1")
+    grids = [
+        ChannelGrid(channel_id=c, pes=ppc) for c in range(channels_n)
+    ]
+    nnz = tile.nnz
+    if nnz == 0:
+        return grids
+
+    rows = np.asarray(tile.rows, dtype=np.int64)
+    cols = np.asarray(tile.cols, dtype=np.int64)
+    values = np.asarray(tile.values, dtype=np.float64)
+    gpe = rows % total_pes
+    # (global PE, row, column) order: each PE's rows ascend, matching the
+    # flush-on-window-change walk of schedule_single_pe_round_robin, and
+    # each row streams in CSR column order.
+    order = np.lexsort((cols, rows, gpe))
+    elem_row = rows[order]
+    elem_gpe = gpe[order]
+
+    # Row groups (contiguous runs — a row maps to exactly one PE).
+    first_of_row = np.empty(nnz, dtype=bool)
+    first_of_row[0] = True
+    np.not_equal(elem_row[1:], elem_row[:-1], out=first_of_row[1:])
+    row_starts = np.flatnonzero(first_of_row)
+    row_lens = np.diff(np.append(row_starts, nnz))
+    row_ids = elem_row[row_starts]
+    row_gpe = elem_gpe[row_starts]
+
+    positions = row_ids // total_pes
+    windows = positions // distance
+    lanes = positions % distance
+
+    # Window groups: runs of equal (PE, window id) among the row groups.
+    n_rows = row_ids.size
+    first_of_window = np.empty(n_rows, dtype=bool)
+    first_of_window[0] = True
+    first_of_window[1:] = (row_gpe[1:] != row_gpe[:-1]) | (
+        windows[1:] != windows[:-1]
+    )
+    window_starts = np.flatnonzero(first_of_window)
+    rotations = np.maximum.reduceat(row_lens, window_starts)
+    spans = rotations * distance
+
+    # Base cycle of each window = cumulative span of the PREVIOUS windows
+    # of the same PE lane (a segmented exclusive cumsum over PE runs).
+    cumulative = np.concatenate([[0], np.cumsum(spans)])
+    window_gpe = row_gpe[window_starts]
+    first_of_lane = np.empty(window_starts.size, dtype=bool)
+    first_of_lane[0] = True
+    first_of_lane[1:] = window_gpe[1:] != window_gpe[:-1]
+    lane_of_window = np.cumsum(first_of_lane) - 1
+    lane_offsets = cumulative[np.flatnonzero(first_of_lane)]
+    window_bases = cumulative[:-1] - lane_offsets[lane_of_window]
+
+    window_rows = np.diff(np.append(window_starts, n_rows))
+    row_base = np.repeat(window_bases, window_rows) + lanes
+    rotation_index = np.arange(nnz, dtype=np.int64) - np.repeat(
+        row_starts, row_lens
+    )
+    elem_cycle = np.repeat(row_base, row_lens) + distance * rotation_index
+    elem_pe = elem_gpe % ppc
+    elem_channel = elem_gpe // ppc
+    elem_col = cols[order]
+    elem_value = values[order]
+
+    # Elements arrive channel-sorted (gpe-major), so each channel is one
+    # contiguous slice — one bulk fill per grid.
+    bounds = np.searchsorted(elem_channel, np.arange(channels_n + 1))
+    for channel_id, grid in enumerate(grids):
+        start, end = int(bounds[channel_id]), int(bounds[channel_id + 1])
+        if start < end:
+            grid.fill_slots(
+                elem_cycle[start:end],
+                elem_pe[start:end],
+                elem_row[start:end],
+                elem_col[start:end],
+                elem_value[start:end],
+                channel_id,
+                elem_pe[start:end],
             )
-            grid.ensure_length(pe_length)
-            for cycle, element_index in zip(cycles, elements):
-                occupied[(cycle, pe)] = ScheduledElement(
-                    rows_list[element_index],
-                    cols_list[element_index],
-                    values_list[element_index],
-                    channel_id,
-                    pe,
-                )
         # A data list ends at its last non-zero; the trailing rotation
         # stalls of the final window carry no information.
         grid.trim_trailing_stalls()
-        grids.append(grid)
     return grids
 
 

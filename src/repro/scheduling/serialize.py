@@ -26,9 +26,18 @@ from __future__ import annotations
 import struct
 from typing import List
 
+import numpy as np
+
 from ..config import AcceleratorConfig
 from ..errors import FormatError, SchedulingError
-from ..formats.element import PackedElement, pack_element, unpack_element
+from ..formats.element import (
+    COL_BITS,
+    PE_SRC_BITS,
+    ROW_BITS,
+    PackedElement,
+    pack_element,
+    unpack_element,
+)
 from .base import ChannelGrid, Schedule, ScheduledElement, TiledSchedule
 
 MAGIC = b"CHSN"
@@ -36,6 +45,15 @@ VERSION = 1
 _HEADER = struct.Struct("<4sHHHHQQI16s")
 _TILE_HEADER = struct.Struct("<QQI")
 _STALL_WORD = 0
+
+_COL_SHIFT = 0
+_PE_SRC_SHIFT = COL_BITS
+_PVT_SHIFT = _PE_SRC_SHIFT + PE_SRC_BITS
+_ROW_SHIFT = _PVT_SHIFT + 1
+_VALUE_SHIFT = _ROW_SHIFT + ROW_BITS
+_ROW_MAX = (1 << ROW_BITS) - 1
+_PE_SRC_MAX = (1 << PE_SRC_BITS) - 1
+_COL_MAX = (1 << COL_BITS) - 1
 
 
 def _element_to_word(
@@ -65,6 +83,75 @@ def _element_to_word(
     return word
 
 
+def _grid_words(grid: ChannelGrid, length: int, channels: int) -> np.ndarray:
+    """Pack one channel grid into its ``(length, pes)`` word image.
+
+    The whole channel packs in one pass of NumPy bit arithmetic —
+    ``value_bits << 32 | row << 17 | pvt << 16 | pe_src << 13 | col`` —
+    with stalls left as the all-zero word.
+    """
+    cycles, pes, rows, cols, values, origin_channels, origin_pes = (
+        grid.element_arrays()
+    )
+    in_range = cycles < length
+    if not in_range.all():
+        cycles = cycles[in_range]
+        pes = pes[in_range]
+        rows = rows[in_range]
+        cols = cols[in_range]
+        values = values[in_range]
+        origin_channels = origin_channels[in_range]
+        origin_pes = origin_pes[in_range]
+
+    pvt = origin_channels == grid.channel_id
+    if not pvt.all():
+        offsets = (origin_channels[~pvt] - grid.channel_id) % channels
+        bad = offsets != 1
+        if bad.any():
+            raise SchedulingError(
+                "the §3.2 wire format encodes only immediate-next-channel "
+                f"migration; found an element from {int(offsets[bad][0])} "
+                "channels away"
+            )
+    if rows.size:
+        if int(rows.max()) > _ROW_MAX or int(rows.min()) < 0:
+            bad_row = rows[(rows > _ROW_MAX) | (rows < 0)][0]
+            raise FormatError(
+                f"row index {int(bad_row)} does not fit in {ROW_BITS} bits"
+            )
+        if int(cols.max()) > _COL_MAX or int(cols.min()) < 0:
+            bad_col = cols[(cols > _COL_MAX) | (cols < 0)][0]
+            raise FormatError(
+                f"column index {int(bad_col)} does not fit in "
+                f"{COL_BITS} bits"
+            )
+        if int(origin_pes.max()) > _PE_SRC_MAX or int(origin_pes.min()) < 0:
+            bad_pe = origin_pes[
+                (origin_pes > _PE_SRC_MAX) | (origin_pes < 0)
+            ][0]
+            raise FormatError(
+                f"PE_src {int(bad_pe)} does not fit in {PE_SRC_BITS} bits"
+            )
+
+    value_bits = values.astype(np.float32).view(np.uint32).astype(np.uint64)
+    words = (
+        (value_bits << np.uint64(_VALUE_SHIFT))
+        | (rows.astype(np.uint64) << np.uint64(_ROW_SHIFT))
+        | (pvt.astype(np.uint64) << np.uint64(_PVT_SHIFT))
+        | (origin_pes.astype(np.uint64) << np.uint64(_PE_SRC_SHIFT))
+        | cols.astype(np.uint64)
+    )
+    zero_words = words == _STALL_WORD
+    if zero_words.any() and (values[zero_words] == 0.0).any():
+        raise SchedulingError(
+            "cannot serialize a zero-valued non-zero: it is "
+            "indistinguishable from a stall word (§2.2)"
+        )
+    image = np.zeros((length, grid.pes), dtype=np.uint64)
+    image[cycles, pes] = words
+    return image
+
+
 def serialize_schedule(schedule: TiledSchedule) -> bytes:
     """Encode a schedule as binary HBM channel images."""
     config = schedule.config
@@ -88,19 +175,12 @@ def serialize_schedule(schedule: TiledSchedule) -> bytes:
         length = tile.stream_cycles
         chunks.append(_TILE_HEADER.pack(tile.row_base, tile.col_base,
                                         length))
-        words = []
         for grid in tile.grids:
-            for cycle in range(length):
-                for pe in range(pes):
-                    element = grid.slot(cycle, pe)
-                    if element is None:
-                        words.append(_STALL_WORD)
-                    else:
-                        words.append(
-                            _element_to_word(element, grid.channel_id,
-                                             channels)
-                        )
-        chunks.append(struct.pack(f"<{len(words)}Q", *words))
+            chunks.append(
+                _grid_words(grid, length, channels)
+                .astype("<u8")
+                .tobytes()
+            )
     return b"".join(chunks)
 
 
@@ -135,39 +215,49 @@ def deserialize_schedule(
         end = offset + 8 * word_count
         if len(data) < end:
             raise FormatError("truncated schedule image: missing words")
-        words = struct.unpack_from(f"<{word_count}Q", data, offset)
+        words = np.frombuffer(
+            data, dtype="<u8", count=word_count, offset=offset
+        ).reshape(channels, length, pes)
         offset = end
 
         grids = []
         migrated = 0
-        index = 0
         for channel_id in range(channels):
             grid = ChannelGrid(channel_id=channel_id, pes=pes)
             grid.ensure_length(length)
-            for cycle in range(length):
-                for pe in range(pes):
-                    word = words[index]
-                    index += 1
-                    if word == _STALL_WORD:
-                        continue
-                    packed = unpack_element(word)
-                    if packed.pvt:
-                        origin_channel, origin_pe = channel_id, pe
-                    else:
-                        origin_channel = (channel_id + 1) % channels
-                        origin_pe = packed.pe_src
-                        migrated += 1
-                    grid.place(
-                        cycle,
-                        pe,
-                        ScheduledElement(
-                            row=packed.row,
-                            col=packed.col,
-                            value=packed.value,
-                            origin_channel=origin_channel,
-                            origin_pe=origin_pe,
-                        ),
-                    )
+            image = words[channel_id]
+            flat = np.flatnonzero(image.ravel() != _STALL_WORD)
+            if flat.size:
+                cycles = (flat // pes).astype(np.int64)
+                pe_ids = (flat % pes).astype(np.int64)
+                slot_words = image.ravel()[flat]
+                values = (
+                    (slot_words >> np.uint64(_VALUE_SHIFT))
+                    .astype(np.uint32)
+                    .view(np.float32)
+                    .astype(np.float64)
+                )
+                rows = (
+                    (slot_words >> np.uint64(_ROW_SHIFT))
+                    & np.uint64(_ROW_MAX)
+                ).astype(np.int64)
+                pvt = (
+                    (slot_words >> np.uint64(_PVT_SHIFT)) & np.uint64(1)
+                ).astype(bool)
+                pe_src = (
+                    (slot_words >> np.uint64(_PE_SRC_SHIFT))
+                    & np.uint64(_PE_SRC_MAX)
+                ).astype(np.int64)
+                cols = (slot_words & np.uint64(_COL_MAX)).astype(np.int64)
+                origin_channels = np.where(
+                    pvt, channel_id, (channel_id + 1) % channels
+                )
+                origin_pes = np.where(pvt, pe_ids, pe_src)
+                migrated += int((~pvt).sum())
+                grid.fill_slots(
+                    cycles, pe_ids, rows, cols, values,
+                    origin_channels, origin_pes,
+                )
             grids.append(grid)
         tiles.append(
             Schedule(

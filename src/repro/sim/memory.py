@@ -58,6 +58,42 @@ class UramBank:
         self._sums[address] = updated
         return updated
 
+    def accumulate_block(
+        self, addresses: np.ndarray, products: np.ndarray
+    ) -> None:
+        """Bulk read-modify-write in stream order.
+
+        ``np.add.at`` is unbuffered and applies updates in array order, so
+        each address sees the same left-associated float64 addition chain
+        as element-at-a-time :meth:`accumulate`.
+        """
+        n = int(addresses.size)
+        if n == 0:
+            return
+        if int(addresses.min()) < 0:
+            raise SimulationError(f"negative URAM address in {self.name}")
+        top = int(addresses.max())
+        if top >= self.capacity:
+            for address in np.unique(
+                addresses[addresses >= self.capacity]
+            ).tolist():
+                if address not in self._sums:
+                    raise CapacityError(
+                        f"URAM {self.name!r}: address {address} exceeds "
+                        f"capacity {self.capacity}"
+                    )
+        dense = np.zeros(top + 1, dtype=np.float64)
+        touched = np.unique(addresses).tolist()
+        sums = self._sums
+        for address in touched:
+            if address in sums:
+                dense[address] = sums[address]
+        np.add.at(dense, addresses, products)
+        for address in touched:
+            sums[address] = float(dense[address])
+        self.reads += n
+        self.writes += n
+
     def read(self, address: int) -> float:
         self.reads += 1
         return self._sums.get(address, 0.0)
@@ -148,3 +184,18 @@ class BramXBuffer:
             )
         self.reads += 1
         return float(self._window[local_col])
+
+    def read_block(self, local_cols: np.ndarray) -> np.ndarray:
+        """Bulk gather of x values, with the same bounds check as read()."""
+        if local_cols.size:
+            out_of_window = (local_cols < 0) | (
+                local_cols >= self._window.size
+            )
+            if out_of_window.any():
+                bad = int(local_cols[out_of_window][0])
+                raise SimulationError(
+                    f"x[{bad}] outside loaded window of "
+                    f"{self._window.size} in {self.name}"
+                )
+        self.reads += int(local_cols.size)
+        return self._window[local_cols].astype(np.float64)

@@ -64,12 +64,23 @@ class ProcessingElementGroup:
                 f"grid of channel {grid.channel_id} streamed into PEG "
                 f"{self.channel_id}"
             )
-        per_pe_elements = [0] * len(self.pes)
-        for (cycle, pe), element in grid.occupied.items():
-            self.pes[pe].process(element)
-            per_pe_elements[pe] += 1
-        for pe, processed in zip(self.pes, per_pe_elements):
-            pe.stats.idle_cycles += grid.length - processed
+        _, pe_ids, rows, cols, values, origin_channels, origin_pes = (
+            grid.element_arrays()
+        )
+        counts = np.bincount(pe_ids, minlength=len(self.pes))
+        for pe_id, pe in enumerate(self.pes):
+            lane = pe_ids == pe_id
+            if counts[pe_id]:
+                # element_arrays is cycle-major, so each lane's slice keeps
+                # the per-bank accumulation order of slot-at-a-time replay.
+                pe.process_block(
+                    rows[lane],
+                    cols[lane],
+                    values[lane],
+                    origin_channels[lane],
+                    origin_pes[lane],
+                )
+            pe.stats.idle_cycles += grid.length - int(counts[pe_id])
         self.cycles_consumed += grid.length
 
     def reset_partial_sums(self) -> None:

@@ -1,0 +1,130 @@
+"""Unit tests for the schedule cache and the parallel corpus runner."""
+
+import os
+
+import pytest
+
+from repro.config import DEFAULT_CHASON, DEFAULT_SERPENS
+from repro.analysis.runner import (
+    WORKERS_ENV,
+    corpus_worker_count,
+    run_over_specs,
+)
+from repro.matrices.collection import corpus_specs
+from repro.scheduling.cache import ScheduleCache
+from repro.scheduling.crhcs import schedule_crhcs
+from repro.scheduling.pe_aware import schedule_pe_aware
+
+SPEC = corpus_specs(count=1, nnz_cap=2_000)[0]
+MATRIX = SPEC.generate()
+
+
+def _build_pe_aware():
+    return schedule_pe_aware(MATRIX, DEFAULT_SERPENS)
+
+
+class TestScheduleCache:
+    def test_hit_returns_same_object(self):
+        cache = ScheduleCache(capacity=4)
+        first = cache.get_or_build(
+            SPEC, DEFAULT_SERPENS, "pe_aware", _build_pe_aware
+        )
+        second = cache.get_or_build(
+            SPEC, DEFAULT_SERPENS, "pe_aware", _build_pe_aware
+        )
+        assert first is second
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_scheme_and_config_partition_the_key_space(self):
+        cache = ScheduleCache(capacity=4)
+        pe_aware = cache.get_or_build(
+            SPEC, DEFAULT_SERPENS, "pe_aware", _build_pe_aware
+        )
+        crhcs = cache.get_or_build(
+            SPEC,
+            DEFAULT_CHASON,
+            "crhcs",
+            lambda: schedule_crhcs(MATRIX, DEFAULT_CHASON),
+        )
+        assert pe_aware is not crhcs
+        assert cache.misses == 2
+
+    def test_lru_evicts_oldest(self):
+        cache = ScheduleCache(capacity=2)
+        for scheme in ("a", "b", "c"):
+            cache.get_or_build(SPEC, DEFAULT_SERPENS, scheme, _build_pe_aware)
+        assert len(cache) == 2
+        # "a" was evicted: rebuilding it is a miss, "c" is still a hit.
+        cache.get_or_build(SPEC, DEFAULT_SERPENS, "c", _build_pe_aware)
+        assert cache.hits == 1
+        cache.get_or_build(SPEC, DEFAULT_SERPENS, "a", _build_pe_aware)
+        assert cache.misses == 4
+
+    def test_capacity_zero_disables_memoisation(self):
+        cache = ScheduleCache(capacity=0)
+        first = cache.get_or_build(
+            SPEC, DEFAULT_SERPENS, "pe_aware", _build_pe_aware
+        )
+        second = cache.get_or_build(
+            SPEC, DEFAULT_SERPENS, "pe_aware", _build_pe_aware
+        )
+        assert first is not second
+        assert len(cache) == 0
+
+    def test_disk_tier_round_trips_the_wire_format(self, tmp_path):
+        writer = ScheduleCache(capacity=0, disk_dir=str(tmp_path))
+        built = writer.get_or_build(
+            SPEC, DEFAULT_SERPENS, "pe_aware", _build_pe_aware
+        )
+        files = [f for f in os.listdir(tmp_path) if f.endswith(".chsn")]
+        assert len(files) == 1
+
+        reader = ScheduleCache(capacity=0, disk_dir=str(tmp_path))
+        restored = reader.get_or_build(
+            SPEC,
+            DEFAULT_SERPENS,
+            "pe_aware",
+            lambda: pytest.fail("disk hit expected, build() called"),
+        )
+        assert reader.hits == 1
+        assert restored.stream_cycles == built.stream_cycles
+        assert restored.nnz == built.nnz
+        # Wire format stores float32 values; stall structure is exact.
+        assert restored.total_stalls == built.total_stalls
+
+    def test_clear_resets_counters(self):
+        cache = ScheduleCache(capacity=4)
+        cache.get_or_build(SPEC, DEFAULT_SERPENS, "pe_aware", _build_pe_aware)
+        cache.clear()
+        assert (len(cache), cache.hits, cache.misses) == (0, 0, 0)
+
+
+def _square(value):
+    return value * value
+
+
+class TestCorpusRunner:
+    def test_worker_count_defaults_serial(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        assert corpus_worker_count() == 1
+        monkeypatch.setenv(WORKERS_ENV, "not-a-number")
+        assert corpus_worker_count() == 1
+        monkeypatch.setenv(WORKERS_ENV, "0")
+        assert corpus_worker_count() == 1
+        monkeypatch.setenv(WORKERS_ENV, "4")
+        assert corpus_worker_count() == 4
+
+    def test_serial_map_preserves_order(self):
+        assert run_over_specs(_square, [3, 1, 2], workers=1) == [9, 1, 4]
+
+    def test_parallel_map_matches_serial(self):
+        items = list(range(17))
+        serial = run_over_specs(_square, items, workers=1)
+        parallel = run_over_specs(_square, items, workers=2)
+        assert parallel == serial
+
+    def test_single_item_never_forks(self):
+        # len(items) <= 1 short-circuits to the serial path even with
+        # workers > 1, so non-picklable workers are fine here.
+        assert run_over_specs(lambda v: v + 1, [41], workers=8) == [42]

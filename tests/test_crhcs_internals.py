@@ -208,3 +208,52 @@ class TestEndToEndMigrationSemantics:
         execution = execute_schedule(schedule, x)
         assert execution.verify(matrix.matvec(x))
         assert execution.stats["shared_fraction"] > 0
+
+
+class TestMigrationReportMerge:
+    def test_merge_disjoint_pairs(self):
+        left = MigrationReport(migrated=3, own_issues=10, raw_skips=1)
+        left.pair_counts[(0, 1)] = 3
+        right = MigrationReport(migrated=5, own_issues=20, raw_skips=2)
+        right.pair_counts[(1, 2)] = 5
+        left.merge(right)
+        assert left.migrated == 8
+        assert left.own_issues == 30
+        assert left.raw_skips == 3
+        assert dict(left.pair_counts) == {(0, 1): 3, (1, 2): 5}
+
+    def test_merge_overlapping_pairs_accumulates(self):
+        left = MigrationReport(migrated=4)
+        left.pair_counts[(0, 1)] = 3
+        left.pair_counts[(2, 0)] = 1
+        right = MigrationReport(migrated=7)
+        right.pair_counts[(0, 1)] = 2
+        right.pair_counts[(1, 2)] = 5
+        left.merge(right)
+        assert left.migrated == 11
+        assert dict(left.pair_counts) == {(0, 1): 5, (2, 0): 1, (1, 2): 5}
+
+    def test_merge_empty_is_identity(self):
+        report = MigrationReport(migrated=2, own_issues=5, raw_skips=1)
+        report.pair_counts[(0, 1)] = 2
+        before = (
+            report.migrated,
+            report.own_issues,
+            report.raw_skips,
+            dict(report.pair_counts),
+        )
+        report.merge(MigrationReport())
+        assert (
+            report.migrated,
+            report.own_issues,
+            report.raw_skips,
+            dict(report.pair_counts),
+        ) == before
+
+    def test_record_migration_feeds_counter(self):
+        report = MigrationReport()
+        report.record_migration(0, 1)
+        report.record_migration(0, 1)
+        report.record_migration(2, 0)
+        assert report.migrated == 3
+        assert report.pair_counts.most_common(1) == [((0, 1), 2)]
