@@ -34,6 +34,7 @@ from repro.scheduling.legacy import (
     legacy_schedule_pe_aware,
 )
 from repro.scheduling.pe_aware import schedule_pe_aware
+from repro.telemetry import write_manifest
 
 #: Gross-slowdown guard for --quick mode (CI).
 MAX_QUICK_SLOWDOWN = 5.0
@@ -174,6 +175,9 @@ def run(quick: bool, output: Path) -> int:
     }
     output.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {output}")
+    manifest = write_manifest(output, extra={"bench": "scheduler_hotpath",
+                                            "quick": quick})
+    print(f"wrote {manifest}")
 
     if mismatches:
         print(f"FAIL: metric mismatch vs legacy path: {mismatches}")

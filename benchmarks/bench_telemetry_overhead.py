@@ -1,0 +1,150 @@
+#!/usr/bin/env python
+"""Telemetry overhead gate: the scheduling hot path, telemetry off vs on.
+
+Runs the same PE-aware + CrHCS scheduling workload twice in one process —
+first with telemetry disabled (the no-op singleton), then with a JSONL
+sink enabled — and compares wall clocks.  Because both passes share the
+process, interpreter and matrix fixtures, the ratio isolates the cost of
+the instrumentation itself, which makes it a robust CI gate where
+cross-machine absolute timings are not.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_telemetry_overhead.py [--quick]
+
+Exits non-zero when the telemetry-on pass is more than ``--gate`` times
+the telemetry-off pass (default 1.25, i.e. 25 % — generous against CI
+noise; the expected overhead is low single-digit percent because spans
+and counters fire per matrix/tile, never per element).  Writes
+``BENCH_telemetry_overhead.json`` plus its run manifest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro import telemetry
+from repro.config import DEFAULT_CHASON, DEFAULT_SERPENS
+from repro.matrices.collection import corpus_specs
+from repro.scheduling.crhcs import schedule_crhcs
+from repro.scheduling.pe_aware import schedule_pe_aware
+from repro.telemetry import write_manifest
+from repro.telemetry.schema import validate_file
+
+#: Telemetry-on wall clock must stay below gate × telemetry-off.
+DEFAULT_GATE = 1.25
+
+
+def _workload(matrices) -> tuple:
+    """One full pass: both schedulers over every matrix."""
+    stalls = 0
+    cycles = 0
+    for matrix in matrices:
+        schedule = schedule_pe_aware(matrix, DEFAULT_SERPENS)
+        stalls += schedule.total_stalls
+        cycles += schedule.stream_cycles
+        schedule = schedule_crhcs(matrix, DEFAULT_CHASON)
+        stalls += schedule.total_stalls
+        cycles += schedule.stream_cycles
+    return stalls, cycles
+
+
+def _timed(matrices, repeats: int) -> tuple:
+    """Best-of-N wall clock of the workload plus its (stable) metrics."""
+    best = float("inf")
+    metrics = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        metrics = _workload(matrices)
+        best = min(best, time.perf_counter() - start)
+    return best, metrics
+
+
+def run(quick: bool, gate: float, output: Path) -> int:
+    count, nnz_cap = (6, 10_000) if quick else (16, 40_000)
+    repeats = 2 if quick else 3
+    specs = corpus_specs(count=count, nnz_cap=nnz_cap)
+    matrices = [spec.generate() for spec in specs]
+    nnz_total = sum(matrix.nnz for matrix in matrices)
+
+    telemetry.disable()
+    _workload(matrices[:1])  # warm numpy/import caches outside the timing
+    off_s, off_metrics = _timed(matrices, repeats)
+
+    trace_path = os.path.join(
+        tempfile.mkdtemp(prefix="repro-telemetry-"), "overhead.jsonl"
+    )
+    enabled = telemetry.configure(trace_path)
+    on_s, on_metrics = _timed(matrices, repeats)
+    enabled.close()
+    telemetry.reset()
+
+    records = validate_file(trace_path)
+    ratio = on_s / off_s
+    identical = off_metrics == on_metrics
+    print(
+        f"telemetry off {off_s:7.3f}s  on {on_s:7.3f}s  "
+        f"overhead {100 * (ratio - 1):+.2f}%  "
+        f"({records} records, metrics "
+        f"{'identical' if identical else 'MISMATCH'})"
+    )
+
+    payload = {
+        "quick": quick,
+        "matrices": count,
+        "nnz_cap": nnz_cap,
+        "nnz_total": nnz_total,
+        "repeats": repeats,
+        "telemetry_off_s": round(off_s, 6),
+        "telemetry_on_s": round(on_s, 6),
+        "overhead_ratio": round(ratio, 4),
+        "gate": gate,
+        "records": records,
+        "metrics_identical": identical,
+    }
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {output}")
+    manifest = write_manifest(output, extra={"bench": "telemetry_overhead",
+                                             "quick": quick})
+    print(f"wrote {manifest}")
+
+    if not identical:
+        print("FAIL: schedule metrics changed when telemetry was enabled")
+        return 1
+    if ratio > gate:
+        print(
+            f"FAIL: telemetry-on pass is {ratio:.3f}x the telemetry-off "
+            f"pass (gate {gate:.2f}x)"
+        )
+        return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small matrix set (CI smoke mode)",
+    )
+    parser.add_argument(
+        "--gate", type=float, default=DEFAULT_GATE,
+        help="maximum allowed on/off wall-clock ratio",
+    )
+    parser.add_argument(
+        "--output", type=Path,
+        default=Path(__file__).resolve().parent.parent
+        / "BENCH_telemetry_overhead.json",
+        help="where to write the JSON trajectory point",
+    )
+    args = parser.parse_args(argv)
+    return run(args.quick, args.gate, args.output)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

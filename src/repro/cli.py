@@ -8,6 +8,8 @@ without writing a script::
     python -m repro schedule CollegeMsg --scheme pe_aware
     python -m repro corpus --count 16 --cap 20000
     python -m repro generate CollegeMsg --out /tmp/cm.mtx
+    python -m repro --telemetry /tmp/run.jsonl corpus --count 32
+    python -m repro telemetry summarize /tmp/run.jsonl
 """
 
 from __future__ import annotations
@@ -17,6 +19,7 @@ import sys
 from typing import List, Optional
 
 from . import __version__
+from . import telemetry as telemetry_mod
 from .analysis.characterize import characterize
 from .analysis.experiments import compare_on_corpus
 from .analysis.report import format_table, format_table1
@@ -169,6 +172,22 @@ def _cmd_generate(args) -> int:
     return 0
 
 
+def _cmd_telemetry(args) -> int:
+    if args.telemetry_command == "summarize":
+        print(telemetry_mod.summarize_file(args.trace))
+        if args.validate:
+            count = telemetry_mod.validate_file(args.trace)
+            print(f"\n{count} records validate against the event schema")
+    elif args.telemetry_command == "validate":
+        count = telemetry_mod.validate_file(args.trace)
+        print(f"{count} records validate against the event schema")
+    else:  # schema
+        from .telemetry.summarize import schema_json
+
+        print(schema_json())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -176,6 +195,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--version", action="version",
                         version=f"repro {__version__}")
+    parser.add_argument(
+        "--telemetry",
+        metavar="PATH",
+        default=None,
+        help="write a JSONL telemetry trace of this invocation to PATH "
+             "('-' = stderr); equivalent to REPRO_TELEMETRY",
+    )
     commands = parser.add_subparsers(dest="command", required=True)
 
     commands.add_parser(
@@ -221,17 +247,47 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--out", required=True)
     generate.add_argument("--seed", type=int, default=None)
     generate.set_defaults(func=_cmd_generate)
+
+    telemetry = commands.add_parser(
+        "telemetry", help="inspect JSONL telemetry traces"
+    )
+    telemetry_commands = telemetry.add_subparsers(
+        dest="telemetry_command", required=True
+    )
+    summarize = telemetry_commands.add_parser(
+        "summarize", help="render the span tree and counter tables"
+    )
+    summarize.add_argument("trace", help="a JSONL trace file")
+    summarize.add_argument(
+        "--validate", action="store_true",
+        help="also validate every record against the event schema",
+    )
+    validate = telemetry_commands.add_parser(
+        "validate", help="validate a trace against the event schema"
+    )
+    validate.add_argument("trace", help="a JSONL trace file")
+    telemetry_commands.add_parser(
+        "schema", help="print the JSONL event record schema"
+    )
+    telemetry.set_defaults(func=_cmd_telemetry)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    configured = None
+    if args.telemetry:
+        configured = telemetry_mod.configure(args.telemetry)
     try:
         return args.func(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    finally:
+        if configured is not None:
+            configured.close()
+            telemetry_mod.reset()
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -41,3 +41,7 @@ class SimulationError(ReproError):
 
 class DatasetError(ReproError):
     """A matrix generator or named dataset request cannot be satisfied."""
+
+
+class TelemetryError(ReproError):
+    """A telemetry trace or event record is malformed."""

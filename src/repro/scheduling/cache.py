@@ -26,6 +26,7 @@ from collections import OrderedDict
 from typing import Callable, Hashable, Optional, Tuple
 
 from ..errors import FormatError, SchedulingError
+from .. import telemetry
 from .base import TiledSchedule
 
 _SIZE_ENV = "REPRO_SCHEDULE_CACHE_SIZE"
@@ -48,6 +49,8 @@ class ScheduleCache:
         self._entries: "OrderedDict[CacheKey, TiledSchedule]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self.disk_loads = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -71,11 +74,14 @@ class ScheduleCache:
         """Return the cached schedule for the key, building it on a miss."""
         if self.capacity == 0 and self.disk_dir is None:
             return build()
+        t = telemetry.get()
         key = self.key(spec_key, config, scheme)
         cached = self._entries.get(key)
         if cached is not None:
             self._entries.move_to_end(key)
             self.hits += 1
+            if t.enabled:
+                t.counter("cache.hits", 1, scheme=scheme)
             return cached
 
         schedule: Optional[TiledSchedule] = None
@@ -90,10 +96,16 @@ class ScheduleCache:
                             handle.read(), config
                         )
                     self.hits += 1
+                    self.disk_loads += 1
+                    if t.enabled:
+                        t.counter("cache.hits", 1, scheme=scheme)
+                        t.counter("cache.disk_loads", 1, scheme=scheme)
                 except (FormatError, OSError):
                     schedule = None
         if schedule is None:
             self.misses += 1
+            if t.enabled:
+                t.counter("cache.misses", 1, scheme=scheme)
             schedule = build()
             if self.disk_dir is not None:
                 self._store_disk(key, schedule)
@@ -107,6 +119,10 @@ class ScheduleCache:
         self._entries.move_to_end(key)
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
+            self.evictions += 1
+            t = telemetry.get()
+            if t.enabled:
+                t.counter("cache.evictions", 1)
 
     def _store_disk(self, key: CacheKey, schedule: TiledSchedule) -> None:
         from .serialize import serialize_schedule
@@ -133,6 +149,8 @@ class ScheduleCache:
         self._entries.clear()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self.disk_loads = 0
 
 
 _GLOBAL: Optional[ScheduleCache] = None

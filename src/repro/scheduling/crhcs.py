@@ -43,6 +43,7 @@ from ..config import AcceleratorConfig
 from ..errors import SchedulingError
 from ..formats.coo import COOMatrix
 from ..formats.csr import CSRMatrix
+from .. import telemetry
 from .base import ChannelGrid, Schedule, ScheduledElement, TiledSchedule
 from .pe_aware import group_rows_by_pe, pe_aware_grids
 from .window import Tile, tile_matrix
@@ -122,6 +123,8 @@ def migrate_grids(
         raise SchedulingError("steal_tries must be >= 1")
     channels = len(grids)
     distance = config.accumulator_latency
+    prefix_slots = 0
+    walk_slots = 0
     if report is not None:
         report.own_issues += sum(g.element_count for g in grids)
     if migration_span == 0 or channels < 2:
@@ -261,11 +264,18 @@ def migrate_grids(
                     donor_id,
                     cand_origin_pes[taken],
                 )
+            prefix_slots += prefix
+            walk_slots += len(accepted)
             if report is not None and (migrated_here or raw_skips):
                 report.own_issues -= migrated_here
                 report.migrated += migrated_here
                 report.raw_skips += raw_skips
                 report.pair_counts[(c, donor_id)] += migrated_here
+
+    t = telemetry.get()
+    if t.enabled:
+        t.counter("scheduler.crhcs.prefix_slots", prefix_slots)
+        t.counter("scheduler.crhcs.walk_slots", walk_slots)
 
     for grid in grids:
         grid.trim_trailing_stalls()
@@ -549,21 +559,46 @@ def schedule_crhcs(
     report: Optional[MigrationReport] = None,
 ) -> TiledSchedule:
     """Schedule a whole matrix with CrHCS (§3)."""
-    tiles = tile_matrix(matrix, config, max_rows_per_pass)
-    return TiledSchedule(
-        config=config,
-        tiles=[
-            schedule_crhcs_tile(
-                tile,
-                config,
-                migration_span=migration_span,
-                steal_tries=steal_tries,
-                mode=mode,
-                report=report,
+    t = telemetry.get()
+    # Aggregate this call's migrations locally (the caller's report, if
+    # any, may span several matrices) so the telemetry counters carry
+    # exactly this matrix's contribution.
+    local_report = MigrationReport() if (t.enabled or report is not None) \
+        else None
+    with t.span("schedule.crhcs", nnz=matrix.nnz, mode=mode) as span:
+        tiles = tile_matrix(matrix, config, max_rows_per_pass)
+        span.annotate(tiles=len(tiles))
+        schedule = TiledSchedule(
+            config=config,
+            tiles=[
+                schedule_crhcs_tile(
+                    tile,
+                    config,
+                    migration_span=migration_span,
+                    steal_tries=steal_tries,
+                    mode=mode,
+                    report=local_report,
+                )
+                for tile in tiles
+            ],
+            scheme="crhcs" if mode == "migrate" else "crhcs_rebuild",
+            n_rows=matrix.n_rows,
+            n_cols=matrix.n_cols,
+        )
+    if t.enabled and local_report is not None:
+        t.counter("scheduler.crhcs.matrices", 1)
+        t.counter("scheduler.crhcs.tiles", len(tiles))
+        t.counter("scheduler.crhcs.nnz", matrix.nnz)
+        t.counter("scheduler.crhcs.migrated", local_report.migrated)
+        t.counter("scheduler.crhcs.own_issues", local_report.own_issues)
+        t.counter("scheduler.crhcs.raw_skips", local_report.raw_skips)
+        # The §5.3 per-channel-pair migration traffic, folded from the
+        # report's (destination, donor) Counter.
+        for (dest, donor), count in sorted(local_report.pair_counts.items()):
+            t.counter(
+                "scheduler.crhcs.migrated_pair", count,
+                dest=dest, donor=donor,
             )
-            for tile in tiles
-        ],
-        scheme="crhcs" if mode == "migrate" else "crhcs_rebuild",
-        n_rows=matrix.n_rows,
-        n_cols=matrix.n_cols,
-    )
+    if report is not None and local_report is not None:
+        report.merge(local_report)
+    return schedule

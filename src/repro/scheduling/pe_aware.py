@@ -31,6 +31,7 @@ from ..config import AcceleratorConfig
 from ..errors import SchedulingError
 from ..formats.coo import COOMatrix
 from ..formats.csr import CSRMatrix
+from .. import telemetry
 from .base import ChannelGrid, Schedule, TiledSchedule, pe_for_row
 from .window import Tile, tile_matrix
 
@@ -267,11 +268,19 @@ def schedule_pe_aware(
     max_rows_per_pass: int = 0,
 ) -> TiledSchedule:
     """Schedule a whole matrix with the PE-aware (Serpens) scheme."""
-    tiles = tile_matrix(matrix, config, max_rows_per_pass)
-    return TiledSchedule(
-        config=config,
-        tiles=[schedule_pe_aware_tile(tile, config) for tile in tiles],
-        scheme="pe_aware",
-        n_rows=matrix.n_rows,
-        n_cols=matrix.n_cols,
-    )
+    t = telemetry.get()
+    with t.span("schedule.pe_aware", nnz=matrix.nnz) as span:
+        tiles = tile_matrix(matrix, config, max_rows_per_pass)
+        span.annotate(tiles=len(tiles))
+        schedule = TiledSchedule(
+            config=config,
+            tiles=[schedule_pe_aware_tile(tile, config) for tile in tiles],
+            scheme="pe_aware",
+            n_rows=matrix.n_rows,
+            n_cols=matrix.n_cols,
+        )
+    if t.enabled:
+        t.counter("scheduler.pe_aware.matrices", 1)
+        t.counter("scheduler.pe_aware.tiles", len(tiles))
+        t.counter("scheduler.pe_aware.nnz", matrix.nnz)
+    return schedule

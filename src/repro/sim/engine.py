@@ -36,6 +36,7 @@ import numpy as np
 from ..config import AcceleratorConfig
 from ..errors import ShapeError, SimulationError
 from ..scheduling.base import TiledSchedule
+from .. import telemetry
 from .peg import ProcessingElementGroup
 from .rearrange import RearrangeUnit
 from .reduction import ReductionUnit
@@ -159,6 +160,20 @@ def execute_schedule(
     config: Optional[AcceleratorConfig] = None,
 ) -> SpMVExecution:
     """Run one SpMV iteration of ``schedule`` over input vector ``x``."""
+    t = telemetry.get()
+    with t.span(
+        "sim.execute", scheme=schedule.scheme, nnz=schedule.nnz
+    ):
+        execution = _execute_schedule(schedule, x, config, t)
+    return execution
+
+
+def _execute_schedule(
+    schedule: TiledSchedule,
+    x: np.ndarray,
+    config: Optional[AcceleratorConfig],
+    t: "telemetry.Telemetry",
+) -> SpMVExecution:
     config = config or schedule.config
     x = np.asarray(x, dtype=np.float32)
     if schedule.n_cols and x.shape != (schedule.n_cols,):
@@ -174,6 +189,11 @@ def execute_schedule(
     rearrange = RearrangeUnit(config)
     total_macs = 0
     shared_macs = 0
+    # Per-channel busy (MAC) and stall (idle) cycle totals across all
+    # row windows — the per-PEG occupancy Figs. 12/13 report, surfaced
+    # through telemetry counters.
+    channel_busy = [0] * config.sparse_channels
+    channel_idle = [0] * config.sparse_channels
 
     # Group tiles by row window, preserving column order within each.
     windows: Dict[int, List] = {}
@@ -227,16 +247,33 @@ def execute_schedule(
         rearrange.merge(pegs, reductions, row_base, window_rows, y)
         cycles.output += math.ceil(max(window_rows, 1) / DENSE_LANES)
 
-        for peg in pegs:
+        for channel, peg in enumerate(pegs):
             total_macs += peg.total_macs
             shared_macs += sum(
                 pe.stats.shared_accumulations for pe in peg.pes
             )
+            channel_busy[channel] += peg.total_macs
+            channel_idle[channel] += peg.total_idle
 
     if total_macs != schedule.nnz:
         raise SimulationError(
             f"executed {total_macs} MACs for a schedule of "
             f"{schedule.nnz} non-zeros"
+        )
+
+    if t.enabled:
+        for channel in range(config.sparse_channels):
+            t.counter(
+                "sim.peg.busy_cycles", channel_busy[channel],
+                channel=channel,
+            )
+            t.counter(
+                "sim.peg.stall_cycles", channel_idle[channel],
+                channel=channel,
+            )
+        t.gauge(
+            "sim.fifo.high_water", rearrange.stream_ax.high_water,
+            fifo=rearrange.stream_ax.name,
         )
 
     return SpMVExecution(

@@ -26,6 +26,9 @@ class FifoStream(Generic[T]):
         self.depth = depth
         self._queue: Deque[T] = deque()
         self.total_pushed = 0
+        #: Deepest occupancy ever observed — the telemetry high-water mark
+        #: a hardware designer would size the FIFO from.
+        self.high_water = 0
 
     def __len__(self) -> int:
         return len(self._queue)
@@ -48,6 +51,8 @@ class FifoStream(Generic[T]):
             )
         self._queue.append(item)
         self.total_pushed += 1
+        if len(self._queue) > self.high_water:
+            self.high_water = len(self._queue)
 
     def push_all(self, items: Iterable[T]) -> None:
         for item in items:
@@ -66,3 +71,7 @@ class FifoStream(Generic[T]):
     def drain(self) -> Iterator[T]:
         while self._queue:
             yield self._queue.popleft()
+
+    def clear(self) -> None:
+        """Drop all buffered items; ``high_water`` persists."""
+        self._queue.clear()

@@ -25,6 +25,7 @@ import numpy as np
 
 from ..config import AcceleratorConfig
 from ..errors import SimulationError
+from .fifo import FifoStream
 from .peg import ProcessingElementGroup
 from .reduction import ReducedSums
 
@@ -44,6 +45,11 @@ class RearrangeUnit:
     def __init__(self, config: AcceleratorConfig):
         self.config = config
         self.stats = RearrangeStats()
+        #: The merged output stream (§4.3); values buffer here within a
+        #: row window before the 16-lane ``stream_Ax`` pack drains them.
+        #: Its high-water mark is the arbiter queue depth telemetry
+        #: reports per execution.
+        self.stream_ax: FifoStream = FifoStream("stream_Ax")
 
     def merge(
         self,
@@ -78,6 +84,7 @@ class RearrangeUnit:
                             f"private sum for row {row} outside window"
                         )
                     y_out[row] += value
+                    self.stream_ax.push(row)
                     self.stats.private_values += 1
 
         # Shared streams: re-ordered onto their origin channel's rows.
@@ -93,6 +100,10 @@ class RearrangeUnit:
                             f"shared sum for row {row} outside window"
                         )
                     y_out[row] += value
+                    self.stream_ax.push(row)
                     self.stats.shared_values += 1
 
         self.stats.merged_rows += n_rows
+        # The pack drains the window's buffered values into stream_Ax
+        # beats; occupancy resets per window, high_water persists.
+        self.stream_ax.clear()

@@ -1,0 +1,76 @@
+"""Observability for the reproduction: spans, counters, JSONL event traces.
+
+The subsystem answers "where did the time go, what did the cache do,
+which channel migrated what" without rerunning under a debugger:
+
+* :func:`get` returns the active registry — the no-op :data:`NULL`
+  singleton unless ``REPRO_TELEMETRY=<path|->`` (or :func:`configure`)
+  enabled a JSONL sink.  Call sites guard bookkeeping with
+  ``telemetry.get().enabled`` so the disabled path stays near-free.
+* :class:`Telemetry` provides nested wall-clock **spans** (context
+  managers), monotonic **counters** and last-value **gauges**; every span
+  close and counter flush emits one self-describing JSONL record
+  (validated by :mod:`repro.telemetry.schema`).
+* :mod:`repro.telemetry.summarize` renders a trace back into a span tree
+  and counter tables (``repro telemetry summarize``), and
+  :mod:`repro.telemetry.manifest` writes the provenance record that
+  accompanies every ``BENCH_*.json``.
+
+See ``docs/observability.md`` for the record schema, the span naming
+conventions, and the instrumented counter inventory.
+"""
+
+from .core import (
+    NULL,
+    NullTelemetry,
+    Span,
+    Telemetry,
+    TELEMETRY_ENV,
+    capture,
+    configure,
+    disable,
+    get,
+    reset,
+    reset_warnings,
+    swap,
+    warn_once,
+)
+from .manifest import build_manifest, config_hash, write_manifest
+from .schema import (
+    EVENT_SCHEMA,
+    load_trace,
+    validate_file,
+    validate_record,
+    validate_records,
+)
+from .sinks import JsonlSink, MemorySink, Sink
+from .summarize import summarize_file, summarize_records
+
+__all__ = [
+    "NULL",
+    "NullTelemetry",
+    "Span",
+    "Telemetry",
+    "TELEMETRY_ENV",
+    "capture",
+    "configure",
+    "disable",
+    "get",
+    "reset",
+    "reset_warnings",
+    "swap",
+    "warn_once",
+    "build_manifest",
+    "config_hash",
+    "write_manifest",
+    "EVENT_SCHEMA",
+    "load_trace",
+    "validate_file",
+    "validate_record",
+    "validate_records",
+    "JsonlSink",
+    "MemorySink",
+    "Sink",
+    "summarize_file",
+    "summarize_records",
+]

@@ -1,0 +1,404 @@
+"""The telemetry registry: spans, counters, and gauges.
+
+One :class:`Telemetry` instance owns a sink and three instrument kinds:
+
+* **spans** — wall-clock timers (``time.perf_counter``) opened with the
+  context-manager :meth:`Telemetry.span`.  Spans nest; a span's record
+  carries its full ``/``-joined path ("corpus.run/corpus.spec/…"), so the
+  trace reconstructs the call tree without explicit parent ids.  A record
+  is emitted when the span *closes*, so children precede parents in the
+  stream — exactly the order a depth-first timer pops.
+* **counters** — monotonic accumulators keyed by ``(name, attrs)``.
+  Increments are buffered in-process and emitted as one record per key at
+  :meth:`Telemetry.flush` (called automatically on :meth:`close` and at
+  interpreter exit for env-configured telemetry).
+* **gauges** — last-value-wins samples that also aggregate
+  count/min/max/mean into the record's attributes, covering the
+  histogram-style uses (FIFO high-water marks, throughput samples).
+
+The **disabled path is near-zero-cost**: :func:`get` returns the shared
+:data:`NULL` singleton whose ``span`` hands back one reusable no-op
+context manager and whose counter/gauge methods return immediately.  Call
+sites guard any non-trivial bookkeeping with ``if telemetry.enabled:``.
+
+Configuration follows the environment by default: ``REPRO_TELEMETRY`` set
+to a path appends JSONL records there (``-`` streams to stderr); unset
+leaves telemetry disabled.  :func:`configure`, :func:`disable` and the
+test helper :func:`capture` override the environment explicitly.
+"""
+
+from __future__ import annotations
+
+import atexit
+import logging
+import os
+import time
+import uuid
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from .sinks import JsonlSink, MemorySink, Sink
+
+#: Environment variable enabling the JSONL sink (a path, or ``-`` = stderr).
+TELEMETRY_ENV = "REPRO_TELEMETRY"
+
+logger = logging.getLogger("repro.telemetry")
+
+#: Attribute key tuple used to bucket counters/gauges: sorted (key, value).
+_AttrKey = Tuple[Tuple[str, Any], ...]
+
+
+def _attr_key(attrs: Dict[str, Any]) -> _AttrKey:
+    return tuple(sorted(attrs.items()))
+
+
+class Span:
+    """One open span; emits its record on ``__exit__``."""
+
+    __slots__ = ("_telemetry", "name", "attrs", "_path", "_start")
+
+    def __init__(self, telemetry: "Telemetry", name: str, attrs: Dict[str, Any]):
+        self._telemetry = telemetry
+        self.name = name
+        self.attrs = attrs
+        self._path = ""
+        self._start = 0.0
+
+    def annotate(self, **attrs: Any) -> "Span":
+        """Attach attributes discovered after the span opened."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        stack = self._telemetry._stack
+        self._path = (
+            f"{stack[-1]}/{self.name}" if stack else self.name
+        )
+        stack.append(self._path)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        duration = time.perf_counter() - self._start
+        stack = self._telemetry._stack
+        if stack and stack[-1] == self._path:
+            stack.pop()
+        self._telemetry._emit(
+            kind="span",
+            name=self._path,
+            duration_s=round(duration, 9),
+            attrs=self.attrs or None,
+        )
+
+
+class _NullSpan:
+    """The reusable no-op span of the disabled path."""
+
+    __slots__ = ()
+
+    def annotate(self, **_attrs: Any) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTelemetry:
+    """Disabled telemetry: every operation is a no-op.
+
+    Shared singleton (:data:`NULL`); call sites check :attr:`enabled`
+    before doing any bookkeeping of their own.
+    """
+
+    enabled = False
+    run_id = "disabled"
+
+    def span(self, name: str, **attrs: Any) -> _NullSpan:  # noqa: ARG002
+        return _NULL_SPAN
+
+    def counter(self, name: str, value: Union[int, float] = 1,
+                **attrs: Any) -> None:
+        return None
+
+    def gauge(self, name: str, value: Union[int, float],
+              **attrs: Any) -> None:
+        return None
+
+    def counter_total(self, name: str) -> Union[int, float]:  # noqa: ARG002
+        return 0
+
+    def flush(self) -> None:
+        return None
+
+    def close(self) -> None:
+        return None
+
+
+class Telemetry:
+    """An enabled telemetry registry bound to one sink."""
+
+    enabled = True
+
+    def __init__(self, sink: Sink, run_id: Optional[str] = None):
+        self.sink = sink
+        self.run_id = run_id or uuid.uuid4().hex[:12]
+        self._seq = 0
+        self._origin = time.perf_counter()
+        self._stack: List[str] = []
+        self._counters: "Dict[Tuple[str, _AttrKey], Union[int, float]]" = {}
+        self._gauges: Dict[Tuple[str, _AttrKey], Dict[str, float]] = {}
+        self._closed = False
+
+    # -- emission -----------------------------------------------------------
+
+    def _emit(
+        self,
+        kind: str,
+        name: str,
+        duration_s: Optional[float] = None,
+        value: Optional[Union[int, float]] = None,
+        attrs: Optional[Dict[str, Any]] = None,
+        worker: Optional[int] = None,
+    ) -> None:
+        record: Dict[str, Any] = {
+            "run_id": self.run_id,
+            "seq": self._seq,
+            "ts": round(time.perf_counter() - self._origin, 9),
+            "kind": kind,
+            "name": name,
+        }
+        self._seq += 1
+        if duration_s is not None:
+            record["duration_s"] = duration_s
+        if value is not None:
+            record["value"] = value
+        if worker is not None:
+            record["worker"] = worker
+        if attrs:
+            record["attrs"] = attrs
+        self.sink.write(record)
+
+    def emit_merged(self, record: Dict[str, Any], worker: int) -> None:
+        """Re-emit one captured worker record under this registry.
+
+        Used by the parallel corpus runner: per-worker records come back
+        with the results, ordered by spec index, and are re-stamped with
+        this registry's run id and sequence — the merged trace is one
+        self-consistent stream regardless of worker count.
+        """
+        merged = dict(record)
+        merged["run_id"] = self.run_id
+        merged["seq"] = self._seq
+        merged["worker"] = worker
+        self._seq += 1
+        self.sink.write(merged)
+
+    # -- instruments --------------------------------------------------------
+
+    def span(self, name: str, **attrs: Any) -> Span:
+        """Open a nested wall-clock span (use as a context manager)."""
+        return Span(self, name, attrs)
+
+    def counter(self, name: str, value: Union[int, float] = 1,
+                **attrs: Any) -> None:
+        """Add ``value`` to the counter ``name`` (bucketed by attrs)."""
+        key = (name, _attr_key(attrs))
+        self._counters[key] = self._counters.get(key, 0) + value
+
+    def gauge(self, name: str, value: Union[int, float],
+              **attrs: Any) -> None:
+        """Record a sample of gauge ``name`` (last value wins)."""
+        key = (name, _attr_key(attrs))
+        state = self._gauges.get(key)
+        if state is None:
+            self._gauges[key] = {
+                "last": value, "min": value, "max": value,
+                "sum": value, "count": 1,
+            }
+        else:
+            state["last"] = value
+            state["min"] = min(state["min"], value)
+            state["max"] = max(state["max"], value)
+            state["sum"] += value
+            state["count"] += 1
+
+    def counter_total(self, name: str) -> Union[int, float]:
+        """Unflushed total of ``name`` summed across attribute buckets."""
+        return sum(
+            value for (key, _), value in self._counters.items()
+            if key == name
+        )
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def flush(self) -> None:
+        """Emit one record per pending counter/gauge bucket and reset them.
+
+        Buckets are emitted in sorted (name, attrs) order so a flush is
+        deterministic for a deterministic workload.
+        """
+        counters, self._counters = self._counters, {}
+        for (name, attr_key) in sorted(counters, key=repr):
+            self._emit(
+                kind="counter",
+                name=name,
+                value=counters[(name, attr_key)],
+                attrs=dict(attr_key) or None,
+            )
+        gauges, self._gauges = self._gauges, {}
+        for (name, attr_key) in sorted(gauges, key=repr):
+            state = gauges[(name, attr_key)]
+            summary = {
+                "min": state["min"],
+                "max": state["max"],
+                "mean": state["sum"] / state["count"],
+                "count": state["count"],
+            }
+            self._emit(
+                kind="gauge",
+                name=name,
+                value=state["last"],
+                attrs={**dict(attr_key), **summary},
+            )
+        self.sink.flush()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self.flush()
+        self.sink.close()
+
+
+#: The shared disabled singleton.
+NULL = NullTelemetry()
+
+TelemetryLike = Union[Telemetry, NullTelemetry]
+
+#: ``None`` means "not yet resolved from the environment".
+_active: Optional[TelemetryLike] = None
+
+
+def _from_env() -> TelemetryLike:
+    target = os.environ.get(TELEMETRY_ENV, "").strip()
+    if not target:
+        return NULL
+    telemetry = Telemetry(JsonlSink(target))
+    atexit.register(telemetry.close)
+    logger.debug("telemetry enabled via %s=%s", TELEMETRY_ENV, target)
+    return telemetry
+
+
+def get() -> TelemetryLike:
+    """The active telemetry (resolved from ``REPRO_TELEMETRY`` once)."""
+    global _active
+    if _active is None:
+        _active = _from_env()
+    return _active
+
+
+def configure(target: Union[str, Sink]) -> Telemetry:
+    """Explicitly enable telemetry on a path, ``-`` (stderr), or sink."""
+    global _active
+    sink = target if isinstance(target, Sink) else JsonlSink(target)
+    _active = Telemetry(sink)
+    return _active
+
+
+def swap(telemetry: Optional[TelemetryLike]) -> Optional[TelemetryLike]:
+    """Install ``telemetry`` as active, returning the previous value.
+
+    Passing the previous value back restores it — the mechanism behind
+    :func:`capture` and the parallel runner's per-worker capture.
+    """
+    global _active
+    previous = _active
+    _active = telemetry
+    return previous
+
+
+def disable() -> None:
+    """Force-disable telemetry (ignoring the environment)."""
+    swap(NULL)
+
+
+def reset() -> None:
+    """Forget the active instance; the next :func:`get` re-reads the env."""
+    swap(None)
+
+
+class capture:
+    """Context manager installing a memory-sink telemetry (tests, workers).
+
+    >>> with capture() as tel:
+    ...     with tel.span("work"):
+    ...         tel.counter("items", 3)
+    >>> [r["kind"] for r in tel.records]
+    ['span', 'counter']
+    """
+
+    def __init__(self) -> None:
+        self.sink = MemorySink()
+        self.telemetry = Telemetry(self.sink)
+        self._previous: Optional[TelemetryLike] = None
+
+    @property
+    def records(self) -> List[Dict[str, Any]]:
+        return self.sink.records
+
+    def __enter__(self) -> "capture":
+        self._previous = swap(self.telemetry)
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.telemetry.flush()
+        swap(self._previous)
+
+    # Convenience passthroughs so the context object doubles as the
+    # registry in test bodies.
+    def span(self, name: str, **attrs: Any) -> Span:
+        return self.telemetry.span(name, **attrs)
+
+    def counter(self, name: str, value: Union[int, float] = 1,
+                **attrs: Any) -> None:
+        self.telemetry.counter(name, value, **attrs)
+
+    def gauge(self, name: str, value: Union[int, float],
+              **attrs: Any) -> None:
+        self.telemetry.gauge(name, value, **attrs)
+
+    def flush(self) -> None:
+        self.telemetry.flush()
+
+
+# -- one-time warnings ------------------------------------------------------
+
+_warned_keys: set = set()
+
+
+def warn_once(key: str, message: str) -> bool:
+    """Log ``message`` once per process and count it in the telemetry.
+
+    The shared path for "your environment variable is garbage" signals:
+    a ``logging`` warning (visible without telemetry configured) plus a
+    ``telemetry.warnings`` counter bucketed by ``key``.  Returns ``True``
+    when the warning fired, ``False`` when it was already emitted.
+    """
+    if key in _warned_keys:
+        return False
+    _warned_keys.add(key)
+    logger.warning(message)
+    telemetry = get()
+    if telemetry.enabled:
+        telemetry.counter("telemetry.warnings", 1, key=key)
+    return True
+
+
+def reset_warnings() -> None:
+    """Clear the one-time warning registry (test isolation)."""
+    _warned_keys.clear()

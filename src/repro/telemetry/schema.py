@@ -1,0 +1,165 @@
+"""The JSONL event record schema, and a dependency-free validator.
+
+Every record a :class:`~repro.telemetry.core.Telemetry` emits is one JSON
+object per line, self-describing under :data:`EVENT_SCHEMA` (JSON Schema
+draft-07 vocabulary).  The validator below implements exactly the checks
+the schema states — no ``jsonschema`` dependency — so CI can validate a
+trace with the library alone, and the schema dict itself can be exported
+for external tooling (``python -m repro telemetry schema``).
+
+Record fields
+=============
+
+========== ========= ====================================================
+field      kinds     meaning
+========== ========= ====================================================
+run_id     all       12-hex id shared by all records of one registry
+seq        all       monotonic per-registry sequence number
+ts         all       seconds since the emitting registry started
+kind       all       ``span`` | ``counter`` | ``gauge`` | ``event``
+name       all       span *path* ("a/b/c") or counter/gauge name
+duration_s span      wall-clock seconds the span was open
+value      counter,  accumulated total (counter) / last sample (gauge)
+           gauge
+worker     merged    worker index a parallel-runner record came from
+attrs      optional  free-form attributes (tile counts, channel ids, …)
+========== ========= ====================================================
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Dict, Iterable, Union
+
+from ..errors import TelemetryError
+
+#: JSON Schema (draft-07) for one JSONL event record.
+EVENT_SCHEMA: Dict[str, Any] = {
+    "$schema": "http://json-schema.org/draft-07/schema#",
+    "title": "repro telemetry event record",
+    "type": "object",
+    "required": ["run_id", "seq", "ts", "kind", "name"],
+    "properties": {
+        "run_id": {"type": "string", "pattern": "^[0-9a-f]{12}$"},
+        "seq": {"type": "integer", "minimum": 0},
+        "ts": {"type": "number", "minimum": 0},
+        "kind": {"enum": ["span", "counter", "gauge", "event"]},
+        "name": {"type": "string", "minLength": 1},
+        "duration_s": {"type": "number", "minimum": 0},
+        "value": {"type": "number"},
+        "worker": {"type": "integer", "minimum": 0},
+        "attrs": {"type": "object"},
+    },
+    "additionalProperties": False,
+    "allOf": [
+        {
+            "if": {"properties": {"kind": {"const": "span"}}},
+            "then": {"required": ["duration_s"]},
+        },
+        {
+            "if": {"properties": {"kind": {"const": "counter"}}},
+            "then": {"required": ["value"]},
+        },
+        {
+            "if": {"properties": {"kind": {"const": "gauge"}}},
+            "then": {"required": ["value"]},
+        },
+    ],
+}
+
+_RUN_ID_RE = re.compile(r"^[0-9a-f]{12}$")
+_KINDS = ("span", "counter", "gauge", "event")
+_FIELDS = frozenset(EVENT_SCHEMA["properties"])
+
+
+def _fail(message: str) -> None:
+    raise TelemetryError(f"invalid telemetry record: {message}")
+
+
+def validate_record(record: Any) -> Dict[str, Any]:
+    """Check one record against :data:`EVENT_SCHEMA`; return it.
+
+    Raises :class:`~repro.errors.TelemetryError` naming the first
+    violation.  The checks mirror the schema clause by clause.
+    """
+    if not isinstance(record, dict):
+        _fail(f"expected an object, got {type(record).__name__}")
+    unknown = set(record) - _FIELDS
+    if unknown:
+        _fail(f"unknown fields {sorted(unknown)}")
+    for field in ("run_id", "seq", "ts", "kind", "name"):
+        if field not in record:
+            _fail(f"missing required field {field!r}")
+    if not isinstance(record["run_id"], str) or not _RUN_ID_RE.match(
+        record["run_id"]
+    ):
+        _fail(f"run_id {record['run_id']!r} is not 12 hex digits")
+    if not isinstance(record["seq"], int) or isinstance(
+        record["seq"], bool
+    ) or record["seq"] < 0:
+        _fail(f"seq {record['seq']!r} is not a non-negative integer")
+    if not isinstance(record["ts"], (int, float)) or record["ts"] < 0:
+        _fail(f"ts {record['ts']!r} is not a non-negative number")
+    kind = record["kind"]
+    if kind not in _KINDS:
+        _fail(f"kind {kind!r} not one of {_KINDS}")
+    if not isinstance(record["name"], str) or not record["name"]:
+        _fail("name must be a non-empty string")
+    if "duration_s" in record and (
+        not isinstance(record["duration_s"], (int, float))
+        or record["duration_s"] < 0
+    ):
+        _fail(f"duration_s {record['duration_s']!r} invalid")
+    if "value" in record and not isinstance(
+        record["value"], (int, float)
+    ):
+        _fail(f"value {record['value']!r} is not a number")
+    if "worker" in record and (
+        not isinstance(record["worker"], int) or record["worker"] < 0
+    ):
+        _fail(f"worker {record['worker']!r} invalid")
+    if "attrs" in record and not isinstance(record["attrs"], dict):
+        _fail("attrs must be an object")
+    if kind == "span" and "duration_s" not in record:
+        _fail("span record without duration_s")
+    if kind in ("counter", "gauge") and "value" not in record:
+        _fail(f"{kind} record without value")
+    return record
+
+
+def validate_records(records: Iterable[Any]) -> int:
+    """Validate every record; returns how many were checked."""
+    count = 0
+    for record in records:
+        validate_record(record)
+        count += 1
+    return count
+
+
+def load_trace(path: str) -> list:
+    """Parse a JSONL trace file into a list of record dicts."""
+    records = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as error:
+                raise TelemetryError(
+                    f"{path}:{line_no}: not valid JSON ({error})"
+                ) from error
+    return records
+
+
+def validate_file(path: Union[str, "object"]) -> int:
+    """Validate a whole JSONL trace file; returns the record count."""
+    records = load_trace(str(path))
+    for index, record in enumerate(records):
+        try:
+            validate_record(record)
+        except TelemetryError as error:
+            raise TelemetryError(f"{path}: record {index}: {error}") from error
+    return len(records)

@@ -1,0 +1,76 @@
+"""Telemetry sinks: where event records go.
+
+Records are plain dicts (see :mod:`repro.telemetry.schema`); a sink's job
+is transport only.  Two implementations:
+
+* :class:`JsonlSink` — one JSON object per line, appended to a file
+  (``-`` streams to stderr).  Lines are written and flushed per record so
+  a crashed run still leaves a readable prefix.
+* :class:`MemorySink` — records kept in a list, for tests and for the
+  per-worker capture of the parallel corpus runner.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import sys
+from typing import Any, Dict, List, Optional
+
+
+class Sink:
+    """Interface: accepts event records, owns its transport."""
+
+    def write(self, record: Dict[str, Any]) -> None:
+        raise NotImplementedError
+
+    def flush(self) -> None:
+        return None
+
+    def close(self) -> None:
+        return None
+
+
+class MemorySink(Sink):
+    """Buffers records in memory (tests, worker capture)."""
+
+    def __init__(self) -> None:
+        self.records: List[Dict[str, Any]] = []
+
+    def write(self, record: Dict[str, Any]) -> None:
+        self.records.append(record)
+
+    def clear(self) -> None:
+        self.records.clear()
+
+
+class JsonlSink(Sink):
+    """Appends one compact JSON object per line to a file or stderr."""
+
+    def __init__(self, target: str):
+        self.target = target
+        self._owns_stream = target != "-"
+        self._stream: Optional[io.TextIOBase] = None
+
+    def _ensure_stream(self) -> io.TextIOBase:
+        if self._stream is None:
+            if self.target == "-":
+                self._stream = sys.stderr
+            else:
+                self._stream = open(self.target, "a", encoding="utf-8")
+        return self._stream
+
+    def write(self, record: Dict[str, Any]) -> None:
+        stream = self._ensure_stream()
+        stream.write(json.dumps(record, separators=(",", ":"),
+                                sort_keys=False) + "\n")
+        stream.flush()
+
+    def flush(self) -> None:
+        if self._stream is not None:
+            self._stream.flush()
+
+    def close(self) -> None:
+        if self._stream is not None and self._owns_stream:
+            self._stream.close()
+        self._stream = None

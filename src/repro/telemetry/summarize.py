@@ -1,0 +1,142 @@
+"""Render a JSONL telemetry trace as a span tree and counter tables.
+
+The ``repro telemetry summarize`` subcommand ends here: records are
+grouped by kind, spans aggregate by path into an indented call tree
+(count, total and mean duration), counters and gauges become tables.  The
+renderer is pure — it takes records and returns a string — so tests and
+notebooks can call it directly.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import OrderedDict
+from typing import Any, Dict, Iterable, List, Tuple
+
+from .schema import load_trace
+
+
+def _format_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:8.3f}s "
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:8.3f}ms"
+    return f"{seconds * 1e6:8.1f}us"
+
+
+def _attrs_label(attrs: Dict[str, Any]) -> str:
+    return " ".join(f"{key}={value}" for key, value in sorted(attrs.items()))
+
+
+def summarize_spans(records: Iterable[Dict[str, Any]]) -> str:
+    """The indented span tree: per-path count, total and mean duration."""
+    stats: "OrderedDict[str, List[float]]" = OrderedDict()
+    for record in records:
+        if record.get("kind") != "span":
+            continue
+        path = record["name"]
+        stats.setdefault(path, []).append(float(record["duration_s"]))
+    if not stats:
+        return "(no spans)"
+    lines = [f"{'span':<52s} {'count':>6s} {'total':>10s} {'mean':>10s}"]
+    for path in sorted(stats):
+        durations = stats[path]
+        depth = path.count("/")
+        label = "  " * depth + path.rsplit("/", 1)[-1]
+        total = sum(durations)
+        lines.append(
+            f"{label:<52s} {len(durations):>6d} "
+            f"{_format_seconds(total)} "
+            f"{_format_seconds(total / len(durations))}"
+        )
+    return "\n".join(lines)
+
+
+def _bucket_totals(
+    records: Iterable[Dict[str, Any]], kind: str
+) -> "OrderedDict[Tuple[str, str], float]":
+    totals: "OrderedDict[Tuple[str, str], float]" = OrderedDict()
+    for record in records:
+        if record.get("kind") != kind:
+            continue
+        attrs = {
+            key: value
+            for key, value in record.get("attrs", {}).items()
+            # gauge records fold their aggregation summary into attrs;
+            # drop it from the bucket label so samples group correctly.
+            if key not in ("min", "max", "mean", "count")
+        }
+        key = (record["name"], _attrs_label(attrs))
+        if kind == "counter":
+            totals[key] = totals.get(key, 0) + record["value"]
+        else:
+            totals[key] = record["value"]  # gauge: last value wins
+    return totals
+
+
+def summarize_counters(records: Iterable[Dict[str, Any]]) -> str:
+    """Counter totals summed across flushes and workers."""
+    totals = _bucket_totals(records, "counter")
+    if not totals:
+        return "(no counters)"
+    lines = [f"{'counter':<44s} {'attrs':<24s} {'total':>14s}"]
+    for (name, attrs) in sorted(totals):
+        value = totals[(name, attrs)]
+        rendered = f"{value:g}" if isinstance(value, float) else str(value)
+        lines.append(f"{name:<44s} {attrs:<24s} {rendered:>14s}")
+    return "\n".join(lines)
+
+
+def summarize_gauges(records: Iterable[Dict[str, Any]]) -> str:
+    """Gauge last-values (one row per name/attrs bucket)."""
+    totals = _bucket_totals(records, "gauge")
+    if not totals:
+        return "(no gauges)"
+    lines = [f"{'gauge':<44s} {'attrs':<24s} {'last':>14s}"]
+    for (name, attrs) in sorted(totals):
+        lines.append(
+            f"{name:<44s} {attrs:<24s} {totals[(name, attrs)]:>14g}"
+        )
+    return "\n".join(lines)
+
+
+def summarize_records(records: List[Dict[str, Any]]) -> str:
+    """The full ``repro telemetry summarize`` report for one trace."""
+    run_ids = sorted({r.get("run_id", "?") for r in records})
+    workers = sorted(
+        {r["worker"] for r in records if "worker" in r}
+    )
+    header = [
+        f"records: {len(records)}",
+        f"runs: {', '.join(run_ids) if run_ids else '(none)'}",
+    ]
+    if workers:
+        header.append(f"workers: {len(workers)}")
+    sections = [
+        "  ".join(header),
+        "",
+        "spans",
+        "-----",
+        summarize_spans(records),
+        "",
+        "counters",
+        "--------",
+        summarize_counters(records),
+        "",
+        "gauges",
+        "------",
+        summarize_gauges(records),
+    ]
+    return "\n".join(sections)
+
+
+def summarize_file(path: str) -> str:
+    """Load a JSONL trace and render the summary report."""
+    return summarize_records(load_trace(path))
+
+
+def schema_json() -> str:
+    """The event record schema, pretty-printed (for external tooling)."""
+    from .schema import EVENT_SCHEMA
+
+    return json.dumps(EVENT_SCHEMA, indent=2)

@@ -1,0 +1,438 @@
+"""Tests for the telemetry subsystem (spans, counters, JSONL traces)."""
+
+import json
+import logging
+
+import pytest
+
+from repro import telemetry
+from repro.analysis.runner import (
+    WORKERS_ENV,
+    corpus_worker_count,
+    run_over_specs,
+)
+from repro.config import DEFAULT_CHASON, DEFAULT_SERPENS
+from repro.errors import SimulationError, TelemetryError
+from repro.matrices.collection import corpus_specs
+from repro.scheduling.cache import ScheduleCache
+from repro.scheduling.crhcs import MigrationReport, schedule_crhcs
+from repro.scheduling.pe_aware import schedule_pe_aware
+from repro.sim.trace import TRACE_MAX_ENV, ScheduleTrace
+from repro.telemetry.schema import (
+    validate_file,
+    validate_record,
+    validate_records,
+)
+from repro.telemetry.summarize import summarize_records
+
+SPEC = corpus_specs(count=1, nnz_cap=2_000)[0]
+MATRIX = SPEC.generate()
+
+
+@pytest.fixture(autouse=True)
+def _clean_telemetry_state():
+    """Every test starts disabled with a clean one-time-warning registry."""
+    telemetry.disable()
+    telemetry.reset_warnings()
+    yield
+    telemetry.disable()
+    telemetry.reset_warnings()
+
+
+class TestDisabledPath:
+    def test_unset_env_resolves_to_null(self, monkeypatch):
+        monkeypatch.delenv(telemetry.TELEMETRY_ENV, raising=False)
+        telemetry.reset()
+        active = telemetry.get()
+        assert active is telemetry.NULL
+        assert active.enabled is False
+
+    def test_null_instruments_are_no_ops(self):
+        null = telemetry.NULL
+        with null.span("anything", attr=1) as span:
+            span.annotate(more=2)
+            null.counter("c", 5, k="v")
+            null.gauge("g", 1.5)
+        assert null.counter_total("c") == 0
+        null.flush()
+        null.close()
+
+    def test_null_span_is_one_shared_object(self):
+        assert telemetry.NULL.span("a") is telemetry.NULL.span("b")
+
+    def test_disabled_scheduling_emits_nothing(self):
+        # The instrumented hot path must not blow up (or record) when
+        # telemetry is off — the default state of every test run.
+        schedule = schedule_pe_aware(MATRIX, DEFAULT_SERPENS)
+        assert schedule.nnz == MATRIX.nnz
+
+
+class TestSpans:
+    def test_nesting_builds_slash_paths(self):
+        with telemetry.capture() as cap:
+            with cap.span("outer"):
+                with cap.span("inner"):
+                    pass
+        names = [r["name"] for r in cap.records if r["kind"] == "span"]
+        assert names == ["outer/inner", "outer"]
+
+    def test_children_close_before_parents(self):
+        with telemetry.capture() as cap:
+            with cap.span("a"):
+                with cap.span("b"):
+                    with cap.span("c"):
+                        pass
+        seqs = {r["name"]: r["seq"] for r in cap.records}
+        assert seqs["a/b/c"] < seqs["a/b"] < seqs["a"]
+
+    def test_sibling_spans_reuse_parent_path(self):
+        with telemetry.capture() as cap:
+            with cap.span("root"):
+                with cap.span("first"):
+                    pass
+                with cap.span("second"):
+                    pass
+        names = [r["name"] for r in cap.records if r["kind"] == "span"]
+        assert names == ["root/first", "root/second", "root"]
+
+    def test_annotate_attaches_late_attributes(self):
+        with telemetry.capture() as cap:
+            with cap.span("work", early=1) as span:
+                span.annotate(late=2)
+        record = cap.records[0]
+        assert record["attrs"] == {"early": 1, "late": 2}
+
+    def test_durations_are_non_negative_and_ordered(self):
+        with telemetry.capture() as cap:
+            with cap.span("outer"):
+                with cap.span("inner"):
+                    pass
+        inner, outer = cap.records
+        assert 0 <= inner["duration_s"] <= outer["duration_s"]
+
+
+class TestCountersAndGauges:
+    def test_counter_accumulates_until_flush(self):
+        with telemetry.capture() as cap:
+            cap.counter("hits", 2)
+            cap.counter("hits", 3)
+        records = [r for r in cap.records if r["kind"] == "counter"]
+        assert len(records) == 1
+        assert records[0]["value"] == 5
+
+    def test_attrs_partition_counter_buckets(self):
+        with telemetry.capture() as cap:
+            cap.counter("migrated", 4, dest=0, donor=1)
+            cap.counter("migrated", 6, dest=1, donor=2)
+            cap.counter("migrated", 1, dest=0, donor=1)
+        buckets = {
+            (r["attrs"]["dest"], r["attrs"]["donor"]): r["value"]
+            for r in cap.records
+        }
+        assert buckets == {(0, 1): 5, (1, 2): 6}
+
+    def test_gauge_keeps_last_value_and_aggregates(self):
+        with telemetry.capture() as cap:
+            cap.gauge("depth", 4)
+            cap.gauge("depth", 9)
+            cap.gauge("depth", 2)
+        record = cap.records[0]
+        assert record["value"] == 2
+        assert record["attrs"]["max"] == 9
+        assert record["attrs"]["min"] == 2
+        assert record["attrs"]["count"] == 3
+
+    def test_flush_resets_accumulators(self):
+        with telemetry.capture() as cap:
+            cap.counter("n", 1)
+            cap.flush()
+            cap.counter("n", 1)
+        totals = [r["value"] for r in cap.records if r["name"] == "n"]
+        assert totals == [1, 1]
+
+
+class TestSchemaRoundTrip:
+    def test_jsonl_file_round_trips_and_validates(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        configured = telemetry.configure(str(trace))
+        try:
+            schedule_pe_aware(MATRIX, DEFAULT_SERPENS)
+            schedule_crhcs(MATRIX, DEFAULT_CHASON)
+        finally:
+            configured.close()
+            telemetry.disable()
+        count = validate_file(trace)
+        assert count > 0
+        records = [
+            json.loads(line) for line in trace.read_text().splitlines()
+        ]
+        kinds = {r["kind"] for r in records}
+        assert {"span", "counter"} <= kinds
+        names = {r["name"] for r in records}
+        assert "schedule.pe_aware" in names
+        assert "scheduler.crhcs.migrated" in names
+
+    def test_every_capture_record_validates(self):
+        with telemetry.capture() as cap:
+            with cap.span("s", a=1):
+                cap.counter("c", 2)
+                cap.gauge("g", 3.5, unit="cycles")
+        assert validate_records(cap.records) == len(cap.records) >= 3
+
+    @pytest.mark.parametrize(
+        "record",
+        [
+            "not a dict",
+            {},
+            {"run_id": "nothex", "seq": 0, "ts": 0.0, "kind": "span",
+             "name": "a", "duration_s": 0.1},
+            {"run_id": "0123456789ab", "seq": -1, "ts": 0.0,
+             "kind": "span", "name": "a", "duration_s": 0.1},
+            {"run_id": "0123456789ab", "seq": 0, "ts": 0.0,
+             "kind": "bogus", "name": "a"},
+            {"run_id": "0123456789ab", "seq": 0, "ts": 0.0,
+             "kind": "span", "name": "a"},          # span w/o duration
+            {"run_id": "0123456789ab", "seq": 0, "ts": 0.0,
+             "kind": "counter", "name": "a"},       # counter w/o value
+            {"run_id": "0123456789ab", "seq": 0, "ts": 0.0,
+             "kind": "event", "name": "a", "extra_field": 1},
+        ],
+    )
+    def test_malformed_records_are_rejected(self, record):
+        with pytest.raises(TelemetryError):
+            validate_record(record)
+
+
+def _doubling_worker(value):
+    t = telemetry.get()
+    with t.span("test.work", value=value):
+        t.counter("test.items", 1)
+        t.counter("test.value_sum", value)
+    return value * 2
+
+
+class TestParallelMerge:
+    def test_merge_is_ordered_by_spec_index(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "4")
+        items = list(range(8))
+        with telemetry.capture() as cap:
+            results = run_over_specs(_doubling_worker, items)
+        assert results == [v * 2 for v in items]
+        spec_indices = [
+            r["attrs"]["index"]
+            for r in cap.records
+            if r["name"].endswith("corpus.spec") and r["kind"] == "span"
+        ]
+        assert spec_indices == items
+        # Merged records carry worker attribution and monotonic seqs.
+        merged = [r for r in cap.records if "worker" in r]
+        assert merged
+        seqs = [r["seq"] for r in cap.records]
+        assert seqs == sorted(seqs)
+        assert validate_records(cap.records) == len(cap.records)
+
+    def test_parallel_counter_totals_match_serial(self, monkeypatch):
+        items = list(range(8))
+
+        def totals(records):
+            out = {}
+            for record in records:
+                if record["kind"] == "counter":
+                    key = record["name"]
+                    out[key] = out.get(key, 0) + record["value"]
+            return out
+
+        monkeypatch.setenv(WORKERS_ENV, "1")
+        with telemetry.capture() as serial_cap:
+            serial = run_over_specs(_doubling_worker, items)
+        monkeypatch.setenv(WORKERS_ENV, "4")
+        with telemetry.capture() as parallel_cap:
+            parallel = run_over_specs(_doubling_worker, items)
+        assert serial == parallel
+        serial_totals = totals(serial_cap.records)
+        parallel_totals = totals(parallel_cap.records)
+        for name in ("test.items", "test.value_sum", "runner.specs"):
+            assert serial_totals[name] == parallel_totals[name]
+
+    def test_disabled_parallel_path_unchanged(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "2")
+        assert run_over_specs(_doubling_worker, [1, 2, 3]) == [2, 4, 6]
+
+
+class TestCacheCounters:
+    def test_hits_misses_evictions_reach_telemetry(self):
+        with telemetry.capture() as cap:
+            cache = ScheduleCache(capacity=1)
+            build = lambda: schedule_pe_aware(MATRIX, DEFAULT_SERPENS)
+            cache.get_or_build(SPEC, DEFAULT_SERPENS, "a", build)
+            cache.get_or_build(SPEC, DEFAULT_SERPENS, "a", build)  # hit
+            cache.get_or_build(SPEC, DEFAULT_SERPENS, "b", build)  # evicts a
+        totals = {}
+        for record in cap.records:
+            if record["kind"] == "counter" and record["name"].startswith(
+                "cache."
+            ):
+                totals[record["name"]] = (
+                    totals.get(record["name"], 0) + record["value"]
+                )
+        assert totals["cache.hits"] == cache.hits == 1
+        assert totals["cache.misses"] == cache.misses == 2
+        assert totals["cache.evictions"] == cache.evictions == 1
+
+    def test_disk_loads_counted(self, tmp_path):
+        writer = ScheduleCache(capacity=0, disk_dir=str(tmp_path))
+        build = lambda: schedule_pe_aware(MATRIX, DEFAULT_SERPENS)
+        writer.get_or_build(SPEC, DEFAULT_SERPENS, "pe_aware", build)
+        with telemetry.capture() as cap:
+            reader = ScheduleCache(capacity=0, disk_dir=str(tmp_path))
+            reader.get_or_build(SPEC, DEFAULT_SERPENS, "pe_aware", build)
+        names = {
+            r["name"] for r in cap.records if r["kind"] == "counter"
+        }
+        assert "cache.disk_loads" in names
+        assert reader.disk_loads == 1
+
+
+class TestMigrationCounters:
+    def test_pair_counters_fold_the_migration_report(self):
+        report = MigrationReport()
+        with telemetry.capture() as cap:
+            schedule_crhcs(MATRIX, DEFAULT_CHASON, report=report)
+        pair_total = sum(
+            r["value"]
+            for r in cap.records
+            if r["name"] == "scheduler.crhcs.migrated_pair"
+        )
+        migrated_total = sum(
+            r["value"]
+            for r in cap.records
+            if r["name"] == "scheduler.crhcs.migrated"
+        )
+        assert pair_total == report.migrated == migrated_total
+        assert report.migrated == sum(report.pair_counts.values())
+        prefix = sum(
+            r["value"] for r in cap.records
+            if r["name"] == "scheduler.crhcs.prefix_slots"
+        )
+        walk = sum(
+            r["value"] for r in cap.records
+            if r["name"] == "scheduler.crhcs.walk_slots"
+        )
+        assert prefix + walk == report.migrated
+
+
+class TestWarnOnce:
+    def test_invalid_workers_env_warns_once(self, monkeypatch, caplog):
+        monkeypatch.setenv(WORKERS_ENV, "eight")
+        with caplog.at_level(logging.WARNING, logger="repro.telemetry"):
+            assert corpus_worker_count() == 1
+            assert corpus_worker_count() == 1
+        warnings = [
+            r for r in caplog.records if "REPRO_CORPUS_WORKERS" in r.message
+        ]
+        assert len(warnings) == 1
+        assert "'eight'" in warnings[0].message
+        assert "serial" in warnings[0].message
+
+    def test_warning_counted_in_telemetry(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "garbage")
+        with telemetry.capture() as cap:
+            corpus_worker_count()
+        counters = [
+            r for r in cap.records
+            if r["kind"] == "counter" and r["name"] == "telemetry.warnings"
+        ]
+        assert len(counters) == 1
+        assert counters[0]["attrs"]["key"] == "invalid_corpus_workers"
+
+
+class TestTraceRenderLimit:
+    def test_default_limit_names_the_override(self, monkeypatch):
+        monkeypatch.delenv(TRACE_MAX_ENV, raising=False)
+        trace = ScheduleTrace(timelines={}, cycles=600)
+        with pytest.raises(SimulationError) as excinfo:
+            trace.render()
+        message = str(excinfo.value)
+        assert "512" in message
+        assert TRACE_MAX_ENV in message
+        assert "max_cycles" in message
+
+    def test_parameter_override(self):
+        trace = ScheduleTrace(timelines={}, cycles=600)
+        assert trace.render(max_cycles=1000) == ""
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(TRACE_MAX_ENV, "1000")
+        trace = ScheduleTrace(timelines={}, cycles=600)
+        assert trace.render() == ""
+
+    def test_invalid_env_warns_and_keeps_default(self, monkeypatch, caplog):
+        monkeypatch.setenv(TRACE_MAX_ENV, "lots")
+        trace = ScheduleTrace(timelines={}, cycles=600)
+        with caplog.at_level(logging.WARNING, logger="repro.telemetry"):
+            with pytest.raises(SimulationError):
+                trace.render()
+        assert any(TRACE_MAX_ENV in r.message for r in caplog.records)
+
+
+class TestSummarize:
+    def test_report_renders_spans_counters_gauges(self):
+        with telemetry.capture() as cap:
+            with cap.span("corpus.run"):
+                with cap.span("corpus.spec", index=0):
+                    cap.counter("cache.hits", 3)
+            cap.gauge("runner.specs_per_s", 12.5)
+        report = summarize_records(cap.records)
+        assert "corpus.run" in report
+        assert "corpus.spec" in report
+        assert "cache.hits" in report
+        assert "runner.specs_per_s" in report
+
+    def test_counter_totals_sum_across_flushes(self):
+        with telemetry.capture() as cap:
+            cap.counter("n", 2)
+            cap.flush()
+            cap.counter("n", 5)
+        report = summarize_records(cap.records)
+        assert "7" in report
+
+
+class TestManifest:
+    def test_manifest_written_alongside_bench_json(self, tmp_path):
+        from repro.telemetry import write_manifest
+
+        bench = tmp_path / "BENCH_test.json"
+        bench.write_text("{}\n")
+        path = write_manifest(bench, workers=3, extra={"bench": "test"})
+        assert path.name == "BENCH_test.manifest.json"
+        manifest = json.loads(path.read_text())
+        assert manifest["workers"] == 3
+        assert manifest["bench"] == "test"
+        assert manifest["python"]
+        assert manifest["numpy"]
+        assert len(manifest["config_hash"]) == 16
+
+
+class TestCli:
+    def test_telemetry_flag_and_summarize_round_trip(self, tmp_path, capsys):
+        from repro.cli import main
+
+        trace = tmp_path / "cli.jsonl"
+        assert main(
+            ["--telemetry", str(trace), "schedule", "CollegeMsg",
+             "--scheme", "pe_aware"]
+        ) == 0
+        assert trace.exists()
+        assert validate_file(trace) > 0
+        assert main(["telemetry", "summarize", str(trace),
+                     "--validate"]) == 0
+        out = capsys.readouterr().out
+        assert "schedule.pe_aware" in out
+        assert "validate against the event schema" in out
+
+    def test_schema_subcommand_prints_json_schema(self, capsys):
+        from repro.cli import main
+
+        assert main(["telemetry", "schema"]) == 0
+        schema = json.loads(capsys.readouterr().out)
+        assert schema["title"] == "repro telemetry event record"
