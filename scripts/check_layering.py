@@ -1,0 +1,175 @@
+#!/usr/bin/env python
+"""Enforce the package layering of the reproduction.
+
+The dependency order is::
+
+    errors/config/precision
+      → formats
+        → matrices / metrics / power / telemetry / resources / hbm
+          → scheduling
+            → sim
+              → pipeline
+                → core
+                  → baselines / solvers
+                    → analysis
+                      → cli
+
+A module may import from its own layer or below, never from above: the
+scheduling layer cannot reach into the pipeline, the pipeline cannot
+reach into the accelerator façades, and only the CLI sits on top of
+everything.  Only module-level imports participate — a function-local
+import is the sanctioned escape hatch for the few places that need one
+(and keeps import cycles impossible either way).  Run from the
+repository root::
+
+    python scripts/check_layering.py
+
+Exit status 0 means no violations; each violation is printed as
+``file:line: <importer layer> imports <imported layer>``.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import sys
+from typing import Iterator, List, Optional, Tuple
+
+PACKAGE = "repro"
+SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                   "src", PACKAGE)
+
+#: layer name → rank; a module may import layers of rank <= its own.
+LAYERS = {
+    "errors": 0,
+    "config": 0,
+    "precision": 0,
+    "formats": 1,
+    "matrices": 2,
+    "metrics": 2,
+    "power": 2,
+    "telemetry": 2,
+    "resources": 2,
+    "hbm": 2,
+    "scheduling": 3,
+    "sim": 4,
+    "pipeline": 5,
+    "core": 6,
+    "baselines": 7,
+    "solvers": 7,
+    "analysis": 8,
+    "cli": 9,
+    "__main__": 9,
+    "__init__": 9,
+}
+
+
+def _module_layer(parts: Tuple[str, ...]) -> Optional[str]:
+    """The layer of a dotted path relative to the package root."""
+    return parts[0] if parts and parts[0] in LAYERS else None
+
+
+def _module_level_nodes(tree: ast.Module) -> Iterator[ast.stmt]:
+    """Top-level statements, descending into ``if``/``try`` blocks but
+    not into function bodies (function-local imports are exempt)."""
+    stack = list(tree.body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.If, ast.Try, ast.With)):
+            for block in ("body", "orelse", "finalbody", "handlers"):
+                for child in getattr(node, block, []):
+                    if isinstance(child, ast.ExceptHandler):
+                        stack.extend(child.body)
+                    else:
+                        stack.append(child)
+
+
+def _iter_imports(
+    tree: ast.Module, package: Tuple[str, ...]
+) -> Iterator[Tuple[int, Tuple[str, ...]]]:
+    """Yield (lineno, imported-path-relative-to-repro) pairs.
+
+    ``package`` is the importing module's containing package, relative
+    to the ``repro`` root (empty for top-level modules).
+    """
+    for node in _module_level_nodes(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                name = alias.name.split(".")
+                if name[0] == PACKAGE:
+                    yield node.lineno, tuple(name[1:])
+        elif isinstance(node, ast.ImportFrom):
+            if node.level == 0:
+                if node.module and node.module.split(".")[0] == PACKAGE:
+                    base = tuple(node.module.split(".")[1:])
+                    if base:
+                        yield node.lineno, base
+                    else:
+                        for alias in node.names:
+                            yield node.lineno, (alias.name,)
+                continue
+            # Relative import: ``level`` dots climb from the containing
+            # package (one dot = the package itself).
+            base_pkg = package[: len(package) - (node.level - 1)]
+            if node.module:
+                yield node.lineno, base_pkg + tuple(node.module.split("."))
+            else:
+                for alias in node.names:
+                    yield node.lineno, base_pkg + (alias.name,)
+
+
+def check() -> List[str]:
+    violations: List[str] = []
+    for root, _dirs, files in os.walk(SRC):
+        for filename in sorted(files):
+            if not filename.endswith(".py"):
+                continue
+            path = os.path.join(root, filename)
+            rel = os.path.relpath(path, SRC)
+            parts = tuple(rel[:-3].replace(os.sep, "/").split("/"))
+            if parts[-1] == "__init__":
+                module_parts = parts[:-1]
+                package = module_parts
+            else:
+                module_parts = parts
+                package = parts[:-1]
+            # The top-level __init__ is the public re-export hub and
+            # aggregates every layer by design.
+            if parts == ("__init__",):
+                continue
+            layer = _module_layer(module_parts) or parts[-1]
+            rank = LAYERS.get(layer)
+            if rank is None:
+                violations.append(f"{path}: unknown layer {layer!r} "
+                                  f"(add it to LAYERS)")
+                continue
+            with open(path, "r", encoding="utf-8") as handle:
+                tree = ast.parse(handle.read(), filename=path)
+            for lineno, imported in _iter_imports(tree, package):
+                imported_layer = _module_layer(imported)
+                if imported_layer is None:
+                    continue
+                if LAYERS[imported_layer] > rank:
+                    violations.append(
+                        f"{path}:{lineno}: layer {layer!r} "
+                        f"(rank {rank}) imports {imported_layer!r} "
+                        f"(rank {LAYERS[imported_layer]})"
+                    )
+    return violations
+
+
+def main() -> int:
+    violations = check()
+    for violation in violations:
+        print(violation)
+    if violations:
+        print(f"\n{len(violations)} layering violation(s)")
+        return 1
+    print("layering OK: formats → scheduling → sim → pipeline → "
+          "core → analysis → cli")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,9 +19,10 @@ evaluation:
   processes (default serial; results are ordered by spec index either
   way, so the two modes are bit-identical).
 
-Schedules are memoised through :mod:`repro.scheduling.cache`, so sweeps
-that share matrices (Figs. 11/14, Fig. 15/Table 3) schedule each input
-once per scheme.
+Every worker drives a :class:`~repro.pipeline.PipelineRunner` backed by
+the global artifact store, so sweeps that share matrices (Figs. 11/14,
+Fig. 15/Table 3) load and schedule each input once per scheme, and a
+repeated sweep recomputes only stages whose fingerprints changed.
 """
 
 from __future__ import annotations
@@ -32,19 +33,16 @@ from typing import Iterator, List, Optional, Sequence, Tuple
 
 from ..baselines.cpu import MklCpuModel
 from ..baselines.gpu import CusparseGpuModel, RTX_4090, RTX_A6000
-from ..baselines.serpens import SerpensAccelerator
-from ..core.accelerator import SpMVReport
-from ..core.chason import ChasonAccelerator
 from ..formats.coo import COOMatrix
 from ..matrices.collection import CORPUS_SIZE, CorpusSpec, corpus_specs
-from ..matrices.named import MatrixSpec, generate_named, named_specs
+from ..matrices.named import MatrixSpec, named_specs
 from ..metrics import (
     energy_efficiency,
     geometric_mean,
     pe_underutilization_percent_batch,
     speedup,
 )
-from ..scheduling.cache import global_schedule_cache
+from ..pipeline import PipelineRunner, SpMVReport, global_artifact_store
 from .runner import run_over_specs
 
 DEFAULT_CORPUS_COUNT = 96
@@ -120,34 +118,25 @@ class MatrixComparison:
 def _named_comparison_worker(
     task: Tuple[MatrixSpec, bool]
 ) -> MatrixComparison:
-    """One Table 2 matrix through both accelerators (picklable worker)."""
+    """One Table 2 matrix through both schemes (picklable worker)."""
     from ..scheduling.stats import channel_underutilization
 
     spec, include_channel_stats = task
-    cache = global_schedule_cache()
-    matrix = generate_named(spec.name)
-    chason = ChasonAccelerator()
-    serpens = SerpensAccelerator()
-    chason_schedule = cache.get_or_build(
-        ("named", spec.name), chason.config, "crhcs",
-        lambda: chason.schedule(matrix),
-    )
-    serpens_schedule = cache.get_or_build(
-        ("named", spec.name), serpens.config, "pe_aware",
-        lambda: serpens.schedule(matrix),
-    )
+    runner = PipelineRunner(global_artifact_store())
+    chason = runner.analyze(spec, "crhcs")
+    serpens = runner.analyze(spec, "pe_aware")
     chason_pegs: Tuple[float, ...] = ()
     serpens_pegs: Tuple[float, ...] = ()
     if include_channel_stats:
-        chason_pegs = tuple(channel_underutilization(chason_schedule))
-        serpens_pegs = tuple(channel_underutilization(serpens_schedule))
+        chason_pegs = tuple(channel_underutilization(chason.schedule))
+        serpens_pegs = tuple(channel_underutilization(serpens.schedule))
     return MatrixComparison(
         matrix_id=spec.matrix_id,
         name=spec.name,
         collection=spec.collection,
-        nnz=matrix.nnz,
-        chason=chason.analyze(matrix, schedule=chason_schedule),
-        serpens=serpens.analyze(matrix, schedule=serpens_schedule),
+        nnz=chason.loaded.nnz,
+        chason=chason.report,
+        serpens=serpens.report,
         chason_peg_underutilization=chason_pegs,
         serpens_peg_underutilization=serpens_pegs,
     )
@@ -205,23 +194,9 @@ def _corpus_comparison_worker(
     The matrix is regenerated from the seeded spec inside the worker, so
     a parallel task ships a few integers, not the COO payload.
     """
-    matrix = spec.generate()
-    cache = global_schedule_cache()
-    chason = ChasonAccelerator()
-    serpens = SerpensAccelerator()
-    chason_report = chason.analyze(
-        matrix,
-        schedule=cache.get_or_build(
-            spec, chason.config, "crhcs", lambda: chason.schedule(matrix)
-        ),
-    )
-    serpens_report = serpens.analyze(
-        matrix,
-        schedule=cache.get_or_build(
-            spec, serpens.config, "pe_aware",
-            lambda: serpens.schedule(matrix),
-        ),
-    )
+    runner = PipelineRunner(global_artifact_store())
+    chason_report = runner.analyze(spec, "crhcs").report
+    serpens_report = runner.analyze(spec, "pe_aware").report
     return (
         serpens_report.underutilization_pct,
         chason_report.underutilization_pct,
@@ -253,11 +228,8 @@ def compare_on_corpus(
 
 def _stall_survey_worker(spec: CorpusSpec) -> Tuple[int, int]:
     """(stalls, nnz) of the PE-aware schedule of one corpus spec."""
-    matrix = spec.generate()
-    serpens = SerpensAccelerator()
-    schedule = global_schedule_cache().get_or_build(
-        spec, serpens.config, "pe_aware", lambda: serpens.schedule(matrix)
-    )
+    runner = PipelineRunner(global_artifact_store())
+    schedule = runner.schedule(spec, "pe_aware").schedule
     return schedule.total_stalls, schedule.nnz
 
 
@@ -303,14 +275,10 @@ class BaselineComparison:
 
 def _gpu_cpu_worker(spec: CorpusSpec) -> List[BaselineComparison]:
     """Chasoň vs every GPU/CPU baseline on one spec (picklable worker)."""
-    matrix = spec.generate()
-    chason = ChasonAccelerator()
-    chason_report = chason.analyze(
-        matrix,
-        schedule=global_schedule_cache().get_or_build(
-            spec, chason.config, "crhcs", lambda: chason.schedule(matrix)
-        ),
-    )
+    runner = PipelineRunner(global_artifact_store())
+    result = runner.analyze(spec, "crhcs")
+    matrix = result.loaded.matrix
+    chason_report = result.report
     rows: List[BaselineComparison] = []
     for key, model in (
         ("rtx4090", CusparseGpuModel(RTX_4090)),

@@ -14,15 +14,14 @@ from typing import Optional
 from ..config import DEFAULT_SERPENS, SerpensConfig
 from ..errors import ConfigError
 from ..power.devices import measured_power
-from ..scheduling.base import TiledSchedule
-from ..scheduling.pe_aware import schedule_pe_aware
-from ..core.accelerator import Matrix, StreamingAccelerator
+from ..core.accelerator import StreamingAccelerator
 
 
 class SerpensAccelerator(StreamingAccelerator):
     """PE-aware-scheduled streaming SpMV on 16 HBM channels."""
 
     name = "serpens"
+    scheme = "pe_aware"
     power_watts = measured_power("serpens")
 
     def __init__(self, config: Optional[SerpensConfig] = None):
@@ -30,6 +29,3 @@ class SerpensAccelerator(StreamingAccelerator):
         if not isinstance(config, SerpensConfig):
             raise ConfigError("SerpensAccelerator requires a SerpensConfig")
         super().__init__(config)
-
-    def schedule(self, matrix: Matrix) -> TiledSchedule:
-        return schedule_pe_aware(matrix, self.config)

@@ -34,22 +34,19 @@ from .matrices.stats import matrix_stats
 from .power.fpga import chason_power_breakdown
 from .resources.model import chason_resources, serpens_resources
 from .core.spmm import chason_spmm_report, sextans_spmm_report
-from .scheduling import (
-    schedule_crhcs,
-    schedule_greedy_ooo,
-    schedule_pe_aware,
-    schedule_row_based,
-    schedule_row_split,
-    schedule_stats,
-)
+from .pipeline import PipelineRunner, global_artifact_store
+from .scheduling import schedule_stats
+from .scheduling.registry import get_scheme, iter_schemes
 
-_SCHEDULERS = {
-    "crhcs": (schedule_crhcs, DEFAULT_CHASON),
-    "pe_aware": (schedule_pe_aware, DEFAULT_SERPENS),
-    "greedy_ooo": (schedule_greedy_ooo, DEFAULT_SERPENS),
-    "row_based": (schedule_row_based, DEFAULT_SERPENS),
-    "row_split": (schedule_row_split, DEFAULT_SERPENS),
-}
+
+def _scheme_lines() -> List[str]:
+    """One line per registered scheme, for ``info``/``--list-schemes``."""
+    return [
+        f"  {spec.name:<14s} v{spec.version}  "
+        f"{spec.accelerator_name:<8s} @ {spec.clock_mhz:.0f} MHz"
+        f"{'  ' + spec.description if spec.description else ''}"
+        for spec in iter_schemes()
+    ]
 
 
 def _cmd_info(_args) -> int:
@@ -61,6 +58,9 @@ def _cmd_info(_args) -> int:
             f"RAW distance {config.accumulator_latency}, "
             f"W = {config.column_window}"
         )
+    print("\nregistered schemes:")
+    for line in _scheme_lines():
+        print(line)
     print()
     print(format_table1([serpens_resources(), chason_resources()]))
     breakdown = chason_power_breakdown()
@@ -81,10 +81,22 @@ def _cmd_matrices(_args) -> int:
 
 
 def _cmd_schedule(args) -> int:
-    scheduler, config = _SCHEDULERS[args.scheme]
+    if args.list_schemes:
+        print("registered schemes:")
+        for line in _scheme_lines():
+            print(line)
+        return 0
+    if args.matrix is None:
+        print("error: a matrix name is required (or --list-schemes)",
+              file=sys.stderr)
+        return 1
+    spec = get_scheme(args.scheme)
     matrix = generate_named(args.matrix)
     print("matrix:", matrix_stats(matrix).as_row())
-    stats = schedule_stats(scheduler(matrix, config))
+    # No artifact store: a CLI invocation is single-shot, and an always-
+    # fresh build keeps the scheduler's own telemetry in the trace.
+    runner = PipelineRunner()
+    stats = schedule_stats(runner.schedule(args.matrix, spec).schedule)
     print(
         f"scheme {stats.scheme}: underutilization "
         f"{stats.underutilization_pct:.1f}%, {stats.stream_cycles} stream "
@@ -213,9 +225,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     schedule = commands.add_parser("schedule",
                                    help="schedule one named matrix")
-    schedule.add_argument("matrix", choices=sorted(NAMED_MATRICES))
-    schedule.add_argument("--scheme", choices=sorted(_SCHEDULERS),
-                          default="crhcs")
+    schedule.add_argument("matrix", nargs="?", default=None,
+                          choices=sorted(NAMED_MATRICES))
+    schedule.add_argument(
+        "--scheme", default="crhcs", metavar="SCHEME",
+        help="a registered scheme (see --list-schemes)",
+    )
+    schedule.add_argument(
+        "--list-schemes", action="store_true",
+        help="list the registered schemes and exit",
+    )
     schedule.set_defaults(func=_cmd_schedule)
 
     compare = commands.add_parser("compare",

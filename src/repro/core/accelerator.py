@@ -5,91 +5,70 @@ would see: *preprocess* (schedule the non-zeros into HBM channel data
 lists), *analyze* (latency/throughput/efficiency from the schedule shape —
 Eqs. 4–7), and *run* (cycle-level functional execution returning y).
 
-Chasoň and the Serpens baseline are thin subclasses that plug in their
-scheduler and configuration.
+All three are thin views over one :class:`~repro.pipeline.PipelineRunner`
+flow; a subclass names its registry scheme (``scheme``) and the runner
+resolves the scheduler through :mod:`repro.scheduling.registry`.  The
+façade runner carries **no artifact store**: an accelerator's
+``schedule``/``analyze`` must always rebuild so scheme side-channels
+(CrHCS migration bookkeeping) are populated — the cached path lives in
+the experiment workers, which drive a store-backed runner instead.
+
+:class:`SpMVReport` is defined in :mod:`repro.pipeline.artifacts` (the
+report *is* the final pipeline artifact) and re-exported here.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Tuple, Union
+from typing import Optional, Tuple
 
 import numpy as np
 
 from ..config import AcceleratorConfig
 from ..errors import ShapeError
-from ..formats.coo import COOMatrix
-from ..formats.csr import CSRMatrix
-from ..metrics import (
-    bandwidth_efficiency,
-    energy_efficiency,
-    pe_underutilization_percent,
-    throughput_gflops,
-)
+from ..pipeline.artifacts import Matrix, ScheduledMatrix, SpMVReport
+from ..pipeline.runner import PipelineRunner
+from ..pipeline.stages import MetricsStage
 from ..scheduling.base import TiledSchedule
-from ..sim.engine import (
-    CycleBreakdown,
-    SpMVExecution,
-    estimate_cycles,
-    execute_schedule,
-)
+from ..sim.engine import CycleBreakdown, SpMVExecution
 
-Matrix = Union[COOMatrix, CSRMatrix]
-
-
-@dataclass(frozen=True)
-class SpMVReport:
-    """Everything Table 3 reports for one (matrix, accelerator) pair."""
-
-    accelerator: str
-    scheme: str
-    n_rows: int
-    n_cols: int
-    nnz: int
-    stream_cycles: int
-    total_cycles: int
-    latency_ms: float
-    throughput_gflops: float
-    underutilization_pct: float
-    traffic_bytes: int
-    bandwidth_gbps: float
-    bandwidth_efficiency: float
-    power_watts: float
-    energy_efficiency: float
-    migrated: int
-
-    @property
-    def latency_seconds(self) -> float:
-        return self.latency_ms * 1e-3
-
-    def as_table_row(self) -> str:
-        """One formatted Table 3 row."""
-        return (
-            f"{self.accelerator:<8s} lat={self.latency_ms:9.3f} ms  "
-            f"thr={self.throughput_gflops:7.3f} GFLOPS  "
-            f"bw-eff={self.bandwidth_efficiency:7.3f}  "
-            f"e-eff={self.energy_efficiency:6.3f} GFLOPS/W  "
-            f"underutil={self.underutilization_pct:5.1f}%"
-        )
+__all__ = [
+    "Matrix",
+    "SpMVReport",
+    "StreamingAccelerator",
+]
 
 
 class StreamingAccelerator:
-    """Base class: schedule → analyze → run."""
+    """Base class: schedule → analyze → run, all through the pipeline."""
 
     #: Subclasses override with the platform's measured power (§5.3).
     power_watts: float = 1.0
     name: str = "streaming"
+    #: Registry scheme driving this accelerator's preprocessing.
+    scheme: str = ""
 
     def __init__(self, config: AcceleratorConfig):
         self.config = config
+        self._runner = PipelineRunner()
 
     # -- hooks ----------------------------------------------------------------
 
-    def schedule(self, matrix: Matrix) -> TiledSchedule:
-        """Offline preprocessing: produce the HBM channel data lists."""
-        raise NotImplementedError
+    def scheduler_kwargs(self) -> dict:
+        """Extra keyword arguments for the registered scheduler."""
+        return {}
+
+    def _on_scheduled(self, scheduled: ScheduledMatrix) -> None:
+        """Called after each fresh schedule (side-channel capture)."""
 
     # -- shared flow ------------------------------------------------------------
+
+    def schedule(self, matrix: Matrix) -> TiledSchedule:
+        """Offline preprocessing: produce the HBM channel data lists."""
+        scheduled = self._runner.schedule(
+            matrix, self.scheme, self.config, **self.scheduler_kwargs()
+        )
+        self._on_scheduled(scheduled)
+        return scheduled.schedule
 
     def analyze(
         self,
@@ -97,9 +76,19 @@ class StreamingAccelerator:
         schedule: Optional[TiledSchedule] = None,
     ) -> SpMVReport:
         """Latency/throughput/efficiency without functional execution."""
-        schedule = schedule or self.schedule(matrix)
-        cycles = estimate_cycles(schedule, self.config)
-        return self.report_from_cycles(schedule, cycles)
+        kwargs = {} if schedule is not None else self.scheduler_kwargs()
+        result = self._runner.analyze(
+            matrix,
+            self.scheme,
+            self.config,
+            accelerator=self.name,
+            power_watts=self.power_watts,
+            schedule=schedule,
+            **kwargs,
+        )
+        if schedule is None:
+            self._on_scheduled(result.scheduled)
+        return result.report
 
     def run(
         self,
@@ -113,38 +102,23 @@ class StreamingAccelerator:
             raise ShapeError(
                 f"x of length {x.shape} incompatible with {matrix.shape}"
             )
-        schedule = schedule or self.schedule(matrix)
-        execution = execute_schedule(schedule, x, self.config)
-        report = self.report_from_cycles(schedule, execution.cycles)
+        if schedule is None:
+            schedule = self.schedule(matrix)
+        execution, report = self._runner.run(
+            matrix,
+            x,
+            self.scheme,
+            self.config,
+            accelerator=self.name,
+            power_watts=self.power_watts,
+            schedule=schedule,
+        )
         return execution, report
 
     def report_from_cycles(
         self, schedule: TiledSchedule, cycles: CycleBreakdown
     ) -> SpMVReport:
         """Assemble the §5.3 metrics from a schedule and its cycle count."""
-        config = self.config
-        latency_seconds = cycles.total / config.frequency_hz
-        gflops = throughput_gflops(
-            schedule.nnz, schedule.n_cols, latency_seconds
-        )
-        bandwidth = config.streaming_bandwidth_gbps
-        return SpMVReport(
-            accelerator=self.name,
-            scheme=schedule.scheme,
-            n_rows=schedule.n_rows,
-            n_cols=schedule.n_cols,
-            nnz=schedule.nnz,
-            stream_cycles=cycles.stream,
-            total_cycles=cycles.total,
-            latency_ms=latency_seconds * 1e3,
-            throughput_gflops=gflops,
-            underutilization_pct=pe_underutilization_percent(
-                schedule.total_stalls, schedule.nnz
-            ),
-            traffic_bytes=schedule.traffic_bytes,
-            bandwidth_gbps=bandwidth,
-            bandwidth_efficiency=bandwidth_efficiency(gflops, bandwidth),
-            power_watts=self.power_watts,
-            energy_efficiency=energy_efficiency(gflops, self.power_watts),
-            migrated=schedule.migrated_count,
+        return MetricsStage.assemble(
+            schedule, cycles, self.config, self.name, self.power_watts
         )

@@ -22,16 +22,17 @@ from typing import Optional
 
 from ..config import ChasonConfig, DEFAULT_CHASON
 from ..errors import ConfigError
+from ..pipeline.artifacts import ScheduledMatrix
 from ..power.devices import measured_power
-from ..scheduling.base import TiledSchedule
-from ..scheduling.crhcs import MigrationReport, schedule_crhcs
-from .accelerator import Matrix, StreamingAccelerator
+from ..scheduling.crhcs import MigrationReport
+from .accelerator import StreamingAccelerator
 
 
 class ChasonAccelerator(StreamingAccelerator):
     """CrHCS-scheduled streaming SpMV on 16 HBM channels."""
 
     name = "chason"
+    scheme = "crhcs"
     power_watts = measured_power("chason")
 
     def __init__(
@@ -47,13 +48,8 @@ class ChasonAccelerator(StreamingAccelerator):
         #: Migration bookkeeping of the most recent schedule() call.
         self.last_migration: Optional[MigrationReport] = None
 
-    def schedule(self, matrix: Matrix) -> TiledSchedule:
-        report = MigrationReport()
-        tiled = schedule_crhcs(
-            matrix,
-            self.config,
-            mode=self.mode,
-            report=report,
-        )
-        self.last_migration = report
-        return tiled
+    def scheduler_kwargs(self) -> dict:
+        return {"mode": self.mode}
+
+    def _on_scheduled(self, scheduled: ScheduledMatrix) -> None:
+        self.last_migration = scheduled.migration

@@ -27,11 +27,16 @@ from ..errors import ShapeError
 from ..formats.coo import COOMatrix
 from ..formats.csr import CSRMatrix
 from ..metrics import energy_efficiency
+from ..pipeline.runner import PipelineRunner
 from ..power.devices import measured_power
-from ..scheduling.crhcs import schedule_crhcs
 from ..sim.engine import estimate_cycles
 
 Matrix = Union[COOMatrix, CSRMatrix]
+
+#: The SpMM flows schedule A through the shared pipeline (registry
+#: scheme names, ``pipeline.*`` spans); no store — B panels vary while
+#: the A schedule is cheap relative to the panel walk.
+_runner = PipelineRunner()
 
 #: FP32 columns of B consumed per cycle (one 512-bit beat ÷ 32 bits… the
 #: Sextans layout packs 8 columns of 64-bit data slots).
@@ -108,7 +113,7 @@ def chason_spmm(
         c_out = beta * c
 
     cfg = spmm_config(config)
-    schedule = schedule_crhcs(matrix, cfg)
+    schedule = _runner.schedule(matrix, "crhcs", cfg).schedule
     b64 = b.astype(np.float64)
     for tile in schedule.tiles:
         row_base, col_base = tile.row_base, tile.col_base
@@ -162,7 +167,7 @@ def chason_spmm_report(
 ) -> SpMMReport:
     """Latency/throughput of SpMM without materialising B (analysis path)."""
     cfg = spmm_config(config)
-    schedule = schedule_crhcs(matrix, cfg)
+    schedule = _runner.schedule(matrix, "crhcs", cfg).schedule
     return spmm_report_from_schedule(schedule, b_cols, cfg)
 
 
@@ -178,13 +183,12 @@ def sextans_spmm_report(
     the baseline the §7.2 extension is compared against.
     """
     from ..config import DEFAULT_SERPENS
-    from ..scheduling.pe_aware import schedule_pe_aware
 
     cfg = replace(
         spmm_config(),
         name="sextans-spmm",
         frequency_mhz=DEFAULT_SERPENS.frequency_mhz,
     )
-    schedule = schedule_pe_aware(matrix, cfg)
+    schedule = _runner.schedule(matrix, "pe_aware", cfg).schedule
     return spmm_report_from_schedule(schedule, b_cols, cfg,
                                      power_key="serpens")

@@ -33,10 +33,14 @@ from ..errors import ShapeError, SimulationError
 from ..formats.convert import to_coo
 from ..formats.coo import COOMatrix
 from ..formats.csr import CSRMatrix
-from ..scheduling.crhcs import schedule_crhcs
-from ..sim.engine import estimate_cycles, execute_schedule
+from ..pipeline.runner import PipelineRunner
 
 Matrix = Union[COOMatrix, CSRMatrix]
+
+#: Level sub-matrices flow through the shared pipeline (registry scheme
+#: resolution, ``pipeline.*`` spans); no store — levels are unique
+#: slices of one solve.
+_runner = PipelineRunner()
 
 
 @dataclass(frozen=True)
@@ -126,16 +130,16 @@ def chason_sptrsv(
                 strict_matrix.cols[in_level],
                 strict_matrix.values[in_level],
             )
-            schedule = schedule_crhcs(level_matrix, config)
+            scheduled = _runner.schedule(level_matrix, "crhcs", config)
             if functional:
-                execution = execute_schedule(
-                    schedule, x.astype(np.float32), config
+                execution = _runner.execute(
+                    scheduled, x.astype(np.float32)
                 )
                 contribution = execution.y
                 total_cycles += execution.cycles.total
             else:
                 contribution = level_matrix.matvec(x)
-                total_cycles += estimate_cycles(schedule, config).total
+                total_cycles += _runner.simulate(scheduled).total
         else:
             contribution = np.zeros(lower.n_rows)
             # A dependency-free level still pays the invocation floor.

@@ -1,0 +1,58 @@
+"""Unified pipeline: load → schedule → simulate → metrics.
+
+Every execution path in the reproduction — the accelerator façades, the
+SpMM/SpTRSV extensions, the corpus runner, the benchmark harness and the
+CLI — drives the same :class:`PipelineRunner` over the same four typed
+stage artifacts, with whole-flow content-addressed caching layered on
+top.  See ``docs/architecture.md`` for the stage diagram and
+fingerprinting rules.
+"""
+
+from .artifacts import (
+    Artifact,
+    CycleResult,
+    LoadedMatrix,
+    PipelineResult,
+    ReportArtifact,
+    ScheduledMatrix,
+    SpMVReport,
+    Stage,
+)
+from .fingerprint import (
+    fingerprint,
+    fingerprint_config,
+    fingerprint_matrix,
+    fingerprint_source,
+)
+from .runner import PipelineRunner
+from .stages import (
+    METRICS_VERSION,
+    LoadStage,
+    MetricsStage,
+    ScheduleStage,
+    SimulateStage,
+)
+from .store import ArtifactStore, global_artifact_store
+
+__all__ = [
+    "Artifact",
+    "ArtifactStore",
+    "CycleResult",
+    "LoadStage",
+    "LoadedMatrix",
+    "METRICS_VERSION",
+    "MetricsStage",
+    "PipelineResult",
+    "PipelineRunner",
+    "ReportArtifact",
+    "ScheduleStage",
+    "ScheduledMatrix",
+    "SimulateStage",
+    "SpMVReport",
+    "Stage",
+    "fingerprint",
+    "fingerprint_config",
+    "fingerprint_matrix",
+    "fingerprint_source",
+    "global_artifact_store",
+]

@@ -1,0 +1,314 @@
+"""The pipeline runner: one execution path for every flow.
+
+:class:`PipelineRunner` strings the four stages together —
+
+.. code-block:: text
+
+    load ──▶ schedule ──▶ simulate ──▶ metrics
+      │          │            │            │
+      ▼          ▼            ▼            ▼
+  LoadedMatrix ScheduledMatrix CycleResult SpMVReport
+
+— resolving scheme names through the registry, fingerprinting each
+artifact, consulting the :class:`~repro.pipeline.store.ArtifactStore`
+(when one is attached) before recomputing, and wrapping every stage in a
+``pipeline.<stage>`` telemetry span.
+
+Two operating modes:
+
+* ``PipelineRunner()`` — no store; every stage recomputes.  This is what
+  the accelerator façades use: ``ChasonAccelerator.analyze`` must always
+  rebuild the schedule so its :class:`MigrationReport` side-channel is
+  populated.
+* ``PipelineRunner(global_artifact_store())`` — whole-flow caching; used
+  by the experiment workers, the corpus runner and the benchmark harness
+  where the same (matrix, scheme, config) triple recurs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple
+
+import numpy as np
+
+from .. import telemetry
+from ..config import AcceleratorConfig
+from ..errors import ConfigError
+from ..scheduling.base import TiledSchedule
+from ..scheduling.registry import SchedulerSpec, get_scheme
+from ..sim.engine import (
+    ENGINE_VERSION,
+    SpMVExecution,
+    execute_schedule,
+)
+from .artifacts import (
+    CycleResult,
+    LoadedMatrix,
+    PipelineResult,
+    ReportArtifact,
+    ScheduledMatrix,
+    SpMVReport,
+)
+from .fingerprint import fingerprint, fingerprint_config
+from .stages import LoadStage, MetricsStage, ScheduleStage, SimulateStage
+from .store import ArtifactStore
+
+_LOAD = LoadStage()
+_SCHEDULE = ScheduleStage()
+_SIMULATE = SimulateStage()
+_METRICS = MetricsStage()
+
+
+class PipelineRunner:
+    """Drives the load → schedule → simulate → metrics flow."""
+
+    def __init__(self, store: Optional[ArtifactStore] = None):
+        self.store = store
+
+    # -- stage 1: load ---------------------------------------------------
+
+    def load(self, source: Any) -> LoadedMatrix:
+        """Materialise a matrix source into a :class:`LoadedMatrix`.
+
+        ``source`` may be a named-matrix string, a
+        :class:`~repro.matrices.named.MatrixSpec`, a
+        :class:`~repro.matrices.collection.CorpusSpec`, or an in-memory
+        matrix (COO/CSR/CSC/ELL).  Spec-backed sources are served from
+        the store when attached; in-memory matrices are wrapped directly
+        (they are already materialised, caching them would only pin
+        memory).
+        """
+        if isinstance(source, LoadedMatrix):
+            return source
+        kind, label, digest = _LOAD.describe(source)
+        t = telemetry.get()
+        with t.span("pipeline.load", source=label, kind=kind):
+            if self.store is not None and kind == "spec":
+                return self.store.get_or_build(
+                    _LOAD.name, digest, lambda: _LOAD.run(source)
+                )
+            return _LOAD.run(source)
+
+    # -- stage 2: schedule -----------------------------------------------
+
+    def schedule(
+        self,
+        source: Any,
+        scheme: Any,
+        config: Optional[AcceleratorConfig] = None,
+        **scheduler_kwargs: Any,
+    ) -> ScheduledMatrix:
+        """Schedule a matrix under a registered scheme.
+
+        ``scheme`` is a registry name or a :class:`SchedulerSpec`;
+        ``config`` defaults to the spec's ``default_config``.  Extra
+        keyword arguments go to the scheduler verbatim and participate in
+        the fingerprint.
+        """
+        loaded = self.load(source)
+        spec = scheme if isinstance(scheme, SchedulerSpec) else get_scheme(scheme)
+        if config is None:
+            config = spec.default_config
+        digest = _SCHEDULE.fingerprint_for(
+            loaded.fingerprint, spec, config, scheduler_kwargs
+        )
+        t = telemetry.get()
+        with t.span(
+            "pipeline.schedule", scheme=spec.name, source=loaded.label
+        ):
+            if self.store is None:
+                return _SCHEDULE.run(
+                    loaded, spec, config, scheduler_kwargs, digest
+                )
+            cache = self.store.schedule_cache
+            if cache is None:
+                return self.store.get_or_build(
+                    _SCHEDULE.name,
+                    digest,
+                    lambda: _SCHEDULE.run(
+                        loaded, spec, config, scheduler_kwargs, digest
+                    ),
+                )
+            # Route schedules through the two-tier ScheduleCache so the
+            # pipeline shares its entries (and the optional §3.2 disk
+            # images) with pre-pipeline call sites.
+            built: dict = {}
+
+            def build() -> TiledSchedule:
+                artifact = _SCHEDULE.run(
+                    loaded, spec, config, scheduler_kwargs, digest
+                )
+                built["artifact"] = artifact
+                return artifact.schedule
+
+            schedule = cache.get_or_build(
+                digest, config, spec.name, build, version=spec.version
+            )
+            if "artifact" in built:
+                self.store._count(self.store.misses, _SCHEDULE.name)
+                return built["artifact"]
+            self.store._count(self.store.hits, _SCHEDULE.name)
+            return ScheduledMatrix(
+                schedule=schedule,
+                scheme=spec.name,
+                config=config,
+                matrix_fingerprint=loaded.fingerprint,
+                fingerprint=digest,
+                migration=None,
+            )
+
+    def adopt(
+        self, source: Any, schedule: TiledSchedule
+    ) -> ScheduledMatrix:
+        """Wrap an externally built schedule as a pipeline artifact.
+
+        Used by façades that accept a precomputed schedule
+        (``analyze(..., schedule=...)``).  The fingerprint matches what
+        :meth:`schedule` would produce for the same (matrix, scheme,
+        config) with no extra kwargs, so downstream simulate/metrics
+        artifacts are shared either way; unregistered scheme names get an
+        empty version tag.
+        """
+        loaded = self.load(source)
+        try:
+            version = get_scheme(schedule.scheme).version
+        except ConfigError:
+            version = ""
+        digest = fingerprint(
+            "schedule",
+            loaded.fingerprint,
+            schedule.scheme,
+            version,
+            fingerprint_config(schedule.config),
+            {},
+        )
+        return ScheduledMatrix(
+            schedule=schedule,
+            scheme=schedule.scheme,
+            config=schedule.config,
+            matrix_fingerprint=loaded.fingerprint,
+            fingerprint=digest,
+            migration=None,
+        )
+
+    # -- stage 3: simulate -----------------------------------------------
+
+    def simulate(self, scheduled: ScheduledMatrix) -> CycleResult:
+        """Analytic cycle accounting of a scheduled matrix."""
+        digest = _SIMULATE.fingerprint_for(scheduled.fingerprint)
+        t = telemetry.get()
+        with t.span("pipeline.simulate", scheme=scheduled.scheme):
+            if self.store is not None:
+                return self.store.get_or_build(
+                    _SIMULATE.name,
+                    digest,
+                    lambda: _SIMULATE.run(scheduled, digest),
+                )
+            return _SIMULATE.run(scheduled, digest)
+
+    def execute(
+        self, scheduled: ScheduledMatrix, x: np.ndarray
+    ) -> SpMVExecution:
+        """Functional execution (never cached: y depends on ``x``)."""
+        return execute_schedule(scheduled.schedule, x, scheduled.config)
+
+    # -- stage 4: metrics ------------------------------------------------
+
+    def metrics(
+        self,
+        scheduled: ScheduledMatrix,
+        cycles: CycleResult,
+        accelerator: Optional[str] = None,
+        power_watts: Optional[float] = None,
+    ) -> ReportArtifact:
+        """Assemble the §5.3 report; defaults come from the registry."""
+        if accelerator is None or power_watts is None:
+            spec = get_scheme(scheduled.scheme)
+            if accelerator is None:
+                accelerator = spec.accelerator_name
+            if power_watts is None:
+                power_watts = spec.power_watts()
+        digest = _METRICS.fingerprint_for(
+            cycles.fingerprint, accelerator, power_watts
+        )
+        t = telemetry.get()
+        with t.span(
+            "pipeline.metrics",
+            scheme=scheduled.scheme,
+            accelerator=accelerator,
+        ):
+            if self.store is not None:
+                return self.store.get_or_build(
+                    _METRICS.name,
+                    digest,
+                    lambda: _METRICS.run(
+                        scheduled, cycles, accelerator, power_watts, digest
+                    ),
+                )
+            return _METRICS.run(
+                scheduled, cycles, accelerator, power_watts, digest
+            )
+
+    # -- whole-flow conveniences ----------------------------------------
+
+    def analyze(
+        self,
+        source: Any,
+        scheme: Any,
+        config: Optional[AcceleratorConfig] = None,
+        accelerator: Optional[str] = None,
+        power_watts: Optional[float] = None,
+        schedule: Optional[TiledSchedule] = None,
+        **scheduler_kwargs: Any,
+    ) -> PipelineResult:
+        """The full analytic flow: load → schedule → simulate → metrics."""
+        loaded = self.load(source)
+        if schedule is not None:
+            scheduled = self.adopt(loaded, schedule)
+        else:
+            scheduled = self.schedule(
+                loaded, scheme, config, **scheduler_kwargs
+            )
+        cycles = self.simulate(scheduled)
+        report = self.metrics(scheduled, cycles, accelerator, power_watts)
+        return PipelineResult(
+            loaded=loaded,
+            scheduled=scheduled,
+            cycles=cycles,
+            report_artifact=report,
+        )
+
+    def run(
+        self,
+        source: Any,
+        x: np.ndarray,
+        scheme: Any,
+        config: Optional[AcceleratorConfig] = None,
+        accelerator: Optional[str] = None,
+        power_watts: Optional[float] = None,
+        schedule: Optional[TiledSchedule] = None,
+        **scheduler_kwargs: Any,
+    ) -> Tuple[SpMVExecution, SpMVReport]:
+        """The functional flow: execute the datapath, then report.
+
+        The report is assembled from the *executed* cycle breakdown
+        (identical to the analytic one — ``estimate_cycles`` mirrors
+        ``execute_schedule`` exactly), so the execution is never wasted.
+        """
+        loaded = self.load(source)
+        if schedule is not None:
+            scheduled = self.adopt(loaded, schedule)
+        else:
+            scheduled = self.schedule(
+                loaded, scheme, config, **scheduler_kwargs
+            )
+        execution = self.execute(scheduled, x)
+        cycles = CycleResult(
+            cycles=execution.cycles,
+            schedule_fingerprint=scheduled.fingerprint,
+            fingerprint=fingerprint(
+                "cycles", scheduled.fingerprint, ENGINE_VERSION
+            ),
+        )
+        report = self.metrics(scheduled, cycles, accelerator, power_watts)
+        return execution, report.report

@@ -1,0 +1,118 @@
+"""Whole-flow content-addressed artifact store.
+
+Extends the schedule-only memoisation of :mod:`repro.scheduling.cache`
+to every pipeline stage: artifacts are stored under their content
+fingerprint, so a corpus re-run with one changed stage recomputes only
+that stage and the ones downstream of it —
+
+* change a scheduler version or an ``AcceleratorConfig`` field → the
+  load artifact still hits, schedule/simulate/metrics rebuild;
+* change only the accelerator power model → load, schedule and simulate
+  all hit, only metrics rebuilds;
+* change the matrix → everything for that matrix rebuilds, entries for
+  other matrices are untouched.
+
+Schedule artifacts are special-cased through a
+:class:`~repro.scheduling.cache.ScheduleCache` so they keep the existing
+two-tier behaviour (in-memory LRU + optional on-disk §3.2 wire images
+via ``REPRO_SCHEDULE_CACHE_DIR``).  All other stages live in one bounded
+in-memory LRU sized by ``REPRO_PIPELINE_CACHE_SIZE`` (default 64
+artifacts, ``0`` disables the generic tier).
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from typing import Callable, Dict, Optional, Tuple
+
+from .. import telemetry
+from ..scheduling.cache import ScheduleCache, global_schedule_cache
+
+_SIZE_ENV = "REPRO_PIPELINE_CACHE_SIZE"
+_DEFAULT_SIZE = 64
+
+_StoreKey = Tuple[str, str]  # (stage name, fingerprint)
+
+
+class ArtifactStore:
+    """A bounded LRU of stage artifacts keyed by content fingerprint."""
+
+    def __init__(
+        self,
+        capacity: int = _DEFAULT_SIZE,
+        schedule_cache: Optional[ScheduleCache] = None,
+    ):
+        self.capacity = max(capacity, 0)
+        #: Backing tier for schedule artifacts; ``None`` falls back to
+        #: the generic LRU (no disk tier).
+        self.schedule_cache = schedule_cache
+        self._entries: "OrderedDict[_StoreKey, object]" = OrderedDict()
+        self.hits: Dict[str, int] = {}
+        self.misses: Dict[str, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _count(self, table: Dict[str, int], stage: str) -> None:
+        table[stage] = table.get(stage, 0) + 1
+
+    def stage_hits(self, stage: str) -> int:
+        return self.hits.get(stage, 0)
+
+    def stage_misses(self, stage: str) -> int:
+        return self.misses.get(stage, 0)
+
+    def get_or_build(
+        self, stage: str, digest: str, build: Callable[[], object]
+    ) -> object:
+        """Return the artifact for ``(stage, digest)``, building on miss."""
+        if self.capacity == 0:
+            self._count(self.misses, stage)
+            return build()
+        key = (stage, digest)
+        cached = self._entries.get(key)
+        t = telemetry.get()
+        if cached is not None:
+            self._entries.move_to_end(key)
+            self._count(self.hits, stage)
+            if t.enabled:
+                t.counter("pipeline.cache.hits", 1, stage=stage)
+            return cached
+        self._count(self.misses, stage)
+        if t.enabled:
+            t.counter("pipeline.cache.misses", 1, stage=stage)
+        artifact = build()
+        self._entries[key] = artifact
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+        return artifact
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = {}
+        self.misses = {}
+
+
+_GLOBAL: Optional[ArtifactStore] = None
+
+
+def global_artifact_store() -> ArtifactStore:
+    """The process-wide store, configured from the environment once.
+
+    Shares its schedule tier with
+    :func:`repro.scheduling.cache.global_schedule_cache`, so pipeline and
+    pre-pipeline call sites memoise into the same place.
+    """
+    global _GLOBAL
+    if _GLOBAL is None:
+        raw = os.environ.get(_SIZE_ENV, "").strip()
+        try:
+            capacity = int(raw) if raw else _DEFAULT_SIZE
+        except ValueError:
+            capacity = _DEFAULT_SIZE
+        _GLOBAL = ArtifactStore(
+            capacity=capacity, schedule_cache=global_schedule_cache()
+        )
+    return _GLOBAL

@@ -23,7 +23,14 @@ from .row_based import schedule_row_based
 from .pe_aware import schedule_pe_aware
 from .greedy import schedule_greedy_ooo
 from .row_split import schedule_row_split
-from .crhcs import MigrationReport, schedule_crhcs
+from .crhcs import MigrationReport, schedule_crhcs, schedule_crhcs_rebuild
+from .registry import (
+    SchedulerSpec,
+    get_scheme,
+    iter_schemes,
+    register_scheme,
+    registered_schemes,
+)
 from .serialize import deserialize_schedule, serialize_schedule
 from .window import Tile, tile_matrix
 from .stats import (
@@ -49,6 +56,12 @@ __all__ = [
     "schedule_greedy_ooo",
     "schedule_row_split",
     "schedule_crhcs",
+    "schedule_crhcs_rebuild",
+    "SchedulerSpec",
+    "get_scheme",
+    "iter_schemes",
+    "register_scheme",
+    "registered_schemes",
     "MigrationReport",
     "deserialize_schedule",
     "serialize_schedule",

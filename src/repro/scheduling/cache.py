@@ -33,7 +33,7 @@ _SIZE_ENV = "REPRO_SCHEDULE_CACHE_SIZE"
 _DIR_ENV = "REPRO_SCHEDULE_CACHE_DIR"
 _DEFAULT_SIZE = 16
 
-CacheKey = Tuple[Hashable, Hashable, str]
+CacheKey = Tuple[Hashable, Hashable, str, str]
 
 
 class ScheduleCache:
@@ -56,9 +56,22 @@ class ScheduleCache:
         return len(self._entries)
 
     @staticmethod
-    def key(spec_key: Hashable, config: Hashable, scheme: str) -> CacheKey:
-        """The cache key; configs are frozen dataclasses, hence hashable."""
-        return (spec_key, config, scheme)
+    def key(
+        spec_key: Hashable,
+        config: Hashable,
+        scheme: str,
+        version: str = "",
+    ) -> CacheKey:
+        """The cache key; configs are frozen dataclasses, hence hashable.
+
+        ``version`` is the scheduler's algorithm revision
+        (:attr:`repro.scheduling.registry.SchedulerSpec.version`): two
+        revisions of the same scheme never share an entry, in memory or
+        on disk.  The config participates *by value* (frozen-dataclass
+        equality), so any field change — clock, window, span — is a new
+        key even for the same matrix.
+        """
+        return (spec_key, config, scheme, version)
 
     def _disk_path(self, key: CacheKey) -> str:
         digest = hashlib.sha256(repr(key).encode()).hexdigest()[:32]
@@ -70,12 +83,14 @@ class ScheduleCache:
         config,
         scheme: str,
         build: Callable[[], TiledSchedule],
+        *,
+        version: str = "",
     ) -> TiledSchedule:
         """Return the cached schedule for the key, building it on a miss."""
         if self.capacity == 0 and self.disk_dir is None:
             return build()
         t = telemetry.get()
-        key = self.key(spec_key, config, scheme)
+        key = self.key(spec_key, config, scheme, version)
         cached = self._entries.get(key)
         if cached is not None:
             self._entries.move_to_end(key)

@@ -39,16 +39,21 @@ from typing import Deque, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
-from ..config import AcceleratorConfig
+from ..config import DEFAULT_CHASON, AcceleratorConfig
 from ..errors import SchedulingError
 from ..formats.coo import COOMatrix
 from ..formats.csr import CSRMatrix
 from .. import telemetry
 from .base import ChannelGrid, Schedule, ScheduledElement, TiledSchedule
 from .pe_aware import group_rows_by_pe, pe_aware_grids
+from .registry import register_scheme
 from .window import Tile, tile_matrix
 
 Matrix = Union[COOMatrix, CSRMatrix]
+
+#: Algorithm revision (cache fingerprint component); "2" is the
+#: optimistic-prefix vectorized migration that replaced the slot walk.
+CRHCS_VERSION = "2"
 
 #: How many donor elements a stall examines before staying a stall.
 #: Bounds the offline scheduling cost; skipped candidates are retried at
@@ -549,6 +554,15 @@ def schedule_crhcs_tile(
     return schedule
 
 
+@register_scheme(
+    name="crhcs",
+    version=CRHCS_VERSION,
+    default_config=DEFAULT_CHASON,
+    power_key="chason",
+    accelerator_name="chason",
+    report_kwarg=True,
+    description="cross-HBM-channel OoO with data migration (Fig. 2c, §3)",
+)
 def schedule_crhcs(
     matrix: Matrix,
     config: AcceleratorConfig,
@@ -602,3 +616,32 @@ def schedule_crhcs(
     if report is not None and local_report is not None:
         report.merge(local_report)
     return schedule
+
+
+@register_scheme(
+    name="crhcs_rebuild",
+    version=CRHCS_VERSION,
+    default_config=DEFAULT_CHASON,
+    power_key="chason",
+    accelerator_name="chason",
+    report_kwarg=True,
+    description="CrHCS rebuild mode: schedule from scratch, span-aware",
+)
+def schedule_crhcs_rebuild(
+    matrix: Matrix,
+    config: AcceleratorConfig,
+    migration_span: Optional[int] = None,
+    steal_tries: int = DEFAULT_STEAL_TRIES,
+    max_rows_per_pass: int = 0,
+    report: Optional[MigrationReport] = None,
+) -> TiledSchedule:
+    """CrHCS in ``rebuild`` mode under its registry name."""
+    return schedule_crhcs(
+        matrix,
+        config,
+        migration_span=migration_span,
+        steal_tries=steal_tries,
+        mode="rebuild",
+        max_rows_per_pass=max_rows_per_pass,
+        report=report,
+    )

@@ -19,13 +19,17 @@ from __future__ import annotations
 import heapq
 from typing import List, Sequence, Tuple, Union
 
-from ..config import AcceleratorConfig
+from ..config import DEFAULT_SERPENS, AcceleratorConfig
 from ..errors import SchedulingError
 from ..formats.coo import COOMatrix
 from ..formats.csr import CSRMatrix
 from .base import ChannelGrid, Schedule, ScheduledElement, TiledSchedule
 from .pe_aware import RowGroup, group_rows_by_pe
+from .registry import register_scheme
 from .window import Tile, tile_matrix
+
+#: Algorithm revision (cache fingerprint component).
+GREEDY_VERSION = "1"
 
 Matrix = Union[COOMatrix, CSRMatrix]
 
@@ -113,6 +117,13 @@ def schedule_greedy_tile(tile: Tile, config: AcceleratorConfig) -> Schedule:
     return schedule
 
 
+@register_scheme(
+    name="greedy_ooo",
+    version=GREEDY_VERSION,
+    default_config=DEFAULT_SERPENS,
+    power_key="serpens",
+    description="greedy intra-channel OoO (scheduling-policy ablation)",
+)
 def schedule_greedy_ooo(
     matrix: Matrix,
     config: AcceleratorConfig,

@@ -27,13 +27,18 @@ from typing import List, Tuple, Union
 
 import numpy as np
 
-from ..config import AcceleratorConfig
+from ..config import DEFAULT_SERPENS, AcceleratorConfig
 from ..errors import SchedulingError
 from ..formats.coo import COOMatrix
 from ..formats.csr import CSRMatrix
 from .. import telemetry
 from .base import ChannelGrid, Schedule, TiledSchedule, pe_for_row
+from .registry import register_scheme
 from .window import Tile, tile_matrix
+
+#: Algorithm revision (cache fingerprint component); "2" is the
+#: whole-tile vectorized builder that replaced the slot-at-a-time walk.
+PE_AWARE_VERSION = "2"
 
 Matrix = Union[COOMatrix, CSRMatrix]
 
@@ -262,6 +267,14 @@ def schedule_pe_aware_tile(tile: Tile, config: AcceleratorConfig) -> Schedule:
     return schedule
 
 
+@register_scheme(
+    name="pe_aware",
+    version=PE_AWARE_VERSION,
+    default_config=DEFAULT_SERPENS,
+    power_key="serpens",
+    accelerator_name="serpens",
+    description="intra-channel PE-aware OoO (Serpens/Sextans, Fig. 2b)",
+)
 def schedule_pe_aware(
     matrix: Matrix,
     config: AcceleratorConfig,

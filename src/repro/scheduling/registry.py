@@ -1,0 +1,169 @@
+"""The scheme registry — the one scheme→scheduler dispatch table.
+
+Every flow that turns a scheme *name* into a scheduler used to carry its
+own ``{"crhcs": ...}`` literal; those tables drifted independently (the
+CLI knew five schemes, the accelerators two, the SpMM extension one).
+This module replaces them all: a scheduler registers itself once, with a
+declarative :class:`SchedulerSpec`, and the CLI, the accelerator façades,
+the pipeline and the experiment runners all resolve names here.
+
+Registering a new scheduler takes ten lines in its own module::
+
+    from .registry import register_scheme
+    from ..config import DEFAULT_SERPENS
+
+    @register_scheme(
+        name="my_scheme",
+        version="1",
+        default_config=DEFAULT_SERPENS,
+        power_key="serpens",
+        description="what the scheme does",
+    )
+    def schedule_my_scheme(matrix, config, **kwargs):
+        ...
+
+``version`` is the scheduler's *algorithm revision* and is part of every
+cache fingerprint (:mod:`repro.pipeline.fingerprint`): bump it when the
+scheme's output changes so stale cached schedules cannot be served.
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from ..config import AcceleratorConfig
+from ..errors import ConfigError
+
+#: name → spec; the *only* scheme dispatch table in the code base.
+_REGISTRY: Dict[str, "SchedulerSpec"] = {}
+
+#: Modules whose import registers the built-in schemes.
+_BUILTIN_MODULES = (
+    "row_based",
+    "pe_aware",
+    "greedy",
+    "row_split",
+    "crhcs",
+)
+
+
+@dataclass(frozen=True)
+class SchedulerSpec:
+    """Everything the rest of the system needs to know about a scheme."""
+
+    #: Registry key (also the ``--scheme`` CLI value).
+    name: str
+    #: ``scheduler(matrix, config, **kwargs) -> TiledSchedule``.
+    scheduler: Callable[..., "object"]
+    #: Algorithm revision; part of every schedule cache fingerprint.
+    version: str
+    #: Configuration used when the caller does not supply one (carries
+    #: the clock of the placed design the scheme models).
+    default_config: AcceleratorConfig
+    #: Key into :func:`repro.power.devices.measured_power` for the power
+    #: model of the datapath this scheme runs on.
+    power_key: str
+    #: Accelerator name stamped into :class:`SpMVReport` rows.
+    accelerator_name: str = ""
+    #: Whether ``scheduler`` accepts a ``report=MigrationReport()``
+    #: keyword for migration bookkeeping (CrHCS-family schemes).
+    report_kwarg: bool = False
+    description: str = ""
+    extra: Tuple[Tuple[str, object], ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("a scheduler spec needs a name")
+        if not self.version:
+            raise ConfigError(f"scheme {self.name!r} needs a version tag")
+        if not self.accelerator_name:
+            object.__setattr__(self, "accelerator_name", self.name)
+
+    @property
+    def clock_mhz(self) -> float:
+        """The placed-design clock the scheme's reports are charged at."""
+        return self.default_config.frequency_mhz
+
+    def power_watts(self) -> float:
+        """Measured runtime power of the modelled platform (§5.3)."""
+        from ..power.devices import measured_power
+
+        return measured_power(self.power_key)
+
+
+def register(spec: SchedulerSpec) -> SchedulerSpec:
+    """Register a spec, rejecting duplicate names."""
+    if spec.name in _REGISTRY:
+        raise ConfigError(f"scheme {spec.name!r} is already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def register_scheme(
+    name: str,
+    version: str,
+    default_config: AcceleratorConfig,
+    power_key: str,
+    accelerator_name: str = "",
+    report_kwarg: bool = False,
+    description: str = "",
+):
+    """Decorator form of :func:`register` for scheduler functions."""
+
+    def decorate(fn: Callable[..., "object"]) -> Callable[..., "object"]:
+        register(
+            SchedulerSpec(
+                name=name,
+                scheduler=fn,
+                version=version,
+                default_config=default_config,
+                power_key=power_key,
+                accelerator_name=accelerator_name,
+                report_kwarg=report_kwarg,
+                description=description,
+            )
+        )
+        return fn
+
+    return decorate
+
+
+def _ensure_builtins() -> None:
+    """Import the scheduler modules so their decorators have run."""
+    import importlib
+
+    for module in _BUILTIN_MODULES:
+        importlib.import_module(f".{module}", package=__package__)
+
+
+def get_scheme(name: str) -> SchedulerSpec:
+    """Resolve a scheme name, with a did-you-mean on typos."""
+    _ensure_builtins()
+    spec = _REGISTRY.get(name)
+    if spec is not None:
+        return spec
+    known = sorted(_REGISTRY)
+    message = f"unknown scheme {name!r}; registered: {', '.join(known)}"
+    close = difflib.get_close_matches(name, known, n=1)
+    if close:
+        message += f" — did you mean {close[0]!r}?"
+    raise ConfigError(message)
+
+
+def registered_schemes() -> Tuple[str, ...]:
+    """All registered scheme names, sorted."""
+    _ensure_builtins()
+    return tuple(sorted(_REGISTRY))
+
+
+def iter_schemes() -> Tuple[SchedulerSpec, ...]:
+    """All registered specs in name order."""
+    _ensure_builtins()
+    return tuple(_REGISTRY[name] for name in sorted(_REGISTRY))
+
+
+def unregister(name: str) -> Optional[SchedulerSpec]:
+    """Remove a scheme (test helper); returns the removed spec."""
+    return _REGISTRY.pop(name, None)

@@ -17,12 +17,16 @@ from __future__ import annotations
 
 from typing import List, Tuple, Union
 
-from ..config import AcceleratorConfig
+from ..config import DEFAULT_SERPENS, AcceleratorConfig
 from ..formats.coo import COOMatrix
 from ..formats.csr import CSRMatrix
 from .base import ChannelGrid, Schedule, ScheduledElement, TiledSchedule
 from .pe_aware import group_rows_by_pe
+from .registry import register_scheme
 from .window import Tile, tile_matrix
+
+#: Algorithm revision (cache fingerprint component).
+ROW_BASED_VERSION = "1"
 
 Matrix = Union[COOMatrix, CSRMatrix]
 
@@ -79,6 +83,13 @@ def schedule_row_based_tile(tile: Tile, config: AcceleratorConfig) -> Schedule:
     return schedule
 
 
+@register_scheme(
+    name="row_based",
+    version=ROW_BASED_VERSION,
+    default_config=DEFAULT_SERPENS,
+    power_key="serpens",
+    description="naive row-based parallelization (Fig. 2a)",
+)
 def schedule_row_based(
     matrix: Matrix,
     config: AcceleratorConfig,

@@ -27,13 +27,17 @@ from typing import List, Union
 
 import numpy as np
 
-from ..config import AcceleratorConfig
+from ..config import DEFAULT_SERPENS, AcceleratorConfig
 from ..errors import SchedulingError
 from ..formats.coo import COOMatrix
 from ..formats.csr import CSRMatrix
 from .base import ChannelGrid, Schedule, ScheduledElement, TiledSchedule, pe_for_row
 from .greedy import schedule_single_pe_greedy
+from .registry import register_scheme
 from .window import Tile, tile_matrix
+
+#: Algorithm revision (cache fingerprint component).
+ROW_SPLIT_VERSION = "1"
 
 Matrix = Union[COOMatrix, CSRMatrix]
 
@@ -121,6 +125,13 @@ def schedule_row_split_tile(
     return schedule
 
 
+@register_scheme(
+    name="row_split",
+    version=ROW_SPLIT_VERSION,
+    default_config=DEFAULT_SERPENS,
+    power_key="serpens",
+    description="HiSpMV-style long-row splitting (stall analysis only)",
+)
 def schedule_row_split(
     matrix: Matrix,
     config: AcceleratorConfig,

@@ -44,6 +44,11 @@ from .reduction import ReductionUnit
 #: FP32 lanes of one 512-bit beat (x loading and y output).
 DENSE_LANES = 16
 
+#: Cycle-model revision (pipeline cache fingerprint component): bump when
+#: the accounting in this module changes so cached CycleResults cannot be
+#: served across model revisions.
+ENGINE_VERSION = "1"
+
 
 @dataclass
 class CycleBreakdown:
