@@ -3,16 +3,17 @@
 
 The dependency order is::
 
-    errors/config/precision
+    errors/config/precision/knobs
       → formats
         → matrices / metrics / power / telemetry / resources / hbm
           → scheduling
             → sim
               → pipeline
-                → core
-                  → baselines / solvers
-                    → analysis
-                      → cli
+                → serving
+                  → core
+                    → baselines / solvers
+                      → analysis
+                        → cli
 
 A module may import from its own layer or below, never from above: the
 scheduling layer cannot reach into the pipeline, the pipeline cannot
@@ -44,6 +45,7 @@ LAYERS = {
     "errors": 0,
     "config": 0,
     "precision": 0,
+    "knobs": 0,
     "formats": 1,
     "matrices": 2,
     "metrics": 2,
@@ -54,13 +56,14 @@ LAYERS = {
     "scheduling": 3,
     "sim": 4,
     "pipeline": 5,
-    "core": 6,
-    "baselines": 7,
-    "solvers": 7,
-    "analysis": 8,
-    "cli": 9,
-    "__main__": 9,
-    "__init__": 9,
+    "serving": 6,
+    "core": 7,
+    "baselines": 8,
+    "solvers": 8,
+    "analysis": 9,
+    "cli": 10,
+    "__main__": 10,
+    "__init__": 10,
 }
 
 
@@ -167,7 +170,7 @@ def main() -> int:
         print(f"\n{len(violations)} layering violation(s)")
         return 1
     print("layering OK: formats → scheduling → sim → pipeline → "
-          "core → analysis → cli")
+          "serving → core → analysis → cli")
     return 0
 
 

@@ -10,6 +10,8 @@ without writing a script::
     python -m repro generate CollegeMsg --out /tmp/cm.mtx
     python -m repro --telemetry /tmp/run.jsonl corpus --count 32
     python -m repro telemetry summarize /tmp/run.jsonl
+    python -m repro serve requests.jsonl --out responses.jsonl
+    python -m repro submit wiki-Vote --scheme crhcs --priority 2
 """
 
 from __future__ import annotations
@@ -29,6 +31,7 @@ from .config import DEFAULT_CHASON, DEFAULT_SERPENS
 from .core.chason import ChasonAccelerator
 from .errors import ReproError
 from .formats.io import save_matrix_market
+from .knobs import format_knobs
 from .matrices.named import NAMED_MATRICES, generate_named
 from .matrices.stats import matrix_stats
 from .power.fpga import chason_power_breakdown
@@ -37,6 +40,11 @@ from .core.spmm import chason_spmm_report, sextans_spmm_report
 from .pipeline import PipelineRunner, global_artifact_store
 from .scheduling import schedule_stats
 from .scheduling.registry import get_scheme, iter_schemes
+from .serving import (
+    ServingClient,
+    ServingEngine,
+    serve_request_file,
+)
 
 
 def _scheme_lines() -> List[str]:
@@ -66,6 +74,8 @@ def _cmd_info(_args) -> int:
     breakdown = chason_power_breakdown()
     print(f"\nestimated Chasoň power: {breakdown.total:.2f} W "
           f"(HBM {breakdown.hbm:.2f} W)")
+    print("\nruntime knobs (REPRO_* environment variables):")
+    print(format_knobs())
     return 0
 
 
@@ -184,6 +194,80 @@ def _cmd_generate(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    engine = ServingEngine(
+        workers=args.workers,
+        queue_capacity=args.queue,
+        max_batch=args.batch,
+    )
+    engine.start()
+    try:
+        responses, latency, stats = serve_request_file(
+            args.requests, engine=engine, timeout=args.timeout
+        )
+    finally:
+        engine.shutdown(drain=True)
+    lines = [response.to_json() for response in responses]
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + ("\n" if lines else ""))
+        print(f"wrote {len(lines)} responses to {args.out}")
+    else:
+        for line in lines:
+            print(line)
+    served = [r for r in responses if r.ok]
+    print(
+        f"served {len(served)}/{len(responses)} requests  "
+        f"(accepted {stats['accepted']}, coalesced {stats['coalesced']}, "
+        f"shed {stats['shed']}, expired {stats['expired']}, "
+        f"errors {stats['errors']})"
+    )
+    if latency.get("count"):
+        print(
+            f"latency p50 {latency['p50_ms']:.3f} ms  "
+            f"p95 {latency['p95_ms']:.3f} ms  "
+            f"p99 {latency['p99_ms']:.3f} ms  "
+            f"(mean {latency['mean_ms']:.3f} ms over "
+            f"{latency['count']} served)"
+        )
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    overrides = {}
+    for item in args.set or []:
+        if "=" not in item:
+            print(f"error: --set expects field=value, got {item!r}",
+                  file=sys.stderr)
+            return 1
+        key, _eq, raw = item.partition("=")
+        try:
+            value = int(raw)
+        except ValueError:
+            try:
+                value = float(raw)
+            except ValueError:
+                value = raw
+        overrides[key] = value
+    engine = ServingEngine(workers=1)
+    engine.start()
+    try:
+        response = ServingClient(engine).request(
+            args.matrix,
+            scheme=args.scheme,
+            config_overrides=overrides or None,
+            priority=args.priority,
+            deadline_ms=args.deadline_ms,
+            timeout=args.timeout,
+        )
+    finally:
+        engine.shutdown(drain=True)
+    print(response.to_json())
+    if response.ok:
+        print(response.report.as_table_row())
+    return 0 if response.ok else 1
+
+
 def _cmd_telemetry(args) -> int:
     if args.telemetry_command == "summarize":
         print(telemetry_mod.summarize_file(args.trace))
@@ -266,6 +350,42 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--out", required=True)
     generate.add_argument("--seed", type=int, default=None)
     generate.set_defaults(func=_cmd_generate)
+
+    serve = commands.add_parser(
+        "serve",
+        help="run a JSONL request file through the serving engine",
+    )
+    serve.add_argument("requests", help="JSONL request file "
+                       '(lines like {"matrix": "wiki-Vote", '
+                       '"scheme": "crhcs", "priority": 1})')
+    serve.add_argument("--out", default=None,
+                       help="write responses as JSONL here "
+                            "(default: stdout)")
+    serve.add_argument("--workers", type=int, default=None,
+                       help="worker threads (default REPRO_SERVE_WORKERS)")
+    serve.add_argument("--queue", type=int, default=None,
+                       help="admission queue capacity "
+                            "(default REPRO_SERVE_QUEUE)")
+    serve.add_argument("--batch", type=int, default=None,
+                       help="micro-batch limit (default REPRO_SERVE_BATCH)")
+    serve.add_argument("--timeout", type=float, default=None,
+                       help="per-request wait in seconds (default: none)")
+    serve.set_defaults(func=_cmd_serve)
+
+    submit = commands.add_parser(
+        "submit", help="submit one request to an in-process engine"
+    )
+    submit.add_argument("matrix", choices=sorted(NAMED_MATRICES))
+    submit.add_argument("--scheme", default="crhcs", metavar="SCHEME",
+                        help="a registered scheme (see schedule "
+                             "--list-schemes)")
+    submit.add_argument("--priority", type=int, default=0)
+    submit.add_argument("--deadline-ms", type=float, default=None)
+    submit.add_argument("--set", action="append", metavar="FIELD=VALUE",
+                        help="override a config field "
+                             "(repeatable, e.g. --set column_window=512)")
+    submit.add_argument("--timeout", type=float, default=None)
+    submit.set_defaults(func=_cmd_submit)
 
     telemetry = commands.add_parser(
         "telemetry", help="inspect JSONL telemetry traces"

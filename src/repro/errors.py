@@ -45,3 +45,12 @@ class DatasetError(ReproError):
 
 class TelemetryError(ReproError):
     """A telemetry trace or event record is malformed."""
+
+
+class ServingError(ReproError):
+    """The serving engine was used outside its lifecycle contract
+    (e.g. submitting before ``start`` or waiting past a ticket timeout).
+
+    Note the asymmetry with the rest of the hierarchy: *overload* is not
+    an error — shed and expired requests come back as structured
+    responses — only misuse of the engine API raises."""

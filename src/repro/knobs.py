@@ -1,0 +1,114 @@
+"""The runtime-knob registry: every ``REPRO_*`` environment variable.
+
+One declarative table of the environment variables the reproduction
+reads, with their defaults and one-line meanings.  ``repro info`` renders
+it so an operator can see, in one place, which knobs are set in the
+current environment and which are riding their defaults — the same
+inventory the EXPERIMENTS.md table documents.
+
+The table is *data only* (no imports from the subsystems that consume
+the knobs — this module sits at the bottom of the layering); each
+consumer module remains the authority for parsing and fallback
+behaviour.  Invalid values never raise: every integer knob falls back to
+its default through :func:`repro.telemetry.warn_once`.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Knob:
+    """One ``REPRO_*`` environment variable."""
+
+    name: str
+    #: Subsystem bucket used to group the ``repro info`` rendering.
+    subsystem: str
+    #: Human-readable default ("unset" knobs default to ``None``).
+    default: Optional[str]
+    description: str
+
+    @property
+    def current(self) -> Optional[str]:
+        """The value set in this process's environment, if any."""
+        value = os.environ.get(self.name)
+        return value if value not in (None, "") else None
+
+    @property
+    def effective(self) -> str:
+        """What the process will actually use, as a display string."""
+        current = self.current
+        if current is not None:
+            return current
+        return self.default if self.default is not None else "unset"
+
+
+#: Every runtime knob, grouped by subsystem in rendering order.
+RUNTIME_KNOBS: Tuple[Knob, ...] = (
+    # corpus sweeps
+    Knob("REPRO_FULL_CORPUS", "corpus", None,
+         "set to 1 to run the full 800-matrix corpus, uncapped"),
+    Knob("REPRO_CORPUS_COUNT", "corpus", "96",
+         "corpus size for the capped sweeps"),
+    Knob("REPRO_CORPUS_NNZ_CAP", "corpus", "40000",
+         "per-matrix non-zero cap (0 = uncapped)"),
+    Knob("REPRO_CORPUS_WORKERS", "corpus", "1",
+         "fan corpus sweeps over a process pool (deterministic merge)"),
+    Knob("REPRO_DATA_DIR", "corpus", None,
+         "directory of real SuiteSparse/SNAP .mtx files to prefer over "
+         "synthetic generation"),
+    # caches
+    Knob("REPRO_SCHEDULE_CACHE_SIZE", "cache", "16",
+         "in-memory LRU of schedules keyed (spec, config, scheme); "
+         "0 disables"),
+    Knob("REPRO_SCHEDULE_CACHE_DIR", "cache", None,
+         "on-disk schedule cache tier in the §3.2 wire format"),
+    Knob("REPRO_PIPELINE_CACHE_SIZE", "cache", "64",
+         "whole-flow artifact store LRU (load/simulate/metrics stages); "
+         "0 disables the generic tier"),
+    # telemetry
+    Knob("REPRO_TELEMETRY", "telemetry", None,
+         "JSONL trace path ('-' streams to stderr); unset disables"),
+    Knob("REPRO_TRACE_MAX_CYCLES", "telemetry", "512",
+         "cycle-timeline render guard for the trace renderer"),
+    # serving
+    Knob("REPRO_SERVE_WORKERS", "serving", "4",
+         "serving engine worker threads"),
+    Knob("REPRO_SERVE_QUEUE", "serving", "256",
+         "admission queue capacity; overload sheds with Rejected "
+         "responses"),
+    Knob("REPRO_SERVE_BATCH", "serving", "8",
+         "micro-batch limit per dispatch (requests sharing one "
+         "(scheme, config) group)"),
+)
+
+
+def knob(name: str) -> Knob:
+    """Look up one knob by environment-variable name."""
+    for entry in RUNTIME_KNOBS:
+        if entry.name == name:
+            return entry
+    raise KeyError(name)
+
+
+def format_knobs() -> str:
+    """The ``repro info`` runtime-knobs section."""
+    width = max(len(entry.name) for entry in RUNTIME_KNOBS)
+    lines: List[str] = []
+    subsystem = None
+    for entry in RUNTIME_KNOBS:
+        if entry.subsystem != subsystem:
+            subsystem = entry.subsystem
+            lines.append(f"  [{subsystem}]")
+        marker = "*" if entry.current is not None else " "
+        default = entry.default if entry.default is not None else "unset"
+        lines.append(
+            f"  {marker} {entry.name:<{width}s}  "
+            f"current={entry.effective}  default={default}"
+        )
+        lines.append(f"      {entry.description}")
+    lines.append("  (* = set in this environment)")
+    return "\n".join(lines)

@@ -23,6 +23,7 @@ artifacts, ``0`` disables the generic tier).
 from __future__ import annotations
 
 import os
+import threading
 from collections import OrderedDict
 from typing import Callable, Dict, Optional, Tuple
 
@@ -48,6 +49,11 @@ class ArtifactStore:
         #: the generic LRU (no disk tier).
         self.schedule_cache = schedule_cache
         self._entries: "OrderedDict[_StoreKey, object]" = OrderedDict()
+        # Guards the LRU and stats so serving worker threads can share
+        # one store.  Builds run outside the lock: two threads racing on
+        # the same fingerprint both build the same artifact (stages are
+        # pure), and the last insert wins harmlessly.
+        self._lock = threading.RLock()
         self.hits: Dict[str, int] = {}
         self.misses: Dict[str, int] = {}
 
@@ -55,7 +61,8 @@ class ArtifactStore:
         return len(self._entries)
 
     def _count(self, table: Dict[str, int], stage: str) -> None:
-        table[stage] = table.get(stage, 0) + 1
+        with self._lock:
+            table[stage] = table.get(stage, 0) + 1
 
     def stage_hits(self, stage: str) -> int:
         return self.hits.get(stage, 0)
@@ -71,11 +78,13 @@ class ArtifactStore:
             self._count(self.misses, stage)
             return build()
         key = (stage, digest)
-        cached = self._entries.get(key)
         t = telemetry.get()
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._entries.move_to_end(key)
+                self._count(self.hits, stage)
         if cached is not None:
-            self._entries.move_to_end(key)
-            self._count(self.hits, stage)
             if t.enabled:
                 t.counter("pipeline.cache.hits", 1, stage=stage)
             return cached
@@ -83,16 +92,18 @@ class ArtifactStore:
         if t.enabled:
             t.counter("pipeline.cache.misses", 1, stage=stage)
         artifact = build()
-        self._entries[key] = artifact
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+        with self._lock:
+            self._entries[key] = artifact
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
         return artifact
 
     def clear(self) -> None:
-        self._entries.clear()
-        self.hits = {}
-        self.misses = {}
+        with self._lock:
+            self._entries.clear()
+            self.hits = {}
+            self.misses = {}
 
 
 _GLOBAL: Optional[ArtifactStore] = None
@@ -107,12 +118,30 @@ def global_artifact_store() -> ArtifactStore:
     """
     global _GLOBAL
     if _GLOBAL is None:
-        raw = os.environ.get(_SIZE_ENV, "").strip()
-        try:
-            capacity = int(raw) if raw else _DEFAULT_SIZE
-        except ValueError:
-            capacity = _DEFAULT_SIZE
         _GLOBAL = ArtifactStore(
-            capacity=capacity, schedule_cache=global_schedule_cache()
+            capacity=pipeline_cache_capacity(),
+            schedule_cache=global_schedule_cache(),
         )
     return _GLOBAL
+
+
+def pipeline_cache_capacity() -> int:
+    """The configured store capacity; the default when unset or invalid.
+
+    An unparsable value (``REPRO_PIPELINE_CACHE_SIZE=lots``) falls back
+    to the default but is no longer silent: a one-time warning goes
+    through the telemetry/logging path (matching
+    ``REPRO_CORPUS_WORKERS``).
+    """
+    raw = os.environ.get(_SIZE_ENV, "").strip()
+    if not raw:
+        return _DEFAULT_SIZE
+    try:
+        return int(raw)
+    except ValueError:
+        telemetry.warn_once(
+            "invalid_pipeline_cache_size",
+            f"{_SIZE_ENV}={raw!r} is not an integer; "
+            f"falling back to the default ({_DEFAULT_SIZE} artifacts)",
+        )
+        return _DEFAULT_SIZE

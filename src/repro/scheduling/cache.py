@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import hashlib
 import os
+import threading
 from collections import OrderedDict
 from typing import Callable, Hashable, Optional, Tuple
 
@@ -47,6 +48,10 @@ class ScheduleCache:
         self.capacity = max(capacity, 0)
         self.disk_dir = disk_dir
         self._entries: "OrderedDict[CacheKey, TiledSchedule]" = OrderedDict()
+        # Guards the LRU and the stats; builds run outside the lock, so
+        # two threads may race to build the same key (both produce the
+        # same deterministic schedule — last insert wins harmlessly).
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -91,13 +96,14 @@ class ScheduleCache:
             return build()
         t = telemetry.get()
         key = self.key(spec_key, config, scheme, version)
-        cached = self._entries.get(key)
-        if cached is not None:
-            self._entries.move_to_end(key)
-            self.hits += 1
-            if t.enabled:
-                t.counter("cache.hits", 1, scheme=scheme)
-            return cached
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                if t.enabled:
+                    t.counter("cache.hits", 1, scheme=scheme)
+                return cached
 
         schedule: Optional[TiledSchedule] = None
         if self.disk_dir is not None:
@@ -110,15 +116,17 @@ class ScheduleCache:
                         schedule = deserialize_schedule(
                             handle.read(), config
                         )
-                    self.hits += 1
-                    self.disk_loads += 1
+                    with self._lock:
+                        self.hits += 1
+                        self.disk_loads += 1
                     if t.enabled:
                         t.counter("cache.hits", 1, scheme=scheme)
                         t.counter("cache.disk_loads", 1, scheme=scheme)
                 except (FormatError, OSError):
                     schedule = None
         if schedule is None:
-            self.misses += 1
+            with self._lock:
+                self.misses += 1
             if t.enabled:
                 t.counter("cache.misses", 1, scheme=scheme)
             schedule = build()
@@ -130,14 +138,15 @@ class ScheduleCache:
     def _store_memory(self, key: CacheKey, schedule: TiledSchedule) -> None:
         if self.capacity == 0:
             return
-        self._entries[key] = schedule
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.evictions += 1
-            t = telemetry.get()
-            if t.enabled:
-                t.counter("cache.evictions", 1)
+        with self._lock:
+            self._entries[key] = schedule
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+                t = telemetry.get()
+                if t.enabled:
+                    t.counter("cache.evictions", 1)
 
     def _store_disk(self, key: CacheKey, schedule: TiledSchedule) -> None:
         from .serialize import serialize_schedule
@@ -161,27 +170,44 @@ class ScheduleCache:
                     pass
 
     def clear(self) -> None:
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-        self.disk_loads = 0
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
+            self.disk_loads = 0
 
 
 _GLOBAL: Optional[ScheduleCache] = None
+
+
+def schedule_cache_capacity() -> int:
+    """The configured LRU capacity; the default when unset or invalid.
+
+    An unparsable value (``REPRO_SCHEDULE_CACHE_SIZE=big``) falls back to
+    the default but is no longer silent: a one-time warning goes through
+    the telemetry/logging path (matching ``REPRO_CORPUS_WORKERS``).
+    """
+    raw = os.environ.get(_SIZE_ENV, "").strip()
+    if not raw:
+        return _DEFAULT_SIZE
+    try:
+        return int(raw)
+    except ValueError:
+        telemetry.warn_once(
+            "invalid_schedule_cache_size",
+            f"{_SIZE_ENV}={raw!r} is not an integer; "
+            f"falling back to the default ({_DEFAULT_SIZE} schedules)",
+        )
+        return _DEFAULT_SIZE
 
 
 def global_schedule_cache() -> ScheduleCache:
     """The process-wide cache, configured from the environment once."""
     global _GLOBAL
     if _GLOBAL is None:
-        raw = os.environ.get(_SIZE_ENV, "").strip()
-        try:
-            capacity = int(raw) if raw else _DEFAULT_SIZE
-        except ValueError:
-            capacity = _DEFAULT_SIZE
         _GLOBAL = ScheduleCache(
-            capacity=capacity,
+            capacity=schedule_cache_capacity(),
             disk_dir=os.environ.get(_DIR_ENV) or None,
         )
     return _GLOBAL

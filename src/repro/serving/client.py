@@ -1,0 +1,108 @@
+"""In-process client and the JSONL request-file driver.
+
+:class:`ServingClient` is the call-site-friendly face of the engine:
+build a request from keyword arguments, submit, wait, get a structured
+:class:`~repro.serving.request.SpMVResponse` back.
+
+:func:`serve_request_file` is what ``repro serve`` runs: read a JSONL
+request file, submit everything (so coalescing and batching see the
+whole workload), drain, and return the responses in request order plus
+the engine's SLO summary.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..config import AcceleratorConfig
+from ..errors import ConfigError
+from .engine import ServingEngine, Ticket
+from .request import (
+    STATUS_ERROR,
+    SpMVRequest,
+    SpMVResponse,
+    request_from_json,
+)
+
+
+class ServingClient:
+    """A thin, blocking wrapper over one :class:`ServingEngine`."""
+
+    def __init__(self, engine: ServingEngine):
+        self.engine = engine
+
+    def request(
+        self,
+        source: Any,
+        scheme: str = "crhcs",
+        config: Optional[AcceleratorConfig] = None,
+        config_overrides: Optional[Dict[str, Any]] = None,
+        priority: int = 0,
+        deadline_ms: Optional[float] = None,
+        timeout: Optional[float] = None,
+    ) -> SpMVResponse:
+        """Submit one request and block for its response."""
+        return self.engine.submit_wait(
+            SpMVRequest(
+                source=source,
+                scheme=scheme,
+                config=config,
+                config_overrides=config_overrides,
+                priority=priority,
+                deadline_ms=deadline_ms,
+            ),
+            timeout=timeout,
+        )
+
+    def submit(self, request: SpMVRequest) -> Ticket:
+        return self.engine.submit(request)
+
+
+def load_request_file(path: str) -> List[SpMVRequest]:
+    """Parse a JSONL request file (blank lines and ``#`` comments skip)."""
+    requests: List[SpMVRequest] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                requests.append(request_from_json(line))
+            except ConfigError as error:
+                raise ConfigError(f"{path}:{line_no}: {error}") from error
+    return requests
+
+
+def serve_request_file(
+    path: str,
+    engine: Optional[ServingEngine] = None,
+    timeout: Optional[float] = None,
+) -> Tuple[List[SpMVResponse], Dict[str, float], Dict[str, int]]:
+    """Run a whole JSONL request file through an engine.
+
+    Submits every request before waiting on any (duplicates coalesce,
+    compatible neighbours batch), then drains the engine.  Returns
+    ``(responses_in_request_order, latency_summary, stats)``.  The
+    caller owns the engine's lifecycle only if it passed one in.
+    """
+    requests = load_request_file(path)
+    owned = engine is None
+    if owned:
+        engine = ServingEngine()
+        engine.start()
+    try:
+        tickets = [engine.submit(request) for request in requests]
+        responses = []
+        for ticket in tickets:
+            try:
+                responses.append(ticket.result(timeout))
+            except Exception:  # ServingError timeout: degrade per-request
+                responses.append(SpMVResponse(
+                    request_id=ticket.request_id,
+                    status=STATUS_ERROR,
+                    detail=f"no response within {timeout}s",
+                ))
+    finally:
+        if owned:
+            engine.shutdown(drain=True)
+    return responses, engine.latency_summary(), dict(engine.stats)

@@ -1,0 +1,521 @@
+"""The serving engine: admission, micro-batching, coalescing, workers.
+
+Request lifecycle::
+
+    submit ──▶ admission queue ──▶ dispatch ──▶ execute ──▶ response
+       │            │                  │
+       │            │ (full)           │ (deadline passed)
+       │            ▼                  ▼
+       │        Rejected            expired
+       │
+       │ (identical work already in flight)
+       ▼
+    coalesce: share the leader's execution
+
+Three mechanisms turn N concurrent callers into less than N executions:
+
+* **coalescing** — a submitted request whose *work fingerprint*
+  (matrix source + scheme + version + config, the same digest chain the
+  pipeline caches by) matches an in-flight request attaches to that
+  leader and receives a copy of its response.  One execution, N answers.
+* **micro-batching** — a worker that dequeues a request also collects up
+  to ``REPRO_SERVE_BATCH - 1`` more queued requests from the same
+  ``(scheme, config)`` group and executes them as one batch under one
+  ``serving.execute`` span, amortising dispatch overhead and keeping the
+  artifact store hot for the group.
+* **whole-flow caching** — workers share one thread-safe
+  :class:`~repro.pipeline.store.ArtifactStore`, so repeat work that is
+  no longer in flight still skips recomputation stage by stage.
+
+Overload degrades, it never raises: the bounded queue sheds (policy in
+:mod:`repro.serving.queue`) with structured ``rejected`` responses, and
+requests dequeued past their deadline answer ``expired``.  Shutdown is
+graceful by default — ``shutdown()`` drains queued work while new
+submissions are shed with ``engine is draining``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from .. import telemetry
+from ..errors import ReproError, ServingError
+from ..pipeline.fingerprint import fingerprint, fingerprint_config
+from ..pipeline.runner import PipelineRunner
+from ..pipeline.stages import LoadStage
+from ..pipeline.store import ArtifactStore
+from ..scheduling.registry import get_scheme
+from .queue import DEFAULT_CAPACITY, AdmissionQueue
+from .request import (
+    STATUS_ERROR,
+    STATUS_EXPIRED,
+    STATUS_OK,
+    STATUS_REJECTED,
+    SpMVRequest,
+    SpMVResponse,
+)
+from .slo import LatencyRecorder
+
+WORKERS_ENV = "REPRO_SERVE_WORKERS"
+QUEUE_ENV = "REPRO_SERVE_QUEUE"
+BATCH_ENV = "REPRO_SERVE_BATCH"
+
+DEFAULT_WORKERS = 4
+DEFAULT_BATCH = 8
+
+#: Worker poll interval while idle (also the drain-detection latency).
+_POLL_S = 0.05
+
+
+def _int_env(env: str, default: int, warn_key: str, minimum: int) -> int:
+    """Parse an integer knob, falling back (with a one-time warning) on
+    garbage — the ``REPRO_CORPUS_WORKERS`` convention."""
+    raw = os.environ.get(env, "").strip()
+    if not raw:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        telemetry.warn_once(
+            warn_key,
+            f"{env}={raw!r} is not an integer; "
+            f"falling back to the default ({default})",
+        )
+        return default
+    return max(value, minimum)
+
+
+def serve_worker_count() -> int:
+    """Configured worker-thread count (``REPRO_SERVE_WORKERS``)."""
+    return _int_env(WORKERS_ENV, DEFAULT_WORKERS,
+                    "invalid_serve_workers", 1)
+
+
+def serve_queue_capacity() -> int:
+    """Configured admission-queue capacity (``REPRO_SERVE_QUEUE``)."""
+    return _int_env(QUEUE_ENV, DEFAULT_CAPACITY,
+                    "invalid_serve_queue", 1)
+
+
+def serve_max_batch() -> int:
+    """Configured micro-batch limit (``REPRO_SERVE_BATCH``)."""
+    return _int_env(BATCH_ENV, DEFAULT_BATCH, "invalid_serve_batch", 1)
+
+
+class _Entry:
+    """Engine-internal state of one admitted request."""
+
+    __slots__ = (
+        "request", "seq", "priority", "spec", "config", "group",
+        "work_fp", "submitted_at", "deadline_at", "followers", "done",
+        "event", "response",
+    )
+
+    def __init__(self, request: SpMVRequest, seq: int, spec, config,
+                 group: Tuple[str, str], work_fp: str, now: float):
+        self.request = request
+        self.seq = seq
+        self.priority = request.priority
+        self.spec = spec
+        self.config = config
+        self.group = group
+        self.work_fp = work_fp
+        self.submitted_at = now
+        self.deadline_at = (
+            now + request.deadline_ms * 1e-3
+            if request.deadline_ms is not None
+            else None
+        )
+        self.followers: List["_Entry"] = []
+        self.done = False
+        self.event = threading.Event()
+        self.response: Optional[SpMVResponse] = None
+
+    def expired_at(self, now: float) -> bool:
+        return self.deadline_at is not None and now > self.deadline_at
+
+
+class Ticket:
+    """The submitter's handle on one request's eventual response."""
+
+    def __init__(self, entry: Optional[_Entry] = None,
+                 response: Optional[SpMVResponse] = None):
+        self._entry = entry
+        self._response = response
+
+    @property
+    def request_id(self) -> int:
+        if self._response is not None:
+            return self._response.request_id
+        return self._entry.request.request_id
+
+    def done(self) -> bool:
+        return self._response is not None or self._entry.event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> SpMVResponse:
+        """Block until the response is available (or raise on timeout)."""
+        if self._response is not None:
+            return self._response
+        if not self._entry.event.wait(timeout):
+            raise ServingError(
+                f"request {self._entry.request.request_id} did not "
+                f"complete within {timeout}s"
+            )
+        return self._entry.response
+
+
+class ServingEngine:
+    """A batched, coalescing SpMV request service over the pipeline."""
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        queue_capacity: Optional[int] = None,
+        max_batch: Optional[int] = None,
+        store: Optional[ArtifactStore] = None,
+    ):
+        self.workers = workers if workers is not None else serve_worker_count()
+        self.max_batch = (
+            max_batch if max_batch is not None else serve_max_batch()
+        )
+        capacity = (
+            queue_capacity if queue_capacity is not None
+            else serve_queue_capacity()
+        )
+        self.queue = AdmissionQueue(capacity)
+        # The engine's store deliberately skips the global ScheduleCache
+        # tier: serving workers are threads, and an engine-private store
+        # keeps cross-request reuse observable per engine.
+        self.store = store if store is not None else ArtifactStore(
+            capacity=max(4 * capacity, 64), schedule_cache=None
+        )
+        self.runner = PipelineRunner(self.store)
+        self.latencies = LatencyRecorder()
+        self._seq = itertools.count()
+        self._lock = threading.RLock()  # submit bumps stats while held
+        #: work fingerprint → leader entry (queued or executing).
+        self._inflight: Dict[str, _Entry] = {}
+        self._threads: List[threading.Thread] = []
+        self._state = "new"  # new → running → draining/stopping → stopped
+        self.stats: Dict[str, int] = {
+            "accepted": 0, "coalesced": 0, "shed": 0,
+            "expired": 0, "completed": 0, "errors": 0,
+        }
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> "ServingEngine":
+        if self._state != "new":
+            raise ServingError(f"engine already {self._state}")
+        self._state = "running"
+        for index in range(self.workers):
+            thread = threading.Thread(
+                target=self._worker_loop, args=(index,),
+                name=f"repro-serve-{index}", daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def drain(self) -> None:
+        """Stop admitting; queued and in-flight work still completes."""
+        if self._state in ("running", "new"):
+            self._state = "draining"
+        self.queue.wake_all()
+
+    def shutdown(self, drain: bool = True,
+                 timeout: Optional[float] = None) -> None:
+        """Stop the engine; graceful (drain queued work) by default.
+
+        With ``drain=False`` queued entries are shed immediately with
+        ``rejected`` responses; the in-flight batch still finishes.
+        """
+        if self._state == "stopped":
+            return
+        if drain:
+            self.drain()
+        else:
+            self._state = "stopping"
+            for entry in self.queue.drain():
+                self._finish_shed(entry, "engine shutdown")
+            self.queue.wake_all()
+        for thread in self._threads:
+            thread.join(timeout)
+        self._state = "stopped"
+        self._emit_slo_gauges()
+
+    def __enter__(self) -> "ServingEngine":
+        return self.start() if self._state == "new" else self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.shutdown(drain=True)
+
+    # -- submission ------------------------------------------------------
+
+    def submit(self, request: SpMVRequest) -> Ticket:
+        """Admit one request; always returns a ticket, never raises on
+        overload (rejections are structured responses)."""
+        t = telemetry.get()
+        with t.span("serving.enqueue", scheme=request.scheme):
+            if self._state == "new":
+                raise ServingError("engine not started (call start())")
+            if self._state != "running":
+                return self._reject_ticket(request, "engine is draining")
+            now = time.monotonic()
+            try:
+                spec = get_scheme(request.scheme)
+                config = request.resolve_config(spec)
+                _kind, _label, source_digest = LoadStage.describe(
+                    request.source
+                )
+            except ReproError as error:
+                # Malformed work (unknown scheme/matrix, bad override)
+                # answers immediately — a structured error, not a crash.
+                self._bump("errors")
+                if t.enabled:
+                    t.counter("serving.errors", 1, phase="admission")
+                return Ticket(response=SpMVResponse(
+                    request_id=request.request_id,
+                    status=STATUS_ERROR,
+                    detail=str(error),
+                ))
+            config_fp = fingerprint_config(config)
+            work_fp = fingerprint(
+                "serve", source_digest, spec.name, spec.version, config_fp
+            )
+            entry = _Entry(
+                request, next(self._seq), spec, config,
+                group=(spec.name, config_fp), work_fp=work_fp, now=now,
+            )
+            with self._lock:
+                leader = self._inflight.get(work_fp)
+                if leader is not None and not leader.done:
+                    leader.followers.append(entry)
+                    self._bump("coalesced")
+                    if t.enabled:
+                        t.counter("serving.coalesced", 1, scheme=spec.name)
+                    coalesced_onto = leader
+                else:
+                    self._inflight[work_fp] = entry
+                    coalesced_onto = None
+            if coalesced_onto is not None:
+                # A hot follower drags its queued leader forward so the
+                # shared execution honours the most urgent caller.
+                self.queue.reprioritize(coalesced_onto, entry.priority)
+                return Ticket(entry=entry)
+            admitted, displaced, expired = self.queue.push(entry, now=now)
+            for stale in expired:
+                self._finish_expired(stale)
+            if displaced is not None:
+                self._finish_shed(
+                    displaced,
+                    "displaced by higher-priority request",
+                    reason_key="displaced",
+                )
+            if not admitted:
+                self._finish_shed(
+                    entry,
+                    f"queue full (capacity {self.queue.capacity})",
+                    reason_key="queue_full",
+                )
+                return Ticket(entry=entry)
+            self._bump("accepted")
+            if t.enabled:
+                t.counter("serving.accepted", 1, scheme=spec.name)
+                t.gauge("serving.queue_depth", len(self.queue))
+            return Ticket(entry=entry)
+
+    def submit_wait(self, request: SpMVRequest,
+                    timeout: Optional[float] = None) -> SpMVResponse:
+        """Submit and block for the response (the in-process client path)."""
+        return self.submit(request).result(timeout)
+
+    # -- worker engine ---------------------------------------------------
+
+    def _worker_loop(self, index: int) -> None:
+        t = telemetry.get()
+        while True:
+            entry, expired = self.queue.pop(timeout=_POLL_S)
+            for stale in expired:
+                self._finish_expired(stale)
+            if entry is None:
+                if self._state in ("draining", "stopping") and not len(
+                    self.queue
+                ):
+                    return
+                continue
+            with t.span("serving.dispatch", worker=index):
+                now = time.monotonic()
+                if entry.expired_at(now):
+                    self._finish_expired(entry)
+                    continue
+                batch = [entry] + self.queue.pop_group(
+                    lambda other: other.group == entry.group,
+                    self.max_batch - 1,
+                )
+                if t.enabled:
+                    t.gauge("serving.queue_depth", len(self.queue))
+                    t.gauge("serving.batch_size", len(batch),
+                            scheme=entry.spec.name)
+            with t.span(
+                "serving.execute",
+                scheme=entry.spec.name,
+                batch=len(batch),
+                worker=index,
+            ):
+                for item in batch:
+                    if item.expired_at(time.monotonic()):
+                        self._finish_expired(item)
+                    else:
+                        self._execute(item)
+
+    def _execute(self, entry: _Entry) -> None:
+        t = telemetry.get()
+        started = time.monotonic()
+        queue_s = max(started - entry.submitted_at, 0.0)
+        try:
+            result = self.runner.analyze(
+                entry.request.source, entry.spec, entry.config
+            )
+            service_s = max(time.monotonic() - started, 0.0)
+            response = SpMVResponse(
+                request_id=entry.request.request_id,
+                status=STATUS_OK,
+                report=result.report,
+                cache_status="fresh",
+                queue_s=queue_s,
+                service_s=service_s,
+            )
+            self._bump("completed")
+            if t.enabled:
+                t.counter("serving.completed", 1, scheme=entry.spec.name)
+        except ReproError as error:
+            service_s = max(time.monotonic() - started, 0.0)
+            response = SpMVResponse(
+                request_id=entry.request.request_id,
+                status=STATUS_ERROR,
+                detail=str(error),
+                queue_s=queue_s,
+                service_s=service_s,
+            )
+            self._bump("errors")
+            if t.enabled:
+                t.counter("serving.errors", 1, phase="execute")
+        self._fulfill(entry, response, exec_started=started)
+
+    # -- fulfillment -----------------------------------------------------
+
+    def _claim(self, entry: _Entry) -> List[_Entry]:
+        """Mark the leader done and detach its followers, atomically
+        against new followers attaching in :meth:`submit`."""
+        with self._lock:
+            entry.done = True
+            if self._inflight.get(entry.work_fp) is entry:
+                del self._inflight[entry.work_fp]
+            followers, entry.followers = entry.followers, []
+            return followers
+
+    def _resolve(self, entry: _Entry, response: SpMVResponse,
+                 record_latency: bool = False) -> SpMVResponse:
+        entry.response = response
+        if record_latency and response.ok:
+            self.latencies.record(response.total_s)
+        entry.event.set()
+        return response
+
+    def _fulfill(self, entry: _Entry, response: SpMVResponse,
+                 exec_started: Optional[float] = None) -> None:
+        followers = self._claim(entry)
+        self._resolve(entry, response, record_latency=True)
+        t = telemetry.get()
+        for follower in followers:
+            if t.enabled and response.ok:
+                t.counter("serving.coalesced_served", 1,
+                          scheme=entry.spec.name)
+            share_point = (
+                exec_started if exec_started is not None
+                else follower.submitted_at
+            )
+            self._resolve(follower, SpMVResponse(
+                request_id=follower.request.request_id,
+                status=response.status,
+                report=response.report,
+                detail=response.detail,
+                coalesced=True,
+                cache_status=(
+                    "coalesced" if response.ok else response.cache_status
+                ),
+                queue_s=max(share_point - follower.submitted_at, 0.0),
+                service_s=response.service_s,
+            ), record_latency=True)
+
+    def _finish_expired(self, entry: _Entry) -> None:
+        self._bump("expired")
+        t = telemetry.get()
+        if t.enabled:
+            t.counter("serving.expired", 1, scheme=entry.spec.name)
+        followers = self._claim(entry)
+        waited = max(time.monotonic() - entry.submitted_at, 0.0)
+        for item in [entry] + followers:
+            self._resolve(item, SpMVResponse(
+                request_id=item.request.request_id,
+                status=STATUS_EXPIRED,
+                detail=(
+                    f"deadline of {entry.request.deadline_ms:g} ms "
+                    f"passed after {waited * 1e3:.1f} ms in queue"
+                ),
+                coalesced=item is not entry,
+                queue_s=waited,
+            ))
+
+    def _finish_shed(self, entry: _Entry, reason: str,
+                     reason_key: str = "shutdown") -> None:
+        self._bump("shed")
+        t = telemetry.get()
+        if t.enabled:
+            t.counter("serving.shed", 1, reason=reason_key)
+        followers = self._claim(entry)
+        for item in [entry] + followers:
+            self._resolve(item, SpMVResponse(
+                request_id=item.request.request_id,
+                status=STATUS_REJECTED,
+                detail=reason,
+                coalesced=item is not entry,
+                queue_s=max(time.monotonic() - item.submitted_at, 0.0),
+            ))
+
+    def _reject_ticket(self, request: SpMVRequest, reason: str) -> Ticket:
+        self._bump("shed")
+        t = telemetry.get()
+        if t.enabled:
+            t.counter("serving.shed", 1, reason="draining")
+        return Ticket(response=SpMVResponse(
+            request_id=request.request_id,
+            status=STATUS_REJECTED,
+            detail=reason,
+        ))
+
+    # -- accounting ------------------------------------------------------
+
+    def _bump(self, key: str) -> None:
+        with self._lock:
+            self.stats[key] += 1
+
+    def latency_summary(self) -> Dict[str, float]:
+        """p50/p95/p99/mean/max of served request latency (ms)."""
+        return self.latencies.summary()
+
+    def _emit_slo_gauges(self) -> None:
+        t = telemetry.get()
+        if not t.enabled:
+            return
+        summary = self.latency_summary()
+        for key, value in summary.items():
+            t.gauge(f"serving.latency.{key}", value)
+        for key, value in self.stats.items():
+            if value:
+                t.counter(f"serving.final.{key}", value)

@@ -1,0 +1,190 @@
+"""Typed requests and responses of the SpMV serving layer.
+
+A :class:`SpMVRequest` names the work — a matrix source, a registered
+scheme, optional config overrides — plus the service parameters the
+engine schedules by: **priority** (higher runs first) and an optional
+relative **deadline**.  A :class:`SpMVResponse` always comes back, for
+every submitted request, with a structured ``status``:
+
+========== ==========================================================
+status     meaning
+========== ==========================================================
+ok         executed (or coalesced onto an identical in-flight
+           execution); ``report`` is the :class:`SpMVReport`
+rejected   shed by admission control (queue full, displaced by a
+           higher-priority request, or the engine was draining);
+           never executed
+expired    dequeued after its deadline had already passed; never
+           executed
+error      execution failed with a library error; ``detail`` carries
+           the message
+========== ==========================================================
+
+Rejection and expiry are *responses*, not exceptions — under overload
+the serving layer degrades by answering quickly, not by raising.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from ..config import AcceleratorConfig
+from ..errors import ConfigError
+from ..pipeline.artifacts import SpMVReport
+from ..pipeline.fingerprint import fingerprint, fingerprint_config
+from ..pipeline.stages import LoadStage
+from ..scheduling.registry import SchedulerSpec, get_scheme
+
+#: Process-wide request id source (monotonic, thread-safe by the GIL).
+_REQUEST_IDS = itertools.count(1)
+
+#: Response statuses, in the order of the table above.
+STATUS_OK = "ok"
+STATUS_REJECTED = "rejected"
+STATUS_EXPIRED = "expired"
+STATUS_ERROR = "error"
+
+
+@dataclass(frozen=True)
+class SpMVRequest:
+    """One unit of serving work.
+
+    ``source`` is anything :meth:`repro.pipeline.runner.PipelineRunner.load`
+    accepts: a named-matrix string, a ``MatrixSpec``/``CorpusSpec``, or
+    an in-memory matrix.  ``config`` overrides the scheme's default
+    configuration wholesale; ``config_overrides`` patches individual
+    fields of it (applied with :func:`dataclasses.replace`).
+    """
+
+    source: Any
+    scheme: str = "crhcs"
+    config: Optional[AcceleratorConfig] = None
+    #: Field-level patches applied to the effective config.
+    config_overrides: Optional[Dict[str, Any]] = None
+    #: Higher priorities dispatch first; ties run in submission order.
+    priority: int = 0
+    #: Relative deadline in milliseconds from submission; ``None`` waits
+    #: forever.  A request dequeued past its deadline answers ``expired``.
+    deadline_ms: Optional[float] = None
+    request_id: int = field(default_factory=lambda: next(_REQUEST_IDS))
+
+    def resolve_config(self, spec: SchedulerSpec) -> AcceleratorConfig:
+        """The effective configuration for this request under ``spec``."""
+        config = self.config if self.config is not None else spec.default_config
+        if self.config_overrides:
+            try:
+                config = dataclasses.replace(config, **self.config_overrides)
+            except TypeError as error:
+                raise ConfigError(
+                    f"invalid config override for scheme "
+                    f"{spec.name!r}: {error}"
+                ) from error
+        return config
+
+    def work_fingerprint(self) -> str:
+        """Content fingerprint of the *work* (not the service params).
+
+        Two requests with equal work fingerprints produce byte-identical
+        reports, which is the coalescing rule: priority and deadline
+        affect *when* work runs, never *what* it computes, so they stay
+        out of the digest.  Matches the fingerprint chain the pipeline
+        itself uses, so a coalesced hit is exactly a whole-flow cache
+        hit.
+        """
+        spec = get_scheme(self.scheme)
+        config = self.resolve_config(spec)
+        _kind, _label, source_digest = LoadStage.describe(self.source)
+        return fingerprint(
+            "serve",
+            source_digest,
+            spec.name,
+            spec.version,
+            fingerprint_config(config),
+        )
+
+
+@dataclass(frozen=True)
+class SpMVResponse:
+    """The structured answer to one :class:`SpMVRequest`."""
+
+    request_id: int
+    status: str
+    report: Optional[SpMVReport] = None
+    #: Human-readable reason for non-``ok`` statuses.
+    detail: str = ""
+    #: ``True`` when this response shared another request's execution.
+    coalesced: bool = False
+    #: ``fresh`` (executed), ``coalesced`` (shared an in-flight
+    #: execution), or ``none`` (no report produced).
+    cache_status: str = "none"
+    #: Seconds spent queued before dispatch.
+    queue_s: float = 0.0
+    #: Seconds spent executing (0 for shed/expired requests).
+    service_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+    @property
+    def total_s(self) -> float:
+        return self.queue_s + self.service_s
+
+    def to_json(self) -> str:
+        """One compact JSON object (the ``repro serve`` output line)."""
+        payload: Dict[str, Any] = {
+            "request_id": self.request_id,
+            "status": self.status,
+            "coalesced": self.coalesced,
+            "cache_status": self.cache_status,
+            "queue_ms": round(self.queue_s * 1e3, 3),
+            "service_ms": round(self.service_s * 1e3, 3),
+        }
+        if self.detail:
+            payload["detail"] = self.detail
+        if self.report is not None:
+            payload["report"] = dataclasses.asdict(self.report)
+        return json.dumps(payload, separators=(",", ":"), sort_keys=True)
+
+
+def request_from_json(line: str) -> SpMVRequest:
+    """Parse one ``repro serve`` JSONL request line.
+
+    Recognised keys: ``matrix`` (a named-matrix string, required),
+    ``scheme``, ``priority``, ``deadline_ms``, ``config`` (a dict of
+    field overrides).  Unknown keys raise :class:`ConfigError` so a typo
+    (``priorty``) cannot silently lose its intent.
+    """
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise ConfigError(f"request line is not valid JSON: {error}")
+    if not isinstance(payload, dict):
+        raise ConfigError("request line must be a JSON object")
+    known = {"matrix", "scheme", "priority", "deadline_ms", "config"}
+    unknown = set(payload) - known
+    if unknown:
+        raise ConfigError(
+            f"unknown request fields {sorted(unknown)}; "
+            f"known: {sorted(known)}"
+        )
+    if "matrix" not in payload:
+        raise ConfigError("request line needs a 'matrix' field")
+    overrides = payload.get("config")
+    if overrides is not None and not isinstance(overrides, dict):
+        raise ConfigError("'config' must be an object of field overrides")
+    return SpMVRequest(
+        source=payload["matrix"],
+        scheme=payload.get("scheme", "crhcs"),
+        config_overrides=overrides,
+        priority=int(payload.get("priority", 0)),
+        deadline_ms=(
+            float(payload["deadline_ms"])
+            if payload.get("deadline_ms") is not None
+            else None
+        ),
+    )

@@ -1,0 +1,55 @@
+"""Latency SLO accounting: percentile math and the per-engine recorder.
+
+The serving layer's service-level objectives are expressed as latency
+percentiles (p50/p95/p99 of request total latency).  The percentile
+definition is :func:`repro.telemetry.summarize.percentile` (linear
+interpolation, numpy's default method), shared with the trace
+summariser so an engine's ``latency_summary()`` and a trace's "latency
+percentiles" section can never disagree on the math.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Sequence
+
+from ..telemetry.summarize import percentile
+
+#: The percentiles every SLO summary reports.
+SLO_PERCENTILES = (50.0, 95.0, 99.0)
+
+
+def latency_percentiles(values_ms: Sequence[float]) -> Dict[str, float]:
+    """The standard SLO summary over a set of latency samples (ms)."""
+    if not values_ms:
+        return {"count": 0}
+    summary: Dict[str, float] = {
+        "count": len(values_ms),
+        "mean_ms": round(sum(values_ms) / len(values_ms), 6),
+        "max_ms": round(max(values_ms), 6),
+    }
+    for q in SLO_PERCENTILES:
+        summary[f"p{q:g}_ms"] = round(percentile(values_ms, q), 6)
+    return summary
+
+
+class LatencyRecorder:
+    """Thread-safe accumulator of per-request latencies (milliseconds)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._samples_ms: List[float] = []
+
+    def record(self, latency_s: float) -> None:
+        with self._lock:
+            self._samples_ms.append(latency_s * 1e3)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._samples_ms)
+
+    def summary(self) -> Dict[str, float]:
+        """p50/p95/p99/mean/max over every recorded sample."""
+        with self._lock:
+            samples = list(self._samples_ms)
+        return latency_percentiles(samples)

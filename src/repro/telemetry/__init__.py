@@ -44,7 +44,12 @@ from .schema import (
     validate_records,
 )
 from .sinks import JsonlSink, MemorySink, Sink
-from .summarize import summarize_file, summarize_records
+from .summarize import (
+    percentile,
+    summarize_file,
+    summarize_latencies,
+    summarize_records,
+)
 
 __all__ = [
     "NULL",
@@ -71,6 +76,8 @@ __all__ = [
     "JsonlSink",
     "MemorySink",
     "Sink",
+    "percentile",
     "summarize_file",
+    "summarize_latencies",
     "summarize_records",
 ]

@@ -32,6 +32,7 @@ from __future__ import annotations
 import atexit
 import logging
 import os
+import threading
 import time
 import uuid
 from typing import Any, Dict, List, Optional, Tuple, Union
@@ -140,7 +141,12 @@ class NullTelemetry:
 
 
 class Telemetry:
-    """An enabled telemetry registry bound to one sink."""
+    """An enabled telemetry registry bound to one sink.
+
+    Safe to share across threads: span nesting is tracked per thread
+    (each serving worker gets its own stack), while record emission and
+    counter/gauge accumulation serialise on one internal lock.
+    """
 
     enabled = True
 
@@ -149,10 +155,22 @@ class Telemetry:
         self.run_id = run_id or uuid.uuid4().hex[:12]
         self._seq = 0
         self._origin = time.perf_counter()
-        self._stack: List[str] = []
+        # Span nesting is per *thread*: the serving engine's worker
+        # threads each keep their own open-span stack, so concurrent
+        # spans cannot corrupt each other's paths.  Sequence numbers,
+        # counters and gauges stay registry-global under ``_lock``.
+        self._local = threading.local()
+        self._lock = threading.Lock()
         self._counters: "Dict[Tuple[str, _AttrKey], Union[int, float]]" = {}
         self._gauges: Dict[Tuple[str, _AttrKey], Dict[str, float]] = {}
         self._closed = False
+
+    @property
+    def _stack(self) -> List[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     # -- emission -----------------------------------------------------------
 
@@ -165,23 +183,24 @@ class Telemetry:
         attrs: Optional[Dict[str, Any]] = None,
         worker: Optional[int] = None,
     ) -> None:
-        record: Dict[str, Any] = {
-            "run_id": self.run_id,
-            "seq": self._seq,
-            "ts": round(time.perf_counter() - self._origin, 9),
-            "kind": kind,
-            "name": name,
-        }
-        self._seq += 1
-        if duration_s is not None:
-            record["duration_s"] = duration_s
-        if value is not None:
-            record["value"] = value
-        if worker is not None:
-            record["worker"] = worker
-        if attrs:
-            record["attrs"] = attrs
-        self.sink.write(record)
+        with self._lock:
+            record: Dict[str, Any] = {
+                "run_id": self.run_id,
+                "seq": self._seq,
+                "ts": round(time.perf_counter() - self._origin, 9),
+                "kind": kind,
+                "name": name,
+            }
+            self._seq += 1
+            if duration_s is not None:
+                record["duration_s"] = duration_s
+            if value is not None:
+                record["value"] = value
+            if worker is not None:
+                record["worker"] = worker
+            if attrs:
+                record["attrs"] = attrs
+            self.sink.write(record)
 
     def emit_merged(self, record: Dict[str, Any], worker: int) -> None:
         """Re-emit one captured worker record under this registry.
@@ -191,12 +210,13 @@ class Telemetry:
         this registry's run id and sequence — the merged trace is one
         self-consistent stream regardless of worker count.
         """
-        merged = dict(record)
-        merged["run_id"] = self.run_id
-        merged["seq"] = self._seq
-        merged["worker"] = worker
-        self._seq += 1
-        self.sink.write(merged)
+        with self._lock:
+            merged = dict(record)
+            merged["run_id"] = self.run_id
+            merged["seq"] = self._seq
+            merged["worker"] = worker
+            self._seq += 1
+            self.sink.write(merged)
 
     # -- instruments --------------------------------------------------------
 
@@ -208,31 +228,34 @@ class Telemetry:
                 **attrs: Any) -> None:
         """Add ``value`` to the counter ``name`` (bucketed by attrs)."""
         key = (name, _attr_key(attrs))
-        self._counters[key] = self._counters.get(key, 0) + value
+        with self._lock:
+            self._counters[key] = self._counters.get(key, 0) + value
 
     def gauge(self, name: str, value: Union[int, float],
               **attrs: Any) -> None:
         """Record a sample of gauge ``name`` (last value wins)."""
         key = (name, _attr_key(attrs))
-        state = self._gauges.get(key)
-        if state is None:
-            self._gauges[key] = {
-                "last": value, "min": value, "max": value,
-                "sum": value, "count": 1,
-            }
-        else:
-            state["last"] = value
-            state["min"] = min(state["min"], value)
-            state["max"] = max(state["max"], value)
-            state["sum"] += value
-            state["count"] += 1
+        with self._lock:
+            state = self._gauges.get(key)
+            if state is None:
+                self._gauges[key] = {
+                    "last": value, "min": value, "max": value,
+                    "sum": value, "count": 1,
+                }
+            else:
+                state["last"] = value
+                state["min"] = min(state["min"], value)
+                state["max"] = max(state["max"], value)
+                state["sum"] += value
+                state["count"] += 1
 
     def counter_total(self, name: str) -> Union[int, float]:
         """Unflushed total of ``name`` summed across attribute buckets."""
-        return sum(
-            value for (key, _), value in self._counters.items()
-            if key == name
-        )
+        with self._lock:
+            return sum(
+                value for (key, _), value in self._counters.items()
+                if key == name
+            )
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -242,7 +265,9 @@ class Telemetry:
         Buckets are emitted in sorted (name, attrs) order so a flush is
         deterministic for a deterministic workload.
         """
-        counters, self._counters = self._counters, {}
+        with self._lock:
+            counters, self._counters = self._counters, {}
+            gauges, self._gauges = self._gauges, {}
         for (name, attr_key) in sorted(counters, key=repr):
             self._emit(
                 kind="counter",
@@ -250,7 +275,6 @@ class Telemetry:
                 value=counters[(name, attr_key)],
                 attrs=dict(attr_key) or None,
             )
-        gauges, self._gauges = self._gauges, {}
         for (name, attr_key) in sorted(gauges, key=repr):
             state = gauges[(name, attr_key)]
             summary = {

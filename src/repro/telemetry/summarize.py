@@ -16,6 +16,27 @@ from typing import Any, Dict, Iterable, List, Tuple
 from .schema import load_trace
 
 
+def percentile(values: "List[float]", q: float) -> float:
+    """The ``q``-th percentile of ``values`` (linear interpolation).
+
+    Matches ``numpy.percentile``'s default method, dependency-free so
+    trace tooling and the serving layer's SLO accounting share one
+    definition.  Raises :class:`ValueError` on an empty sequence.
+    """
+    if not values:
+        raise ValueError("percentile of an empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile {q!r} outside [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = rank - low
+    return float(ordered[low] + (ordered[high] - ordered[low]) * fraction)
+
+
 def _format_seconds(seconds: float) -> str:
     if seconds >= 1.0:
         return f"{seconds:8.3f}s "
@@ -100,6 +121,39 @@ def summarize_gauges(records: Iterable[Dict[str, Any]]) -> str:
     return "\n".join(lines)
 
 
+def summarize_latencies(records: Iterable[Dict[str, Any]]) -> str:
+    """Per-span-path latency percentiles (p50/p95/p99 of durations).
+
+    The SLO view of a trace: where ``summarize_spans`` answers "where
+    did the time go in total", this answers "how long did one occurrence
+    take at the median and at the tail" — the serving layer's
+    ``serving.enqueue``/``serving.execute`` spans read directly as
+    queueing and service-time SLOs.
+    """
+    stats: "OrderedDict[str, List[float]]" = OrderedDict()
+    for record in records:
+        if record.get("kind") != "span":
+            continue
+        stats.setdefault(record["name"], []).append(
+            float(record["duration_s"])
+        )
+    if not stats:
+        return "(no spans)"
+    lines = [
+        f"{'span':<44s} {'count':>6s} {'p50':>10s} {'p95':>10s} "
+        f"{'p99':>10s}"
+    ]
+    for path in sorted(stats):
+        durations = stats[path]
+        lines.append(
+            f"{path:<44s} {len(durations):>6d} "
+            f"{_format_seconds(percentile(durations, 50))} "
+            f"{_format_seconds(percentile(durations, 95))} "
+            f"{_format_seconds(percentile(durations, 99))}"
+        )
+    return "\n".join(lines)
+
+
 def summarize_records(records: List[Dict[str, Any]]) -> str:
     """The full ``repro telemetry summarize`` report for one trace."""
     run_ids = sorted({r.get("run_id", "?") for r in records})
@@ -118,6 +172,10 @@ def summarize_records(records: List[Dict[str, Any]]) -> str:
         "spans",
         "-----",
         summarize_spans(records),
+        "",
+        "latency percentiles",
+        "-------------------",
+        summarize_latencies(records),
         "",
         "counters",
         "--------",
