@@ -10,10 +10,11 @@ The dependency order is::
             → sim
               → pipeline
                 → serving
-                  → core
-                    → baselines / solvers
-                      → analysis
-                        → cli
+                  → cluster
+                    → core
+                      → baselines / solvers
+                        → analysis
+                          → cli
 
 A module may import from its own layer or below, never from above: the
 scheduling layer cannot reach into the pipeline, the pipeline cannot
@@ -57,13 +58,14 @@ LAYERS = {
     "sim": 4,
     "pipeline": 5,
     "serving": 6,
-    "core": 7,
-    "baselines": 8,
-    "solvers": 8,
-    "analysis": 9,
-    "cli": 10,
-    "__main__": 10,
-    "__init__": 10,
+    "cluster": 7,
+    "core": 8,
+    "baselines": 9,
+    "solvers": 9,
+    "analysis": 10,
+    "cli": 11,
+    "__main__": 11,
+    "__init__": 11,
 }
 
 
@@ -170,7 +172,7 @@ def main() -> int:
         print(f"\n{len(violations)} layering violation(s)")
         return 1
     print("layering OK: formats → scheduling → sim → pipeline → "
-          "serving → core → analysis → cli")
+          "serving → cluster → core → analysis → cli")
     return 0
 
 

@@ -12,6 +12,8 @@ without writing a script::
     python -m repro telemetry summarize /tmp/run.jsonl
     python -m repro serve requests.jsonl --out responses.jsonl
     python -m repro submit wiki-Vote --scheme crhcs --priority 2
+    python -m repro cluster serve requests.jsonl --devices 4
+    python -m repro cluster status
 """
 
 from __future__ import annotations
@@ -45,6 +47,7 @@ from .serving import (
     ServingEngine,
     serve_request_file,
 )
+from .cluster import Cluster, format_status, serve_request_file_clustered
 
 
 def _scheme_lines() -> List[str]:
@@ -268,6 +271,49 @@ def _cmd_submit(args) -> int:
     return 0 if response.ok else 1
 
 
+def _cmd_cluster(args) -> int:
+    if args.cluster_command == "status":
+        cluster = Cluster(
+            devices=args.devices,
+            replicas=args.replicas,
+            routing=args.routing,
+        )
+        print(format_status(cluster.status()))
+        print("\nfault plan (REPRO_CLUSTER_FAULTS):")
+        print(cluster.fault_plan.describe())
+        return 0
+    # serve
+    cluster = Cluster(
+        devices=args.devices,
+        replicas=args.replicas,
+        hedge_ms=args.hedge_ms,
+        routing=args.routing,
+    )
+    cluster.start()
+    try:
+        results, status = serve_request_file_clustered(
+            args.requests,
+            cluster=cluster,
+            clients=args.clients,
+            timeout=args.timeout,
+        )
+    finally:
+        cluster.shutdown(drain=True)
+        status = cluster.status()
+    lines = [result.to_json() for result in results]
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + ("\n" if lines else ""))
+        print(f"wrote {len(lines)} responses to {args.out}")
+    else:
+        for line in lines:
+            print(line)
+    print()
+    print(format_status(status))
+    served = sum(1 for result in results if result.ok)
+    return 0 if served == len(results) else 1
+
+
 def _cmd_telemetry(args) -> int:
     if args.telemetry_command == "summarize":
         print(telemetry_mod.summarize_file(args.trace))
@@ -386,6 +432,63 @@ def build_parser() -> argparse.ArgumentParser:
                              "(repeatable, e.g. --set column_window=512)")
     submit.add_argument("--timeout", type=float, default=None)
     submit.set_defaults(func=_cmd_submit)
+
+    cluster = commands.add_parser(
+        "cluster",
+        help="run request files on a sharded multi-device cluster",
+    )
+    cluster_commands = cluster.add_subparsers(
+        dest="cluster_command", required=True
+    )
+    cluster_serve = cluster_commands.add_parser(
+        "serve",
+        help="run a JSONL request file through a device cluster",
+    )
+    cluster_serve.add_argument(
+        "requests", help="JSONL request file (the `repro serve` format)"
+    )
+    cluster_serve.add_argument(
+        "--devices", type=int, default=None,
+        help="device count (default REPRO_CLUSTER_DEVICES)",
+    )
+    cluster_serve.add_argument(
+        "--replicas", type=int, default=None,
+        help="replica-set size (default REPRO_CLUSTER_REPLICAS)",
+    )
+    cluster_serve.add_argument(
+        "--hedge-ms", type=int, default=None,
+        help="hedge threshold in ms (default REPRO_CLUSTER_HEDGE_MS)",
+    )
+    cluster_serve.add_argument(
+        "--routing", choices=("affinity", "round_robin"),
+        default="affinity",
+        help="placement policy (round_robin is the no-affinity "
+             "ablation)",
+    )
+    cluster_serve.add_argument(
+        "--clients", type=int, default=8,
+        help="concurrent closed-loop client threads",
+    )
+    cluster_serve.add_argument(
+        "--out", default=None,
+        help="write responses as JSONL here (default: stdout)",
+    )
+    cluster_serve.add_argument(
+        "--timeout", type=float, default=60.0,
+        help="per-request routing budget in seconds",
+    )
+    cluster_serve.set_defaults(func=_cmd_cluster)
+    cluster_status = cluster_commands.add_parser(
+        "status",
+        help="show device table, router config, and the fault plan",
+    )
+    cluster_status.add_argument("--devices", type=int, default=None)
+    cluster_status.add_argument("--replicas", type=int, default=None)
+    cluster_status.add_argument(
+        "--routing", choices=("affinity", "round_robin"),
+        default="affinity",
+    )
+    cluster_status.set_defaults(func=_cmd_cluster)
 
     telemetry = commands.add_parser(
         "telemetry", help="inspect JSONL telemetry traces"

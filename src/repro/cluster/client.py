@@ -1,0 +1,88 @@
+"""Request-file driver and status rendering for the cluster CLI.
+
+:func:`serve_request_file_clustered` is what ``repro cluster serve``
+runs: the same JSONL request files ``repro serve`` reads (the cluster is
+a drop-in scale-out of the single engine), executed by concurrent
+closed-loop clients against a :class:`~repro.cluster.cluster.Cluster`,
+responses returned in request order with routing metadata attached.
+
+:func:`format_status` renders ``Cluster.status()`` as the per-device
+table ``repro cluster status`` prints.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..serving.client import load_request_file
+from .cluster import Cluster, ClusterResult
+
+
+def serve_request_file_clustered(
+    path: str,
+    cluster: Optional[Cluster] = None,
+    clients: int = 8,
+    timeout: float = 60.0,
+) -> Tuple[List[ClusterResult], Dict[str, Any]]:
+    """Run a JSONL request file through a cluster.
+
+    Returns ``(results_in_request_order, final_status)``.  The caller
+    owns the cluster's lifecycle only if it passed one in.
+    """
+    requests = load_request_file(path)
+    owned = cluster is None
+    if owned:
+        cluster = Cluster()
+        cluster.start()
+    try:
+        results = cluster.run(requests, clients=clients, timeout=timeout)
+    finally:
+        if owned:
+            cluster.shutdown(drain=True)
+    return results, cluster.status()
+
+
+def format_status(status: Dict[str, Any]) -> str:
+    """Render ``Cluster.status()`` as the ``repro cluster status`` text."""
+    lines = [
+        f"cluster: state={status['state']} routing={status['routing']} "
+        f"replicas={status['replicas']} hedge_ms={status['hedge_ms']:g} "
+        f"max_attempts={status['max_attempts']}",
+        "",
+        f"  {'device':<8} {'state':<6} {'queue':>5} {'done':>6} "
+        f"{'fail':>5} {'ewma_ms':>8}  faults",
+    ]
+    for row in status["devices"]:
+        ewma = row["ewma_latency_ms"]
+        faults = ", ".join(
+            f"{kind}={count}"
+            for kind, count in sorted(row["injected_faults"].items())
+        ) or "-"
+        lines.append(
+            f"  {row['device']:<8} {row['state']:<6} "
+            f"{row['queue_depth']:>5} {row['completed']:>6} "
+            f"{row['failures']:>5} "
+            f"{ewma if ewma is not None else '-':>8}  {faults}"
+        )
+    stats = status["stats"]
+    routed = stats.get("routed", 0)
+    hits = stats.get("affinity_hits", 0)
+    lines.append("")
+    lines.append(
+        "  routed={routed} completed={completed} retries={retries} "
+        "hedges={hedges} failovers={failovers} removed={removed}".format(
+            routed=routed,
+            completed=stats.get("completed", 0),
+            retries=stats.get("retries", 0),
+            hedges=stats.get("hedges", 0),
+            failovers=stats.get("failovers", 0),
+            removed=stats.get("removed_devices", 0),
+        )
+    )
+    if routed:
+        lines.append(
+            f"  affinity hit rate: {hits}/{routed} "
+            f"({100.0 * hits / routed:.1f}% of routed requests "
+            f"re-landed on their previous device)"
+        )
+    return "\n".join(lines)

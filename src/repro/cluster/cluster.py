@@ -1,0 +1,676 @@
+"""The sharded multi-device cluster: routing, replication, failover.
+
+A :class:`Cluster` fronts N :class:`~repro.cluster.device.DeviceHandle`
+devices with a router that places every request by **consistent hashing
+on the pipeline's content fingerprint** — the same digest chain the
+serving engine coalesces by and the artifact store caches by.  Repeated
+matrices therefore land on the device that already holds their schedule,
+so the fleet's aggregate cache behaves like one big cache *without any
+shared state between devices*.
+
+Chasoň's premise, one level up: CrHCS migrates non-zeros across HBM
+channels so no channel stalls while another drowns; the cluster migrates
+*requests* across devices so no device recomputes what another already
+holds, and re-balances when a device degrades or dies.
+
+Resilience is the router's job, not the caller's:
+
+* **retry with backoff** — a device-fault error or a shed answer moves
+  the request to the next replica after a short exponential backoff;
+* **hedging** — a request outstanding past the hedge threshold is
+  duplicated onto a replica; first usable answer wins (the duplicate's
+  execution is harmless — work is pure and content-addressed);
+* **failover** — a crashed device (fault marker, or
+  ``FAILURE_THRESHOLD`` consecutive failures) is removed from the ring;
+  its queued work is shed, answered ``rejected``, and re-routed by the
+  same retry loop.  Keys re-shard minimally: only the dead device's
+  share moves.
+
+In every mode the response is byte-identical to single-engine execution
+— replicas compute the same pure function — and the cluster **never
+raises on overload or device loss**: like the serving layer below it,
+degradation is a structured response.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .. import telemetry
+from ..errors import ReproError, ServingError
+from ..serving.engine import Ticket
+from ..serving.request import (
+    STATUS_ERROR,
+    STATUS_REJECTED,
+    SpMVRequest,
+    SpMVResponse,
+)
+from .device import FAILURE_THRESHOLD, DeviceHandle
+from .faults import (
+    FAULT_DETAIL_PREFIX,
+    FAULTS_ENV,
+    FaultInjector,
+    FaultPlan,
+    parse_fault_plan,
+)
+from .ring import HashRing
+
+DEVICES_ENV = "REPRO_CLUSTER_DEVICES"
+REPLICAS_ENV = "REPRO_CLUSTER_REPLICAS"
+HEDGE_ENV = "REPRO_CLUSTER_HEDGE_MS"
+RETRIES_ENV = "REPRO_CLUSTER_RETRIES"
+
+DEFAULT_DEVICES = 4
+DEFAULT_REPLICAS = 2
+DEFAULT_HEDGE_MS = 100
+DEFAULT_RETRIES = 3
+
+#: Requests for the same fingerprint seen at least this often count as
+#: *hot* and may spread over their replica set instead of pinning to
+#: the primary (the replication-for-hot-keys rule).
+HOT_KEY_THRESHOLD = 3
+
+#: A hot key only moves off its primary when the primary's queue is
+#: deeper than a replica's by more than this slack.  Unconditional
+#: least-loaded spreading would replicate every hot key's cache
+#: footprint across its whole replica set even on an idle fleet,
+#: shrinking the aggregate capacity that affinity exists to multiply —
+#: replication should cost cache only when it buys queueing time.
+_SPREAD_SLACK = 2
+
+#: Poll interval while waiting on outstanding tickets.  Short, because
+#: it floors per-request latency on warm cache hits (sub-millisecond
+#: executions) — the router multiplexes tickets and the hedge timer, so
+#: it cannot just block on one ticket's event.
+_WAIT_POLL_S = 0.0005
+
+#: Per-attempt budget: how long an attempt (primary + hedge) may stay
+#: outstanding before both devices are charged a failure and the router
+#: moves on.  ``max(hedge * factor, floor)`` — the floor keeps genuinely
+#: slow-but-healthy cold executions from reading as stalls; the budget
+#: only needs to fire when primary *and* hedge are both wedged.
+_ATTEMPT_BUDGET_FACTOR = 8
+_ATTEMPT_BUDGET_FLOOR_S = 5.0
+
+
+def _int_env(env: str, default: int, warn_key: str, minimum: int) -> int:
+    """Integer knob with the warn-once fallback convention."""
+    raw = os.environ.get(env, "").strip()
+    if not raw:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        telemetry.warn_once(
+            warn_key,
+            f"{env}={raw!r} is not an integer; "
+            f"falling back to the default ({default})",
+        )
+        return default
+    return max(value, minimum)
+
+
+def cluster_device_count() -> int:
+    """Configured device count (``REPRO_CLUSTER_DEVICES``)."""
+    return _int_env(DEVICES_ENV, DEFAULT_DEVICES,
+                    "invalid_cluster_devices", 1)
+
+
+def cluster_replica_count() -> int:
+    """Configured replica-set size (``REPRO_CLUSTER_REPLICAS``)."""
+    return _int_env(REPLICAS_ENV, DEFAULT_REPLICAS,
+                    "invalid_cluster_replicas", 1)
+
+
+def cluster_hedge_ms() -> int:
+    """Hedge threshold in milliseconds (``REPRO_CLUSTER_HEDGE_MS``)."""
+    return _int_env(HEDGE_ENV, DEFAULT_HEDGE_MS,
+                    "invalid_cluster_hedge_ms", 1)
+
+
+def cluster_max_attempts() -> int:
+    """Attempt budget per request (``REPRO_CLUSTER_RETRIES``)."""
+    return _int_env(RETRIES_ENV, DEFAULT_RETRIES,
+                    "invalid_cluster_retries", 1)
+
+
+@dataclass(frozen=True)
+class ClusterResult:
+    """One request's response plus its routing history."""
+
+    response: SpMVResponse
+    #: Device that produced the final response ("" when none did).
+    device: str = ""
+    #: Submission attempts (1 = first device answered).
+    attempts: int = 1
+    #: A duplicate was launched onto a replica.
+    hedged: bool = False
+    #: The response came from a different device than first routed.
+    failover: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.response.ok
+
+    def to_json(self) -> str:
+        """The response JSON line, extended with routing fields."""
+        payload = json.loads(self.response.to_json())
+        payload.update(
+            device=self.device,
+            attempts=self.attempts,
+            hedged=self.hedged,
+            failover=self.failover,
+        )
+        return json.dumps(payload, separators=(",", ":"), sort_keys=True)
+
+
+def _retryable(response: SpMVResponse) -> bool:
+    """Would another device plausibly answer this request better?
+
+    Injected device faults and shed answers (a draining or overloaded
+    device) are device-local; genuine work errors (unknown matrix, bad
+    override) and deadline expiry would repeat identically anywhere.
+    """
+    if response.status == STATUS_REJECTED:
+        return True
+    return (
+        response.status == STATUS_ERROR
+        and response.detail.startswith(FAULT_DETAIL_PREFIX)
+    )
+
+
+class Cluster:
+    """N serving devices behind a fingerprint-affine router."""
+
+    def __init__(
+        self,
+        devices: Optional[int] = None,
+        replicas: Optional[int] = None,
+        device_workers: int = 2,
+        queue_capacity: int = 64,
+        store_capacity: Optional[int] = None,
+        schedule_capacity: Optional[int] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        hedge_ms: Optional[int] = None,
+        max_attempts: Optional[int] = None,
+        routing: str = "affinity",
+    ):
+        if routing not in ("affinity", "round_robin"):
+            raise ServingError(
+                f"unknown routing policy {routing!r} "
+                f"(choose 'affinity' or 'round_robin')"
+            )
+        count = devices if devices is not None else cluster_device_count()
+        self.replicas = (
+            replicas if replicas is not None else cluster_replica_count()
+        )
+        self.hedge_s = (
+            hedge_ms if hedge_ms is not None else cluster_hedge_ms()
+        ) * 1e-3
+        self.max_attempts = (
+            max_attempts if max_attempts is not None
+            else cluster_max_attempts()
+        )
+        self.routing = routing
+        if fault_plan is None:
+            fault_plan = parse_fault_plan(os.environ.get(FAULTS_ENV))
+        self.fault_plan = fault_plan
+        device_kwargs: Dict[str, int] = {}
+        if store_capacity is not None:
+            device_kwargs["store_capacity"] = store_capacity
+        if schedule_capacity is not None:
+            device_kwargs["schedule_capacity"] = schedule_capacity
+        self.devices: Dict[str, DeviceHandle] = {}
+        self.ring = HashRing()
+        for index in range(max(count, 1)):
+            device_id = f"dev{index}"
+            specs = fault_plan.for_device(device_id)
+            injector = (
+                FaultInjector(device_id, specs, seed=fault_plan.seed)
+                if specs else None
+            )
+            self.devices[device_id] = DeviceHandle(
+                device_id,
+                workers=device_workers,
+                queue_capacity=queue_capacity,
+                injector=injector,
+                **device_kwargs,
+            )
+            self.ring.add(device_id)
+        self._lock = threading.Lock()
+        self._state = "new"
+        self._rr_next = 0
+        #: fingerprint → request count (hot-key tracking).
+        self._popularity: Dict[str, int] = {}
+        #: fingerprint → last device that served it (affinity accounting).
+        self._last_device: Dict[str, str] = {}
+        self.stats: Dict[str, int] = {
+            "routed": 0, "completed": 0, "retries": 0, "hedges": 0,
+            "failovers": 0, "affinity_hits": 0, "removed_devices": 0,
+            "errors": 0,
+        }
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> "Cluster":
+        if self._state != "new":
+            raise ServingError(f"cluster already {self._state}")
+        self._state = "running"
+        for device in self.devices.values():
+            device.start()
+        return self
+
+    def shutdown(self, drain: bool = True,
+                 timeout: Optional[float] = None) -> None:
+        if self._state == "stopped":
+            return
+        self._state = "stopped"
+        for device in self.devices.values():
+            device.shutdown(drain=drain, timeout=timeout)
+        self._emit_device_telemetry()
+
+    def __enter__(self) -> "Cluster":
+        return self.start() if self._state == "new" else self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.shutdown(drain=True)
+
+    # -- routing ---------------------------------------------------------
+
+    def candidates_for(self, request: SpMVRequest) -> List[str]:
+        """The request's replica set in placement order (tests, status)."""
+        return self.ring.candidates(
+            request.work_fingerprint(), self.replicas
+        )
+
+    def _alive(self) -> List[DeviceHandle]:
+        return [d for d in self.devices.values() if d.health.alive]
+
+    def _pick(self, fingerprint: str,
+              tried: Sequence[str]) -> Optional[DeviceHandle]:
+        """The next device for ``fingerprint``, skipping ``tried``.
+
+        Affinity routing walks the replica set first (primary, then
+        replicas; a *hot* key picks the shallowest queue among its
+        healthy replicas), then falls back to any alive device — device
+        loss degrades placement, never availability.  Round-robin
+        routing (the ablation arm) ignores the key entirely.
+        """
+        if self.routing == "round_robin":
+            alive = [d for d in self._alive()
+                     if d.device_id not in tried]
+            if not alive:
+                return None
+            with self._lock:
+                device = alive[self._rr_next % len(alive)]
+                self._rr_next += 1
+            return device
+        candidates = self.ring.candidates(fingerprint, self.replicas)
+        with self._lock:
+            hot = self._popularity.get(fingerprint, 0) >= HOT_KEY_THRESHOLD
+        usable = [
+            self.devices[device_id] for device_id in candidates
+            if device_id not in tried
+            and self.devices[device_id].health.healthy
+        ]
+        if usable:
+            if hot and len(usable) > 1:
+                primary = usable[0]
+                replica = min(usable[1:], key=lambda d: d.queue_depth)
+                if (primary.queue_depth
+                        > replica.queue_depth + _SPREAD_SLACK):
+                    return replica
+            return usable[0]
+        # Replica set exhausted (tried or unhealthy): any alive device.
+        fallback = [
+            d for d in self._alive() if d.device_id not in tried
+        ]
+        if not fallback:
+            return None
+        return min(fallback, key=lambda d: d.queue_depth)
+
+    # -- failover --------------------------------------------------------
+
+    def remove_device(self, device_id: str, drain: bool = True,
+                      reason: str = "removed") -> None:
+        """Take a device out of service and redistribute its keys.
+
+        The ring drops only this device's points (every other key keeps
+        its shard and its warm cache).  With ``drain=True`` queued work
+        finishes on the way out; with ``drain=False`` (the crash path)
+        queued entries are shed immediately, answer ``rejected``, and
+        the retry loop re-routes them to the surviving replicas.
+        Idempotent — concurrent detection of the same dead device is
+        fine.
+        """
+        with self._lock:
+            device = self.devices.get(device_id)
+            if device is None or not device.health.alive:
+                return
+            device.health.mark_dead()
+            self.ring.remove(device_id)
+            self.stats["removed_devices"] += 1
+        t = telemetry.get()
+        with t.span("cluster.failover", device=device_id, reason=reason):
+            if t.enabled:
+                t.counter("cluster.failover", 1, device=device_id)
+            device.shutdown(drain=drain, timeout=5.0)
+
+    def _record_failure(self, device: DeviceHandle, crashed: bool,
+                        fault: bool = True) -> None:
+        """Charge a device one failure; fail it over when warranted.
+
+        A crash removes the device immediately; repeated device faults
+        (injected errors, attempt timeouts — ``fault=True``) past
+        :data:`FAILURE_THRESHOLD` remove it too.  Mere overload
+        rejections (``fault=False``) only mark it temporarily unhealthy
+        — ``_pick`` skips it until a success resets the streak, but a
+        shedding device is not a dead device."""
+        device.health.record_failure()
+        if crashed or (fault and not device.health.healthy):
+            self.remove_device(
+                device.device_id, drain=False,
+                reason="crash" if crashed else "unhealthy",
+            )
+
+    # -- execution -------------------------------------------------------
+
+    def execute(self, request: SpMVRequest,
+                timeout: float = 60.0) -> ClusterResult:
+        """Route, execute, and if needed retry/hedge one request.
+
+        Always returns a :class:`ClusterResult`; overload and device
+        loss come back as structured responses, never exceptions.
+        """
+        if self._state == "new":
+            raise ServingError("cluster not started (call start())")
+        t = telemetry.get()
+        try:
+            fingerprint = request.work_fingerprint()
+        except ReproError as error:
+            self._bump("errors")
+            return ClusterResult(
+                response=SpMVResponse(
+                    request_id=request.request_id,
+                    status=STATUS_ERROR,
+                    detail=str(error),
+                ),
+                device="", attempts=0,
+            )
+        deadline = time.monotonic() + timeout
+        tried: List[str] = []
+        first_device: Optional[str] = None
+        attempts = 0
+        hedged = False
+        last_response: Optional[SpMVResponse] = None
+        last_device = ""
+        while attempts < self.max_attempts:
+            with t.span("cluster.route"):
+                device = self._pick(fingerprint, tried)
+            if device is None and tried:
+                # Every device tried once: clear the exclusion list so
+                # remaining attempts can revisit survivors.
+                tried = []
+                device = self._pick(fingerprint, tried)
+            if device is None:
+                break
+            if attempts > 0:
+                # Retry with exponential backoff before re-submitting.
+                with t.span("cluster.retry", attempt=attempts):
+                    if t.enabled:
+                        t.counter("cluster.retry", 1,
+                                  device=device.device_id)
+                    self._bump("retries")
+                    time.sleep(min(0.005 * (2 ** (attempts - 1)), 0.05))
+            attempts += 1
+            tried.append(device.device_id)
+            if first_device is None:
+                first_device = device.device_id
+            self._note_routing(fingerprint, device.device_id, t)
+            outcome = self._attempt(
+                request, fingerprint, device, tried, deadline, t
+            )
+            response, responder, did_hedge = outcome
+            hedged = hedged or did_hedge
+            if response is not None:
+                last_response, last_device = response, responder
+                if not _retryable(response):
+                    return self._finish(
+                        request, response, responder, attempts,
+                        hedged, first_device,
+                    )
+            if time.monotonic() >= deadline:
+                break
+        if last_response is not None:
+            # Out of attempts: the last structured answer stands.
+            return self._finish(
+                request, last_response, last_device, attempts,
+                hedged, first_device,
+            )
+        self._bump("errors")
+        return ClusterResult(
+            response=SpMVResponse(
+                request_id=request.request_id,
+                status=STATUS_ERROR,
+                detail=(
+                    f"no device answered within {timeout:g}s "
+                    f"after {attempts} attempt(s)"
+                ),
+            ),
+            device="", attempts=attempts, hedged=hedged,
+            failover=True,
+        )
+
+    def submit_wait(self, request: SpMVRequest,
+                    timeout: float = 60.0) -> SpMVResponse:
+        """The :class:`~repro.serving.client.ServingClient`-shaped path."""
+        return self.execute(request, timeout=timeout).response
+
+    def run(self, requests: Sequence[SpMVRequest], clients: int = 8,
+            timeout: float = 60.0) -> List[ClusterResult]:
+        """Execute a workload with ``clients`` concurrent closed-loop
+        callers; results come back in request order regardless of
+        completion order."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        if not requests:
+            return []
+        with ThreadPoolExecutor(
+            max_workers=max(min(clients, len(requests)), 1),
+            thread_name_prefix="repro-cluster-client",
+        ) as pool:
+            return list(pool.map(
+                lambda request: self.execute(request, timeout=timeout),
+                requests,
+            ))
+
+    # -- internals -------------------------------------------------------
+
+    def _note_routing(self, fingerprint: str, device_id: str,
+                      t: Any) -> None:
+        with self._lock:
+            self.stats["routed"] += 1
+            seen = self._popularity.get(fingerprint, 0)
+            self._popularity[fingerprint] = seen + 1
+            previous = self._last_device.get(fingerprint)
+            self._last_device[fingerprint] = device_id
+            affinity_hit = previous == device_id
+            if affinity_hit:
+                self.stats["affinity_hits"] += 1
+            if len(self._popularity) > 65536:
+                # Bound the tracking maps; affinity placement itself is
+                # stateless (the ring), only the accounting resets.
+                self._popularity.clear()
+                self._last_device.clear()
+        if t.enabled:
+            t.counter("cluster.routed", 1, device=device_id)
+            if seen and affinity_hit:
+                t.counter("cluster.affinity_hits", 1, device=device_id)
+
+    def _attempt(
+        self,
+        request: SpMVRequest,
+        fingerprint: str,
+        device: DeviceHandle,
+        tried: List[str],
+        deadline: float,
+        t: Any,
+    ) -> Tuple[Optional[SpMVResponse], str, bool]:
+        """One routed attempt: submit, hedge if slow, classify.
+
+        Returns ``(response, device_id, hedged)``; ``response`` is
+        ``None`` when the attempt timed out with nothing usable (every
+        outstanding device is charged a failure).
+        """
+        outstanding: List[Tuple[DeviceHandle, Ticket, float]] = [
+            (device, device.submit(request), time.monotonic())
+        ]
+        budget = min(
+            deadline,
+            time.monotonic() + max(
+                self.hedge_s * _ATTEMPT_BUDGET_FACTOR,
+                _ATTEMPT_BUDGET_FLOOR_S,
+            ),
+        )
+        hedged = False
+        hedge_at = time.monotonic() + self.hedge_s
+        while True:
+            now = time.monotonic()
+            for entry in list(outstanding):
+                holder, ticket, submitted = entry
+                if not ticket.done():
+                    continue
+                response = ticket.result(timeout=0)
+                outstanding.remove(entry)
+                if _retryable(response):
+                    is_fault = response.detail.startswith(
+                        FAULT_DETAIL_PREFIX
+                    )
+                    self._record_failure(
+                        holder,
+                        crashed=is_fault and "crash" in response.detail,
+                        fault=is_fault,
+                    )
+                    if not outstanding:
+                        return response, holder.device_id, hedged
+                    continue
+                if response.ok:
+                    holder.health.record_success(response.total_s)
+                return response, holder.device_id, hedged
+            if not outstanding or now >= budget:
+                break
+            if not hedged and now >= hedge_at:
+                replica = self._pick(fingerprint, tried)
+                if replica is not None:
+                    with t.span("cluster.hedge",
+                                device=replica.device_id):
+                        if t.enabled:
+                            t.counter("cluster.hedge", 1,
+                                      device=replica.device_id)
+                        self._bump("hedges")
+                        tried.append(replica.device_id)
+                        outstanding.append((
+                            replica, replica.submit(request),
+                            time.monotonic(),
+                        ))
+                hedged = True
+            time.sleep(_WAIT_POLL_S)
+        # Nothing answered inside the budget: every device still
+        # holding the request is charged one failure (stall detection).
+        for holder, _ticket, _submitted in outstanding:
+            self._record_failure(holder, crashed=False)
+        return None, "", hedged
+
+    def _finish(
+        self,
+        request: SpMVRequest,
+        response: SpMVResponse,
+        device_id: str,
+        attempts: int,
+        hedged: bool,
+        first_device: Optional[str],
+    ) -> ClusterResult:
+        failover = bool(device_id) and device_id != first_device
+        if failover:
+            self._bump("failovers")
+        if response.ok:
+            self._bump("completed")
+        elif response.status == STATUS_ERROR:
+            self._bump("errors")
+        t = telemetry.get()
+        if t.enabled and response.ok:
+            t.counter("cluster.completed", 1, device=device_id)
+        return ClusterResult(
+            response=response,
+            device=device_id,
+            attempts=attempts,
+            hedged=hedged,
+            failover=failover,
+        )
+
+    def _bump(self, key: str) -> None:
+        with self._lock:
+            self.stats[key] += 1
+
+    # -- introspection ---------------------------------------------------
+
+    def status(self) -> Dict[str, Any]:
+        """Cluster-wide status: router stats plus one row per device."""
+        return {
+            "state": self._state,
+            "routing": self.routing,
+            "replicas": self.replicas,
+            "hedge_ms": round(self.hedge_s * 1e3, 3),
+            "max_attempts": self.max_attempts,
+            "devices": [
+                device.snapshot()
+                for _id, device in sorted(self.devices.items())
+            ],
+            "stats": dict(self.stats),
+        }
+
+    def _emit_device_telemetry(self) -> None:
+        t = telemetry.get()
+        if not t.enabled:
+            return
+        for device_id, device in sorted(self.devices.items()):
+            snapshot = device.snapshot()
+            t.gauge("cluster.device.queue_depth",
+                    snapshot["queue_depth"], device=device_id)
+            t.gauge("cluster.device.completed",
+                    snapshot["completed"], device=device_id)
+            t.gauge("cluster.device.failures",
+                    snapshot["failures"], device=device_id)
+            if snapshot["ewma_latency_ms"] is not None:
+                t.gauge("cluster.device.ewma_latency_ms",
+                        snapshot["ewma_latency_ms"], device=device_id)
+        for key, value in self.stats.items():
+            if value:
+                t.counter(f"cluster.final.{key}", value)
+
+
+#: Re-export so `from repro.cluster.cluster import FAILURE_THRESHOLD`
+#: and the device module agree on one constant.
+__all__ = [
+    "Cluster",
+    "ClusterResult",
+    "DEFAULT_DEVICES",
+    "DEFAULT_HEDGE_MS",
+    "DEFAULT_REPLICAS",
+    "DEFAULT_RETRIES",
+    "DEVICES_ENV",
+    "FAILURE_THRESHOLD",
+    "HEDGE_ENV",
+    "HOT_KEY_THRESHOLD",
+    "REPLICAS_ENV",
+    "RETRIES_ENV",
+    "cluster_device_count",
+    "cluster_hedge_ms",
+    "cluster_max_attempts",
+    "cluster_replica_count",
+]

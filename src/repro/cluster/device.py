@@ -1,0 +1,173 @@
+"""One simulated device: a serving engine plus private caches + health.
+
+A :class:`DeviceHandle` models one accelerator card in the fleet: its
+own :class:`~repro.serving.engine.ServingEngine` over a *private*
+:class:`~repro.pipeline.store.ArtifactStore` and
+:class:`~repro.scheduling.cache.ScheduleCache` — a fixed per-device
+cache budget, the way each card owns a fixed slice of HBM.  Sharding
+multiplies the fleet's aggregate cache, which is exactly what the
+router's fingerprint affinity exploits.
+
+The handle also owns the device's *health ledger*
+(:class:`DeviceHealth`): live queue depth, an EWMA of served latency,
+consecutive-failure counting, and the alive/dead flag the router skips
+on.  Fault injection hooks in here too — the engine's runner is wrapped
+so injected slow/stall/crash behaviour happens inside the execution
+path, indistinguishable from a genuinely degraded device.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Optional
+
+from ..pipeline.store import ArtifactStore
+from ..scheduling.cache import ScheduleCache
+from ..serving.engine import ServingEngine, Ticket
+from ..serving.request import SpMVRequest
+from .faults import FaultInjector
+
+#: Consecutive failures after which the router considers a device
+#: unhealthy and the cluster fails it over.
+FAILURE_THRESHOLD = 3
+
+#: EWMA smoothing factor for served latency (~10-sample memory).
+_EWMA_ALPHA = 0.2
+
+#: Per-device cache budget defaults (artifacts, schedules).  Deliberately
+#: finite: a device is a card with a fixed memory slice, and the cluster's
+#: scaling story is that sharding multiplies the *aggregate* budget.
+DEFAULT_STORE_CAPACITY = 64
+DEFAULT_SCHEDULE_CAPACITY = 16
+
+
+class DeviceHealth:
+    """Thread-safe health ledger of one device."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.alive = True
+        self.completed = 0
+        self.failures = 0
+        self.consecutive_failures = 0
+        self.ewma_latency_ms: Optional[float] = None
+
+    def record_success(self, latency_s: float) -> None:
+        with self._lock:
+            self.completed += 1
+            self.consecutive_failures = 0
+            sample = latency_s * 1e3
+            if self.ewma_latency_ms is None:
+                self.ewma_latency_ms = sample
+            else:
+                self.ewma_latency_ms += _EWMA_ALPHA * (
+                    sample - self.ewma_latency_ms
+                )
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self.failures += 1
+            self.consecutive_failures += 1
+
+    def mark_dead(self) -> None:
+        with self._lock:
+            self.alive = False
+
+    @property
+    def healthy(self) -> bool:
+        return self.alive and self.consecutive_failures < FAILURE_THRESHOLD
+
+
+class _InjectedRunner:
+    """Wraps a device's pipeline runner with its fault injector."""
+
+    def __init__(self, runner: Any, injector: FaultInjector):
+        self._runner = runner
+        self._injector = injector
+
+    def analyze(self, source: Any, spec: Any, config: Any):
+        self._injector.before_execute()
+        return self._runner.analyze(source, spec, config)
+
+
+class DeviceHandle:
+    """One device of the cluster: engine, private caches, health."""
+
+    def __init__(
+        self,
+        device_id: str,
+        workers: int = 2,
+        queue_capacity: int = 64,
+        store_capacity: int = DEFAULT_STORE_CAPACITY,
+        schedule_capacity: int = DEFAULT_SCHEDULE_CAPACITY,
+        injector: Optional[FaultInjector] = None,
+    ):
+        self.device_id = device_id
+        self.store = ArtifactStore(
+            capacity=store_capacity,
+            schedule_cache=ScheduleCache(capacity=schedule_capacity),
+        )
+        self.engine = ServingEngine(
+            workers=workers,
+            queue_capacity=queue_capacity,
+            store=self.store,
+        )
+        self.injector = injector
+        if injector is not None and injector.specs:
+            self.engine.runner = _InjectedRunner(
+                self.engine.runner, injector
+            )
+        self.health = DeviceHealth()
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> "DeviceHandle":
+        self.engine.start()
+        return self
+
+    def shutdown(self, drain: bool = True,
+                 timeout: Optional[float] = None) -> None:
+        self.engine.shutdown(drain=drain, timeout=timeout)
+
+    # -- serving ---------------------------------------------------------
+
+    def submit(self, request: SpMVRequest) -> Ticket:
+        """Submit to this device's engine (never raises once started)."""
+        return self.engine.submit(request)
+
+    def crash(self) -> None:
+        """Kill the device: injected-crash every execution from now on."""
+        if self.injector is None:
+            self.injector = FaultInjector(self.device_id, [])
+            self.engine.runner = _InjectedRunner(
+                self.engine.runner, self.injector
+            )
+        self.injector.crash_now()
+        self.health.mark_dead()
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self.engine.queue)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """One status row: health, queue, cache and engine counters."""
+        health = self.health
+        return {
+            "device": self.device_id,
+            "state": "alive" if health.alive else "dead",
+            "healthy": health.healthy,
+            "queue_depth": self.queue_depth,
+            "completed": health.completed,
+            "failures": health.failures,
+            "consecutive_failures": health.consecutive_failures,
+            "ewma_latency_ms": (
+                round(health.ewma_latency_ms, 3)
+                if health.ewma_latency_ms is not None else None
+            ),
+            "engine_stats": dict(self.engine.stats),
+            "injected_faults": (
+                dict(self.injector.injected) if self.injector else {}
+            ),
+        }

@@ -1,0 +1,89 @@
+"""Consistent hashing for fingerprint-affine request placement.
+
+The router's placement rule must satisfy three properties at once:
+
+* **affinity** — the same work fingerprint maps to the same device, so
+  repeated matrices land where their schedule is already cached;
+* **balance** — distinct fingerprints spread evenly (each device gets
+  many virtual points on the ring, smoothing the partition);
+* **minimal disruption** — removing a device reassigns only the keys
+  it owned; every other key keeps its device (and its warm cache).
+
+Placement is deterministic across processes — points are SHA-256 of
+``device_id#vnode`` and of the key string, no Python ``hash()`` — so a
+request stream replayed tomorrow hits the same shards it hit today.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import List, Tuple
+
+#: Virtual nodes per device; 64 keeps the max/mean shard imbalance low
+#: (~15 % at 4 devices) while the ring stays a few hundred entries.
+DEFAULT_VNODES = 64
+
+
+def _point(label: str) -> int:
+    return int.from_bytes(
+        hashlib.sha256(label.encode()).digest()[:8], "big"
+    )
+
+
+class HashRing:
+    """A consistent hash ring of device ids with virtual nodes."""
+
+    def __init__(self, vnodes: int = DEFAULT_VNODES):
+        self.vnodes = max(int(vnodes), 1)
+        #: Sorted (point, device_id) pairs.
+        self._ring: List[Tuple[int, str]] = []
+        self._devices: List[str] = []
+
+    def __len__(self) -> int:
+        return len(self._devices)
+
+    @property
+    def devices(self) -> List[str]:
+        return list(self._devices)
+
+    def add(self, device_id: str) -> None:
+        if device_id in self._devices:
+            return
+        self._devices.append(device_id)
+        for vnode in range(self.vnodes):
+            point = _point(f"{device_id}#{vnode}")
+            bisect.insort(self._ring, (point, device_id))
+
+    def remove(self, device_id: str) -> None:
+        if device_id not in self._devices:
+            return
+        self._devices.remove(device_id)
+        self._ring = [
+            (point, device) for point, device in self._ring
+            if device != device_id
+        ]
+
+    def candidates(self, key: str, count: int = 1) -> List[str]:
+        """The first ``count`` distinct devices clockwise of ``key``.
+
+        Index 0 is the key's *primary* (the affinity target); the rest
+        are its replicas in failover/hedging order.  Returns fewer than
+        ``count`` devices when the ring is smaller than ``count``, and
+        an empty list on an empty ring — the router degrades, it never
+        raises.
+        """
+        if not self._ring:
+            return []
+        count = min(count, len(self._devices))
+        start = bisect.bisect_left(self._ring, (_point(key), ""))
+        found: List[str] = []
+        for offset in range(len(self._ring)):
+            _point_value, device = self._ring[
+                (start + offset) % len(self._ring)
+            ]
+            if device not in found:
+                found.append(device)
+                if len(found) == count:
+                    break
+        return found

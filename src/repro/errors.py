@@ -47,6 +47,17 @@ class TelemetryError(ReproError):
     """A telemetry trace or event record is malformed."""
 
 
+class DeviceFaultError(ReproError):
+    """A simulated device fault (crash injection) aborted an execution.
+
+    Raised *inside* a device's execution path by the cluster layer's
+    fault injector; the serving engine converts it into a structured
+    ``error`` response whose detail carries the ``device-fault:`` marker
+    the cluster router keys retry/failover decisions on.  It never
+    escapes the cluster: callers see a structured response, not this
+    exception."""
+
+
 class ServingError(ReproError):
     """The serving engine was used outside its lifecycle contract
     (e.g. submitting before ``start`` or waiting past a ticket timeout).

@@ -83,6 +83,22 @@ RUNTIME_KNOBS: Tuple[Knob, ...] = (
     Knob("REPRO_SERVE_BATCH", "serving", "8",
          "micro-batch limit per dispatch (requests sharing one "
          "(scheme, config) group)"),
+    # cluster
+    Knob("REPRO_CLUSTER_DEVICES", "cluster", "4",
+         "simulated devices in the cluster (each its own engine and "
+         "private caches)"),
+    Knob("REPRO_CLUSTER_REPLICAS", "cluster", "2",
+         "replica-set size per fingerprint (failover/hedging targets "
+         "beyond the primary)"),
+    Knob("REPRO_CLUSTER_HEDGE_MS", "cluster", "100",
+         "duplicate a request onto a replica after this many ms "
+         "outstanding"),
+    Knob("REPRO_CLUSTER_RETRIES", "cluster", "3",
+         "submission attempts per request before the last structured "
+         "response stands"),
+    Knob("REPRO_CLUSTER_FAULTS", "cluster", None,
+         "fault plan 'kind:device[:key=value...],...' with kinds "
+         "slow/stall/crash plus seed=N; malformed entries warn and skip"),
 )
 
 

@@ -20,9 +20,19 @@ SLO_PERCENTILES = (50.0, 95.0, 99.0)
 
 
 def latency_percentiles(values_ms: Sequence[float]) -> Dict[str, float]:
-    """The standard SLO summary over a set of latency samples (ms)."""
+    """The standard SLO summary over a set of latency samples (ms).
+
+    Always well-formed: with no samples every key is still present
+    (zeroed), so consumers can read ``summary["p99_ms"]`` without
+    guarding — an idle engine has a summary, not a shape change.
+    """
     if not values_ms:
-        return {"count": 0}
+        empty: Dict[str, float] = {
+            "count": 0, "mean_ms": 0.0, "max_ms": 0.0,
+        }
+        for q in SLO_PERCENTILES:
+            empty[f"p{q:g}_ms"] = 0.0
+        return empty
     summary: Dict[str, float] = {
         "count": len(values_ms),
         "mean_ms": round(sum(values_ms) / len(values_ms), 6),

@@ -154,6 +154,52 @@ def summarize_latencies(records: Iterable[Dict[str, Any]]) -> str:
     return "\n".join(lines)
 
 
+def summarize_cluster_devices(records: Iterable[Dict[str, Any]]) -> str:
+    """Per-device rollup of the cluster layer's telemetry.
+
+    Groups every ``cluster.*`` counter and ``cluster.device.*`` gauge by
+    its ``device`` attribute into one row per device — the trace-side
+    mirror of ``repro cluster status``.  Returns ``""`` when the trace
+    has no per-device cluster records (the section is omitted entirely
+    for non-cluster traces).
+    """
+    counters: Dict[str, Dict[str, float]] = {}
+    gauges: Dict[str, Dict[str, float]] = {}
+    for record in records:
+        name = record.get("name", "")
+        device = record.get("attrs", {}).get("device")
+        if device is None or not name.startswith("cluster."):
+            continue
+        if record.get("kind") == "counter":
+            bucket = counters.setdefault(str(device), {})
+            bucket[name] = bucket.get(name, 0) + record["value"]
+        elif record.get("kind") == "gauge":
+            gauges.setdefault(str(device), {})[name] = record["value"]
+    devices = sorted(set(counters) | set(gauges))
+    if not devices:
+        return ""
+    lines = [
+        f"{'device':<10s} {'routed':>7s} {'done':>6s} {'retry':>6s} "
+        f"{'hedge':>6s} {'failover':>9s} {'failures':>9s} "
+        f"{'ewma_ms':>9s}"
+    ]
+    for device in devices:
+        counts = counters.get(device, {})
+        last = gauges.get(device, {})
+        ewma = last.get("cluster.device.ewma_latency_ms")
+        lines.append(
+            f"{device:<10s} "
+            f"{counts.get('cluster.routed', 0):>7g} "
+            f"{counts.get('cluster.completed', 0):>6g} "
+            f"{counts.get('cluster.retry', 0):>6g} "
+            f"{counts.get('cluster.hedge', 0):>6g} "
+            f"{counts.get('cluster.failover', 0):>9g} "
+            f"{last.get('cluster.device.failures', 0):>9g} "
+            f"{ewma if ewma is not None else '-':>9}"
+        )
+    return "\n".join(lines)
+
+
 def summarize_records(records: List[Dict[str, Any]]) -> str:
     """The full ``repro telemetry summarize`` report for one trace."""
     run_ids = sorted({r.get("run_id", "?") for r in records})
@@ -166,16 +212,24 @@ def summarize_records(records: List[Dict[str, Any]]) -> str:
     ]
     if workers:
         header.append(f"workers: {len(workers)}")
+    has_spans = any(r.get("kind") == "span" for r in records)
     sections = [
         "  ".join(header),
         "",
         "spans",
         "-----",
         summarize_spans(records),
-        "",
-        "latency percentiles",
-        "-------------------",
-        summarize_latencies(records),
+    ]
+    # The percentile view restates span durations; a span-free trace
+    # would just repeat "(no spans)", so the section is skipped cleanly.
+    if has_spans:
+        sections += [
+            "",
+            "latency percentiles",
+            "-------------------",
+            summarize_latencies(records),
+        ]
+    sections += [
         "",
         "counters",
         "--------",
@@ -185,6 +239,14 @@ def summarize_records(records: List[Dict[str, Any]]) -> str:
         "------",
         summarize_gauges(records),
     ]
+    cluster_section = summarize_cluster_devices(records)
+    if cluster_section:
+        sections += [
+            "",
+            "cluster devices",
+            "---------------",
+            cluster_section,
+        ]
     return "\n".join(sections)
 
 

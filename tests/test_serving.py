@@ -145,6 +145,22 @@ class TestAdmissionQueue:
         assert [i.priority for i, _ in
                 [queue.pop(timeout=0) for _ in range(2)]] == [9, 3]
 
+    def test_displacement_tie_evicts_newest_of_equals(self):
+        """Regression: among equal-priority victims, displacement must
+        take the *newest* arrival — evicting an older one would break
+        the FIFO promise for entries that queued first."""
+        queue = AdmissionQueue(capacity=3)
+        equals = [_Item(seq=0), _Item(seq=1), _Item(seq=2)]
+        for item in equals:
+            assert queue.push(item, now=0.0) == (True, None, [])
+        admitted, displaced, expired = queue.push(
+            _Item(seq=3, priority=5), now=0.0
+        )
+        assert admitted and expired == []
+        assert displaced is equals[2]  # newest of the tied tail
+        popped = [queue.pop(timeout=0)[0] for _ in range(3)]
+        assert [item.seq for item in popped] == [3, 0, 1]
+
     def test_expired_entries_are_purged_to_make_room(self):
         queue = AdmissionQueue(capacity=1)
         stale = _Item(seq=0, deadline_at=1.0)
