@@ -139,11 +139,14 @@ def run_arm(label, requests, budgets, devices, routing, fault_plan,
     as it did on pass one.  The recovery phase runs single-pass
     (``warmup=False``): it measures cold failover, not throughput.
     """
+    # Exact tier: this gate compares reports byte for byte against the
+    # serial reference (tiered fidelity has its own gate/bench).
     cluster = Cluster(
         devices=devices,
         replicas=2,
         routing=routing,
         fault_plan=fault_plan,
+        fidelity="exact",
         **budgets,
     )
     cluster.start()

@@ -118,7 +118,12 @@ def run_serial(requests):
 
 def run_engine(requests, workers: int):
     """Everything submitted up front, then awaited in request order."""
-    engine = ServingEngine(workers=workers, queue_capacity=len(requests))
+    # Pinned to the exact tier: this gate is about coalescing/batching
+    # and requires byte-identical reports against the serial baseline
+    # (the estimator fast path has its own gate, bench_tiered_fidelity).
+    engine = ServingEngine(
+        workers=workers, queue_capacity=len(requests), fidelity="exact"
+    )
     engine.start()
     start = time.perf_counter()
     tickets = [engine.submit(request) for request in requests]
@@ -140,7 +145,8 @@ def run_overload(quick: bool):
         for index in range(burst)
     ]
     unhandled = 0
-    engine = ServingEngine(workers=1, queue_capacity=2, max_batch=2)
+    engine = ServingEngine(workers=1, queue_capacity=2, max_batch=2,
+                           fidelity="exact")
     engine.start()
     tickets = []
     for request in requests:

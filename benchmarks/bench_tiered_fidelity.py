@@ -1,0 +1,252 @@
+#!/usr/bin/env python
+"""Tiered-fidelity gate: the calibrated estimator vs the exact simulator.
+
+Three phases over one deterministic workload that cycles every
+registered scheme across distinct uniform matrices:
+
+* **exact** — a :class:`~repro.serving.engine.ServingEngine` pinned to
+  the exact tier: every request builds a schedule and runs the cycle
+  accounting;
+* **estimate** — a fresh engine on the estimate tier (audits off so the
+  phase times the fast path alone); the wall-clock ratio is the
+  throughput the tier buys;
+* **audit** — a fresh estimate-tier engine with ``audit_rate=1.0``, so
+  *every* response is re-run through the exact simulator and checked
+  against its calibrated tolerance.
+
+The gate (CI) requires the estimate tier to reach ``--gate`` × the
+exact throughput (default 10.0), a p95 relative total-cycle error of at
+most ``--error-gate`` (default 5 %) against the exact phase's reports,
+zero audit violations, and no scheme demoted to the exact tier.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_tiered_fidelity.py [--quick]
+
+Writes ``BENCH_tiered.json`` plus its run manifest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.estimator import PREDICTABLE_SCHEMES
+from repro.matrices.generators import uniform_random
+from repro.serving import ServingEngine, SpMVRequest
+from repro.telemetry import percentile, write_manifest
+
+DEFAULT_GATE = 10.0
+DEFAULT_ERROR_GATE = 0.05
+
+
+def build_workload(quick: bool):
+    """Distinct jobs cycling every scheme over seeded uniform matrices.
+
+    No duplicates on purpose: coalescing and caching are the *other*
+    serving levers (bench_serving_throughput), and any duplicate would
+    be served from cache identically on both tiers, diluting the
+    per-request cost ratio this gate measures.
+    """
+    # Quick is the first third of the full workload at the same matrix
+    # shape: the exact phase must carry real simulation cost, or the
+    # speedup gate degenerates into a measure of engine overhead and
+    # turns flaky under CI machine load.
+    if quick:
+        distinct, shape = 12, (256, 256, 6_000)
+    else:
+        distinct, shape = 36, (256, 256, 6_000)
+    n_rows, n_cols, nnz = shape
+    requests = [
+        SpMVRequest(
+            uniform_random(n_rows, n_cols, nnz, seed=3_000 + index),
+            scheme=PREDICTABLE_SCHEMES[index % len(PREDICTABLE_SCHEMES)],
+            priority=index % 3,
+        )
+        for index in range(distinct)
+    ]
+    return requests
+
+
+def run_tier(requests, fidelity: str, workers: int,
+             audit_rate: float = 0.0):
+    """One phase: fresh engine, everything submitted up front."""
+    engine = ServingEngine(
+        workers=workers,
+        queue_capacity=len(requests),
+        fidelity=fidelity,
+        audit_rate=audit_rate,
+    )
+    engine.start()
+    start = time.perf_counter()
+    tickets = [engine.submit(request) for request in requests]
+    responses = [ticket.result(timeout=600.0) for ticket in tickets]
+    wall_s = time.perf_counter() - start
+    engine.shutdown(drain=True)
+    return wall_s, responses, engine.audit_summary()
+
+
+def relative_errors(requests, exact_responses, estimate_responses):
+    """Per-request |estimate − exact| / exact over total cycles."""
+    exact_totals = {
+        request.work_fingerprint(): response.report.total_cycles
+        for request, response in zip(requests, exact_responses)
+    }
+    errors = []
+    for request, response in zip(requests, estimate_responses):
+        exact_total = exact_totals[request.work_fingerprint()]
+        errors.append(
+            abs(response.report.total_cycles - exact_total)
+            / max(exact_total, 1)
+        )
+    return errors
+
+
+def run(quick: bool, gate: float, error_gate: float, workers: int,
+        output: Path) -> int:
+    requests = build_workload(quick)
+    schemes = sorted({request.scheme for request in requests})
+    print(
+        f"workload: {len(requests)} distinct requests over "
+        f"{len(schemes)} schemes, {workers} workers"
+    )
+
+    # Warm imports/numpy outside the timed phases.
+    warm = ServingEngine(workers=1, fidelity="exact")
+    warm.start()
+    warm.submit(requests[0]).result(timeout=600.0)
+    warm.shutdown(drain=True)
+
+    exact_s, exact_responses, _ = run_tier(requests, "exact", workers)
+    estimate_s, estimate_responses, _ = run_tier(
+        requests, "estimate", workers
+    )
+
+    all_ok = (
+        all(response.ok for response in exact_responses)
+        and all(response.ok for response in estimate_responses)
+    )
+    all_estimated = all(
+        response.fidelity == "estimate" for response in estimate_responses
+    )
+    speedup = exact_s / estimate_s if estimate_s > 0 else float("inf")
+    print(
+        f"exact    {exact_s:7.3f}s ({len(requests) / exact_s:7.1f} req/s)"
+        f"   estimate {estimate_s:7.3f}s "
+        f"({len(requests) / estimate_s:7.1f} req/s)   "
+        f"speedup {speedup:.1f}x"
+    )
+
+    errors = relative_errors(requests, exact_responses, estimate_responses)
+    p50 = percentile(errors, 50)
+    p95 = percentile(errors, 95)
+    worst = max(errors)
+    print(
+        f"relative total-cycle error: p50 {100 * p50:.2f}%  "
+        f"p95 {100 * p95:.2f}%  max {100 * worst:.2f}%"
+    )
+
+    # Audit phase: every estimate response re-run through the exact
+    # simulator and checked against its calibrated tolerance.
+    _, audit_responses, audit = run_tier(
+        requests, "estimate", workers, audit_rate=1.0
+    )
+    audited_ok = all(response.ok for response in audit_responses)
+    print(
+        f"audit: sampled {audit['sampled']}, "
+        f"violations {audit['violations']}, "
+        f"max rel error {100 * audit['max_rel_error']:.2f}%, "
+        f"demoted {audit['demoted'] or 'none'}"
+    )
+
+    payload = {
+        "quick": quick,
+        "requests": len(requests),
+        "schemes": schemes,
+        "workers": workers,
+        "exact_s": round(exact_s, 6),
+        "estimate_s": round(estimate_s, 6),
+        "exact_rps": round(len(requests) / exact_s, 3),
+        "estimate_rps": round(len(requests) / estimate_s, 3),
+        "speedup": round(speedup, 4),
+        "gate": gate,
+        "error_gate": error_gate,
+        "rel_error_p50": round(p50, 6),
+        "rel_error_p95": round(p95, 6),
+        "rel_error_max": round(worst, 6),
+        "audit": audit,
+    }
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {output}")
+    manifest = write_manifest(
+        output, workers=workers,
+        extra={"bench": "tiered_fidelity", "quick": quick},
+    )
+    print(f"wrote {manifest}")
+
+    failures = []
+    if not all_ok or not audited_ok:
+        failures.append("a request failed on one of the tiers")
+    if not all_estimated:
+        failures.append(
+            "an estimate-tier response fell back to the exact tier"
+        )
+    if speedup < gate:
+        failures.append(
+            f"speedup {speedup:.1f}x below the {gate:.1f}x gate"
+        )
+    if p95 > error_gate:
+        failures.append(
+            f"p95 relative cycle error {100 * p95:.2f}% above the "
+            f"{100 * error_gate:.0f}% gate"
+        )
+    if audit["sampled"] != len(requests):
+        failures.append(
+            f"audit sampled {audit['sampled']}/{len(requests)} "
+            f"(rate 1.0 must audit everything)"
+        )
+    if audit["violations"]:
+        failures.append(f"{audit['violations']} audit violation(s)")
+    if audit["demoted"]:
+        failures.append(
+            f"audit demoted scheme(s): {', '.join(audit['demoted'])}"
+        )
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small workload (CI smoke mode)",
+    )
+    parser.add_argument(
+        "--gate", type=float, default=DEFAULT_GATE,
+        help="minimum estimate/exact throughput ratio",
+    )
+    parser.add_argument(
+        "--error-gate", type=float, default=DEFAULT_ERROR_GATE,
+        help="maximum p95 relative total-cycle error (fraction)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4,
+        help="serving worker threads per phase",
+    )
+    parser.add_argument(
+        "--output", type=Path,
+        default=Path(__file__).resolve().parent.parent
+        / "BENCH_tiered.json",
+        help="where to write the JSON trajectory point",
+    )
+    args = parser.parse_args(argv)
+    return run(args.quick, args.gate, args.error_gate, args.workers,
+               args.output)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,13 +8,14 @@ The dependency order is::
         → matrices / metrics / power / telemetry / resources / hbm
           → scheduling
             → sim
-              → pipeline
-                → serving
-                  → cluster
-                    → core
-                      → baselines / solvers
-                        → analysis
-                          → cli
+              → estimator
+                → pipeline
+                  → serving
+                    → cluster
+                      → core
+                        → baselines / solvers
+                          → analysis
+                            → cli
 
 A module may import from its own layer or below, never from above: the
 scheduling layer cannot reach into the pipeline, the pipeline cannot
@@ -56,16 +57,17 @@ LAYERS = {
     "hbm": 2,
     "scheduling": 3,
     "sim": 4,
-    "pipeline": 5,
-    "serving": 6,
-    "cluster": 7,
-    "core": 8,
-    "baselines": 9,
-    "solvers": 9,
-    "analysis": 10,
-    "cli": 11,
-    "__main__": 11,
-    "__init__": 11,
+    "estimator": 5,
+    "pipeline": 6,
+    "serving": 7,
+    "cluster": 8,
+    "core": 9,
+    "baselines": 10,
+    "solvers": 10,
+    "analysis": 11,
+    "cli": 12,
+    "__main__": 12,
+    "__init__": 12,
 }
 
 
@@ -171,8 +173,8 @@ def main() -> int:
     if violations:
         print(f"\n{len(violations)} layering violation(s)")
         return 1
-    print("layering OK: formats → scheduling → sim → pipeline → "
-          "serving → cluster → core → analysis → cli")
+    print("layering OK: formats → scheduling → sim → estimator → "
+          "pipeline → serving → cluster → core → analysis → cli")
     return 0
 
 

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Fit the estimator calibration table against the exact simulator.
+
+Runs every registered scheme over the golden corpus (the 20 named
+matrices plus two uniform controls), compares the raw analytical
+prediction with the exact pipeline result, fits the per-scheme scale
+and tolerance, and prints the ``DEFAULT_CALIBRATION`` literal to paste
+into ``src/repro/estimator/calibration.py``.
+
+Usage::
+
+    PYTHONPATH=src python scripts/fit_estimator_calibration.py
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.estimator.calibration import CalibrationSample, fit_table
+from repro.estimator.model import PREDICTABLE_SCHEMES, predict_schedule
+from repro.matrices.generators import uniform_random
+from repro.matrices.named import NAMED_MATRICES, generate_named
+from repro.pipeline.runner import PipelineRunner
+from repro.scheduling.registry import get_scheme
+
+
+def corpus():
+    mats = [(name, generate_named(name)) for name in sorted(NAMED_MATRICES)]
+    mats += [
+        (f"uniform_{i}", uniform_random(128, 128, 1800, seed=1000 + i))
+        for i in range(2)
+    ]
+    return mats
+
+
+def main() -> int:
+    runner = PipelineRunner()
+    matrices = corpus()
+    samples = {}
+    for scheme in PREDICTABLE_SCHEMES:
+        spec = get_scheme(scheme)
+        config = spec.default_config
+        scheme_samples = []
+        for name, matrix in matrices:
+            exact = runner.analyze(matrix, spec)
+            predicted = predict_schedule(matrix, scheme, config)
+            fixed = predicted.cycles.total - predicted.cycles.stream
+            scheme_samples.append(
+                CalibrationSample(
+                    raw_stream=predicted.raw_stream_cycles,
+                    exact_stream=exact.report.stream_cycles,
+                    predicted_fixed=fixed,
+                    exact_total=exact.report.total_cycles,
+                )
+            )
+            rel = abs(
+                predicted.raw_stream_cycles - exact.report.stream_cycles
+            ) / max(exact.report.stream_cycles, 1)
+            print(
+                f"  {scheme:14s} {name:24s} "
+                f"exact={exact.report.stream_cycles:8d} "
+                f"raw={predicted.raw_stream_cycles:8d} err={rel:6.3f}",
+                file=sys.stderr,
+            )
+        samples[scheme] = scheme_samples
+
+    table = fit_table(samples)
+    print("DEFAULT_CALIBRATION = CalibrationTable(")
+    print("    {")
+    for scheme in table.schemes:
+        e = table.for_scheme(scheme)
+        print(f'        "{scheme}": SchemeCalibration(')
+        print(f'            scheme="{scheme}",')
+        print(f"            scale={e.scale!r},")
+        print(f"            tolerance={round(e.tolerance, 4)!r},")
+        print(
+            f"            max_observed_error="
+            f"{round(e.max_observed_error, 4)!r},"
+        )
+        print(f"            fitted_on={e.fitted_on},")
+        print("        ),")
+    print("    }")
+    print(")")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

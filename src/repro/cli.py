@@ -10,6 +10,7 @@ without writing a script::
     python -m repro generate CollegeMsg --out /tmp/cm.mtx
     python -m repro --telemetry /tmp/run.jsonl corpus --count 32
     python -m repro telemetry summarize /tmp/run.jsonl
+    python -m repro estimate wiki-Vote --scheme crhcs --compare
     python -m repro serve requests.jsonl --out responses.jsonl
     python -m repro submit wiki-Vote --scheme crhcs --priority 2
     python -m repro cluster serve requests.jsonl --devices 4
@@ -197,11 +198,40 @@ def _cmd_generate(args) -> int:
     return 0
 
 
+def _cmd_estimate(args) -> int:
+    matrix = generate_named(args.matrix)
+    print("matrix:", matrix_stats(matrix).as_row())
+    runner = PipelineRunner()
+    result = runner.estimate(args.matrix, args.scheme)
+    predicted = result.predicted
+    artifact = result.estimate_artifact
+    print(
+        f"scheme {predicted.scheme}: predicted {predicted.cycles.total} "
+        f"cycles (stream {predicted.stream_cycles}, raw "
+        f"{predicted.raw_stream_cycles}), {predicted.migrated} migrated, "
+        f"calibrated tolerance ±{100 * artifact.tolerance:.1f}%"
+    )
+    print(result.report.as_table_row())
+    if args.compare:
+        exact = runner.analyze(args.matrix, args.scheme, fidelity="exact")
+        exact_total = exact.cycles.total
+        rel = abs(predicted.cycles.total - exact_total) / max(exact_total, 1)
+        print(exact.report.as_table_row())
+        print(
+            f"exact {exact_total} cycles, relative error {100 * rel:.2f}% "
+            f"({'within' if rel <= artifact.tolerance else 'OUTSIDE'} "
+            f"tolerance)"
+        )
+        return 0 if rel <= artifact.tolerance else 1
+    return 0
+
+
 def _cmd_serve(args) -> int:
     engine = ServingEngine(
         workers=args.workers,
         queue_capacity=args.queue,
         max_batch=args.batch,
+        fidelity=args.fidelity,
     )
     engine.start()
     try:
@@ -225,6 +255,15 @@ def _cmd_serve(args) -> int:
         f"shed {stats['shed']}, expired {stats['expired']}, "
         f"errors {stats['errors']})"
     )
+    audit = engine.audit_summary()
+    if audit["sampled"]:
+        demoted = (f", demoted: {', '.join(audit['demoted'])}"
+                   if audit["demoted"] else "")
+        print(
+            f"audit ({audit['fidelity']} tier): sampled "
+            f"{audit['sampled']}, violations {audit['violations']}, "
+            f"max rel error {100 * audit['max_rel_error']:.2f}%{demoted}"
+        )
     if latency.get("count"):
         print(
             f"latency p50 {latency['p50_ms']:.3f} ms  "
@@ -252,7 +291,7 @@ def _cmd_submit(args) -> int:
             except ValueError:
                 value = raw
         overrides[key] = value
-    engine = ServingEngine(workers=1)
+    engine = ServingEngine(workers=1, fidelity=args.fidelity)
     engine.start()
     try:
         response = ServingClient(engine).request(
@@ -288,6 +327,7 @@ def _cmd_cluster(args) -> int:
         replicas=args.replicas,
         hedge_ms=args.hedge_ms,
         routing=args.routing,
+        fidelity=args.fidelity,
     )
     cluster.start()
     try:
@@ -397,6 +437,21 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--seed", type=int, default=None)
     generate.set_defaults(func=_cmd_generate)
 
+    estimate = commands.add_parser(
+        "estimate",
+        help="predict one matrix's report analytically (no simulation)",
+    )
+    estimate.add_argument("matrix", choices=sorted(NAMED_MATRICES))
+    estimate.add_argument("--scheme", default="crhcs", metavar="SCHEME",
+                          help="a registered scheme (see schedule "
+                               "--list-schemes)")
+    estimate.add_argument(
+        "--compare", action="store_true",
+        help="also run the exact simulator and report the relative "
+             "cycle error (exit 1 if outside the calibrated tolerance)",
+    )
+    estimate.set_defaults(func=_cmd_estimate)
+
     serve = commands.add_parser(
         "serve",
         help="run a JSONL request file through the serving engine",
@@ -416,6 +471,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="micro-batch limit (default REPRO_SERVE_BATCH)")
     serve.add_argument("--timeout", type=float, default=None,
                        help="per-request wait in seconds (default: none)")
+    serve.add_argument("--fidelity", choices=("exact", "estimate", "auto"),
+                       default=None,
+                       help="fidelity tier (default REPRO_FIDELITY, "
+                            "else estimate)")
     serve.set_defaults(func=_cmd_serve)
 
     submit = commands.add_parser(
@@ -431,6 +490,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="override a config field "
                              "(repeatable, e.g. --set column_window=512)")
     submit.add_argument("--timeout", type=float, default=None)
+    submit.add_argument("--fidelity", choices=("exact", "estimate", "auto"),
+                        default=None,
+                        help="fidelity tier (default REPRO_FIDELITY, "
+                             "else estimate)")
     submit.set_defaults(func=_cmd_submit)
 
     cluster = commands.add_parser(
@@ -476,6 +539,12 @@ def build_parser() -> argparse.ArgumentParser:
     cluster_serve.add_argument(
         "--timeout", type=float, default=60.0,
         help="per-request routing budget in seconds",
+    )
+    cluster_serve.add_argument(
+        "--fidelity", choices=("exact", "estimate", "auto"),
+        default=None,
+        help="fidelity tier for every device engine "
+             "(default REPRO_FIDELITY, else estimate)",
     )
     cluster_serve.set_defaults(func=_cmd_cluster)
     cluster_status = cluster_commands.add_parser(

@@ -199,6 +199,9 @@ class Cluster:
         hedge_ms: Optional[int] = None,
         max_attempts: Optional[int] = None,
         routing: str = "affinity",
+        fidelity: Optional[str] = None,
+        audit_rate: Optional[float] = None,
+        calibration: Optional[Any] = None,
     ):
         if routing not in ("affinity", "round_robin"):
             raise ServingError(
@@ -220,11 +223,19 @@ class Cluster:
         if fault_plan is None:
             fault_plan = parse_fault_plan(os.environ.get(FAULTS_ENV))
         self.fault_plan = fault_plan
-        device_kwargs: Dict[str, int] = {}
+        device_kwargs: Dict[str, Any] = {}
         if store_capacity is not None:
             device_kwargs["store_capacity"] = store_capacity
         if schedule_capacity is not None:
             device_kwargs["schedule_capacity"] = schedule_capacity
+        # Every device engine inherits the cluster's fidelity policy; the
+        # audit/demotion state itself stays per-device, like its caches.
+        if fidelity is not None:
+            device_kwargs["fidelity"] = fidelity
+        if audit_rate is not None:
+            device_kwargs["audit_rate"] = audit_rate
+        if calibration is not None:
+            device_kwargs["calibration"] = calibration
         self.devices: Dict[str, DeviceHandle] = {}
         self.ring = HashRing()
         for index in range(max(count, 1)):
@@ -632,6 +643,26 @@ class Cluster:
                 for _id, device in sorted(self.devices.items())
             ],
             "stats": dict(self.stats),
+            "audit": self.audit_summary(),
+        }
+
+    def audit_summary(self) -> Dict[str, Any]:
+        """Fleet-wide estimator-audit rollup across device engines."""
+        sampled = 0
+        violations = 0
+        max_rel_error = 0.0
+        demoted: set = set()
+        for device in self.devices.values():
+            summary = device.engine.audit_summary()
+            sampled += summary["sampled"]
+            violations += summary["violations"]
+            max_rel_error = max(max_rel_error, summary["max_rel_error"])
+            demoted.update(summary["demoted"])
+        return {
+            "sampled": sampled,
+            "violations": violations,
+            "max_rel_error": max_rel_error,
+            "demoted": sorted(demoted),
         }
 
     def _emit_device_telemetry(self) -> None:
@@ -652,6 +683,12 @@ class Cluster:
         for key, value in self.stats.items():
             if value:
                 t.counter(f"cluster.final.{key}", value)
+        audit = self.audit_summary()
+        if audit["sampled"]:
+            t.counter("cluster.audit.sampled", audit["sampled"])
+            t.counter("cluster.audit.violations", audit["violations"])
+            t.gauge("cluster.audit.max_rel_error", audit["max_rel_error"])
+            t.gauge("cluster.audit.demoted_schemes", len(audit["demoted"]))
 
 
 #: Re-export so `from repro.cluster.cluster import FAILURE_THRESHOLD`

@@ -85,9 +85,9 @@ class _InjectedRunner:
         self._runner = runner
         self._injector = injector
 
-    def analyze(self, source: Any, spec: Any, config: Any):
+    def analyze(self, source: Any, spec: Any, config: Any, **kwargs: Any):
         self._injector.before_execute()
-        return self._runner.analyze(source, spec, config)
+        return self._runner.analyze(source, spec, config, **kwargs)
 
 
 class DeviceHandle:
@@ -101,6 +101,9 @@ class DeviceHandle:
         store_capacity: int = DEFAULT_STORE_CAPACITY,
         schedule_capacity: int = DEFAULT_SCHEDULE_CAPACITY,
         injector: Optional[FaultInjector] = None,
+        fidelity: Optional[str] = None,
+        audit_rate: Optional[float] = None,
+        calibration: Optional[Any] = None,
     ):
         self.device_id = device_id
         self.store = ArtifactStore(
@@ -111,6 +114,9 @@ class DeviceHandle:
             workers=workers,
             queue_capacity=queue_capacity,
             store=self.store,
+            fidelity=fidelity,
+            audit_rate=audit_rate,
+            calibration=calibration,
         )
         self.injector = injector
         if injector is not None and injector.specs:
@@ -167,6 +173,7 @@ class DeviceHandle:
                 if health.ewma_latency_ms is not None else None
             ),
             "engine_stats": dict(self.engine.stats),
+            "audit": self.engine.audit_summary(),
             "injected_faults": (
                 dict(self.injector.injected) if self.injector else {}
             ),

@@ -58,6 +58,14 @@ class DeviceFaultError(ReproError):
     exception."""
 
 
+class EstimationError(ReproError):
+    """The analytical estimator cannot cover a request.
+
+    Raised when a scheme has no registered stream predictor or no
+    calibration entry; the ``auto`` fidelity tier catches it and falls
+    back to the exact simulator, explicit ``estimate`` callers see it."""
+
+
 class ServingError(ReproError):
     """The serving engine was used outside its lifecycle contract
     (e.g. submitting before ``start`` or waiting past a ticket timeout).

@@ -1,0 +1,64 @@
+"""The analytical estimator — the ``estimate`` fidelity tier.
+
+Predicts the full cycle breakdown and schedule-shape metrics of an SpMV
+analysis from per-row non-zero counts alone, without building a schedule
+or stepping the simulator: closed-form per-scheme stream models
+(:mod:`~repro.estimator.model`) over mirrored tile geometry
+(:mod:`~repro.estimator.features`), corrected and bounded by an
+offline-fitted per-scheme calibration table
+(:mod:`~repro.estimator.calibration`).  Tier selection and audit
+sampling knobs live in :mod:`~repro.estimator.fidelity`.
+"""
+
+from .calibration import (
+    CALIBRATION_VERSION,
+    DEFAULT_CALIBRATION,
+    CalibrationSample,
+    CalibrationTable,
+    SchemeCalibration,
+    fit_scheme,
+    fit_table,
+)
+from .features import TileFeatures, tile_features
+from .fidelity import (
+    AUDIT_RATE_ENV,
+    DEFAULT_AUDIT_RATE,
+    FIDELITY_ENV,
+    FIDELITY_TIERS,
+    audit_draw,
+    resolve_audit_rate,
+    resolve_fidelity,
+    should_audit,
+)
+from .model import (
+    ESTIMATOR_VERSION,
+    PREDICTABLE_SCHEMES,
+    PredictedSchedule,
+    predict_schedule,
+    predict_tile,
+)
+
+__all__ = [
+    "AUDIT_RATE_ENV",
+    "CALIBRATION_VERSION",
+    "CalibrationSample",
+    "CalibrationTable",
+    "DEFAULT_AUDIT_RATE",
+    "DEFAULT_CALIBRATION",
+    "ESTIMATOR_VERSION",
+    "FIDELITY_ENV",
+    "FIDELITY_TIERS",
+    "PREDICTABLE_SCHEMES",
+    "PredictedSchedule",
+    "SchemeCalibration",
+    "TileFeatures",
+    "audit_draw",
+    "fit_scheme",
+    "fit_table",
+    "predict_schedule",
+    "predict_tile",
+    "resolve_audit_rate",
+    "resolve_fidelity",
+    "should_audit",
+    "tile_features",
+]

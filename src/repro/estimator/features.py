@@ -1,0 +1,113 @@
+"""Schedule-free feature extraction for the analytical estimator.
+
+The estimator predicts cycle counts without building a schedule, so it
+cannot read tile shapes off a :class:`~repro.scheduling.base.TiledSchedule`.
+This module re-derives exactly the tile geometry
+:func:`repro.scheduling.window.tile_matrix` would produce — same window
+sizes, same column-window-major order, same skip-empty-tiles rule — but
+materialises only the *per-row non-zero counts* of each tile, which is the
+entire input the per-scheme stream predictors need.  Keeping the geometry
+bit-identical matters: the fixed cycle terms (x loads, drains, output
+merges, reduction sweeps) are per-tile and per-row-window, so a geometry
+mismatch would show up as a systematic cycle error no calibration scale
+could absorb.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Union
+
+import numpy as np
+
+from ..config import AcceleratorConfig
+from ..errors import ShapeError
+from ..formats.convert import to_coo
+from ..formats.coo import COOMatrix
+from ..formats.csr import CSRMatrix
+
+Matrix = Union[COOMatrix, CSRMatrix]
+
+
+@dataclass(frozen=True)
+class TileFeatures:
+    """Row-count profile of one (row window × column window) tile."""
+
+    row_base: int
+    col_base: int
+    n_rows: int
+    n_cols: int
+    #: Non-zeros per tile-local row, length ``n_rows``.
+    row_counts: np.ndarray
+
+    @property
+    def nnz(self) -> int:
+        return int(self.row_counts.sum())
+
+
+def tile_features(
+    matrix: Matrix,
+    config: AcceleratorConfig,
+    max_rows_per_pass: int = 0,
+) -> List[TileFeatures]:
+    """Per-tile row-count profiles, mirroring ``tile_matrix`` geometry.
+
+    Empty tiles are skipped exactly as the windowing layer skips them;
+    a fully empty matrix keeps one empty tile so downstream accounting
+    has a well-defined shape.
+    """
+    coo = to_coo(matrix)
+    row_window = max_rows_per_pass or config.row_window
+    col_window = config.column_window
+    if row_window <= 0 or col_window <= 0:
+        raise ShapeError("window sizes must be positive")
+
+    n_row_tiles = -(-coo.n_rows // row_window)
+    n_col_tiles = -(-coo.n_cols // col_window)
+
+    row_tile = coo.rows // row_window
+    col_tile = coo.cols // col_window
+    tile_key = row_tile * n_col_tiles + col_tile
+    order = np.argsort(tile_key, kind="stable")
+    sorted_key = tile_key[order]
+    boundaries = np.searchsorted(
+        sorted_key, np.arange(n_row_tiles * n_col_tiles + 1)
+    )
+
+    features: List[TileFeatures] = []
+    for rt in range(n_row_tiles):
+        row_base = rt * row_window
+        tile_rows = min(row_window, coo.n_rows - row_base)
+        for ct in range(n_col_tiles):
+            col_base = ct * col_window
+            tile_cols = min(col_window, coo.n_cols - col_base)
+            key = rt * n_col_tiles + ct
+            lo, hi = boundaries[key], boundaries[key + 1]
+            if lo == hi and (n_row_tiles * n_col_tiles) > 1:
+                continue
+            idx = order[lo:hi]
+            counts = np.bincount(
+                coo.rows[idx] - row_base, minlength=tile_rows
+            ).astype(np.int64)
+            features.append(
+                TileFeatures(
+                    row_base=row_base,
+                    col_base=col_base,
+                    n_rows=tile_rows,
+                    n_cols=tile_cols,
+                    row_counts=counts,
+                )
+            )
+    if not features:
+        features.append(
+            TileFeatures(
+                row_base=0,
+                col_base=0,
+                n_rows=min(row_window, coo.n_rows),
+                n_cols=min(col_window, coo.n_cols),
+                row_counts=np.zeros(
+                    min(row_window, coo.n_rows), dtype=np.int64
+                ),
+            )
+        )
+    return features

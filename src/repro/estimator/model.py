@@ -1,0 +1,419 @@
+"""Closed-form per-scheme cycle predictors (the ``estimate`` fidelity tier).
+
+Each registered scheduling scheme gets an analytical model of its stream
+length — the number of cycles the equalised channel data lists take to
+stream — computed from per-row non-zero counts alone, never from an
+actual schedule grid:
+
+``row_based``
+    Exact: a PE lane streams ``(len - 1) * d + 1`` cycles per row, rows
+    back to back.
+``pe_aware``
+    Exact: the closed form of the vectorized ``pe_aware_grids`` layout —
+    per (PE, window) rotation spans of ``max_len * d`` cycles, windows
+    concatenated per lane.
+``greedy_ooo``
+    The scheduler packs each lane to its lower bound
+    ``max(lane_nnz, (lane_max_row - 1) * d + 1)`` almost everywhere.
+``row_split``
+    Same bound per channel after long rows (``len > 2d``) are split
+    across the channel's PEs.
+``crhcs`` / ``crhcs_rebuild``
+    A model of the §3.1 ring migration: every destination channel
+    absorbs its donor's rows at a RAW-limited acceptance rate (at most
+    ``P`` elements per ``d`` cycles land in one row), giving the
+    ``accept_cost`` closed form below; destination 0 additionally fills
+    holes *around* its still-resident pe-aware layout, solved by binary
+    search over the closed-form occupancy profile.
+
+The predictors are deliberately un-tuned here; the per-scheme
+:mod:`~repro.estimator.calibration` table carries the residual scale and
+the honesty bound (observed worst-case error) fitted offline against the
+exact simulator on the golden corpus.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .. import telemetry
+from ..config import AcceleratorConfig
+from ..errors import EstimationError
+from ..sim.engine import DENSE_LANES, CycleBreakdown
+from .features import Matrix, TileFeatures, tile_features
+
+#: Analytical-model revision — the estimate tier's ``ENGINE_VERSION``
+#: analogue: part of every estimate fingerprint so cached estimates
+#: cannot be served across model revisions.
+ESTIMATOR_VERSION = "1"
+
+
+# -- closed-form schedule geometry ---------------------------------------
+
+
+def _row_layout(
+    counts: np.ndarray, config: AcceleratorConfig
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per non-empty row: (channel, start cycle, length) under pe_aware.
+
+    This is the closed form of ``pe_aware_grids``: rows map to global PE
+    ``row % total_pes``; each lane processes its rows in windows of ``d``
+    (the per-window rotation), every window spanning ``max_len * d``
+    cycles, windows concatenated per lane.
+    """
+    d = config.accumulator_latency
+    tp = config.total_pes
+    ppc = config.pes_per_channel
+    row_ids = np.arange(counts.size)
+    gpe = row_ids % tp
+    pos = row_ids // tp
+    window = pos // d
+    lane_in_w = pos % d
+    lens = np.asarray(counts, dtype=np.int64)
+    nz = lens > 0
+    gpe, window, lane_in_w, lens = (
+        gpe[nz], window[nz], lane_in_w[nz], lens[nz]
+    )
+    if lens.size == 0:
+        z = np.zeros(0, dtype=np.int64)
+        return z, z, z
+    order = np.lexsort((window, gpe))
+    gpe, window, lane_in_w, lens = (
+        gpe[order], window[order], lane_in_w[order], lens[order]
+    )
+    first_w = np.empty(lens.size, dtype=bool)
+    first_w[0] = True
+    first_w[1:] = (gpe[1:] != gpe[:-1]) | (window[1:] != window[:-1])
+    w_starts = np.flatnonzero(first_w)
+    rotation = np.maximum.reduceat(lens, w_starts)
+    spans = rotation * d
+    cum = np.concatenate([[0], np.cumsum(spans)])
+    w_gpe = gpe[w_starts]
+    first_lane = np.empty(w_starts.size, dtype=bool)
+    first_lane[0] = True
+    first_lane[1:] = w_gpe[1:] != w_gpe[:-1]
+    lane_idx = np.cumsum(first_lane) - 1
+    lane_offset = cum[:-1][first_lane]
+    w_base = cum[:-1] - lane_offset[lane_idx]
+    w_of_row = np.cumsum(first_w) - 1
+    start = w_base[w_of_row] + lane_in_w
+    return gpe // ppc, start, lens
+
+
+def _occupancy_below(
+    t: int, start: np.ndarray, lens: np.ndarray, d: int
+) -> int:
+    """Elements scheduled before cycle ``t`` among stride-``d`` rows."""
+    k = np.ceil((t - start) / d).astype(np.int64)
+    return int(np.clip(k, 0, lens).sum())
+
+
+def _fill_length(
+    n_fill: int,
+    start: np.ndarray,
+    lens: np.ndarray,
+    d: int,
+    pes: int,
+    hint: int,
+) -> int:
+    """Smallest ``t`` with ``pes * t - occupancy(t) >= n_fill``.
+
+    Models hole-filling earliest-first around a resident layout: the
+    holes before cycle ``t`` are the slots minus the occupancy.
+    """
+    if n_fill <= 0:
+        return 0
+    lo, hi = 0, max(int(hint), 1)
+    while pes * hi - _occupancy_below(hi, start, lens, d) < n_fill:
+        hi *= 2
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if pes * mid - _occupancy_below(mid, start, lens, d) >= n_fill:
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo
+
+
+def _accept_cost(row_lens: np.ndarray, d: int) -> int:
+    """Destination slots spent absorbing a donor with these row lengths.
+
+    Tail-first candidates arrive one element per active row per ``d``
+    donor cycles, so the acceptance rate is ``min(P, active * P / d)``;
+    the slot cost is ``n + sum_t max(0, d - active(t))``, and the second
+    term closed-forms over the top-``d`` row lengths sorted descending.
+    """
+    n = int(row_lens.sum())
+    if n == 0:
+        return 0
+    top = np.sort(np.asarray(row_lens, dtype=np.int64))[::-1][:d]
+    if top.size < d:
+        top = np.concatenate([top, np.zeros(d - top.size, dtype=np.int64)])
+    gaps = top[:-1] - top[1:]
+    weights = d - np.arange(1, d)
+    return n + int((weights * gaps).sum())
+
+
+# -- per-scheme stream predictors ----------------------------------------
+
+
+def _predict_pe_aware(
+    counts: np.ndarray, config: AcceleratorConfig
+) -> Tuple[int, int]:
+    d = config.accumulator_latency
+    _, start, lens = _row_layout(counts, config)
+    if lens.size == 0:
+        return 0, 0
+    return int((start + d * (lens - 1) + 1).max()), 0
+
+
+def _predict_row_based(
+    counts: np.ndarray, config: AcceleratorConfig
+) -> Tuple[int, int]:
+    d = config.accumulator_latency
+    tp = config.total_pes
+    lens = np.asarray(counts, dtype=np.int64)
+    if lens.size == 0 or not lens.any():
+        return 0, 0
+    per_row = np.where(lens > 0, (lens - 1) * d + 1, 0)
+    gpe = np.arange(lens.size) % tp
+    lane = np.bincount(gpe, weights=per_row, minlength=tp)
+    return int(lane.max()), 0
+
+
+def _predict_greedy_ooo(
+    counts: np.ndarray, config: AcceleratorConfig
+) -> Tuple[int, int]:
+    d = config.accumulator_latency
+    tp = config.total_pes
+    lens = np.asarray(counts, dtype=np.int64)
+    if lens.size == 0 or not lens.any():
+        return 0, 0
+    gpe = np.arange(lens.size) % tp
+    lane_nnz = np.bincount(gpe, weights=lens, minlength=tp)
+    lane_max = np.zeros(tp, dtype=np.int64)
+    np.maximum.at(lane_max, gpe, lens)
+    bound = np.maximum(lane_nnz, (lane_max - 1) * d + 1)
+    return int(bound.max()), 0
+
+
+def _predict_row_split(
+    counts: np.ndarray, config: AcceleratorConfig
+) -> Tuple[int, int]:
+    d = config.accumulator_latency
+    ppc = config.pes_per_channel
+    tp = config.total_pes
+    channels = config.sparse_channels
+    lens = np.asarray(counts, dtype=np.int64)
+    if lens.size == 0 or not lens.any():
+        return 0, 0
+    gpe = np.arange(lens.size) % tp
+    channel = gpe // ppc
+    split = np.minimum(lens, np.ceil(lens / ppc))
+    effective = np.where(lens > 2 * d, split, lens)
+    ch_nnz = np.bincount(channel, weights=lens, minlength=channels)
+    ch_max = np.zeros(channels)
+    np.maximum.at(ch_max, channel, effective)
+    bound = np.maximum(np.ceil(ch_nnz / ppc), (ch_max - 1) * d + 1)
+    return int(bound.max()), 0
+
+
+def _predict_crhcs(
+    counts: np.ndarray,
+    config: AcceleratorConfig,
+    mode: str,
+) -> Tuple[int, int]:
+    """Stream length and migrated-element count of the CrHCS ring repack."""
+    d = config.accumulator_latency
+    pes = config.pes_per_channel
+    channels = config.sparse_channels
+    channel, start, lens = _row_layout(counts, config)
+    if lens.size == 0:
+        return 0, 0
+    ch_len = np.zeros(channels, dtype=np.int64)
+    np.maximum.at(ch_len, channel, start + d * (lens - 1) + 1)
+    longest = int(ch_len.max())
+    per_channel = np.bincount(
+        channel, weights=lens, minlength=channels
+    ).astype(np.int64)
+    nnz = int(per_channel.sum())
+    if channels < 2 or getattr(config, "migration_span", 0) == 0:
+        return longest, 0
+    if mode == "rebuild":
+        balanced = -(-nnz // (channels * pes))
+        best = balanced
+        for c in range(channels):
+            donor = (c + 1) % channels
+            union = np.concatenate(
+                [lens[channel == c], lens[channel == donor]]
+            )
+            best = max(best, -(-_accept_cost(union, 2 * d) // (2 * pes)))
+        fair = nnz // channels
+        migrated = int(np.maximum(per_channel - fair, 0).sum())
+        return max(best, 1), migrated
+    # mode == "migrate": ring repack, destination c drains donor (c+1)%C.
+    best = 0
+    migrated = nnz
+    for c in range(channels):
+        donor = (c + 1) % channels
+        cost = _accept_cost(lens[channel == donor], d)
+        if c == 0:
+            # Destination 0 still holds its own elements (they donate
+            # only at the last ring step): received elements fill the
+            # holes around the resident layout, earliest-first.
+            resident = channel == 0
+            capacity = pes * longest - int(per_channel[0])
+            take = min(int(per_channel[donor]), capacity)
+            migrated -= int(per_channel[donor]) - take
+            t = _fill_length(
+                take, start[resident], lens[resident], d, pes,
+                max(int(ch_len[0]), 1),
+            )
+            best = max(best, t, -(-cost // pes))
+        else:
+            # Destination c was emptied at ring step c-1: compact refill.
+            best = max(best, -(-cost // pes))
+    return best, migrated
+
+
+_SIMPLE_PREDICTORS = {
+    "pe_aware": _predict_pe_aware,
+    "row_based": _predict_row_based,
+    "greedy_ooo": _predict_greedy_ooo,
+    "row_split": _predict_row_split,
+}
+
+#: Schemes the analytical model covers.
+PREDICTABLE_SCHEMES: Tuple[str, ...] = tuple(
+    sorted([*_SIMPLE_PREDICTORS, "crhcs", "crhcs_rebuild"])
+)
+
+
+def predict_tile(
+    scheme: str, counts: np.ndarray, config: AcceleratorConfig
+) -> Tuple[int, int]:
+    """(stream cycles, migrated elements) of one tile under ``scheme``."""
+    if scheme == "crhcs":
+        return _predict_crhcs(counts, config, "migrate")
+    if scheme == "crhcs_rebuild":
+        return _predict_crhcs(counts, config, "rebuild")
+    predictor = _SIMPLE_PREDICTORS.get(scheme)
+    if predictor is None:
+        raise EstimationError(
+            f"no analytical predictor for scheme {scheme!r}; "
+            f"covered: {', '.join(PREDICTABLE_SCHEMES)}"
+        )
+    return predictor(counts, config)
+
+
+# -- whole-matrix prediction ---------------------------------------------
+
+
+@dataclass(frozen=True)
+class PredictedSchedule:
+    """The schedule-shape numbers the ``estimate`` tier reports.
+
+    Mirrors exactly what the metrics stage reads off a
+    :class:`~repro.scheduling.base.TiledSchedule` plus its
+    :class:`~repro.sim.engine.CycleBreakdown` — stream length, stall
+    count over the equalised lists, channel traffic, migration count —
+    so the report assembly is shared between tiers.
+    """
+
+    scheme: str
+    n_rows: int
+    n_cols: int
+    nnz: int
+    #: Calibrated stream cycles (scale applied); equals ``raw_stream``
+    #: when no calibration is supplied.
+    stream_cycles: int
+    #: Uncalibrated model output, kept for fitting and audit forensics.
+    raw_stream_cycles: int
+    total_stalls: int
+    traffic_bytes: int
+    migrated: int
+    cycles: CycleBreakdown
+
+
+def predict_schedule(
+    matrix: Matrix,
+    scheme: str,
+    config: AcceleratorConfig,
+    scale: float = 1.0,
+    features: Optional[List[TileFeatures]] = None,
+) -> PredictedSchedule:
+    """Predict the full cycle breakdown of ``matrix`` under ``scheme``.
+
+    The fixed terms (x loads, drains, reduction sweeps, output merges,
+    invocation overhead) replicate ``sim.engine.estimate_cycles``
+    accounting over the mirrored tile geometry; only the stream term is
+    a model output, scaled by the calibration factor ``scale``.
+    """
+    t = telemetry.get()
+    if features is None:
+        features = tile_features(matrix, config)
+    n_rows, n_cols = matrix.n_rows, matrix.n_cols
+    with t.span("estimator.predict", scheme=scheme, tiles=len(features)):
+        cycles = CycleBreakdown(
+            overhead=getattr(config, "invocation_overhead_cycles", 0)
+        )
+        raw_stream = 0
+        migrated = 0
+        nnz = 0
+        windows: Dict[int, List[TileFeatures]] = {}
+        for tile in features:
+            windows.setdefault(tile.row_base, []).append(tile)
+        has_reduction = getattr(config, "reduction_tree_levels", 0) > 0
+        for row_base, tiles in windows.items():
+            window_rows = min(config.row_window, max(n_rows - row_base, 1))
+            any_shared = False
+            for tile in tiles:
+                tile_cols = min(
+                    config.column_window, max(n_cols - tile.col_base, 1)
+                )
+                cycles.x_load += math.ceil(tile_cols / DENSE_LANES)
+                stream, moved = predict_tile(
+                    scheme, tile.row_counts, config
+                )
+                raw_stream += stream
+                migrated += moved
+                nnz += tile.nnz
+                cycles.drain += (
+                    config.multiplier_latency + config.accumulator_latency
+                )
+                if moved:
+                    any_shared = True
+            if has_reduction and any_shared:
+                rows_per_pe = math.ceil(window_rows / config.total_pes)
+                cycles.reduction += (
+                    rows_per_pe
+                    + getattr(config, "reduction_tree_levels", 3)
+                    + config.accumulator_latency
+                )
+            cycles.output += math.ceil(window_rows / DENSE_LANES)
+
+        lanes = config.pes_per_channel * config.sparse_channels
+        stream = int(round(raw_stream * scale))
+        # The equalised lists can never hold fewer slots than non-zeros.
+        stream = max(stream, -(-nnz // lanes))
+        cycles.stream = stream
+        word_bytes = config.pes_per_channel * 8
+        predicted = PredictedSchedule(
+            scheme=scheme,
+            n_rows=n_rows,
+            n_cols=n_cols,
+            nnz=nnz,
+            stream_cycles=stream,
+            raw_stream_cycles=raw_stream,
+            total_stalls=stream * lanes - nnz,
+            traffic_bytes=stream * config.sparse_channels * word_bytes,
+            migrated=migrated,
+            cycles=cycles,
+        )
+        if t.enabled:
+            t.counter("estimator.predictions", 1, scheme=scheme)
+        return predicted

@@ -83,6 +83,14 @@ RUNTIME_KNOBS: Tuple[Knob, ...] = (
     Knob("REPRO_SERVE_BATCH", "serving", "8",
          "micro-batch limit per dispatch (requests sharing one "
          "(scheme, config) group)"),
+    # fidelity
+    Knob("REPRO_FIDELITY", "fidelity", "exact (pipeline) / "
+         "estimate (serving)",
+         "fidelity tier: exact, estimate (calibrated analytical "
+         "estimator) or auto (estimate with exact fallback)"),
+    Knob("REPRO_AUDIT_RATE", "fidelity", "0.05",
+         "fraction of estimate-tier responses re-run through the exact "
+         "simulator; a tolerance violation demotes the scheme to exact"),
     # cluster
     Knob("REPRO_CLUSTER_DEVICES", "cluster", "4",
          "simulated devices in the cluster (each its own engine and "

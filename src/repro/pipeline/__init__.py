@@ -11,6 +11,8 @@ fingerprinting rules.
 from .artifacts import (
     Artifact,
     CycleResult,
+    EstimateArtifact,
+    EstimateResult,
     LoadedMatrix,
     PipelineResult,
     ReportArtifact,
@@ -24,9 +26,10 @@ from .fingerprint import (
     fingerprint_matrix,
     fingerprint_source,
 )
-from .runner import PipelineRunner
+from .runner import AnalysisResult, PipelineRunner
 from .stages import (
     METRICS_VERSION,
+    EstimateStage,
     LoadStage,
     MetricsStage,
     ScheduleStage,
@@ -35,9 +38,13 @@ from .stages import (
 from .store import ArtifactStore, global_artifact_store
 
 __all__ = [
+    "AnalysisResult",
     "Artifact",
     "ArtifactStore",
     "CycleResult",
+    "EstimateArtifact",
+    "EstimateResult",
+    "EstimateStage",
     "LoadStage",
     "LoadedMatrix",
     "METRICS_VERSION",

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Optional, Protocol, Union, runtime_checkable
 
 from ..config import AcceleratorConfig
+from ..estimator.model import PredictedSchedule
 from ..formats.coo import COOMatrix
 from ..formats.csr import CSRMatrix
 from ..scheduling.base import TiledSchedule
@@ -153,6 +154,10 @@ class PipelineResult:
     cycles: CycleResult
     report_artifact: ReportArtifact
 
+    #: Which tier produced the report (``exact`` built a schedule and
+    #: ran the cycle accounting; see :class:`EstimateResult`).
+    fidelity = "exact"
+
     @property
     def report(self) -> SpMVReport:
         return self.report_artifact.report
@@ -160,3 +165,41 @@ class PipelineResult:
     @property
     def schedule(self) -> TiledSchedule:
         return self.scheduled.schedule
+
+
+@dataclass(frozen=True)
+class EstimateArtifact:
+    """Estimate-tier output: a predicted report, no schedule behind it.
+
+    ``predicted`` carries the estimator's schedule-shape numbers
+    (including the uncalibrated stream for audit forensics) and
+    ``tolerance`` the calibrated error bound the audit gate enforces.
+    """
+
+    report: SpMVReport
+    predicted: PredictedSchedule
+    tolerance: float
+    fingerprint: str
+
+
+@dataclass(frozen=True)
+class EstimateResult:
+    """The estimate-tier analogue of :class:`PipelineResult`.
+
+    Exposes the same ``.report`` surface so serving and CLI callers are
+    tier-agnostic; there is no ``.schedule`` — nothing was scheduled,
+    which is the whole point of the tier.
+    """
+
+    loaded: LoadedMatrix
+    estimate_artifact: EstimateArtifact
+
+    fidelity = "estimate"
+
+    @property
+    def report(self) -> SpMVReport:
+        return self.estimate_artifact.report
+
+    @property
+    def predicted(self) -> PredictedSchedule:
+        return self.estimate_artifact.predicted

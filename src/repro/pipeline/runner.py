@@ -27,13 +27,15 @@ Two operating modes:
 
 from __future__ import annotations
 
-from typing import Any, Optional, Tuple
+from typing import Any, Optional, Tuple, Union
 
 import numpy as np
 
 from .. import telemetry
 from ..config import AcceleratorConfig
-from ..errors import ConfigError
+from ..errors import ConfigError, EstimationError
+from ..estimator.calibration import DEFAULT_CALIBRATION, CalibrationTable
+from ..estimator.fidelity import resolve_fidelity
 from ..scheduling.base import TiledSchedule
 from ..scheduling.registry import SchedulerSpec, get_scheme
 from ..sim.engine import (
@@ -43,6 +45,7 @@ from ..sim.engine import (
 )
 from .artifacts import (
     CycleResult,
+    EstimateResult,
     LoadedMatrix,
     PipelineResult,
     ReportArtifact,
@@ -50,13 +53,23 @@ from .artifacts import (
     SpMVReport,
 )
 from .fingerprint import fingerprint, fingerprint_config
-from .stages import LoadStage, MetricsStage, ScheduleStage, SimulateStage
+from .stages import (
+    EstimateStage,
+    LoadStage,
+    MetricsStage,
+    ScheduleStage,
+    SimulateStage,
+)
 from .store import ArtifactStore
 
 _LOAD = LoadStage()
 _SCHEDULE = ScheduleStage()
 _SIMULATE = SimulateStage()
 _METRICS = MetricsStage()
+_ESTIMATE = EstimateStage()
+
+#: Result of either tier: both expose ``.report`` and ``.fidelity``.
+AnalysisResult = Union[PipelineResult, EstimateResult]
 
 
 class PipelineRunner:
@@ -249,6 +262,57 @@ class PipelineRunner:
                 scheduled, cycles, accelerator, power_watts, digest
             )
 
+    # -- the estimate tier -----------------------------------------------
+
+    def estimate(
+        self,
+        source: Any,
+        scheme: Any,
+        config: Optional[AcceleratorConfig] = None,
+        accelerator: Optional[str] = None,
+        power_watts: Optional[float] = None,
+        calibration: Optional[CalibrationTable] = None,
+    ) -> EstimateResult:
+        """The estimate tier: load → analytical prediction, no schedule.
+
+        Raises :class:`~repro.errors.EstimationError` when the scheme
+        has no predictor or no calibration entry — the ``auto`` tier
+        catches that and falls back to :meth:`analyze`.
+        """
+        loaded = self.load(source)
+        spec = scheme if isinstance(scheme, SchedulerSpec) else get_scheme(scheme)
+        if config is None:
+            config = spec.default_config
+        if accelerator is None:
+            accelerator = spec.accelerator_name
+        if power_watts is None:
+            power_watts = spec.power_watts()
+        if calibration is None:
+            calibration = DEFAULT_CALIBRATION
+        digest = _ESTIMATE.fingerprint_for(
+            loaded.fingerprint, spec, config, calibration, accelerator,
+            power_watts,
+        )
+        t = telemetry.get()
+        with t.span(
+            "pipeline.estimate", scheme=spec.name, source=loaded.label
+        ):
+            if self.store is not None:
+                artifact = self.store.get_or_build(
+                    _ESTIMATE.name,
+                    digest,
+                    lambda: _ESTIMATE.run(
+                        loaded, spec, config, calibration, accelerator,
+                        power_watts, digest,
+                    ),
+                )
+            else:
+                artifact = _ESTIMATE.run(
+                    loaded, spec, config, calibration, accelerator,
+                    power_watts, digest,
+                )
+        return EstimateResult(loaded=loaded, estimate_artifact=artifact)
+
     # -- whole-flow conveniences ----------------------------------------
 
     def analyze(
@@ -259,9 +323,29 @@ class PipelineRunner:
         accelerator: Optional[str] = None,
         power_watts: Optional[float] = None,
         schedule: Optional[TiledSchedule] = None,
+        fidelity: Optional[str] = None,
+        calibration: Optional[CalibrationTable] = None,
         **scheduler_kwargs: Any,
-    ) -> PipelineResult:
-        """The full analytic flow: load → schedule → simulate → metrics."""
+    ) -> AnalysisResult:
+        """The full analytic flow: load → schedule → simulate → metrics.
+
+        ``fidelity`` selects the tier (explicit > ``REPRO_FIDELITY`` >
+        ``exact``): ``estimate`` routes through :meth:`estimate`,
+        ``auto`` tries the estimator and falls back to exact when the
+        scheme is not covered.  An adopted ``schedule`` or extra
+        scheduler kwargs always force the exact tier — the analytical
+        model knows nothing about either.
+        """
+        tier = resolve_fidelity(fidelity, default="exact")
+        if tier != "exact" and schedule is None and not scheduler_kwargs:
+            try:
+                return self.estimate(
+                    source, scheme, config, accelerator, power_watts,
+                    calibration,
+                )
+            except EstimationError:
+                if tier == "estimate":
+                    raise
         loaded = self.load(source)
         if schedule is not None:
             scheduled = self.adopt(loaded, schedule)

@@ -21,6 +21,11 @@ from typing import Any, Optional, Tuple
 
 from ..config import AcceleratorConfig
 from ..errors import DatasetError
+from ..estimator.calibration import (
+    CALIBRATION_VERSION,
+    CalibrationTable,
+)
+from ..estimator.model import ESTIMATOR_VERSION, predict_schedule
 from ..matrices.collection import CorpusSpec
 from ..matrices.named import NAMED_MATRICES, MatrixSpec, generate_named
 from ..metrics import (
@@ -35,6 +40,7 @@ from ..scheduling.registry import SchedulerSpec, get_scheme
 from ..sim.engine import ENGINE_VERSION, CycleBreakdown, estimate_cycles
 from .artifacts import (
     CycleResult,
+    EstimateArtifact,
     LoadedMatrix,
     ReportArtifact,
     ScheduledMatrix,
@@ -220,3 +226,84 @@ class MetricsStage:
             power_watts,
         )
         return ReportArtifact(report=report, fingerprint=digest)
+
+
+class EstimateStage:
+    """:class:`LoadedMatrix` → :class:`EstimateArtifact` (estimate tier).
+
+    Replaces schedule + simulate + metrics with one analytical step: the
+    per-scheme closed-form model predicts the schedule shape and cycle
+    breakdown, and the §5.3 report is assembled from the prediction with
+    the same formulas :class:`MetricsStage` applies to a real schedule.
+    """
+
+    name = "estimate"
+
+    @staticmethod
+    def fingerprint_for(
+        loaded_fingerprint: str,
+        spec: SchedulerSpec,
+        config: AcceleratorConfig,
+        calibration: CalibrationTable,
+        accelerator: str,
+        power_watts: float,
+    ) -> str:
+        return fingerprint(
+            "estimate",
+            loaded_fingerprint,
+            spec.name,
+            spec.version,
+            fingerprint_config(config),
+            ESTIMATOR_VERSION,
+            CALIBRATION_VERSION,
+            calibration.digest(),
+            accelerator,
+            power_watts,
+        )
+
+    def run(
+        self,
+        loaded: LoadedMatrix,
+        spec: SchedulerSpec,
+        config: AcceleratorConfig,
+        calibration: CalibrationTable,
+        accelerator: str,
+        power_watts: float,
+        digest: str,
+    ) -> EstimateArtifact:
+        entry = calibration.for_scheme(spec.name)
+        predicted = predict_schedule(
+            loaded.matrix, spec.name, config, scale=entry.scale
+        )
+        cycles = predicted.cycles
+        latency_seconds = cycles.total / config.frequency_hz
+        gflops = throughput_gflops(
+            predicted.nnz, predicted.n_cols, latency_seconds
+        )
+        bandwidth = config.streaming_bandwidth_gbps
+        report = SpMVReport(
+            accelerator=accelerator,
+            scheme=spec.name,
+            n_rows=predicted.n_rows,
+            n_cols=predicted.n_cols,
+            nnz=predicted.nnz,
+            stream_cycles=cycles.stream,
+            total_cycles=cycles.total,
+            latency_ms=latency_seconds * 1e3,
+            throughput_gflops=gflops,
+            underutilization_pct=pe_underutilization_percent(
+                predicted.total_stalls, predicted.nnz
+            ),
+            traffic_bytes=predicted.traffic_bytes,
+            bandwidth_gbps=bandwidth,
+            bandwidth_efficiency=bandwidth_efficiency(gflops, bandwidth),
+            power_watts=power_watts,
+            energy_efficiency=energy_efficiency(gflops, power_watts),
+            migrated=predicted.migrated,
+        )
+        return EstimateArtifact(
+            report=report,
+            predicted=predicted,
+            tolerance=entry.tolerance,
+            fingerprint=digest,
+        )

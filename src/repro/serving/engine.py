@@ -44,6 +44,12 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from .. import telemetry
 from ..errors import ReproError, ServingError
+from ..estimator.calibration import DEFAULT_CALIBRATION, CalibrationTable
+from ..estimator.fidelity import (
+    resolve_audit_rate,
+    resolve_fidelity,
+    should_audit,
+)
 from ..pipeline.fingerprint import fingerprint, fingerprint_config
 from ..pipeline.runner import PipelineRunner
 from ..pipeline.stages import LoadStage
@@ -177,11 +183,29 @@ class ServingEngine:
         queue_capacity: Optional[int] = None,
         max_batch: Optional[int] = None,
         store: Optional[ArtifactStore] = None,
+        fidelity: Optional[str] = None,
+        audit_rate: Optional[float] = None,
+        calibration: Optional[CalibrationTable] = None,
     ):
         self.workers = workers if workers is not None else serve_worker_count()
         self.max_batch = (
             max_batch if max_batch is not None else serve_max_batch()
         )
+        # Serving defaults to the estimate tier — the order-of-magnitude
+        # throughput lever — with a sampled exact-sim audit behind it;
+        # ``REPRO_FIDELITY`` overrides the default, an explicit argument
+        # overrides both.
+        self.fidelity = resolve_fidelity(fidelity, default="estimate")
+        self.audit_rate = resolve_audit_rate(audit_rate)
+        self.calibration = (
+            calibration if calibration is not None else DEFAULT_CALIBRATION
+        )
+        #: Schemes demoted to the exact tier by the audit gate.
+        self._demoted: set = set()
+        self.audit_stats: Dict[str, Any] = {
+            "sampled": 0, "violations": 0, "max_rel_error": 0.0,
+            "mean_rel_error": 0.0, "_error_sum": 0.0,
+        }
         capacity = (
             queue_capacity if queue_capacity is not None
             else serve_queue_capacity()
@@ -373,13 +397,25 @@ class ServingEngine:
                     else:
                         self._execute(item)
 
+    def _tier_for(self, scheme: str) -> str:
+        """The fidelity tier this scheme executes at right now."""
+        if self.fidelity == "exact":
+            return "exact"
+        with self._lock:
+            if scheme in self._demoted:
+                return "exact"
+        return self.fidelity
+
     def _execute(self, entry: _Entry) -> None:
         t = telemetry.get()
         started = time.monotonic()
         queue_s = max(started - entry.submitted_at, 0.0)
+        result = None
         try:
             result = self.runner.analyze(
-                entry.request.source, entry.spec, entry.config
+                entry.request.source, entry.spec, entry.config,
+                fidelity=self._tier_for(entry.spec.name),
+                calibration=self.calibration,
             )
             service_s = max(time.monotonic() - started, 0.0)
             response = SpMVResponse(
@@ -389,6 +425,7 @@ class ServingEngine:
                 cache_status="fresh",
                 queue_s=queue_s,
                 service_s=service_s,
+                fidelity=result.fidelity,
             )
             self._bump("completed")
             if t.enabled:
@@ -406,6 +443,57 @@ class ServingEngine:
             if t.enabled:
                 t.counter("serving.errors", 1, phase="execute")
         self._fulfill(entry, response, exec_started=started)
+        # The audit runs *after* fulfilment so the sampled exact re-run
+        # never delays the response the caller is waiting on.
+        if result is not None and result.fidelity == "estimate":
+            if should_audit(entry.work_fp, self.audit_rate):
+                self._audit(entry, result)
+
+    def _audit(self, entry: _Entry, estimate) -> None:
+        """Differential gate: re-run one estimate-tier response through
+        the exact simulator, record the relative total-cycle error, and
+        demote the scheme to ``exact`` when the calibrated bound is
+        exceeded."""
+        t = telemetry.get()
+        scheme = entry.spec.name
+        with t.span("serving.audit", scheme=scheme):
+            try:
+                exact = self.runner.analyze(
+                    entry.request.source, entry.spec, entry.config,
+                    fidelity="exact",
+                )
+            except ReproError as error:
+                self._bump("errors")
+                if t.enabled:
+                    t.counter("serving.errors", 1, phase="audit")
+                return
+        estimated_total = estimate.report.total_cycles
+        exact_total = exact.report.total_cycles
+        rel_error = abs(estimated_total - exact_total) / max(exact_total, 1)
+        tolerance = estimate.estimate_artifact.tolerance
+        violated = rel_error > tolerance
+        with self._lock:
+            stats = self.audit_stats
+            stats["sampled"] += 1
+            stats["_error_sum"] += rel_error
+            stats["max_rel_error"] = max(stats["max_rel_error"], rel_error)
+            stats["mean_rel_error"] = stats["_error_sum"] / stats["sampled"]
+            if violated:
+                stats["violations"] += 1
+                self._demoted.add(scheme)
+        if t.enabled:
+            t.counter("serving.audit.sampled", 1, scheme=scheme)
+            t.gauge("serving.audit.rel_error", rel_error, scheme=scheme)
+            if violated:
+                t.counter("serving.audit.violations", 1, scheme=scheme)
+        if violated:
+            telemetry.warn_once(
+                f"audit_demoted_{scheme}",
+                f"estimate-tier audit for scheme {scheme!r} measured "
+                f"relative cycle error {rel_error:.4f} above the "
+                f"calibrated tolerance {tolerance:.4f}; scheme demoted "
+                f"to the exact tier for this engine",
+            )
 
     # -- fulfillment -----------------------------------------------------
 
@@ -451,6 +539,7 @@ class ServingEngine:
                 ),
                 queue_s=max(share_point - follower.submitted_at, 0.0),
                 service_s=response.service_s,
+                fidelity=response.fidelity,
             ), record_latency=True)
 
     def _finish_expired(self, entry: _Entry) -> None:
@@ -509,6 +598,24 @@ class ServingEngine:
         """p50/p95/p99/mean/max of served request latency (ms)."""
         return self.latencies.summary()
 
+    def demoted_schemes(self) -> Tuple[str, ...]:
+        """Schemes the audit gate has demoted to the exact tier."""
+        with self._lock:
+            return tuple(sorted(self._demoted))
+
+    def audit_summary(self) -> Dict[str, Any]:
+        """Sampled-audit bookkeeping: counts, error stats, demotions."""
+        with self._lock:
+            return {
+                "fidelity": self.fidelity,
+                "audit_rate": self.audit_rate,
+                "sampled": self.audit_stats["sampled"],
+                "violations": self.audit_stats["violations"],
+                "max_rel_error": self.audit_stats["max_rel_error"],
+                "mean_rel_error": self.audit_stats["mean_rel_error"],
+                "demoted": sorted(self._demoted),
+            }
+
     def _emit_slo_gauges(self) -> None:
         t = telemetry.get()
         if not t.enabled:
@@ -519,3 +626,13 @@ class ServingEngine:
         for key, value in self.stats.items():
             if value:
                 t.counter(f"serving.final.{key}", value)
+        audit = self.audit_summary()
+        if audit["sampled"]:
+            t.counter("serving.audit.final.sampled", audit["sampled"])
+            t.gauge("serving.audit.max_rel_error", audit["max_rel_error"])
+            t.gauge("serving.audit.mean_rel_error", audit["mean_rel_error"])
+            if audit["violations"]:
+                t.counter(
+                    "serving.audit.final.violations", audit["violations"]
+                )
+            t.gauge("serving.audit.demoted_schemes", len(audit["demoted"]))

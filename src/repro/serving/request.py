@@ -125,6 +125,10 @@ class SpMVResponse:
     queue_s: float = 0.0
     #: Seconds spent executing (0 for shed/expired requests).
     service_s: float = 0.0
+    #: Which tier produced the report: ``exact`` (cycle simulator),
+    #: ``estimate`` (calibrated analytical model), or ``""`` when no
+    #: report was produced.
+    fidelity: str = ""
 
     @property
     def ok(self) -> bool:
@@ -146,6 +150,8 @@ class SpMVResponse:
         }
         if self.detail:
             payload["detail"] = self.detail
+        if self.fidelity:
+            payload["fidelity"] = self.fidelity
         if self.report is not None:
             payload["report"] = dataclasses.asdict(self.report)
         return json.dumps(payload, separators=(",", ":"), sort_keys=True)

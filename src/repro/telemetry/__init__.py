@@ -46,6 +46,7 @@ from .schema import (
 from .sinks import JsonlSink, MemorySink, Sink
 from .summarize import (
     percentile,
+    summarize_fidelity,
     summarize_file,
     summarize_latencies,
     summarize_records,
@@ -77,6 +78,7 @@ __all__ = [
     "MemorySink",
     "Sink",
     "percentile",
+    "summarize_fidelity",
     "summarize_file",
     "summarize_latencies",
     "summarize_records",

@@ -200,6 +200,36 @@ def summarize_cluster_devices(records: Iterable[Dict[str, Any]]) -> str:
     return "\n".join(lines)
 
 
+def summarize_fidelity(records: Iterable[Dict[str, Any]]) -> str:
+    """Estimator fast-path and audit rollup for a tiered-fidelity trace.
+
+    Collects the estimator's prediction counters, the serving layer's
+    audit sample/violation counters and the audit error gauges into one
+    short table.  Returns ``""`` when the trace has no estimator or
+    audit records (exact-only traces omit the section entirely).
+    """
+    counters: Dict[str, float] = {}
+    gauges: Dict[str, float] = {}
+    for record in records:
+        name = record.get("name", "")
+        if not (name.startswith("estimator.")
+                or name.startswith("serving.audit")
+                or name.startswith("cluster.audit")):
+            continue
+        if record.get("kind") == "counter":
+            counters[name] = counters.get(name, 0) + record["value"]
+        elif record.get("kind") == "gauge":
+            gauges[name] = record["value"]
+    if not counters and not gauges:
+        return ""
+    lines = [f"{'metric':<44s} {'value':>14s}"]
+    for name in sorted(counters):
+        lines.append(f"{name:<44s} {counters[name]:>14g}")
+    for name in sorted(gauges):
+        lines.append(f"{name:<44s} {gauges[name]:>14g}")
+    return "\n".join(lines)
+
+
 def summarize_records(records: List[Dict[str, Any]]) -> str:
     """The full ``repro telemetry summarize`` report for one trace."""
     run_ids = sorted({r.get("run_id", "?") for r in records})
@@ -246,6 +276,14 @@ def summarize_records(records: List[Dict[str, Any]]) -> str:
             "cluster devices",
             "---------------",
             cluster_section,
+        ]
+    fidelity_section = summarize_fidelity(records)
+    if fidelity_section:
+        sections += [
+            "",
+            "fidelity / audit",
+            "----------------",
+            fidelity_section,
         ]
     return "\n".join(sections)
 

@@ -388,11 +388,11 @@ class _Staller:
         self.delay_s = delay_s
         self._runner = PipelineRunner()
 
-    def analyze(self, source, spec, config):
+    def analyze(self, source, spec, config, **kwargs):
         import time
 
         time.sleep(self.delay_s)
-        return self._runner.analyze(source, spec, config)
+        return self._runner.analyze(source, spec, config, **kwargs)
 
 
 class TestKnobs:

@@ -1,9 +1,13 @@
 """Error-path and cross-module consistency coverage."""
 
+import logging
+
 import numpy as np
 import pytest
 
-from repro import ChasonAccelerator, SerpensAccelerator
+from repro import ChasonAccelerator, SerpensAccelerator, telemetry
+from repro.cluster import cluster_hedge_ms
+from repro.serving import ServingEngine, serve_max_batch, serve_worker_count
 from repro.config import ChasonConfig, SerpensConfig
 from repro.errors import (
     ReproError,
@@ -153,3 +157,57 @@ class TestWindowingConsistency:
         assert report.nnz == 0
         assert report.latency_ms > 0  # invocation floor
         assert report.underutilization_pct == 0.0
+
+
+class TestRuntimeKnobFallbacks:
+    """Invalid ``REPRO_*`` values warn once and fall back, never raise."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh_warnings(self):
+        telemetry.reset_warnings()
+        yield
+        telemetry.reset_warnings()
+
+    def test_invalid_serve_batch_falls_back_and_warns_once(
+        self, monkeypatch, caplog
+    ):
+        monkeypatch.setenv("REPRO_SERVE_BATCH", "a lot")
+        with caplog.at_level(logging.WARNING):
+            assert serve_max_batch() == 8
+            assert serve_max_batch() == 8  # second parse: silent
+        assert caplog.text.count("REPRO_SERVE_BATCH") == 1
+
+    def test_invalid_serve_workers_falls_back_and_warns_once(
+        self, monkeypatch, caplog
+    ):
+        monkeypatch.setenv("REPRO_SERVE_WORKERS", "4.5")
+        with caplog.at_level(logging.WARNING):
+            assert serve_worker_count() == 4
+            assert serve_worker_count() == 4
+        assert caplog.text.count("REPRO_SERVE_WORKERS") == 1
+
+    def test_invalid_cluster_hedge_falls_back_and_warns_once(
+        self, monkeypatch, caplog
+    ):
+        monkeypatch.setenv("REPRO_CLUSTER_HEDGE_MS", "soon")
+        with caplog.at_level(logging.WARNING):
+            assert cluster_hedge_ms() == 100
+            assert cluster_hedge_ms() == 100
+        assert caplog.text.count("REPRO_CLUSTER_HEDGE_MS") == 1
+
+    def test_fallback_counts_in_telemetry_warning_bucket(
+        self, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_SERVE_BATCH", "banana")
+        with telemetry.capture() as cap:
+            assert serve_max_batch() == 8
+        warnings = [r for r in cap.records
+                    if r["name"] == "telemetry.warnings"]
+        assert len(warnings) == 1
+        assert warnings[0]["attrs"]["key"] == "invalid_serve_batch"
+
+    def test_engine_survives_garbage_knob_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_WORKERS", "??")
+        monkeypatch.setenv("REPRO_SERVE_BATCH", "-")
+        engine = ServingEngine()
+        assert engine.workers == 4 and engine.max_batch == 8

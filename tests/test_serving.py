@@ -99,11 +99,11 @@ class _GatedRunner:
         self.calls = 0
         self._runner = PipelineRunner()
 
-    def analyze(self, source, spec, config):
+    def analyze(self, source, spec, config, **kwargs):
         self.calls += 1
         self.started.set()
         assert self.release.wait(10.0), "test never released the runner"
-        return self._runner.analyze(source, spec, config)
+        return self._runner.analyze(source, spec, config, **kwargs)
 
 
 def gated_engine(**kwargs):
