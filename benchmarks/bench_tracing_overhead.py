@@ -1,0 +1,259 @@
+#!/usr/bin/env python
+"""Tracing overhead gate: the serving hot path with tracing off/sampled/on.
+
+Three arms over the same serving workload in one process:
+
+* ``off`` — telemetry disabled entirely.  This is the *tracing-disabled
+  path*: every hook the tracing layer added to the engine
+  (``maybe_start_trace``, ``scope(None)``, the per-span contextvar read)
+  still executes, but short-circuits.
+* ``sample0`` — telemetry on (JSONL sink), ``REPRO_TRACE_SAMPLE=0``:
+  spans/counters/histograms are recorded but no request grows a trace
+  context.
+* ``sample1`` — telemetry on, every request traced: contexts propagate,
+  every record carries ``trace_id``/``span_id``/``parent_span_id``.
+
+Two gates:
+
+1. **Disabled-path gate** (the PR acceptance criterion): the per-request
+   cost of the short-circuiting hooks, measured directly by a
+   microbenchmark (robust against workload wall-clock noise), must stay
+   under ``--gate-disabled-pct`` (default 2 %) of the telemetry-off
+   per-request latency.
+2. **Tracing gate**: the fully-traced arm must stay under
+   ``--gate-traced`` × the untraced-but-telemetry-on arm (default 1.25,
+   the PR 2 telemetry gate), isolating the marginal cost of trace
+   propagation from the cost of the JSONL sink itself.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_tracing_overhead.py [--quick]
+
+Writes ``BENCH_tracing_overhead.json`` plus its run manifest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import List, Tuple
+
+from repro import telemetry
+from repro.serving import ServingEngine
+from repro.serving.request import SpMVRequest
+from repro.telemetry import tracing, write_manifest
+from repro.telemetry.schema import load_trace_tolerant
+
+#: Fully-traced wall clock must stay below gate × untraced (telemetry on).
+DEFAULT_TRACED_GATE = 1.25
+
+#: Disabled-path hook cost must stay below this % of request latency.
+DEFAULT_DISABLED_GATE_PCT = 2.0
+
+#: Hook executions per request on the serving path when tracing is off:
+#: one sampling decision, ~4 ``scope(None)`` blocks (submit, dispatch,
+#: batch item, resolve), ~8 contextvar reads (one per span/event site).
+HOOKS_PER_REQUEST = {"maybe_start_trace": 1, "scope": 4, "current": 8}
+
+MATRICES = ("wiki-Vote", "CollegeMsg", "email-Enron", "as-735")
+SCHEMES = ("crhcs", "pe_aware")
+
+
+def _requests(matrices, copies: int) -> List[SpMVRequest]:
+    """``copies`` duplicates of each (matrix, scheme) — exercises
+    coalescing exactly like the production workload tracing annotates."""
+    return [
+        SpMVRequest(source=name, scheme=scheme)
+        for _ in range(copies)
+        for name in matrices
+        for scheme in SCHEMES
+    ]
+
+
+def _pass(requests: List[SpMVRequest]) -> Tuple[float, int]:
+    """One timed pass: submit everything, wait for everything."""
+    engine = ServingEngine(workers=2, fidelity="estimate")
+    engine.start()
+    try:
+        start = time.perf_counter()
+        tickets = [engine.submit(request) for request in requests]
+        responses = [ticket.result(60.0) for ticket in tickets]
+        elapsed = time.perf_counter() - start
+    finally:
+        engine.shutdown(drain=True)
+    return elapsed, sum(1 for response in responses if response.ok)
+
+
+def _timed(matrices, copies: int, repeats: int) -> Tuple[float, int]:
+    best = float("inf")
+    ok = 0
+    for _ in range(repeats):
+        elapsed, ok = _pass(_requests(matrices, copies))
+        best = min(best, elapsed)
+    return best, ok
+
+
+def _hook_costs_s() -> Tuple[float, float, float]:
+    """Per-call cost of each disabled-path hook (telemetry off)."""
+    n = 50_000
+    start = time.perf_counter()
+    for i in range(n):
+        tracing.maybe_start_trace(i)
+    maybe_s = (time.perf_counter() - start) / n
+    start = time.perf_counter()
+    for _ in range(n):
+        with tracing.scope(None):
+            pass
+    scope_s = (time.perf_counter() - start) / n
+    start = time.perf_counter()
+    for _ in range(n):
+        tracing.current()
+    current_s = (time.perf_counter() - start) / n
+    return maybe_s, scope_s, current_s
+
+
+def run(quick: bool, traced_gate: float, disabled_gate_pct: float,
+        output: Path) -> int:
+    matrices = MATRICES[:2] if quick else MATRICES
+    copies = 3 if quick else 5
+    repeats = 2 if quick else 3
+    n_requests = copies * len(matrices) * len(SCHEMES)
+    tmp = tempfile.mkdtemp(prefix="repro-tracing-")
+    previous_sample = os.environ.pop(tracing.TRACE_SAMPLE_ENV, None)
+    try:
+        # Arm 1: telemetry off — the tracing-disabled path.
+        telemetry.disable()
+        _pass(_requests(matrices, 1))  # warm pipeline/import caches
+        off_s, off_ok = _timed(matrices, copies, repeats)
+        maybe_s, scope_s, current_s = _hook_costs_s()
+
+        # Arm 2: telemetry on, tracing sampled out.
+        os.environ[tracing.TRACE_SAMPLE_ENV] = "0"
+        sample0_trace = os.path.join(tmp, "sample0.jsonl")
+        enabled = telemetry.configure(sample0_trace)
+        sample0_s, sample0_ok = _timed(matrices, copies, repeats)
+        enabled.close()
+        telemetry.reset()
+
+        # Arm 3: telemetry on, every request traced.
+        os.environ[tracing.TRACE_SAMPLE_ENV] = "1"
+        sample1_trace = os.path.join(tmp, "sample1.jsonl")
+        enabled = telemetry.configure(sample1_trace)
+        sample1_s, sample1_ok = _timed(matrices, copies, repeats)
+        enabled.close()
+        telemetry.reset()
+    finally:
+        if previous_sample is None:
+            os.environ.pop(tracing.TRACE_SAMPLE_ENV, None)
+        else:
+            os.environ[tracing.TRACE_SAMPLE_ENV] = previous_sample
+
+    sample0_records, _ = load_trace_tolerant(sample0_trace)
+    sample1_records, _ = load_trace_tolerant(sample1_trace)
+    sample0_traced = sum(1 for r in sample0_records if "trace_id" in r)
+    sample1_traced = sum(1 for r in sample1_records if "trace_id" in r)
+
+    hook_s = (
+        HOOKS_PER_REQUEST["maybe_start_trace"] * maybe_s
+        + HOOKS_PER_REQUEST["scope"] * scope_s
+        + HOOKS_PER_REQUEST["current"] * current_s
+    )
+    off_per_request_s = off_s / n_requests
+    disabled_pct = 100.0 * hook_s / off_per_request_s
+    traced_ratio = sample1_s / sample0_s
+
+    print(
+        f"off {off_s:7.3f}s  sample0 {sample0_s:7.3f}s  "
+        f"sample1 {sample1_s:7.3f}s  ({n_requests} requests/pass)"
+    )
+    print(
+        f"disabled-path hooks: {1e9 * hook_s:.0f} ns/request = "
+        f"{disabled_pct:.4f}% of the {1e3 * off_per_request_s:.3f} ms "
+        f"telemetry-off request (gate {disabled_gate_pct:.1f}%)"
+    )
+    print(
+        f"traced/untraced ratio {traced_ratio:.3f}x "
+        f"(gate {traced_gate:.2f}x); traced records: "
+        f"sample0={sample0_traced} sample1={sample1_traced}"
+    )
+
+    payload = {
+        "quick": quick,
+        "requests_per_pass": n_requests,
+        "repeats": repeats,
+        "telemetry_off_s": round(off_s, 6),
+        "sample0_s": round(sample0_s, 6),
+        "sample1_s": round(sample1_s, 6),
+        "hook_ns_per_request": round(1e9 * hook_s, 1),
+        "disabled_overhead_pct": round(disabled_pct, 4),
+        "disabled_gate_pct": disabled_gate_pct,
+        "traced_ratio": round(traced_ratio, 4),
+        "traced_gate": traced_gate,
+        "sample0_traced_records": sample0_traced,
+        "sample1_traced_records": sample1_traced,
+        "ok": [off_ok, sample0_ok, sample1_ok],
+    }
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {output}")
+    manifest = write_manifest(output, extra={"bench": "tracing_overhead",
+                                             "quick": quick})
+    print(f"wrote {manifest}")
+
+    failed = False
+    if not (off_ok == sample0_ok == sample1_ok == n_requests):
+        print(f"FAIL: response counts diverged {payload['ok']}")
+        failed = True
+    if sample0_traced:
+        print(f"FAIL: {sample0_traced} traced records at sample rate 0")
+        failed = True
+    if not sample1_traced:
+        print("FAIL: no traced records at sample rate 1")
+        failed = True
+    if disabled_pct > disabled_gate_pct:
+        print(
+            f"FAIL: disabled-path hooks cost {disabled_pct:.3f}% of a "
+            f"request (gate {disabled_gate_pct:.1f}%)"
+        )
+        failed = True
+    if traced_ratio > traced_gate:
+        print(
+            f"FAIL: traced pass is {traced_ratio:.3f}x the untraced pass "
+            f"(gate {traced_gate:.2f}x)"
+        )
+        failed = True
+    return 1 if failed else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small request set (CI smoke mode)",
+    )
+    parser.add_argument(
+        "--gate-traced", type=float, default=DEFAULT_TRACED_GATE,
+        help="maximum traced/untraced wall-clock ratio",
+    )
+    parser.add_argument(
+        "--gate-disabled-pct", type=float,
+        default=DEFAULT_DISABLED_GATE_PCT,
+        help="maximum disabled-path hook cost as %% of request latency",
+    )
+    parser.add_argument(
+        "--output", type=Path,
+        default=Path(__file__).resolve().parent.parent
+        / "BENCH_tracing_overhead.json",
+        help="where to write the JSON trajectory point",
+    )
+    args = parser.parse_args(argv)
+    return run(args.quick, args.gate_traced, args.gate_disabled_pct,
+               args.output)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

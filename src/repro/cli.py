@@ -20,7 +20,9 @@ without writing a script::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+import time
 from typing import List, Optional
 
 from . import __version__
@@ -361,13 +363,63 @@ def _cmd_telemetry(args) -> int:
             count = telemetry_mod.validate_file(args.trace)
             print(f"\n{count} records validate against the event schema")
     elif args.telemetry_command == "validate":
+        _records, skipped = telemetry_mod.load_trace_tolerant(args.trace)
+        if skipped:
+            print(f"warning: skipped {skipped} malformed line(s)",
+                  file=sys.stderr)
         count = telemetry_mod.validate_file(args.trace)
         print(f"{count} records validate against the event schema")
+    elif args.telemetry_command == "export":
+        records, skipped = telemetry_mod.load_trace_tolerant(args.trace)
+        if skipped:
+            print(f"warning: skipped {skipped} malformed line(s)",
+                  file=sys.stderr)
+        if args.format == "chrome":
+            out = args.out or args.trace + ".chrome.json"
+            count = telemetry_mod.write_chrome(out, records)
+            telemetry_mod.validate_chrome_file(out)
+            print(f"wrote {count} trace events to {out}")
+        else:  # prometheus
+            out = args.out or args.trace + ".prom"
+            count = telemetry_mod.write_prometheus(out, records)
+            print(f"wrote {count} exposition lines to {out}")
     else:  # schema
         from .telemetry.summarize import schema_json
 
         print(schema_json())
     return 0
+
+
+def _cmd_top(args) -> int:
+    from .telemetry.summarize import render_top
+
+    iteration = 0
+    try:
+        while True:
+            iteration += 1
+            try:
+                records, skipped = telemetry_mod.load_trace_tolerant(
+                    args.trace
+                )
+            except OSError as error:
+                if args.iterations == 1:
+                    print(f"error: {error}", file=sys.stderr)
+                    return 1
+                print(f"(waiting for trace: {error})")
+                time.sleep(args.interval)
+                continue
+            if args.iterations != 1:
+                # Redraw in place like top(1); a single-shot render (CI,
+                # piping to a file) keeps plain sequential output.
+                print("\x1b[2J\x1b[H", end="")
+            print(render_top(records))
+            if skipped:
+                print(f"warning: skipped {skipped} malformed line(s)")
+            if args.iterations and iteration >= args.iterations:
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -577,11 +629,77 @@ def build_parser() -> argparse.ArgumentParser:
         "validate", help="validate a trace against the event schema"
     )
     validate.add_argument("trace", help="a JSONL trace file")
+    export = telemetry_commands.add_parser(
+        "export",
+        help="export a trace as Chrome trace-event JSON or Prometheus text",
+    )
+    export.add_argument("trace", help="a JSONL trace file")
+    export.add_argument(
+        "--format", choices=("chrome", "prometheus"), default="chrome",
+        help="chrome: load in chrome://tracing or ui.perfetto.dev; "
+             "prometheus: text exposition of counters/gauges/histograms",
+    )
+    export.add_argument(
+        "--out", default=None,
+        help="output path (default: TRACE.chrome.json / TRACE.prom)",
+    )
     telemetry_commands.add_parser(
         "schema", help="print the JSONL event record schema"
     )
     telemetry.set_defaults(func=_cmd_telemetry)
+
+    top = commands.add_parser(
+        "top",
+        help="live SLO/latency/trace dashboard over a JSONL trace",
+    )
+    top.add_argument("trace", help="the JSONL trace file a serving or "
+                     "cluster run is appending to")
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="seconds between redraws")
+    top.add_argument("--iterations", type=int, default=0,
+                     help="render this many frames then exit "
+                          "(0 = until interrupted; 1 = single-shot)")
+    top.set_defaults(func=_cmd_top)
     return parser
+
+
+def _export_on_close(trace_path: str) -> None:
+    """Honour the export knobs once the CLI's telemetry trace has closed.
+
+    ``REPRO_TRACE_CHROME`` / ``REPRO_PROM_FILE`` name output paths; both
+    need the finished JSONL trace on disk, so a ``-`` (stderr) trace
+    warns instead of exporting.
+    """
+    chrome = os.environ.get(telemetry_mod.TRACE_CHROME_ENV, "").strip()
+    prom = os.environ.get(telemetry_mod.PROM_FILE_ENV, "").strip()
+    if not chrome and not prom:
+        return
+    if trace_path == "-":
+        telemetry_mod.warn_once(
+            "trace_export_stderr",
+            "REPRO_TRACE_CHROME/REPRO_PROM_FILE need a file trace; "
+            "--telemetry - streams to stderr, skipping export",
+        )
+        return
+    try:
+        # The JSONL sink opens lazily: a run that emitted no records
+        # leaves no file, which exports as an empty (but valid) view.
+        if os.path.exists(trace_path):
+            records, _skipped = telemetry_mod.load_trace_tolerant(
+                trace_path
+            )
+        else:
+            records = []
+        if chrome:
+            count = telemetry_mod.write_chrome(chrome, records)
+            print(f"wrote {count} trace events to {chrome}",
+                  file=sys.stderr)
+        if prom:
+            count = telemetry_mod.write_prometheus(prom, records)
+            print(f"wrote {count} exposition lines to {prom}",
+                  file=sys.stderr)
+    except OSError as error:
+        print(f"warning: trace export failed: {error}", file=sys.stderr)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -599,6 +717,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         if configured is not None:
             configured.close()
             telemetry_mod.reset()
+            _export_on_close(args.telemetry)
 
 
 if __name__ == "__main__":  # pragma: no cover

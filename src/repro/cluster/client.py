@@ -85,4 +85,29 @@ def format_status(status: Dict[str, Any]) -> str:
             f"({100.0 * hits / routed:.1f}% of routed requests "
             f"re-landed on their previous device)"
         )
+    slo = status.get("slo") or {}
+    active = {
+        name: burn for name, burn in slo.items()
+        if burn.get("good") or burn.get("bad")
+    }
+    if active:
+        lines.append("")
+        lines.append(
+            f"  {'slo class':<12} {'good':>6} {'bad':>6} {'budget':>7}  "
+            f"burn rates"
+        )
+        for name in sorted(active):
+            burn = active[name]
+            rates = "  ".join(
+                f"{key[5:]}={burn[key]:.2f}"
+                for key in sorted(
+                    (k for k in burn if k.startswith("burn_")),
+                    key=lambda k: float(k[5:-1]),
+                )
+            )
+            lines.append(
+                f"  {name:<12} {burn.get('good', 0):>6g} "
+                f"{burn.get('bad', 0):>6g} "
+                f"{burn.get('error_budget', 0):>7g}  {rates}"
+            )
     return "\n".join(lines)

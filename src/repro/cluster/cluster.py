@@ -34,6 +34,7 @@ degradation is a structured response.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import os
 import threading
@@ -44,6 +45,9 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from .. import telemetry
 from ..errors import ReproError, ServingError
 from ..serving.engine import Ticket
+from ..serving.slo import BurnRateMonitor
+from ..telemetry import tracing
+from ..telemetry.tracing import TraceContext
 from ..serving.request import (
     STATUS_ERROR,
     STATUS_REJECTED,
@@ -265,6 +269,8 @@ class Cluster:
             "failovers": 0, "affinity_hits": 0, "removed_devices": 0,
             "errors": 0,
         }
+        #: End-to-end (route + retries + hedges + service) SLO burn.
+        self.slo = BurnRateMonitor()
 
     # -- lifecycle -------------------------------------------------------
 
@@ -391,6 +397,23 @@ class Cluster:
 
     # -- execution -------------------------------------------------------
 
+    def _ensure_trace(
+        self, request: SpMVRequest
+    ) -> Tuple[SpMVRequest, Optional[TraceContext], bool]:
+        """Attach a trace context at the cluster boundary.
+
+        The cluster is the outermost tracing-aware layer, so for a fresh
+        request it creates the trace and owns the root span
+        (``cluster.request``); the device engines below see the trace
+        already on the request and join it instead of starting their own.
+        """
+        if request.trace is not None:
+            return request, request.trace, False
+        trace = tracing.maybe_start_trace(request.request_id)
+        if trace is None:
+            return request, None, False
+        return dataclasses.replace(request, trace=trace), trace, True
+
     def execute(self, request: SpMVRequest,
                 timeout: float = 60.0) -> ClusterResult:
         """Route, execute, and if needed retry/hedge one request.
@@ -401,6 +424,41 @@ class Cluster:
         if self._state == "new":
             raise ServingError("cluster not started (call start())")
         t = telemetry.get()
+        started = time.monotonic()
+        request, trace, owns_root = self._ensure_trace(request)
+        with tracing.scope(trace):
+            result = self._route_and_execute(request, timeout, t)
+        slo_class = request.effective_slo_class()
+        elapsed = max(time.monotonic() - started, 0.0)
+        self.slo.record(slo_class, elapsed * 1e3, result.ok)
+        if t.enabled:
+            t.histogram("cluster.latency_ms", elapsed * 1e3,
+                        slo_class=slo_class)
+        if trace is not None:
+            if not result.response.trace_id:
+                result = dataclasses.replace(
+                    result,
+                    response=dataclasses.replace(
+                        result.response, trace_id=trace.trace_id
+                    ),
+                )
+            # The root of the request tree, emitted exactly once — by
+            # the layer that created the trace.
+            if owns_root and t.enabled:
+                t.emit_span(
+                    "cluster.request", trace, elapsed,
+                    status=result.response.status,
+                    device=result.device,
+                    attempts=result.attempts,
+                    hedged=result.hedged,
+                    failover=result.failover,
+                    request_id=request.request_id,
+                    slo_class=slo_class,
+                )
+        return result
+
+    def _route_and_execute(self, request: SpMVRequest, timeout: float,
+                           t: Any) -> ClusterResult:
         try:
             fingerprint = request.work_fingerprint()
         except ReproError as error:
@@ -583,6 +641,15 @@ class Cluster:
                         if t.enabled:
                             t.counter("cluster.hedge", 1,
                                       device=replica.device_id)
+                            # The duplicate shares the request's tree;
+                            # the link event marks where it forked.
+                            if request.trace is not None:
+                                t.event(
+                                    "trace.link",
+                                    kind="hedge",
+                                    peer_trace_id=request.trace.trace_id,
+                                    device=replica.device_id,
+                                )
                         self._bump("hedges")
                         tried.append(replica.device_id)
                         outstanding.append((
@@ -644,7 +711,12 @@ class Cluster:
             ],
             "stats": dict(self.stats),
             "audit": self.audit_summary(),
+            "slo": self.slo_summary(),
         }
+
+    def slo_summary(self) -> Dict[str, Dict[str, float]]:
+        """End-to-end error-budget burn per SLO class (cluster view)."""
+        return self.slo.burn_rates()
 
     def audit_summary(self) -> Dict[str, Any]:
         """Fleet-wide estimator-audit rollup across device engines."""
@@ -683,6 +755,17 @@ class Cluster:
         for key, value in self.stats.items():
             if value:
                 t.counter(f"cluster.final.{key}", value)
+        for slo_class, burn in self.slo_summary().items():
+            if not (burn["good"] or burn["bad"]):
+                continue
+            for key, value in burn.items():
+                if key.startswith("burn_"):
+                    t.gauge("cluster.slo.burn_rate", value,
+                            slo_class=slo_class,
+                            window_s=float(key[5:-1]))
+                else:
+                    t.gauge(f"cluster.slo.{key}", value,
+                            slo_class=slo_class)
         audit = self.audit_summary()
         if audit["sampled"]:
             t.counter("cluster.audit.sampled", audit["sampled"])

@@ -22,6 +22,7 @@ matching the cache/serving knob treatment.
 
 from __future__ import annotations
 
+import math
 import os
 from typing import Optional
 
@@ -72,21 +73,41 @@ def resolve_audit_rate(
 ) -> float:
     """Resolve the audit sampling rate: explicit > environment > default.
 
-    Values are clamped to [0, 1]; an unparseable environment value
-    warns once and falls back to the default.
+    Finite values are clamped to [0, 1].  An environment value that is
+    unparseable or non-finite (``nan``/``inf`` — which would slip
+    through a min/max clamp or silently pin the rate) warns once and
+    falls back to the default; a finite out-of-range value warns once
+    and clamps — the serving-knob convention.
     """
     if value is not None:
         return min(max(float(value), 0.0), 1.0)
     raw = os.environ.get(AUDIT_RATE_ENV)
     if raw is not None:
         try:
-            return min(max(float(raw), 0.0), 1.0)
+            parsed = float(raw)
         except ValueError:
             telemetry.warn_once(
                 "invalid_audit_rate",
                 f"{AUDIT_RATE_ENV}={raw!r} is not a float; "
                 f"using {default}",
             )
+            return default
+        if not math.isfinite(parsed):
+            telemetry.warn_once(
+                "invalid_audit_rate",
+                f"{AUDIT_RATE_ENV}={raw!r} is not a finite float; "
+                f"using {default}",
+            )
+            return default
+        if parsed < 0.0 or parsed > 1.0:
+            clamped = min(max(parsed, 0.0), 1.0)
+            telemetry.warn_once(
+                "invalid_audit_rate",
+                f"{AUDIT_RATE_ENV}={raw!r} is outside [0, 1]; "
+                f"clamping to {clamped:g}",
+            )
+            return clamped
+        return parsed
     return default
 
 

@@ -74,6 +74,15 @@ RUNTIME_KNOBS: Tuple[Knob, ...] = (
          "JSONL trace path ('-' streams to stderr); unset disables"),
     Knob("REPRO_TRACE_MAX_CYCLES", "telemetry", "512",
          "cycle-timeline render guard for the trace renderer"),
+    Knob("REPRO_TRACE_SAMPLE", "telemetry", "1.0",
+         "fraction of requests that start a trace (deterministic in "
+         "request id); invalid values warn and fall back"),
+    Knob("REPRO_TRACE_CHROME", "telemetry", None,
+         "write a Chrome/Perfetto trace-event JSON here when the "
+         "telemetry trace closes"),
+    Knob("REPRO_PROM_FILE", "telemetry", None,
+         "write a Prometheus-style text exposition here when the "
+         "telemetry trace closes"),
     # serving
     Knob("REPRO_SERVE_WORKERS", "serving", "4",
          "serving engine worker threads"),

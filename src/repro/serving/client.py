@@ -39,6 +39,7 @@ class ServingClient:
         config_overrides: Optional[Dict[str, Any]] = None,
         priority: int = 0,
         deadline_ms: Optional[float] = None,
+        slo_class: Optional[str] = None,
         timeout: Optional[float] = None,
     ) -> SpMVResponse:
         """Submit one request and block for its response."""
@@ -50,6 +51,7 @@ class ServingClient:
                 config_overrides=config_overrides,
                 priority=priority,
                 deadline_ms=deadline_ms,
+                slo_class=slo_class,
             ),
             timeout=timeout,
         )

@@ -36,6 +36,7 @@ submissions are shed with ``engine is draining``.
 
 from __future__ import annotations
 
+import dataclasses
 import itertools
 import os
 import threading
@@ -44,6 +45,8 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from .. import telemetry
 from ..errors import ReproError, ServingError
+from ..telemetry import tracing
+from ..telemetry.tracing import TraceContext
 from ..estimator.calibration import DEFAULT_CALIBRATION, CalibrationTable
 from ..estimator.fidelity import (
     resolve_audit_rate,
@@ -64,7 +67,7 @@ from .request import (
     SpMVRequest,
     SpMVResponse,
 )
-from .slo import LatencyRecorder
+from .slo import BurnRateMonitor, LatencyRecorder
 
 WORKERS_ENV = "REPRO_SERVE_WORKERS"
 QUEUE_ENV = "REPRO_SERVE_QUEUE"
@@ -118,12 +121,21 @@ class _Entry:
     __slots__ = (
         "request", "seq", "priority", "spec", "config", "group",
         "work_fp", "submitted_at", "deadline_at", "followers", "done",
-        "event", "response",
+        "event", "response", "trace", "owns_root",
     )
 
     def __init__(self, request: SpMVRequest, seq: int, spec, config,
-                 group: Tuple[str, str], work_fp: str, now: float):
+                 group: Tuple[str, str], work_fp: str, now: float,
+                 trace: Optional[TraceContext] = None,
+                 owns_root: bool = False):
         self.request = request
+        #: The request's trace context, carried explicitly because
+        #: worker threads do not inherit the submitter's contextvars.
+        self.trace = trace
+        #: Whether *this engine* created the trace (and therefore emits
+        #: the root ``serving.request`` span at resolution).  False when
+        #: the cluster attached the trace upstream — it owns the root.
+        self.owns_root = owns_root
         self.seq = seq
         self.priority = request.priority
         self.spec = spec
@@ -219,6 +231,7 @@ class ServingEngine:
         )
         self.runner = PipelineRunner(self.store)
         self.latencies = LatencyRecorder()
+        self.slo = BurnRateMonitor()
         self._seq = itertools.count()
         self._lock = threading.RLock()  # submit bumps stats while held
         #: work fingerprint → leader entry (queued or executing).
@@ -280,15 +293,37 @@ class ServingEngine:
 
     # -- submission ------------------------------------------------------
 
+    def _ensure_trace(
+        self, request: SpMVRequest
+    ) -> Tuple[SpMVRequest, Optional[TraceContext], bool]:
+        """Attach a trace context to ``request`` if tracing wants one.
+
+        A request arriving with a trace (the cluster attached it) keeps
+        it and the upstream layer owns the root span; otherwise the
+        engine starts one (sampling permitting) and owns the root.
+        """
+        if request.trace is not None:
+            return request, request.trace, False
+        trace = tracing.maybe_start_trace(request.request_id)
+        if trace is None:
+            return request, None, False
+        return dataclasses.replace(request, trace=trace), trace, True
+
     def submit(self, request: SpMVRequest) -> Ticket:
         """Admit one request; always returns a ticket, never raises on
         overload (rejections are structured responses)."""
         t = telemetry.get()
-        with t.span("serving.enqueue", scheme=request.scheme):
+        request, trace, owns_root = self._ensure_trace(request)
+        with tracing.scope(trace), t.span(
+            "serving.enqueue", scheme=request.scheme
+        ):
             if self._state == "new":
                 raise ServingError("engine not started (call start())")
             if self._state != "running":
-                return self._reject_ticket(request, "engine is draining")
+                return self._reject_ticket(
+                    request, "engine is draining",
+                    trace=trace, owns_root=owns_root,
+                )
             now = time.monotonic()
             try:
                 spec = get_scheme(request.scheme)
@@ -302,10 +337,15 @@ class ServingEngine:
                 self._bump("errors")
                 if t.enabled:
                     t.counter("serving.errors", 1, phase="admission")
+                if owns_root and trace is not None:
+                    t.emit_span("serving.request", trace, 0.0,
+                                status=STATUS_ERROR,
+                                request_id=request.request_id)
                 return Ticket(response=SpMVResponse(
                     request_id=request.request_id,
                     status=STATUS_ERROR,
                     detail=str(error),
+                    trace_id=trace.trace_id if trace else "",
                 ))
             config_fp = fingerprint_config(config)
             work_fp = fingerprint(
@@ -314,6 +354,7 @@ class ServingEngine:
             entry = _Entry(
                 request, next(self._seq), spec, config,
                 group=(spec.name, config_fp), work_fp=work_fp, now=now,
+                trace=trace, owns_root=owns_root,
             )
             with self._lock:
                 leader = self._inflight.get(work_fp)
@@ -322,6 +363,18 @@ class ServingEngine:
                     self._bump("coalesced")
                     if t.enabled:
                         t.counter("serving.coalesced", 1, scheme=spec.name)
+                        # The causal edge between the follower's tree and
+                        # the leader execution it will share.
+                        if trace is not None:
+                            t.event(
+                                "trace.link",
+                                kind="coalesce",
+                                peer_trace_id=(
+                                    leader.trace.trace_id
+                                    if leader.trace else ""
+                                ),
+                                scheme=spec.name,
+                            )
                     coalesced_onto = leader
                 else:
                     self._inflight[work_fp] = entry
@@ -372,7 +425,9 @@ class ServingEngine:
                 ):
                     return
                 continue
-            with t.span("serving.dispatch", worker=index):
+            with tracing.scope(entry.trace), t.span(
+                "serving.dispatch", worker=index
+            ):
                 now = time.monotonic()
                 if entry.expired_at(now):
                     self._finish_expired(entry)
@@ -385,17 +440,31 @@ class ServingEngine:
                     t.gauge("serving.queue_depth", len(self.queue))
                     t.gauge("serving.batch_size", len(batch),
                             scheme=entry.spec.name)
-            with t.span(
-                "serving.execute",
-                scheme=entry.spec.name,
-                batch=len(batch),
-                worker=index,
-            ):
-                for item in batch:
+            # Each batch member executes under its *own* trace so the
+            # pipeline spans nest into the right request tree; members
+            # beyond the first link back to the batch leader's tree.
+            for item in batch:
+                with tracing.scope(item.trace):
+                    if t.enabled and len(batch) > 1 and item is not entry \
+                            and item.trace is not None:
+                        t.event(
+                            "trace.link",
+                            kind="batch",
+                            peer_trace_id=(
+                                entry.trace.trace_id if entry.trace else ""
+                            ),
+                            scheme=entry.spec.name,
+                        )
                     if item.expired_at(time.monotonic()):
                         self._finish_expired(item)
                     else:
-                        self._execute(item)
+                        with t.span(
+                            "serving.execute",
+                            scheme=entry.spec.name,
+                            batch=len(batch),
+                            worker=index,
+                        ):
+                            self._execute(item)
 
     def _tier_for(self, scheme: str) -> str:
         """The fidelity tier this scheme executes at right now."""
@@ -509,9 +578,34 @@ class ServingEngine:
 
     def _resolve(self, entry: _Entry, response: SpMVResponse,
                  record_latency: bool = False) -> SpMVResponse:
+        if entry.trace is not None and not response.trace_id:
+            response = dataclasses.replace(
+                response, trace_id=entry.trace.trace_id
+            )
         entry.response = response
         if record_latency and response.ok:
             self.latencies.record(response.total_s)
+        slo_class = entry.request.effective_slo_class()
+        self.slo.record(slo_class, response.total_s * 1e3, response.ok)
+        t = telemetry.get()
+        if t.enabled:
+            t.histogram("serving.latency_ms", response.total_s * 1e3,
+                        slo_class=slo_class)
+            if response.queue_s:
+                t.histogram("serving.queue_ms", response.queue_s * 1e3)
+            # The root of the request's causal tree: emitted exactly once
+            # per trace, by the layer that created it.
+            if entry.owns_root and entry.trace is not None:
+                t.emit_span(
+                    "serving.request",
+                    entry.trace,
+                    max(time.monotonic() - entry.submitted_at, 0.0),
+                    status=response.status,
+                    scheme=entry.request.scheme,
+                    request_id=entry.request.request_id,
+                    slo_class=slo_class,
+                    coalesced=response.coalesced,
+                )
         entry.event.set()
         return response
 
@@ -577,15 +671,23 @@ class ServingEngine:
                 queue_s=max(time.monotonic() - item.submitted_at, 0.0),
             ))
 
-    def _reject_ticket(self, request: SpMVRequest, reason: str) -> Ticket:
+    def _reject_ticket(
+        self, request: SpMVRequest, reason: str,
+        trace: Optional[TraceContext] = None, owns_root: bool = False,
+    ) -> Ticket:
         self._bump("shed")
         t = telemetry.get()
         if t.enabled:
             t.counter("serving.shed", 1, reason="draining")
+            if owns_root and trace is not None:
+                t.emit_span("serving.request", trace, 0.0,
+                            status=STATUS_REJECTED,
+                            request_id=request.request_id)
         return Ticket(response=SpMVResponse(
             request_id=request.request_id,
             status=STATUS_REJECTED,
             detail=reason,
+            trace_id=trace.trace_id if trace else "",
         ))
 
     # -- accounting ------------------------------------------------------
@@ -597,6 +699,11 @@ class ServingEngine:
     def latency_summary(self) -> Dict[str, float]:
         """p50/p95/p99/mean/max of served request latency (ms)."""
         return self.latencies.summary()
+
+    def slo_summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-class error-budget burn (see
+        :meth:`repro.serving.slo.BurnRateMonitor.burn_rates`)."""
+        return self.slo.burn_rates()
 
     def demoted_schemes(self) -> Tuple[str, ...]:
         """Schemes the audit gate has demoted to the exact tier."""
@@ -623,6 +730,17 @@ class ServingEngine:
         summary = self.latency_summary()
         for key, value in summary.items():
             t.gauge(f"serving.latency.{key}", value)
+        for slo_class, burn in self.slo_summary().items():
+            if not (burn["good"] or burn["bad"]):
+                continue
+            for key, value in burn.items():
+                if key.startswith("burn_"):
+                    t.gauge("serving.slo.burn_rate", value,
+                            slo_class=slo_class,
+                            window_s=float(key[5:-1]))
+                else:
+                    t.gauge(f"serving.slo.{key}", value,
+                            slo_class=slo_class)
         for key, value in self.stats.items():
             if value:
                 t.counter(f"serving.final.{key}", value)

@@ -38,6 +38,8 @@ from ..pipeline.artifacts import SpMVReport
 from ..pipeline.fingerprint import fingerprint, fingerprint_config
 from ..pipeline.stages import LoadStage
 from ..scheduling.registry import SchedulerSpec, get_scheme
+from ..telemetry.tracing import TraceContext
+from .slo import DEFAULT_SLOS, classify_request
 
 #: Process-wide request id source (monotonic, thread-safe by the GIL).
 _REQUEST_IDS = itertools.count(1)
@@ -70,7 +72,20 @@ class SpMVRequest:
     #: Relative deadline in milliseconds from submission; ``None`` waits
     #: forever.  A request dequeued past its deadline answers ``expired``.
     deadline_ms: Optional[float] = None
+    #: SLO class (``interactive``/``batch``); ``None`` classifies by
+    #: priority and deadline (see :func:`repro.serving.slo.classify_request`).
+    slo_class: Optional[str] = None
+    #: Trace context of this request's causal tree.  ``None`` until the
+    #: first tracing-aware layer (cluster or engine) attaches one; the
+    #: explicit field is what carries the trace across thread boundaries.
+    trace: Optional[TraceContext] = None
     request_id: int = field(default_factory=lambda: next(_REQUEST_IDS))
+
+    def effective_slo_class(self) -> str:
+        """The SLO class this request is accounted under."""
+        if self.slo_class and self.slo_class in DEFAULT_SLOS:
+            return self.slo_class
+        return classify_request(self.priority, self.deadline_ms)
 
     def resolve_config(self, spec: SchedulerSpec) -> AcceleratorConfig:
         """The effective configuration for this request under ``spec``."""
@@ -129,6 +144,9 @@ class SpMVResponse:
     #: ``estimate`` (calibrated analytical model), or ``""`` when no
     #: report was produced.
     fidelity: str = ""
+    #: The request's trace id (``""`` for untraced requests) — the key
+    #: into the exported causal tree for this request.
+    trace_id: str = ""
 
     @property
     def ok(self) -> bool:
@@ -152,6 +170,8 @@ class SpMVResponse:
             payload["detail"] = self.detail
         if self.fidelity:
             payload["fidelity"] = self.fidelity
+        if self.trace_id:
+            payload["trace_id"] = self.trace_id
         if self.report is not None:
             payload["report"] = dataclasses.asdict(self.report)
         return json.dumps(payload, separators=(",", ":"), sort_keys=True)
@@ -161,9 +181,10 @@ def request_from_json(line: str) -> SpMVRequest:
     """Parse one ``repro serve`` JSONL request line.
 
     Recognised keys: ``matrix`` (a named-matrix string, required),
-    ``scheme``, ``priority``, ``deadline_ms``, ``config`` (a dict of
-    field overrides).  Unknown keys raise :class:`ConfigError` so a typo
-    (``priorty``) cannot silently lose its intent.
+    ``scheme``, ``priority``, ``deadline_ms``, ``slo_class``, ``config``
+    (a dict of field overrides).  Unknown keys raise
+    :class:`ConfigError` so a typo (``priorty``) cannot silently lose
+    its intent.
     """
     try:
         payload = json.loads(line)
@@ -171,7 +192,8 @@ def request_from_json(line: str) -> SpMVRequest:
         raise ConfigError(f"request line is not valid JSON: {error}")
     if not isinstance(payload, dict):
         raise ConfigError("request line must be a JSON object")
-    known = {"matrix", "scheme", "priority", "deadline_ms", "config"}
+    known = {"matrix", "scheme", "priority", "deadline_ms", "slo_class",
+             "config"}
     unknown = set(payload) - known
     if unknown:
         raise ConfigError(
@@ -183,6 +205,12 @@ def request_from_json(line: str) -> SpMVRequest:
     overrides = payload.get("config")
     if overrides is not None and not isinstance(overrides, dict):
         raise ConfigError("'config' must be an object of field overrides")
+    slo_class = payload.get("slo_class")
+    if slo_class is not None and slo_class not in DEFAULT_SLOS:
+        raise ConfigError(
+            f"unknown slo_class {slo_class!r}; "
+            f"known: {sorted(DEFAULT_SLOS)}"
+        )
     return SpMVRequest(
         source=payload["matrix"],
         scheme=payload.get("scheme", "crhcs"),
@@ -193,4 +221,5 @@ def request_from_json(line: str) -> SpMVRequest:
             if payload.get("deadline_ms") is not None
             else None
         ),
+        slo_class=slo_class,
     )

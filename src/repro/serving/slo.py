@@ -1,22 +1,169 @@
-"""Latency SLO accounting: percentile math and the per-engine recorder.
+"""Latency SLO accounting: percentiles, SLO classes, and burn rates.
 
-The serving layer's service-level objectives are expressed as latency
-percentiles (p50/p95/p99 of request total latency).  The percentile
-definition is :func:`repro.telemetry.summarize.percentile` (linear
-interpolation, numpy's default method), shared with the trace
-summariser so an engine's ``latency_summary()`` and a trace's "latency
-percentiles" section can never disagree on the math.
+The serving layer's service-level objectives are expressed three ways:
+
+* **percentiles** — p50/p95/p99 of request total latency.  The
+  percentile definition is
+  :func:`repro.telemetry.summarize.percentile` (linear interpolation,
+  numpy's default method), shared with the trace summariser so an
+  engine's ``latency_summary()`` and a trace's "latency percentiles"
+  section can never disagree on the math.
+* **SLO classes** — named policies (:data:`DEFAULT_SLOS`): an
+  *interactive* request promises a tight latency threshold with a small
+  error budget; a *batch* request promises a loose one with a larger
+  budget.  A request picks its class explicitly
+  (``SpMVRequest.slo_class``) or defaults by priority.
+* **burn rates** — per class, the fraction of requests violating the
+  promise in a rolling window, divided by the error budget
+  (:class:`BurnRateMonitor`).  Burn 1.0 means the budget is being spent
+  exactly as fast as it accrues; the standard multi-window alerting
+  reading is "page when both the fast and slow windows burn hot".
+
+The recorder keeps both the exact sample list (the audit-grade view)
+and a log-bucketed :class:`~repro.telemetry.hist.Histogram` (the
+mergeable, bounded-memory view) — the tests pin that the two agree to
+within one bucket width.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Dict, List, Sequence
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
 
+from ..telemetry.hist import Histogram
 from ..telemetry.summarize import percentile
 
 #: The percentiles every SLO summary reports.
 SLO_PERCENTILES = (50.0, 95.0, 99.0)
+
+#: Rolling burn-rate windows (seconds): a fast window that reacts to
+#: incidents and a slow window that tracks sustained budget spend.
+BURN_WINDOWS_S: Tuple[float, ...] = (60.0, 3600.0)
+
+
+@dataclass(frozen=True)
+class SLOPolicy:
+    """One SLO class: a latency promise and the tolerated failure rate."""
+
+    #: Class name (``interactive`` / ``batch``).
+    name: str
+    #: A request is *good* iff it succeeds within this many milliseconds.
+    latency_ms: float
+    #: Tolerated bad fraction (0.01 = 99% of requests must be good).
+    error_budget: float
+
+
+#: The built-in SLO classes.  Interactive traffic (priority > 0 or an
+#: explicit deadline) promises sub-50 ms at a 1% budget; batch traffic
+#: tolerates a second at 5%.
+DEFAULT_SLOS: Dict[str, SLOPolicy] = {
+    "interactive": SLOPolicy("interactive", latency_ms=50.0,
+                             error_budget=0.01),
+    "batch": SLOPolicy("batch", latency_ms=1000.0, error_budget=0.05),
+}
+
+
+def classify_request(priority: int, deadline_ms: Optional[float]) -> str:
+    """Default SLO class for a request that did not state one.
+
+    Deadline-carrying or elevated-priority requests are treated as
+    interactive; everything else is batch.
+    """
+    if deadline_ms is not None or priority > 0:
+        return "interactive"
+    return "batch"
+
+
+class BurnRateMonitor:
+    """Rolling multi-window error-budget burn per SLO class.
+
+    Each resolution is recorded as good or bad against its class's
+    policy: a request is *bad* when it failed (shed/expired/error) or
+    exceeded the promised latency.  :meth:`burn_rates` reports, per
+    class and window, ``bad_fraction / error_budget`` over the events
+    inside the window — the standard burn-rate reading where 1.0 means
+    spending the budget exactly as fast as it accrues.
+
+    Events are kept in bounded per-class deques and pruned lazily; the
+    monitor is thread-safe (resolutions arrive from worker threads).
+    """
+
+    def __init__(
+        self,
+        policies: Optional[Dict[str, SLOPolicy]] = None,
+        windows_s: Sequence[float] = BURN_WINDOWS_S,
+        max_events: int = 100_000,
+        clock: Any = time.monotonic,
+    ) -> None:
+        self.policies = dict(policies or DEFAULT_SLOS)
+        self.windows_s = tuple(windows_s)
+        self._clock = clock
+        self._lock = threading.Lock()
+        # per class: deque of (timestamp, is_bad)
+        self._events: Dict[str, Deque[Tuple[float, bool]]] = {
+            name: deque(maxlen=max_events) for name in self.policies
+        }
+        self._good: Dict[str, int] = {name: 0 for name in self.policies}
+        self._bad: Dict[str, int] = {name: 0 for name in self.policies}
+
+    def policy_for(self, slo_class: str) -> SLOPolicy:
+        return self.policies.get(slo_class) or self.policies["batch"]
+
+    def record(self, slo_class: str, latency_ms: float, ok: bool) -> bool:
+        """Record one resolution; returns whether it was *good*."""
+        policy = self.policy_for(slo_class)
+        good = ok and latency_ms <= policy.latency_ms
+        now = self._clock()
+        with self._lock:
+            events = self._events.setdefault(
+                policy.name, deque(maxlen=100_000)
+            )
+            events.append((now, not good))
+            if good:
+                self._good[policy.name] = self._good.get(policy.name, 0) + 1
+            else:
+                self._bad[policy.name] = self._bad.get(policy.name, 0) + 1
+        return good
+
+    def burn_rates(self) -> Dict[str, Dict[str, float]]:
+        """Per-class burn per window plus lifetime good/bad totals.
+
+        Shape: ``{class: {"good": n, "bad": n, "error_budget": b,
+        "burn_<window>s": rate, ...}}``.  A window with no events burns
+        0.0 (no traffic spends no budget).
+        """
+        now = self._clock()
+        with self._lock:
+            snapshot = {
+                name: list(events) for name, events in self._events.items()
+            }
+            good = dict(self._good)
+            bad = dict(self._bad)
+        out: Dict[str, Dict[str, float]] = {}
+        for name, events in snapshot.items():
+            policy = self.policy_for(name)
+            entry: Dict[str, float] = {
+                "good": float(good.get(name, 0)),
+                "bad": float(bad.get(name, 0)),
+                "error_budget": policy.error_budget,
+            }
+            for window in self.windows_s:
+                cutoff = now - window
+                total = bad_count = 0
+                for ts, is_bad in reversed(events):
+                    if ts < cutoff:
+                        break
+                    total += 1
+                    bad_count += is_bad
+                fraction = (bad_count / total) if total else 0.0
+                entry[f"burn_{window:g}s"] = round(
+                    fraction / policy.error_budget, 6
+                ) if policy.error_budget else 0.0
+            out[name] = entry
+        return out
 
 
 def latency_percentiles(values_ms: Sequence[float]) -> Dict[str, float]:
@@ -44,22 +191,53 @@ def latency_percentiles(values_ms: Sequence[float]) -> Dict[str, float]:
 
 
 class LatencyRecorder:
-    """Thread-safe accumulator of per-request latencies (milliseconds)."""
+    """Thread-safe accumulator of per-request latencies (milliseconds).
+
+    Keeps the exact sample list (audit-grade percentiles via
+    :meth:`summary`) alongside a log-bucketed histogram
+    (:meth:`histogram_summary`, :meth:`histogram_snapshot`) — the
+    bounded, mergeable form the telemetry and burn-rate layers consume.
+    """
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._samples_ms: List[float] = []
+        self._hist = Histogram()
 
     def record(self, latency_s: float) -> None:
+        latency_ms = latency_s * 1e3
         with self._lock:
-            self._samples_ms.append(latency_s * 1e3)
+            self._samples_ms.append(latency_ms)
+        self._hist.record(latency_ms)
 
     def __len__(self) -> int:
         with self._lock:
             return len(self._samples_ms)
 
     def summary(self) -> Dict[str, float]:
-        """p50/p95/p99/mean/max over every recorded sample."""
+        """p50/p95/p99/mean/max over every recorded sample (exact)."""
         with self._lock:
             samples = list(self._samples_ms)
         return latency_percentiles(samples)
+
+    def histogram_summary(self) -> Dict[str, float]:
+        """The same shape as :meth:`summary`, from the histogram.
+
+        Within one bucket width (~19 %) of the exact percentiles by
+        construction — pinned by the tests.
+        """
+        hist = self._hist.summary()
+        out = {
+            "count": hist["count"],
+            "mean_ms": round(hist["mean"], 6),
+            "max_ms": round(hist["max"], 6),
+        }
+        for q in SLO_PERCENTILES:
+            out[f"p{q:g}_ms"] = round(
+                self._hist.quantile(q) if hist["count"] else 0.0, 6
+            )
+        return out
+
+    def histogram_snapshot(self) -> Dict[str, Any]:
+        """The mergeable snapshot of the latency distribution."""
+        return self._hist.snapshot()

@@ -1,23 +1,32 @@
-"""Observability for the reproduction: spans, counters, JSONL event traces.
+"""Observability for the reproduction: spans, traces, histograms, SLOs.
 
 The subsystem answers "where did the time go, what did the cache do,
-which channel migrated what" without rerunning under a debugger:
+which channel migrated what — and what happened to *this* request"
+without rerunning under a debugger:
 
 * :func:`get` returns the active registry — the no-op :data:`NULL`
   singleton unless ``REPRO_TELEMETRY=<path|->`` (or :func:`configure`)
   enabled a JSONL sink.  Call sites guard bookkeeping with
   ``telemetry.get().enabled`` so the disabled path stays near-free.
 * :class:`Telemetry` provides nested wall-clock **spans** (context
-  managers), monotonic **counters** and last-value **gauges**; every span
-  close and counter flush emits one self-describing JSONL record
+  managers), monotonic **counters**, last-value **gauges**, mergeable
+  log-bucketed **histograms** (:mod:`repro.telemetry.hist`) and
+  point-in-time **events**; every record is self-describing JSONL
   (validated by :mod:`repro.telemetry.schema`).
-* :mod:`repro.telemetry.summarize` renders a trace back into a span tree
-  and counter tables (``repro telemetry summarize``), and
-  :mod:`repro.telemetry.manifest` writes the provenance record that
-  accompanies every ``BENCH_*.json``.
+* :mod:`repro.telemetry.tracing` threads a :class:`TraceContext` through
+  serving, cluster and pipeline so every record of one request stitches
+  into a single causal tree (``trace_id``/``span_id``/
+  ``parent_span_id``), with ``trace.link`` events for coalesced
+  followers, hedged duplicates, and micro-batch members.
+* :mod:`repro.telemetry.export` renders a trace as a Chrome/Perfetto
+  timeline (``repro telemetry export --format chrome``) or Prometheus
+  text; :mod:`repro.telemetry.summarize` renders span trees, counter
+  tables, latency histograms and SLO burn rates (``repro telemetry
+  summarize``, ``repro top``); :mod:`repro.telemetry.manifest` writes
+  the provenance record accompanying every ``BENCH_*.json``.
 
-See ``docs/observability.md`` for the record schema, the span naming
-conventions, and the instrumented counter inventory.
+See ``docs/observability.md`` for the record schema, span naming
+conventions, the trace model, and the instrumented counter inventory.
 """
 
 from .core import (
@@ -35,10 +44,24 @@ from .core import (
     swap,
     warn_once,
 )
+from .export import (
+    PROM_FILE_ENV,
+    TRACE_CHROME_ENV,
+    to_chrome_trace,
+    to_prometheus,
+    validate_chrome_file,
+    write_chrome,
+    write_prometheus,
+)
+from .hist import Histogram
+from .hist import merge as merge_histograms
+from .hist import merge_all as merge_all_histograms
+from .hist import quantile as histogram_quantile
 from .manifest import build_manifest, config_hash, write_manifest
 from .schema import (
     EVENT_SCHEMA,
     load_trace,
+    load_trace_tolerant,
     validate_file,
     validate_record,
     validate_records,
@@ -50,6 +73,15 @@ from .summarize import (
     summarize_file,
     summarize_latencies,
     summarize_records,
+)
+from .tracing import (
+    TRACE_SAMPLE_ENV,
+    TraceContext,
+    current_trace,
+    maybe_start_trace,
+    resolve_trace_sample,
+    scope,
+    start_trace,
 )
 
 __all__ = [
@@ -66,11 +98,23 @@ __all__ = [
     "reset_warnings",
     "swap",
     "warn_once",
+    "PROM_FILE_ENV",
+    "TRACE_CHROME_ENV",
+    "to_chrome_trace",
+    "to_prometheus",
+    "validate_chrome_file",
+    "write_chrome",
+    "write_prometheus",
+    "Histogram",
+    "merge_histograms",
+    "merge_all_histograms",
+    "histogram_quantile",
     "build_manifest",
     "config_hash",
     "write_manifest",
     "EVENT_SCHEMA",
     "load_trace",
+    "load_trace_tolerant",
     "validate_file",
     "validate_record",
     "validate_records",
@@ -82,4 +126,11 @@ __all__ = [
     "summarize_file",
     "summarize_latencies",
     "summarize_records",
+    "TRACE_SAMPLE_ENV",
+    "TraceContext",
+    "current_trace",
+    "maybe_start_trace",
+    "resolve_trace_sample",
+    "scope",
+    "start_trace",
 ]

@@ -13,8 +13,22 @@ One :class:`Telemetry` instance owns a sink and three instrument kinds:
   :meth:`Telemetry.flush` (called automatically on :meth:`close` and at
   interpreter exit for env-configured telemetry).
 * **gauges** — last-value-wins samples that also aggregate
-  count/min/max/mean into the record's attributes, covering the
-  histogram-style uses (FIFO high-water marks, throughput samples).
+  count/min/max/mean into the record's attributes (FIFO high-water
+  marks, throughput samples).
+* **histograms** — log-bucketed latency distributions
+  (:mod:`repro.telemetry.hist`): each sample lands in an exponential
+  bucket, and flush emits one mergeable snapshot record per
+  ``(name, attrs)`` bucket — the distribution itself, not pre-chewed
+  percentiles.
+* **events** — immediate point-in-time records (kind ``"event"``),
+  used for the trace ``link`` events that tie coalesced followers,
+  hedged duplicates, and micro-batch members into request trees.
+
+Spans participate in request tracing (:mod:`repro.telemetry.tracing`):
+when a :class:`TraceContext` is active on the current thread, an opening
+span allocates its own span id, emits ``trace_id``/``span_id``/
+``parent_span_id`` on its record, and installs itself as the parent of
+anything opened inside it.  Untraced spans emit exactly as before.
 
 The **disabled path is near-zero-cost**: :func:`get` returns the shared
 :data:`NULL` singleton whose ``span`` hands back one reusable no-op
@@ -37,7 +51,10 @@ import time
 import uuid
 from typing import Any, Dict, List, Optional, Tuple, Union
 
+from . import tracing
+from .hist import Histogram
 from .sinks import JsonlSink, MemorySink, Sink
+from .tracing import TraceContext
 
 #: Environment variable enabling the JSONL sink (a path, or ``-`` = stderr).
 TELEMETRY_ENV = "REPRO_TELEMETRY"
@@ -53,9 +70,17 @@ def _attr_key(attrs: Dict[str, Any]) -> _AttrKey:
 
 
 class Span:
-    """One open span; emits its record on ``__exit__``."""
+    """One open span; emits its record on ``__exit__``.
 
-    __slots__ = ("_telemetry", "name", "attrs", "_path", "_start")
+    When a trace context is active on this thread, the span joins the
+    request tree: it allocates a span id, records its parent, and
+    installs a child context so nested spans chain under it.
+    """
+
+    __slots__ = (
+        "_telemetry", "name", "attrs", "_path", "_start",
+        "_span_id", "_parent_id", "_trace_id", "_token",
+    )
 
     def __init__(self, telemetry: "Telemetry", name: str, attrs: Dict[str, Any]):
         self._telemetry = telemetry
@@ -63,6 +88,10 @@ class Span:
         self.attrs = attrs
         self._path = ""
         self._start = 0.0
+        self._span_id: Optional[str] = None
+        self._parent_id: Optional[str] = None
+        self._trace_id: Optional[str] = None
+        self._token: Any = None
 
     def annotate(self, **attrs: Any) -> "Span":
         """Attach attributes discovered after the span opened."""
@@ -75,11 +104,20 @@ class Span:
             f"{stack[-1]}/{self.name}" if stack else self.name
         )
         stack.append(self._path)
+        context = tracing.current()
+        if context is not None:
+            self._trace_id = context.trace_id
+            self._parent_id = context.span_id
+            self._span_id = tracing.new_span_id()
+            self._token = tracing.activate(context.child(self._span_id))
         self._start = time.perf_counter()
         return self
 
     def __exit__(self, *_exc: Any) -> None:
         duration = time.perf_counter() - self._start
+        if self._token is not None:
+            tracing.restore(self._token)
+            self._token = None
         stack = self._telemetry._stack
         if stack and stack[-1] == self._path:
             stack.pop()
@@ -88,6 +126,9 @@ class Span:
             name=self._path,
             duration_s=round(duration, 9),
             attrs=self.attrs or None,
+            trace_id=self._trace_id,
+            span_id=self._span_id,
+            parent_span_id=self._parent_id,
         )
 
 
@@ -130,6 +171,16 @@ class NullTelemetry:
               **attrs: Any) -> None:
         return None
 
+    def histogram(self, name: str, value: float, **attrs: Any) -> None:
+        return None
+
+    def event(self, name: str, **attrs: Any) -> None:
+        return None
+
+    def emit_span(self, name: str, trace: Optional["TraceContext"],
+                  duration_s: float, **attrs: Any) -> None:
+        return None
+
     def counter_total(self, name: str) -> Union[int, float]:  # noqa: ARG002
         return 0
 
@@ -163,6 +214,7 @@ class Telemetry:
         self._lock = threading.Lock()
         self._counters: "Dict[Tuple[str, _AttrKey], Union[int, float]]" = {}
         self._gauges: Dict[Tuple[str, _AttrKey], Dict[str, float]] = {}
+        self._hists: Dict[Tuple[str, _AttrKey], Histogram] = {}
         self._closed = False
 
     @property
@@ -182,6 +234,9 @@ class Telemetry:
         value: Optional[Union[int, float]] = None,
         attrs: Optional[Dict[str, Any]] = None,
         worker: Optional[int] = None,
+        trace_id: Optional[str] = None,
+        span_id: Optional[str] = None,
+        parent_span_id: Optional[str] = None,
     ) -> None:
         with self._lock:
             record: Dict[str, Any] = {
@@ -198,6 +253,12 @@ class Telemetry:
                 record["value"] = value
             if worker is not None:
                 record["worker"] = worker
+            if trace_id is not None:
+                record["trace_id"] = trace_id
+            if span_id is not None:
+                record["span_id"] = span_id
+            if parent_span_id is not None:
+                record["parent_span_id"] = parent_span_id
             if attrs:
                 record["attrs"] = attrs
             self.sink.write(record)
@@ -249,6 +310,55 @@ class Telemetry:
                 state["sum"] += value
                 state["count"] += 1
 
+    def histogram(self, name: str, value: float, **attrs: Any) -> None:
+        """Record ``value`` into the log-bucketed histogram ``name``.
+
+        Snapshots are emitted at :meth:`flush` as ``kind="hist"``
+        records whose attrs carry the mergeable bucket counts.
+        """
+        key = (name, _attr_key(attrs))
+        with self._lock:
+            hist = self._hists.get(key)
+            if hist is None:
+                hist = self._hists[key] = Histogram()
+        hist.record(value)
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Emit an immediate point-in-time record (kind ``"event"``).
+
+        Events carry the active trace context, which makes them the
+        vehicle for ``trace.link`` records — the edges tying coalesced
+        followers, hedged duplicates, and batch members into one tree.
+        """
+        context = tracing.current()
+        self._emit(
+            kind="event",
+            name=name,
+            attrs=attrs or None,
+            trace_id=context.trace_id if context else None,
+            parent_span_id=context.span_id if context else None,
+        )
+
+    def emit_span(self, name: str, trace: Optional["TraceContext"],
+                  duration_s: float, **attrs: Any) -> None:
+        """Emit a span record directly, without timing a ``with`` block.
+
+        This is how *root* request spans are written: the request's
+        lifetime straddles threads (submit on one, fulfil on another),
+        so no single ``with`` block can time it.  The layer that created
+        ``trace`` calls this at resolution with the measured duration;
+        the record's ``span_id`` is the trace's root span id and it has
+        no parent — exactly one such record per trace.
+        """
+        self._emit(
+            kind="span",
+            name=name,
+            duration_s=round(duration_s, 9),
+            attrs=attrs or None,
+            trace_id=trace.trace_id if trace else None,
+            span_id=trace.span_id if trace else None,
+        )
+
     def counter_total(self, name: str) -> Union[int, float]:
         """Unflushed total of ``name`` summed across attribute buckets."""
         with self._lock:
@@ -268,6 +378,7 @@ class Telemetry:
         with self._lock:
             counters, self._counters = self._counters, {}
             gauges, self._gauges = self._gauges, {}
+            hists, self._hists = self._hists, {}
         for (name, attr_key) in sorted(counters, key=repr):
             self._emit(
                 kind="counter",
@@ -288,6 +399,14 @@ class Telemetry:
                 name=name,
                 value=state["last"],
                 attrs={**dict(attr_key), **summary},
+            )
+        for (name, attr_key) in sorted(hists, key=repr):
+            snap = hists[(name, attr_key)].snapshot()
+            self._emit(
+                kind="hist",
+                name=name,
+                value=snap["count"],
+                attrs={**dict(attr_key), **snap},
             )
         self.sink.flush()
 
@@ -395,6 +514,12 @@ class capture:
     def gauge(self, name: str, value: Union[int, float],
               **attrs: Any) -> None:
         self.telemetry.gauge(name, value, **attrs)
+
+    def histogram(self, name: str, value: float, **attrs: Any) -> None:
+        self.telemetry.histogram(name, value, **attrs)
+
+    def event(self, name: str, **attrs: Any) -> None:
+        self.telemetry.event(name, **attrs)
 
     def flush(self) -> None:
         self.telemetry.flush()

@@ -1,0 +1,240 @@
+"""Trace exporters: Chrome/Perfetto trace-event JSON and Prometheus text.
+
+Two offline views of one JSONL trace:
+
+* :func:`to_chrome_trace` renders the records as a Chrome trace-event
+  array (the format ``chrome://tracing`` / https://ui.perfetto.dev load
+  directly): spans become complete (``"X"``) events laid out on one
+  track per worker thread, events become instants (``"i"``), and
+  counters become counter (``"C"``) tracks.  Traced records carry their
+  ``trace_id``/``span_id``/``parent_span_id`` in ``args``, so one
+  request's causal tree can be followed visually across routing,
+  hedging, coalescing, batching and the pipeline stages.
+* :func:`to_prometheus` renders the final counter/gauge/hist records in
+  the Prometheus text exposition format — a scrape-file stand-in for a
+  ``/metrics`` endpoint, with histograms expanded into cumulative
+  ``_bucket{le="…"}`` series.
+
+Both operate on already-loaded record lists so they compose with the
+tolerant loader (:func:`repro.telemetry.schema.load_trace_tolerant`).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Dict, Iterable, List, Optional
+
+from ..errors import TelemetryError
+from .hist import bucket_upper
+
+#: Environment knob: write a Chrome trace here when the CLI run closes.
+TRACE_CHROME_ENV = "REPRO_TRACE_CHROME"
+
+#: Environment knob: write a Prometheus text file here on close.
+PROM_FILE_ENV = "REPRO_PROM_FILE"
+
+_METRIC_SANITIZE_RE = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_SANITIZE_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+# -- Chrome trace-event format ----------------------------------------------
+
+
+def to_chrome_trace(records: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """Convert telemetry records to a Chrome trace-event JSON object.
+
+    Timestamps: a record's ``ts`` is the span's *close* (records emit on
+    ``__exit__``), so the complete event starts at ``ts - duration_s``.
+    All times are exported in microseconds, the unit the format states.
+    """
+    events: List[Dict[str, Any]] = []
+    for record in records:
+        kind = record.get("kind")
+        name = record.get("name", "")
+        ts_us = float(record.get("ts", 0.0)) * 1e6
+        tid = record.get("worker", 0)
+        args: Dict[str, Any] = {}
+        for field in ("trace_id", "span_id", "parent_span_id"):
+            if field in record:
+                args[field] = record[field]
+        if record.get("attrs"):
+            args.update(record["attrs"])
+        if kind == "span":
+            duration_us = float(record.get("duration_s", 0.0)) * 1e6
+            events.append({
+                "name": name.rsplit("/", 1)[-1],
+                "cat": "span",
+                "ph": "X",
+                "ts": max(0.0, ts_us - duration_us),
+                "dur": duration_us,
+                "pid": 0,
+                "tid": tid,
+                "args": {**args, "path": name},
+            })
+        elif kind == "event":
+            events.append({
+                "name": name,
+                "cat": "event",
+                "ph": "i",
+                "ts": ts_us,
+                "s": "t",
+                "pid": 0,
+                "tid": tid,
+                "args": args,
+            })
+        elif kind in ("counter", "gauge"):
+            events.append({
+                "name": name,
+                "cat": kind,
+                "ph": "C",
+                "ts": ts_us,
+                "pid": 0,
+                "tid": tid,
+                "args": {"value": record.get("value", 0)},
+            })
+        # hist records have no natural timeline shape; they are the
+        # Prometheus exporter's concern.
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"format": "repro telemetry chrome export"},
+    }
+
+
+def write_chrome(path: str, records: Iterable[Dict[str, Any]]) -> int:
+    """Write the Chrome trace for ``records`` to ``path``.
+
+    Returns the number of trace events written.
+    """
+    trace = to_chrome_trace(records)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(trace, handle, separators=(",", ":"))
+        handle.write("\n")
+    return len(trace["traceEvents"])
+
+
+def validate_chrome_file(path: str) -> int:
+    """Check ``path`` parses as Chrome trace-event JSON; return event count.
+
+    Verifies the structural invariants a trace viewer relies on: a
+    ``traceEvents`` array whose entries all have ``name``/``ph``/``ts``,
+    with ``dur`` present and non-negative on complete (``"X"``) events.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            trace = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        raise TelemetryError(f"{path}: not a Chrome trace ({error})") from error
+    if not isinstance(trace, dict) or not isinstance(
+        trace.get("traceEvents"), list
+    ):
+        raise TelemetryError(f"{path}: missing traceEvents array")
+    for index, event in enumerate(trace["traceEvents"]):
+        if not isinstance(event, dict):
+            raise TelemetryError(f"{path}: event {index} is not an object")
+        for field in ("name", "ph", "ts"):
+            if field not in event:
+                raise TelemetryError(
+                    f"{path}: event {index} missing {field!r}"
+                )
+        if event["ph"] == "X" and (
+            not isinstance(event.get("dur"), (int, float))
+            or event["dur"] < 0
+        ):
+            raise TelemetryError(
+                f"{path}: event {index} has invalid dur {event.get('dur')!r}"
+            )
+    return len(trace["traceEvents"])
+
+
+# -- Prometheus text exposition ---------------------------------------------
+
+
+def _metric_name(name: str) -> str:
+    return _METRIC_SANITIZE_RE.sub("_", name)
+
+
+def _labels(attrs: Optional[Dict[str, Any]], skip: tuple = ()) -> str:
+    if not attrs:
+        return ""
+    parts = []
+    for key in sorted(attrs):
+        if key in skip:
+            continue
+        value = str(attrs[key]).replace("\\", "\\\\").replace('"', '\\"')
+        parts.append(f'{_LABEL_SANITIZE_RE.sub("_", key)}="{value}"')
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+#: Gauge-attr keys that are flush aggregates, not labels.
+_GAUGE_AGGREGATES = ("min", "max", "mean", "count")
+
+#: Hist-attr keys that are the snapshot payload, not labels.
+_HIST_SNAPSHOT = ("buckets", "count", "sum", "min", "max", "growth")
+
+
+def to_prometheus(records: Iterable[Dict[str, Any]]) -> str:
+    """Render counter/gauge/hist records as Prometheus exposition text.
+
+    Later records win for duplicate series (matching last-flush-wins
+    semantics of the underlying registry).
+    """
+    counters: Dict[str, float] = {}
+    gauges: Dict[str, float] = {}
+    hists: Dict[str, Dict[str, Any]] = {}
+    hist_labels: Dict[str, str] = {}
+    for record in records:
+        kind = record.get("kind")
+        name = record.get("name", "")
+        attrs = record.get("attrs") or {}
+        if kind == "counter":
+            series = _metric_name(name) + "_total" + _labels(attrs)
+            counters[series] = counters.get(series, 0) + record.get("value", 0)
+        elif kind == "gauge":
+            series = _metric_name(name) + _labels(
+                attrs, skip=_GAUGE_AGGREGATES
+            )
+            gauges[series] = record.get("value", 0)
+        elif kind == "hist":
+            base = _metric_name(name)
+            labels = _labels(attrs, skip=_HIST_SNAPSHOT)
+            hists[base + labels] = attrs
+            hist_labels[base + labels] = labels
+    lines: List[str] = []
+    for series in sorted(counters):
+        base = series.split("{", 1)[0]
+        lines.append(f"# TYPE {base} counter")
+        lines.append(f"{series} {counters[series]}")
+    for series in sorted(gauges):
+        base = series.split("{", 1)[0]
+        lines.append(f"# TYPE {base} gauge")
+        lines.append(f"{series} {gauges[series]}")
+    for series in sorted(hists):
+        snap = hists[series]
+        labels = hist_labels[series]
+        base = series[: len(series) - len(labels)] if labels else series
+        label_body = labels[1:-1] if labels else ""
+        lines.append(f"# TYPE {base} histogram")
+        cumulative = 0
+        buckets = snap.get("buckets") or {}
+        for key in sorted(buckets, key=int):
+            cumulative += buckets[key]
+            upper = bucket_upper(int(key))
+            le = f'le="{upper:.9g}"'
+            joined = f"{label_body},{le}" if label_body else le
+            lines.append(f"{base}_bucket{{{joined}}} {cumulative}")
+        le_inf = 'le="+Inf"'
+        joined = f"{label_body},{le_inf}" if label_body else le_inf
+        lines.append(f"{base}_bucket{{{joined}}} {snap.get('count', 0)}")
+        lines.append(f"{base}_sum{labels} {snap.get('sum', 0.0)}")
+        lines.append(f"{base}_count{labels} {snap.get('count', 0)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_prometheus(path: str, records: Iterable[Dict[str, Any]]) -> int:
+    """Write the Prometheus text for ``records``; returns line count."""
+    text = to_prometheus(records)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    return text.count("\n")

@@ -1,0 +1,183 @@
+"""Log-bucketed histograms: mergeable latency distributions.
+
+A :class:`Histogram` counts samples into exponentially spaced buckets:
+bucket ``i`` covers ``[GROWTH**i, GROWTH**(i+1))`` with
+``GROWTH = 2**0.25`` (four buckets per octave, ~19 % relative width).
+That bounds the error of any histogram-derived quantile to one bucket
+width while keeping the representation tiny and **mergeable** — the
+properties raw latency lists lack:
+
+* merging two histograms is exact (add bucket counts), so per-device /
+  per-worker distributions roll up into fleet distributions without
+  shipping every sample;
+* memory is O(occupied buckets) — a month of latencies costs the same
+  as a minute;
+* a snapshot serialises into a record's ``attrs`` and reconstructs
+  losslessly, so traces carry real distributions, not just pre-chewed
+  percentiles.
+
+Samples ``<= 0`` land in a dedicated underflow bucket (index
+:data:`ZERO_BUCKET`) — they count toward ``count`` and rank at the
+bottom of every quantile, mirroring how a zero latency would sort.
+
+:class:`Histogram` is the mutable accumulator
+(:meth:`~Histogram.record`); :func:`snapshot` / :func:`merge` /
+:func:`quantile` operate on the plain-dict snapshot form that travels
+inside telemetry records.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Any, Dict, Iterable, Optional
+
+#: Bucket growth factor: four buckets per octave (~18.9 % wide).
+GROWTH = 2.0 ** 0.25
+
+_LOG_GROWTH = math.log(GROWTH)
+
+#: Index of the underflow bucket collecting samples <= 0.
+ZERO_BUCKET = -(10 ** 6)
+
+
+def bucket_index(value: float) -> int:
+    """The bucket a sample falls in (``ZERO_BUCKET`` for ``<= 0``)."""
+    if value <= 0.0:
+        return ZERO_BUCKET
+    return math.floor(math.log(value) / _LOG_GROWTH + 1e-12)
+
+
+def bucket_lower(index: int) -> float:
+    """Inclusive lower bound of bucket ``index`` (0 for the underflow)."""
+    if index == ZERO_BUCKET:
+        return 0.0
+    return GROWTH ** index
+
+
+def bucket_upper(index: int) -> float:
+    """Exclusive upper bound of bucket ``index``."""
+    if index == ZERO_BUCKET:
+        return 0.0
+    return GROWTH ** (index + 1)
+
+
+class Histogram:
+    """A thread-safe log-bucketed accumulator."""
+
+    __slots__ = ("_lock", "counts", "count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.counts: Dict[int, int] = {}
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def record(self, value: float) -> None:
+        index = bucket_index(value)
+        with self._lock:
+            self.counts[index] = self.counts.get(index, 0) + 1
+            self.count += 1
+            self.total += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+
+    def __len__(self) -> int:
+        with self._lock:
+            return self.count
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The plain-dict snapshot form (see module docstring)."""
+        with self._lock:
+            return {
+                "buckets": {str(k): v for k, v in sorted(self.counts.items())},
+                "count": self.count,
+                "sum": round(self.total, 9),
+                "min": self.min if self.min is not None else 0.0,
+                "max": self.max if self.max is not None else 0.0,
+                "growth": round(GROWTH, 9),
+            }
+
+    def quantile(self, q: float) -> float:
+        """Histogram-derived ``q``-quantile (``q`` in [0, 100])."""
+        return quantile(self.snapshot(), q)
+
+    def summary(self) -> Dict[str, float]:
+        """count/mean/max plus p50/p95/p99 — the SLO-summary shape."""
+        snap = self.snapshot()
+        count = snap["count"]
+        return {
+            "count": count,
+            "mean": (snap["sum"] / count) if count else 0.0,
+            "max": snap["max"],
+            "p50": quantile(snap, 50.0),
+            "p95": quantile(snap, 95.0),
+            "p99": quantile(snap, 99.0),
+        }
+
+
+def empty_snapshot() -> Dict[str, Any]:
+    """The identity element of :func:`merge`."""
+    return {
+        "buckets": {}, "count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
+        "growth": round(GROWTH, 9),
+    }
+
+
+def merge(left: Dict[str, Any], right: Dict[str, Any]) -> Dict[str, Any]:
+    """Merge two snapshots (exact, associative, commutative)."""
+    buckets = dict(left.get("buckets", {}))
+    for key, value in right.get("buckets", {}).items():
+        buckets[key] = buckets.get(key, 0) + value
+    lcount, rcount = left.get("count", 0), right.get("count", 0)
+    mins = [s["min"] for s, c in ((left, lcount), (right, rcount)) if c]
+    maxs = [s["max"] for s, c in ((left, lcount), (right, rcount)) if c]
+    return {
+        "buckets": {k: buckets[k] for k in sorted(buckets, key=int)},
+        "count": lcount + rcount,
+        "sum": round(left.get("sum", 0.0) + right.get("sum", 0.0), 9),
+        "min": min(mins) if mins else 0.0,
+        "max": max(maxs) if maxs else 0.0,
+        "growth": left.get("growth") or right.get("growth")
+        or round(GROWTH, 9),
+    }
+
+
+def merge_all(snapshots: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """Fold any number of snapshots into one."""
+    merged = empty_snapshot()
+    for snap in snapshots:
+        merged = merge(merged, snap)
+    return merged
+
+
+def quantile(snapshot: Dict[str, Any], q: float) -> float:
+    """The ``q``-th percentile of a snapshot (``q`` in [0, 100]).
+
+    Walks the cumulative bucket counts to the target rank and returns
+    the matched bucket's midpoint, clamped to the observed min/max —
+    within one bucket width of the exact sample percentile by
+    construction.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile {q!r} outside [0, 100]")
+    count = snapshot.get("count", 0)
+    if not count:
+        return 0.0
+    target = (q / 100.0) * count
+    seen = 0
+    indices = sorted(snapshot.get("buckets", {}), key=int)
+    for key in indices:
+        seen += snapshot["buckets"][key]
+        if seen >= target:
+            index = int(key)
+            if index == ZERO_BUCKET:
+                return max(0.0, snapshot.get("min", 0.0))
+            mid = (bucket_lower(index) + bucket_upper(index)) / 2.0
+            return min(max(mid, snapshot.get("min", mid)),
+                       snapshot.get("max", mid))
+    return snapshot.get("max", 0.0)

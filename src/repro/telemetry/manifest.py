@@ -39,14 +39,33 @@ def _git_sha() -> Optional[str]:
     return sha if out.returncode == 0 and sha else None
 
 
-def config_hash() -> str:
-    """A stable digest of the default accelerator configurations.
+#: Runtime knobs folded into :func:`config_hash`: anything that changes
+#: what a benchmark *measured* (estimate-tier vs exact-tier, audit and
+#: trace sampling overhead) must move the digest so manifests from
+#: different fidelity configurations never compare as equal runs.
+#: Raw environment strings are hashed (layering: telemetry sits below
+#: the estimator, so it must not import the estimator's resolvers).
+_HASHED_ENV_KNOBS = ("REPRO_FIDELITY", "REPRO_AUDIT_RATE",
+                     "REPRO_TRACE_SAMPLE")
 
-    Two manifests with the same hash measured the same modelled hardware;
-    frozen-dataclass reprs list every field, so any config change moves
-    the digest.
+
+def _fidelity_env() -> Dict[str, Optional[str]]:
+    return {
+        knob: (os.environ.get(knob) or None) for knob in _HASHED_ENV_KNOBS
+    }
+
+
+def config_hash() -> str:
+    """A stable digest of the configuration a run measured.
+
+    Covers the default accelerator configurations (frozen-dataclass
+    reprs list every field, so any config change moves the digest) plus
+    the fidelity/audit/trace-sampling environment — an estimate-tier
+    bench run hashes differently from an exact-tier one.
     """
-    payload = repr((DEFAULT_CHASON, DEFAULT_SERPENS)).encode()
+    payload = repr(
+        (DEFAULT_CHASON, DEFAULT_SERPENS, sorted(_fidelity_env().items()))
+    ).encode()
     return hashlib.sha256(payload).hexdigest()[:16]
 
 
@@ -71,6 +90,7 @@ def build_manifest(
         "workers": workers if workers is not None else corpus_worker_count(),
         "telemetry_run_id": telemetry.run_id if telemetry.enabled else None,
         "telemetry_sink": os.environ.get(core.TELEMETRY_ENV) or None,
+        "fidelity_env": _fidelity_env(),
     }
     if extra:
         manifest.update(extra)

@@ -10,20 +10,27 @@ for external tooling (``python -m repro telemetry schema``).
 Record fields
 =============
 
-========== ========= ====================================================
-field      kinds     meaning
-========== ========= ====================================================
-run_id     all       12-hex id shared by all records of one registry
-seq        all       monotonic per-registry sequence number
-ts         all       seconds since the emitting registry started
-kind       all       ``span`` | ``counter`` | ``gauge`` | ``event``
-name       all       span *path* ("a/b/c") or counter/gauge name
-duration_s span      wall-clock seconds the span was open
-value      counter,  accumulated total (counter) / last sample (gauge)
-           gauge
-worker     merged    worker index a parallel-runner record came from
-attrs      optional  free-form attributes (tile counts, channel ids, …)
-========== ========= ====================================================
+============== ========= ================================================
+field          kinds     meaning
+============== ========= ================================================
+run_id         all       12-hex id shared by all records of one registry
+seq            all       monotonic per-registry sequence number
+ts             all       seconds since the emitting registry started
+kind           all       ``span`` | ``counter`` | ``gauge`` | ``event``
+                         | ``hist``
+name           all       span *path* ("a/b/c") or instrument name
+duration_s     span      wall-clock seconds the span was open
+value          counter,  accumulated total (counter) / last sample
+               gauge,    (gauge) / sample count (hist)
+               hist
+worker         merged    worker index a parallel-runner record came from
+trace_id       traced    16-hex request-tree id (spans/events of traced
+                         requests)
+span_id        traced    this span's id within the trace
+parent_span_id traced    parent span's id (absent on the tree root)
+attrs          optional  free-form attributes; for ``hist`` records the
+                         mergeable bucket snapshot lives here
+============== ========= ================================================
 """
 
 from __future__ import annotations
@@ -44,11 +51,14 @@ EVENT_SCHEMA: Dict[str, Any] = {
         "run_id": {"type": "string", "pattern": "^[0-9a-f]{12}$"},
         "seq": {"type": "integer", "minimum": 0},
         "ts": {"type": "number", "minimum": 0},
-        "kind": {"enum": ["span", "counter", "gauge", "event"]},
+        "kind": {"enum": ["span", "counter", "gauge", "event", "hist"]},
         "name": {"type": "string", "minLength": 1},
         "duration_s": {"type": "number", "minimum": 0},
         "value": {"type": "number"},
         "worker": {"type": "integer", "minimum": 0},
+        "trace_id": {"type": "string", "pattern": "^[0-9a-f]{16}$"},
+        "span_id": {"type": "string", "pattern": "^[0-9a-f]+$"},
+        "parent_span_id": {"type": "string", "pattern": "^[0-9a-f]+$"},
         "attrs": {"type": "object"},
     },
     "additionalProperties": False,
@@ -65,11 +75,17 @@ EVENT_SCHEMA: Dict[str, Any] = {
             "if": {"properties": {"kind": {"const": "gauge"}}},
             "then": {"required": ["value"]},
         },
+        {
+            "if": {"properties": {"kind": {"const": "hist"}}},
+            "then": {"required": ["value"]},
+        },
     ],
 }
 
 _RUN_ID_RE = re.compile(r"^[0-9a-f]{12}$")
-_KINDS = ("span", "counter", "gauge", "event")
+_TRACE_ID_RE = re.compile(r"^[0-9a-f]{16}$")
+_SPAN_ID_RE = re.compile(r"^[0-9a-f]+$")
+_KINDS = ("span", "counter", "gauge", "event", "hist")
 _FIELDS = frozenset(EVENT_SCHEMA["properties"])
 
 
@@ -119,11 +135,22 @@ def validate_record(record: Any) -> Dict[str, Any]:
         not isinstance(record["worker"], int) or record["worker"] < 0
     ):
         _fail(f"worker {record['worker']!r} invalid")
+    if "trace_id" in record and (
+        not isinstance(record["trace_id"], str)
+        or not _TRACE_ID_RE.match(record["trace_id"])
+    ):
+        _fail(f"trace_id {record['trace_id']!r} is not 16 hex digits")
+    for field in ("span_id", "parent_span_id"):
+        if field in record and (
+            not isinstance(record[field], str)
+            or not _SPAN_ID_RE.match(record[field])
+        ):
+            _fail(f"{field} {record[field]!r} is not a hex string")
     if "attrs" in record and not isinstance(record["attrs"], dict):
         _fail("attrs must be an object")
     if kind == "span" and "duration_s" not in record:
         _fail("span record without duration_s")
-    if kind in ("counter", "gauge") and "value" not in record:
+    if kind in ("counter", "gauge", "hist") and "value" not in record:
         _fail(f"{kind} record without value")
     return record
 
@@ -138,7 +165,12 @@ def validate_records(records: Iterable[Any]) -> int:
 
 
 def load_trace(path: str) -> list:
-    """Parse a JSONL trace file into a list of record dicts."""
+    """Parse a JSONL trace file into a list of record dicts.
+
+    Strict: raises :class:`~repro.errors.TelemetryError` on the first
+    malformed line.  Use :func:`load_trace_tolerant` when a truncated
+    or crash-interrupted trace must still be readable.
+    """
     records = []
     with open(path, "r", encoding="utf-8") as handle:
         for line_no, line in enumerate(handle, start=1):
@@ -154,9 +186,41 @@ def load_trace(path: str) -> list:
     return records
 
 
+def load_trace_tolerant(path: str) -> "tuple[list, int]":
+    """Parse a JSONL trace file, skipping malformed lines.
+
+    Returns ``(records, skipped)``.  A crashed run leaves a truncated
+    final line; a summarize/validate of the surviving records is far
+    more useful than a parse error, so malformed lines are counted and
+    dropped rather than fatal.
+    """
+    records = []
+    skipped = 0
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                skipped += 1
+                continue
+            if not isinstance(record, dict):
+                skipped += 1
+                continue
+            records.append(record)
+    return records, skipped
+
+
 def validate_file(path: Union[str, "object"]) -> int:
-    """Validate a whole JSONL trace file; returns the record count."""
-    records = load_trace(str(path))
+    """Validate a whole JSONL trace file; returns the record count.
+
+    Unparseable lines are skipped (they are reported separately by
+    :func:`load_trace_tolerant` callers); parseable records that break
+    the schema still raise.
+    """
+    records, _skipped = load_trace_tolerant(str(path))
     for index, record in enumerate(records):
         try:
             validate_record(record)

@@ -13,7 +13,8 @@ import json
 from collections import OrderedDict
 from typing import Any, Dict, Iterable, List, Tuple
 
-from .schema import load_trace
+from .hist import merge_all, quantile
+from .schema import load_trace_tolerant
 
 
 def percentile(values: "List[float]", q: float) -> float:
@@ -230,6 +231,132 @@ def summarize_fidelity(records: Iterable[Dict[str, Any]]) -> str:
     return "\n".join(lines)
 
 
+def summarize_histograms(records: Iterable[Dict[str, Any]]) -> str:
+    """Log-bucketed histogram rollup: merged snapshots per name/attrs.
+
+    Multiple flushes (and multiple workers) of the same histogram merge
+    exactly — bucket counts add — so the percentiles below describe the
+    whole trace, not the last flush.  Returns ``""`` when the trace has
+    no ``hist`` records.
+    """
+    snaps: "OrderedDict[Tuple[str, str], List[Dict[str, Any]]]" = OrderedDict()
+    for record in records:
+        if record.get("kind") != "hist":
+            continue
+        attrs = record.get("attrs", {})
+        labels = {
+            key: value for key, value in attrs.items()
+            if key not in ("buckets", "count", "sum", "min", "max", "growth")
+        }
+        key = (record["name"], _attrs_label(labels))
+        snaps.setdefault(key, []).append(attrs)
+    if not snaps:
+        return ""
+    lines = [
+        f"{'histogram':<36s} {'attrs':<16s} {'count':>7s} {'p50':>9s} "
+        f"{'p95':>9s} {'p99':>9s} {'max':>9s}"
+    ]
+    for (name, attrs) in sorted(snaps):
+        merged = merge_all(snaps[(name, attrs)])
+        lines.append(
+            f"{name:<36s} {attrs:<16s} {merged['count']:>7d} "
+            f"{quantile(merged, 50):>9.3f} {quantile(merged, 95):>9.3f} "
+            f"{quantile(merged, 99):>9.3f} {merged['max']:>9.3f}"
+        )
+    return "\n".join(lines)
+
+
+def summarize_slo(records: Iterable[Dict[str, Any]]) -> str:
+    """SLO burn-rate gauges per class and window.
+
+    Reads the ``serving.slo.*``/``cluster.slo.*`` gauges the burn-rate
+    monitor flushes and renders one row per SLO class: good/bad totals
+    and the error-budget burn in each rolling window (burn > 1 means
+    the budget is being consumed faster than it accrues).  Returns
+    ``""`` when the trace carries no SLO gauges.
+    """
+    by_class: "OrderedDict[str, Dict[str, float]]" = OrderedDict()
+    for record in records:
+        name = record.get("name", "")
+        if record.get("kind") != "gauge" or ".slo." not in name:
+            continue
+        attrs = record.get("attrs", {})
+        slo_class = str(attrs.get("slo_class", "?"))
+        bucket = by_class.setdefault(slo_class, {})
+        metric = name.split(".slo.", 1)[1]
+        if metric == "burn_rate":
+            window = attrs.get("window_s")
+            bucket[f"burn_{window:g}s" if window else "burn"] = record["value"]
+        else:
+            bucket[metric] = record["value"]
+    if not by_class:
+        return ""
+    windows = sorted({
+        key for bucket in by_class.values() for key in bucket
+        if key.startswith("burn_")
+    }, key=lambda k: float(k[5:-1]))
+    header = f"{'class':<14s} {'good':>8s} {'bad':>8s} {'budget':>8s}"
+    for window in windows:
+        header += f" {window[5:]:>12s}"
+    lines = [header]
+    for slo_class in sorted(by_class):
+        bucket = by_class[slo_class]
+        row = (
+            f"{slo_class:<14s} {bucket.get('good', 0):>8g} "
+            f"{bucket.get('bad', 0):>8g} "
+            f"{bucket.get('error_budget', 0):>8g}"
+        )
+        for window in windows:
+            value = bucket.get(window)
+            row += f" {value:>12.3f}" if value is not None else f" {'-':>12s}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def summarize_traces(records: Iterable[Dict[str, Any]]) -> str:
+    """Request-trace rollup: tree sizes, roots, and link-event counts.
+
+    A health check of the tracing layer itself: how many request trees
+    the trace contains, whether each has exactly one root, and how many
+    coalesce/hedge/batch link events tie extra requests in.  Returns
+    ``""`` for untraced runs.
+    """
+    spans_by_trace: Dict[str, int] = {}
+    roots_by_trace: Dict[str, int] = {}
+    links: Dict[str, int] = {}
+    for record in records:
+        trace_id = record.get("trace_id")
+        if trace_id is None:
+            continue
+        if record.get("kind") == "span":
+            spans_by_trace[trace_id] = spans_by_trace.get(trace_id, 0) + 1
+            if "parent_span_id" not in record:
+                roots_by_trace[trace_id] = roots_by_trace.get(trace_id, 0) + 1
+        elif record.get("kind") == "event":
+            kind = str(record.get("attrs", {}).get("kind", "?"))
+            links[kind] = links.get(kind, 0) + 1
+    if not spans_by_trace:
+        return ""
+    sizes = sorted(spans_by_trace.values())
+    rootless = sum(
+        1 for trace_id in spans_by_trace if not roots_by_trace.get(trace_id)
+    )
+    multi_root = sum(1 for count in roots_by_trace.values() if count > 1)
+    lines = [
+        f"traces: {len(spans_by_trace)}  "
+        f"spans/trace p50: {percentile([float(s) for s in sizes], 50):g}  "
+        f"max: {sizes[-1]}",
+        f"roots: ok={len(spans_by_trace) - rootless - multi_root} "
+        f"missing={rootless} multiple={multi_root}",
+    ]
+    if links:
+        rendered = "  ".join(
+            f"{kind}={links[kind]}" for kind in sorted(links)
+        )
+        lines.append(f"link events: {rendered}")
+    return "\n".join(lines)
+
+
 def summarize_records(records: List[Dict[str, Any]]) -> str:
     """The full ``repro telemetry summarize`` report for one trace."""
     run_ids = sorted({r.get("run_id", "?") for r in records})
@@ -269,6 +396,30 @@ def summarize_records(records: List[Dict[str, Any]]) -> str:
         "------",
         summarize_gauges(records),
     ]
+    hist_section = summarize_histograms(records)
+    if hist_section:
+        sections += [
+            "",
+            "histograms",
+            "----------",
+            hist_section,
+        ]
+    slo_section = summarize_slo(records)
+    if slo_section:
+        sections += [
+            "",
+            "slo burn rates",
+            "--------------",
+            slo_section,
+        ]
+    trace_section = summarize_traces(records)
+    if trace_section:
+        sections += [
+            "",
+            "request traces",
+            "--------------",
+            trace_section,
+        ]
     cluster_section = summarize_cluster_devices(records)
     if cluster_section:
         sections += [
@@ -289,8 +440,56 @@ def summarize_records(records: List[Dict[str, Any]]) -> str:
 
 
 def summarize_file(path: str) -> str:
-    """Load a JSONL trace and render the summary report."""
-    return summarize_records(load_trace(path))
+    """Load a JSONL trace (tolerantly) and render the summary report.
+
+    Malformed lines — the tail of a crashed run — are skipped with a
+    counted warning at the top of the report instead of a parse error.
+    """
+    records, skipped = load_trace_tolerant(path)
+    report = summarize_records(records)
+    if skipped:
+        report = (
+            f"warning: skipped {skipped} malformed line(s)\n\n" + report
+        )
+    return report
+
+
+def render_top(records: List[Dict[str, Any]]) -> str:
+    """One ``repro top`` frame: the live-dashboard view of a trace.
+
+    A compact, screen-sized rollup — request counts by outcome, latency
+    histogram percentiles, SLO burn, device table — designed to be
+    re-rendered in place as the trace file grows.
+    """
+    outcomes: Dict[str, float] = {}
+    for record in records:
+        if record.get("kind") != "counter":
+            continue
+        name = record.get("name", "")
+        for prefix in ("serving.", "cluster."):
+            if name.startswith(prefix):
+                short = name[len(prefix):]
+                if short in ("accepted", "fulfilled", "coalesced", "shed",
+                             "expired", "rejected", "errors", "completed",
+                             "retry", "hedge", "failover"):
+                    outcomes[short] = outcomes.get(short, 0) + record["value"]
+    lines = ["repro top — trace rollup", ""]
+    if outcomes:
+        lines.append("requests: " + "  ".join(
+            f"{name}={outcomes[name]:g}" for name in sorted(outcomes)
+        ))
+        lines.append("")
+    for title, section in (
+        ("histograms", summarize_histograms(records)),
+        ("slo burn rates", summarize_slo(records)),
+        ("request traces", summarize_traces(records)),
+        ("cluster devices", summarize_cluster_devices(records)),
+    ):
+        if section:
+            lines += [title, "-" * len(title), section, ""]
+    if len(lines) == 2:
+        lines.append("(no serving/cluster records yet)")
+    return "\n".join(lines).rstrip() + "\n"
 
 
 def schema_json() -> str:

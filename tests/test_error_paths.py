@@ -211,3 +211,64 @@ class TestRuntimeKnobFallbacks:
         monkeypatch.setenv("REPRO_SERVE_BATCH", "-")
         engine = ServingEngine()
         assert engine.workers == 4 and engine.max_batch == 8
+
+    def test_invalid_audit_rate_falls_back_and_warns_once(
+        self, monkeypatch, caplog
+    ):
+        from repro.estimator.fidelity import (
+            DEFAULT_AUDIT_RATE,
+            resolve_audit_rate,
+        )
+
+        monkeypatch.setenv("REPRO_AUDIT_RATE", "sometimes")
+        with caplog.at_level(logging.WARNING):
+            assert resolve_audit_rate() == DEFAULT_AUDIT_RATE
+            assert resolve_audit_rate() == DEFAULT_AUDIT_RATE
+        assert caplog.text.count("REPRO_AUDIT_RATE") == 1
+
+    def test_non_finite_audit_rate_falls_back(self, monkeypatch, caplog):
+        from repro.estimator.fidelity import (
+            DEFAULT_AUDIT_RATE,
+            resolve_audit_rate,
+        )
+
+        for raw in ("nan", "inf", "-inf"):
+            telemetry.reset_warnings()
+            monkeypatch.setenv("REPRO_AUDIT_RATE", raw)
+            with caplog.at_level(logging.WARNING):
+                assert resolve_audit_rate() == DEFAULT_AUDIT_RATE
+
+    def test_out_of_range_audit_rate_clamps_and_warns(
+        self, monkeypatch, caplog
+    ):
+        from repro.estimator.fidelity import resolve_audit_rate
+
+        monkeypatch.setenv("REPRO_AUDIT_RATE", "5.0")
+        with caplog.at_level(logging.WARNING):
+            assert resolve_audit_rate() == 1.0
+        assert "clamping" in caplog.text
+        telemetry.reset_warnings()
+        monkeypatch.setenv("REPRO_AUDIT_RATE", "-0.25")
+        with caplog.at_level(logging.WARNING):
+            assert resolve_audit_rate() == 0.0
+
+    def test_audit_rate_fallback_counts_in_warning_bucket(
+        self, monkeypatch
+    ):
+        from repro.estimator.fidelity import resolve_audit_rate
+
+        monkeypatch.setenv("REPRO_AUDIT_RATE", "banana")
+        with telemetry.capture() as cap:
+            resolve_audit_rate()
+        warnings = [r for r in cap.records
+                    if r["name"] == "telemetry.warnings"]
+        assert len(warnings) == 1
+        assert warnings[0]["attrs"]["key"] == "invalid_audit_rate"
+
+    def test_explicit_audit_rate_beats_garbage_environment(
+        self, monkeypatch
+    ):
+        from repro.estimator.fidelity import resolve_audit_rate
+
+        monkeypatch.setenv("REPRO_AUDIT_RATE", "??")
+        assert resolve_audit_rate(0.25) == 0.25
