@@ -1,0 +1,166 @@
+#!/usr/bin/env python
+"""Incremental rescheduling benchmark (pass pipeline + artifact cache).
+
+Schedules a multi-tile synthetic matrix cold through the Schedule-IR
+pass pipeline, then applies single in-place value edits and times
+``PipelineRunner.reschedule`` — which diffs per-pass input fingerprints
+and re-runs only the invalidated passes.  Every incremental result is
+checked byte-identical against a fresh cold schedule, and the run fails
+if the mean incremental reschedule is not at least ``MIN_SPEEDUP``×
+faster than the cold schedule.
+
+Writes ``BENCH_incremental.json`` plus its run manifest so future
+changes have a perf trajectory to regress against.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_incremental_reschedule.py [--quick]
+
+``--quick`` shrinks the matrix and trial count for CI; the ≥3× gate and
+the byte-identity check apply in both modes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.formats.coo import COOMatrix
+from repro.pipeline import PipelineRunner
+from repro.scheduling.passes import schedules_identical
+from repro.scheduling.registry import get_scheme
+from repro.telemetry import write_manifest
+
+#: The acceptance gate: mean single-edit reschedule vs cold schedule.
+MIN_SPEEDUP = 3.0
+
+#: (scheme, gated).  crhcs carries the gate — migration is the expensive
+#: pass, so skipping it on unchanged tiles must pay off.  pe_aware's
+#: builder is cheap enough that the non-cacheable compact/trim/verify
+#: tail dominates; it is reported for trajectory but not gated.
+SCHEMES = (("crhcs", True), ("pe_aware", False))
+
+
+def _synthetic(n: int, nnz: int, seed: int) -> COOMatrix:
+    """A uniform synthetic matrix — tiles carry comparable work, so the
+    incremental speedup reflects the tile count, not load skew."""
+    rng = np.random.default_rng(seed)
+    return COOMatrix(
+        shape=(n, n),
+        rows=rng.integers(0, n, nnz),
+        cols=rng.integers(0, n, nnz),
+        values=rng.random(nnz) + 0.5,
+    ).sum_duplicates()
+
+
+def run(quick: bool, output: Path) -> int:
+    n, nnz, tile_rows, trials = (
+        (2048, 20_000, 256, 2) if quick else (4096, 60_000, 512, 3)
+    )
+    matrix = _synthetic(n, nnz, seed=42)
+    rng = np.random.default_rng(7)
+
+    results = {}
+    failures = []
+    for name, gated in SCHEMES:
+        scheme = get_scheme(name)
+        runner = PipelineRunner()
+
+        start = time.perf_counter()
+        runner.reschedule(matrix, scheme, max_rows_per_pass=tile_rows)
+        cold_s = time.perf_counter() - start
+        cold_stats = runner.last_reschedule_stats
+        n_tiles = cold_stats.executed[scheme.passes[0]]
+
+        warm_seconds = []
+        executed = []
+        identical = True
+        for _ in range(trials):
+            site = int(rng.integers(0, matrix.nnz))
+            matrix.values[site] += 1.0
+            start = time.perf_counter()
+            warm = runner.reschedule(
+                matrix, scheme, max_rows_per_pass=tile_rows
+            )
+            warm_seconds.append(time.perf_counter() - start)
+            executed.append(runner.last_reschedule_stats.executed_total)
+            fresh = PipelineRunner().schedule(
+                matrix, scheme, max_rows_per_pass=tile_rows
+            )
+            if not schedules_identical(warm.schedule, fresh.schedule):
+                identical = False
+
+        mean_warm = sum(warm_seconds) / len(warm_seconds)
+        speedup = cold_s / mean_warm
+        results[name] = {
+            "tiles": n_tiles,
+            "cold_s": round(cold_s, 6),
+            "incremental_s": [round(s, 6) for s in warm_seconds],
+            "mean_incremental_s": round(mean_warm, 6),
+            "speedup": round(speedup, 3),
+            "cold_tile_passes": cold_stats.executed_total,
+            "incremental_tile_passes": executed,
+            "byte_identical": identical,
+            "gated": gated,
+        }
+        print(
+            f"{name:>9s}: {n_tiles} tiles, cold {cold_s * 1e3:8.1f} ms, "
+            f"incremental {mean_warm * 1e3:8.1f} ms "
+            f"({cold_stats.executed_total} vs "
+            f"{executed} tile-passes), speedup {speedup:5.2f}x, "
+            f"{'byte-identical' if identical else 'MISMATCH'}"
+        )
+        if not identical:
+            failures.append(f"{name}: incremental output differs from cold")
+        if gated and speedup < MIN_SPEEDUP:
+            failures.append(
+                f"{name}: incremental speedup {speedup:.2f}x "
+                f"< {MIN_SPEEDUP:.0f}x gate"
+            )
+
+    payload = {
+        "quick": quick,
+        "n": n,
+        "nnz": int(matrix.nnz),
+        "tile_rows": tile_rows,
+        "trials": trials,
+        "min_speedup_gate": MIN_SPEEDUP,
+        "schemes": results,
+    }
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {output}")
+    manifest = write_manifest(
+        output, extra={"bench": "incremental_reschedule", "quick": quick}
+    )
+    print(f"wrote {manifest}")
+
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small matrix + fewer trials (CI smoke mode)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent
+        / "BENCH_incremental.json",
+        help="where to write the JSON trajectory point",
+    )
+    args = parser.parse_args(argv)
+    return run(args.quick, args.output)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -70,6 +70,13 @@ LAYERS = {
     "__init__": 12,
 }
 
+#: Intra-``scheduling`` rule: the pass pipeline sits *below* the scheme
+#: modules (they register their grid/migration kernels into it), so
+#: ``scheduling/passes/`` may import only these ``scheduling`` submodules
+#: at module level.  Everything else — the registry, the scheme modules,
+#: the cache — would invert the kernel-registration dependency.
+PASSES_ALLOWED_SCHEDULING = {"base", "stats", "window", "passes"}
+
 
 def _module_layer(parts: Tuple[str, ...]) -> Optional[str]:
     """The layer of a dotted path relative to the package root."""
@@ -153,6 +160,7 @@ def check() -> List[str]:
                 continue
             with open(path, "r", encoding="utf-8") as handle:
                 tree = ast.parse(handle.read(), filename=path)
+            in_passes = module_parts[:2] == ("scheduling", "passes")
             for lineno, imported in _iter_imports(tree, package):
                 imported_layer = _module_layer(imported)
                 if imported_layer is None:
@@ -163,6 +171,16 @@ def check() -> List[str]:
                         f"(rank {rank}) imports {imported_layer!r} "
                         f"(rank {LAYERS[imported_layer]})"
                     )
+                    continue
+                if in_passes and imported_layer == "scheduling":
+                    sub = imported[1] if len(imported) > 1 else None
+                    if sub not in PASSES_ALLOWED_SCHEDULING:
+                        target = ".".join(imported)
+                        violations.append(
+                            f"{path}:{lineno}: scheduling.passes imports "
+                            f"{target!r} (allowed scheduling submodules: "
+                            f"{', '.join(sorted(PASSES_ALLOWED_SCHEDULING))})"
+                        )
     return violations
 
 

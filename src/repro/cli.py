@@ -75,6 +75,10 @@ def _cmd_info(_args) -> int:
     print("\nregistered schemes:")
     for line in _scheme_lines():
         print(line)
+    print("\nscheme pass pipelines:")
+    for spec in iter_schemes():
+        if spec.passes:
+            print(f"  {spec.name:<14s} {' -> '.join(spec.passes)}")
     print()
     print(format_table1([serpens_resources(), chason_resources()]))
     breakdown = chason_power_breakdown()
@@ -102,9 +106,20 @@ def _cmd_schedule(args) -> int:
         for line in _scheme_lines():
             print(line)
         return 0
+    if args.list_passes:
+        from .scheduling.passes import known_pass_names
+
+        print("registered schedule passes:")
+        for name in known_pass_names():
+            print(f"  {name}")
+        print("\nscheme pass pipelines:")
+        for spec in iter_schemes():
+            if spec.passes:
+                print(f"  {spec.name:<14s} {' -> '.join(spec.passes)}")
+        return 0
     if args.matrix is None:
-        print("error: a matrix name is required (or --list-schemes)",
-              file=sys.stderr)
+        print("error: a matrix name is required (or --list-schemes / "
+              "--list-passes)", file=sys.stderr)
         return 1
     spec = get_scheme(args.scheme)
     matrix = generate_named(args.matrix)
@@ -121,6 +136,57 @@ def _cmd_schedule(args) -> int:
         f"{stats.migrated} migrated"
     )
     return 0
+
+
+def _cmd_reschedule(args) -> int:
+    import numpy as np
+
+    from .scheduling.passes import schedules_identical
+
+    spec = get_scheme(args.scheme)
+    if spec.plan is None:
+        print(f"error: scheme {spec.name!r} declares no pass pipeline",
+              file=sys.stderr)
+        return 1
+    if args.edits < 1:
+        print("error: --edits must be >= 1", file=sys.stderr)
+        return 1
+    matrix = generate_named(args.matrix)
+    print("matrix:", matrix_stats(matrix).as_row())
+    runner = PipelineRunner()
+    kwargs = {"max_rows_per_pass": args.tile_rows}
+
+    start = time.perf_counter()
+    runner.reschedule(matrix, spec, **kwargs)
+    cold_seconds = time.perf_counter() - start
+    cold_stats = runner.last_reschedule_stats
+
+    rng = np.random.default_rng(args.seed)
+    for site in rng.integers(0, matrix.nnz, args.edits):
+        matrix.values[int(site)] += float(rng.standard_normal()) or 1.0
+
+    start = time.perf_counter()
+    warm = runner.reschedule(matrix, spec, **kwargs)
+    warm_seconds = time.perf_counter() - start
+    warm_stats = runner.last_reschedule_stats
+
+    fresh = PipelineRunner().schedule(matrix, spec, **kwargs)
+    identical = schedules_identical(warm.schedule, fresh.schedule)
+
+    n_tiles = len(warm.schedule.tiles)
+    print(f"scheme {spec.name}: {n_tiles} tile(s), "
+          f"pipeline {' -> '.join(spec.passes)}")
+    print(f"cold schedule: {cold_seconds * 1e3:8.1f} ms, "
+          f"{cold_stats.executed_total} tile-passes")
+    print(f"reschedule after {args.edits} edit(s): "
+          f"{warm_seconds * 1e3:8.1f} ms, "
+          f"{warm_stats.executed_total} tile-passes executed, "
+          f"{warm_stats.skipped_total} resumed from cache")
+    for token in sorted(set(warm_stats.executed) | set(warm_stats.skipped)):
+        print(f"  {token:<18s} executed {warm_stats.executed.get(token, 0):>4d}"
+              f"  resumed {warm_stats.skipped.get(token, 0):>4d}")
+    print(f"byte-identical to a cold schedule: {'yes' if identical else 'NO'}")
+    return 0 if identical else 1
 
 
 def _cmd_compare(args) -> int:
@@ -457,7 +523,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-schemes", action="store_true",
         help="list the registered schemes and exit",
     )
+    schedule.add_argument(
+        "--list-passes", action="store_true",
+        help="list the registered schedule passes and each scheme's "
+             "pass pipeline, then exit",
+    )
     schedule.set_defaults(func=_cmd_schedule)
+
+    reschedule = commands.add_parser(
+        "reschedule",
+        help="incremental rescheduling demo: edit a matrix in place and "
+             "re-run only the invalidated passes",
+    )
+    reschedule.add_argument("matrix", choices=sorted(NAMED_MATRICES))
+    reschedule.add_argument(
+        "--scheme", default="crhcs", metavar="SCHEME",
+        help="a pass-based registered scheme",
+    )
+    reschedule.add_argument(
+        "--edits", type=int, default=4,
+        help="number of random in-place value edits between runs",
+    )
+    reschedule.add_argument("--seed", type=int, default=0,
+                            help="edit-site RNG seed")
+    reschedule.add_argument(
+        "--tile-rows", type=int, default=0, metavar="N",
+        help="cap rows per scheduling pass (0 = the config's row window);"
+             " smaller caps mean more tiles and finer invalidation",
+    )
+    reschedule.set_defaults(func=_cmd_reschedule)
 
     compare = commands.add_parser("compare",
                                   help="Chasoň vs Serpens on one matrix")

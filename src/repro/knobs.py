@@ -69,6 +69,9 @@ RUNTIME_KNOBS: Tuple[Knob, ...] = (
     Knob("REPRO_PIPELINE_CACHE_SIZE", "cache", "64",
          "whole-flow artifact store LRU (load/simulate/metrics stages); "
          "0 disables the generic tier"),
+    Knob("REPRO_PASS_CACHE_SIZE", "cache", "128",
+         "per-pass tile-artifact LRU behind incremental rescheduling "
+         "(snapshots, keyed by pass digest chain); 0 disables"),
     # telemetry
     Knob("REPRO_TELEMETRY", "telemetry", None,
          "JSONL trace path ('-' streams to stderr); unset disables"),

@@ -6,11 +6,20 @@ bug class at the root:
 
 * **configs** contribute every dataclass field, recursively (a clock or
   window change is a different fingerprint, not a stale hit);
-* **schedulers** contribute their registry *version tag*, so a revised
-  algorithm can never be served a previous revision's schedule;
+* **schedulers** contribute their registry *version tag* and, for
+  pass-based schemes, the per-pass signature chain, so a revised
+  algorithm — or a single revised pass — can never be served a previous
+  revision's schedule;
 * **matrices** contribute either their seeded spec (cheap, identity-stable
   across processes) or, for in-memory matrices with no spec, the actual
   COO payload.
+
+The canonical encoding itself (`_encode`/:func:`fingerprint`/
+:func:`fingerprint_config`) lives in
+:mod:`repro.scheduling.passes.fingerprint` so the pass pipeline can chain
+per-pass digests without importing the pipeline layer; this module
+re-exports it and adds the matrix/source rules, which need the format
+converters.
 
 Fingerprints are plain strings: hashable, JSON-safe, usable as disk cache
 keys and as telemetry attributes.
@@ -19,69 +28,13 @@ keys and as telemetry attributes.
 from __future__ import annotations
 
 import dataclasses
-import hashlib
 from typing import Any
 
-import numpy as np
-
-
-def _encode(value: Any, h: "hashlib._Hash") -> None:
-    """Feed one value into the digest with type-tagged framing."""
-    if value is None:
-        h.update(b"\x00none")
-    elif isinstance(value, bool):
-        h.update(b"\x01b" + (b"1" if value else b"0"))
-    elif isinstance(value, int):
-        h.update(b"\x02i" + str(value).encode())
-    elif isinstance(value, float):
-        # repr round-trips doubles exactly; 1.0 and 1 stay distinct
-        # thanks to the type tag.
-        h.update(b"\x03f" + repr(value).encode())
-    elif isinstance(value, str):
-        h.update(b"\x04s" + value.encode())
-    elif isinstance(value, bytes):
-        h.update(b"\x05y" + value)
-    elif isinstance(value, np.ndarray):
-        h.update(b"\x06a" + str(value.dtype).encode()
-                 + str(value.shape).encode())
-        h.update(np.ascontiguousarray(value).tobytes())
-    elif dataclasses.is_dataclass(value) and not isinstance(value, type):
-        h.update(b"\x07d" + type(value).__name__.encode())
-        for f in dataclasses.fields(value):
-            h.update(f.name.encode() + b"=")
-            _encode(getattr(value, f.name), h)
-    elif isinstance(value, dict):
-        h.update(b"\x08m")
-        for key in sorted(value, key=repr):
-            _encode(key, h)
-            _encode(value[key], h)
-    elif isinstance(value, (list, tuple)):
-        h.update(b"\x09l")
-        for item in value:
-            _encode(item, h)
-    else:
-        # Fall back to repr for exotic values; numbers/arrays/dataclasses
-        # (everything fingerprints are built from) never reach here.
-        h.update(b"\x0ar" + repr(value).encode())
-    h.update(b"\x1f")  # field separator
-
-
-def fingerprint(*parts: Any) -> str:
-    """Digest an ordered sequence of values into one hex fingerprint."""
-    h = hashlib.sha256()
-    for part in parts:
-        _encode(part, h)
-    return h.hexdigest()
-
-
-def fingerprint_config(config: Any) -> str:
-    """Fingerprint of an :class:`AcceleratorConfig` *by contents*.
-
-    Covers every field recursively (including the nested
-    :class:`HBMConfig`), plus the concrete type name so e.g. a
-    ``ChasonConfig`` and a field-identical ``SerpensConfig`` differ.
-    """
-    return fingerprint("config", config)
+from ..scheduling.passes.fingerprint import (  # noqa: F401  (re-exports)
+    _encode,
+    fingerprint,
+    fingerprint_config,
+)
 
 
 def fingerprint_matrix(matrix: Any) -> str:

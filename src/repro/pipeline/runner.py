@@ -77,6 +77,11 @@ class PipelineRunner:
 
     def __init__(self, store: Optional[ArtifactStore] = None):
         self.store = store
+        # (scheme, config fp, kwargs fp) → PassArtifactCache: the warm
+        # per-pass artifact caches behind :meth:`reschedule` sessions.
+        self._reschedule_sessions: dict = {}
+        #: Pass execution counts of the last :meth:`reschedule` call.
+        self.last_reschedule_stats = None
 
     # -- stage 1: load ---------------------------------------------------
 
@@ -144,12 +149,16 @@ class PipelineRunner:
                 )
             # Route schedules through the two-tier ScheduleCache so the
             # pipeline shares its entries (and the optional §3.2 disk
-            # images) with pre-pipeline call sites.
+            # images) with pre-pipeline call sites.  The pass tier rides
+            # along: a whole-schedule miss (say a MigratePass-only config
+            # change) can still resume every tile from its cached
+            # upstream pass artifacts.
             built: dict = {}
 
             def build() -> TiledSchedule:
                 artifact = _SCHEDULE.run(
-                    loaded, spec, config, scheduler_kwargs, digest
+                    loaded, spec, config, scheduler_kwargs, digest,
+                    pass_cache=cache.pass_tier,
                 )
                 built["artifact"] = artifact
                 return artifact.schedule
@@ -170,6 +179,69 @@ class PipelineRunner:
                 migration=None,
             )
 
+    def reschedule(
+        self,
+        source: Any,
+        scheme: Any,
+        config: Optional[AcceleratorConfig] = None,
+        **scheduler_kwargs: Any,
+    ) -> ScheduledMatrix:
+        """Incrementally reschedule an (edited) matrix.
+
+        The first call for a given (scheme, config, kwargs) session is a
+        cold schedule that warms a per-pass artifact cache; every later
+        call diffs per-pass input fingerprints against that cache and
+        re-runs only the invalidated passes — an in-place edit to the
+        matrix rebuilds only the tiles it touched.  The result is
+        byte-identical to a cold :meth:`schedule` of the same matrix.
+
+        Pass execution counts land in :attr:`last_reschedule_stats`
+        (a :class:`~repro.scheduling.passes.PassRunStats`).
+
+        Raises :class:`~repro.errors.ConfigError` for schemes that do
+        not declare a pass pipeline.
+        """
+        from ..scheduling.passes import PassArtifactCache
+
+        loaded = self.load(source)
+        spec = scheme if isinstance(scheme, SchedulerSpec) else get_scheme(scheme)
+        if config is None:
+            config = spec.default_config
+        if spec.plan is None:
+            raise ConfigError(
+                f"scheme {spec.name!r} declares no pass pipeline; "
+                f"reschedule only works for pass-based schemes"
+            )
+        public = {
+            k: scheduler_kwargs[k]
+            for k in sorted(scheduler_kwargs)
+            if not k.startswith("_") and k != "report"
+        }
+        session_key = (
+            spec.name, fingerprint_config(config), fingerprint(public)
+        )
+        cache = self._reschedule_sessions.get(session_key)
+        cold = cache is None
+        if cold:
+            cache = PassArtifactCache()
+            self._reschedule_sessions[session_key] = cache
+        digest = _SCHEDULE.fingerprint_for(
+            loaded.fingerprint, spec, config, scheduler_kwargs
+        )
+        t = telemetry.get()
+        with t.span(
+            "pipeline.reschedule",
+            scheme=spec.name,
+            source=loaded.label,
+            cold=cold,
+        ):
+            artifact = _SCHEDULE.run(
+                loaded, spec, config, scheduler_kwargs, digest,
+                pass_cache=cache,
+            )
+        self.last_reschedule_stats = cache.last_stats
+        return artifact
+
     def adopt(
         self, source: Any, schedule: TiledSchedule
     ) -> ScheduledMatrix:
@@ -184,17 +256,22 @@ class PipelineRunner:
         """
         loaded = self.load(source)
         try:
-            version = get_scheme(schedule.scheme).version
+            spec: Optional[SchedulerSpec] = get_scheme(schedule.scheme)
         except ConfigError:
-            version = ""
-        digest = fingerprint(
-            "schedule",
-            loaded.fingerprint,
-            schedule.scheme,
-            version,
-            fingerprint_config(schedule.config),
-            {},
-        )
+            spec = None
+        if spec is not None:
+            digest = _SCHEDULE.fingerprint_for(
+                loaded.fingerprint, spec, schedule.config, {}
+            )
+        else:
+            digest = fingerprint(
+                "schedule",
+                loaded.fingerprint,
+                schedule.scheme,
+                "",
+                fingerprint_config(schedule.config),
+                {},
+            )
         return ScheduledMatrix(
             schedule=schedule,
             scheme=schedule.scheme,

@@ -106,13 +106,24 @@ class ScheduleStage:
         config: AcceleratorConfig,
         scheduler_kwargs: dict,
     ) -> str:
+        # Private (``_``-prefixed) kwargs are side channels — the pass
+        # cache handle, not scheduling parameters — and never shape the
+        # output, so they stay out of the key.  For pass-based schemes
+        # the per-pass signature chain folds in each pass's resolved
+        # parameters and version: a single revised pass is a new key.
+        public = {
+            k: scheduler_kwargs[k]
+            for k in sorted(scheduler_kwargs)
+            if not k.startswith("_")
+        }
         return fingerprint(
             "schedule",
             loaded_fingerprint,
             spec.name,
             spec.version,
             fingerprint_config(config),
-            {k: scheduler_kwargs[k] for k in sorted(scheduler_kwargs)},
+            public,
+            spec.pass_signature(config, scheduler_kwargs),
         )
 
     def run(
@@ -122,6 +133,7 @@ class ScheduleStage:
         config: AcceleratorConfig,
         scheduler_kwargs: dict,
         digest: str,
+        pass_cache=None,
     ) -> ScheduledMatrix:
         kwargs = dict(scheduler_kwargs)
         migration: Optional[MigrationReport] = None
@@ -130,6 +142,8 @@ class ScheduleStage:
             kwargs["report"] = migration
         elif "report" in kwargs:
             migration = kwargs["report"]
+        if pass_cache is not None and spec.plan is not None:
+            kwargs.setdefault("_pass_cache", pass_cache)
         schedule = spec.scheduler(loaded.matrix, config, **kwargs)
         # ``scheme`` is the *registry* name (e.g. ``crhcs_rebuild``), the
         # schedule's own tag stays the algorithm family it reports.

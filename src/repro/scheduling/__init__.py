@@ -8,6 +8,11 @@ Three schedulers, in increasing sophistication:
   PE-aware OoO scheme used by Serpens/Sextans/LevelST (Fig. 2b);
 * :func:`~repro.scheduling.crhcs.schedule_crhcs` — CrHCS, the paper's
   cross-HBM-channel OoO scheme with data migration (Fig. 2c, §3).
+
+Every registered scheme runs as an ordered pass list over a shared
+Schedule-IR (:mod:`repro.scheduling.passes`), with per-pass
+fingerprints enabling incremental rescheduling; see
+``docs/architecture.md``.
 """
 
 from .base import (
@@ -30,6 +35,15 @@ from .registry import (
     iter_schemes,
     register_scheme,
     registered_schemes,
+)
+from .passes import (
+    IncrementalScheduler,
+    PassArtifactCache,
+    PassManager,
+    SchedulePass,
+    known_pass_names,
+    resolve_passes,
+    schedules_identical,
 )
 from .serialize import deserialize_schedule, serialize_schedule
 from .window import Tile, tile_matrix
@@ -63,6 +77,13 @@ __all__ = [
     "register_scheme",
     "registered_schemes",
     "MigrationReport",
+    "IncrementalScheduler",
+    "PassArtifactCache",
+    "PassManager",
+    "SchedulePass",
+    "known_pass_names",
+    "resolve_passes",
+    "schedules_identical",
     "deserialize_schedule",
     "serialize_schedule",
     "Tile",

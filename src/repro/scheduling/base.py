@@ -220,6 +220,25 @@ class ChannelGrid:
         if length > self.length:
             self.length = length
 
+    def clone(self) -> "ChannelGrid":
+        """An independent deep copy (the pass-artifact cache snapshot).
+
+        Copies the five backing arrays and every incremental counter, so
+        mutating either grid afterwards never aliases into the other and
+        ``trim_trailing_stalls`` stays O(1) on the copy.
+        """
+        other = ChannelGrid(self.channel_id, self.pes, self.length)
+        other._capacity = self._capacity
+        other._value = self._value.copy()
+        other._row = self._row.copy()
+        other._col = self._col.copy()
+        other._origin_channel = self._origin_channel.copy()
+        other._origin_pe = self._origin_pe.copy()
+        other._count = self._count
+        other._max_cycle = self._max_cycle
+        other._max_dirty = self._max_dirty
+        return other
+
     # -- single-slot API ------------------------------------------------------
 
     def slot(self, cycle: int, pe: int) -> Optional[ScheduledElement]:

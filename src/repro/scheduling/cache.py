@@ -47,6 +47,7 @@ class ScheduleCache:
     ):
         self.capacity = max(capacity, 0)
         self.disk_dir = disk_dir
+        self._pass_tier = None
         self._entries: "OrderedDict[CacheKey, TiledSchedule]" = OrderedDict()
         # Guards the LRU and the stats; builds run outside the lock, so
         # two threads may race to build the same key (both produce the
@@ -59,6 +60,22 @@ class ScheduleCache:
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    @property
+    def pass_tier(self):
+        """The per-pass artifact tier (lazily created, shared LRU).
+
+        Whole-schedule entries above memoise the *final* pipeline output;
+        this tier memoises the intermediate per-tile pass artifacts keyed
+        by digest chain, so a run whose whole-schedule key misses (say a
+        ``MigratePass``-only config change) can still resume every tile
+        from its cached ``BuildGridPass`` snapshot.
+        """
+        if self._pass_tier is None:
+            from .passes import PassArtifactCache
+
+            self._pass_tier = PassArtifactCache()
+        return self._pass_tier
 
     @staticmethod
     def key(
@@ -176,6 +193,8 @@ class ScheduleCache:
             self.misses = 0
             self.evictions = 0
             self.disk_loads = 0
+            if self._pass_tier is not None:
+                self._pass_tier.clear()
 
 
 _GLOBAL: Optional[ScheduleCache] = None

@@ -33,8 +33,7 @@ Two modes are provided:
 from __future__ import annotations
 
 import heapq
-from collections import Counter, deque
-from dataclasses import dataclass, field
+from collections import deque
 from typing import Deque, Dict, List, Optional, Tuple, Union
 
 import numpy as np
@@ -45,8 +44,17 @@ from ..formats.coo import COOMatrix
 from ..formats.csr import CSRMatrix
 from .. import telemetry
 from .base import ChannelGrid, Schedule, ScheduledElement, TiledSchedule
+from .passes import (
+    PassManager,
+    register_builder,
+    register_migrator,
+    resolve_passes,
+)
 from .pe_aware import group_rows_by_pe, pe_aware_grids
 from .registry import register_scheme
+# Re-exported from its historical location; the class itself lives in
+# stats so the pass layer can use it without importing this module.
+from .stats import MigrationReport
 from .window import Tile, tile_matrix
 
 Matrix = Union[COOMatrix, CSRMatrix]
@@ -61,33 +69,6 @@ CRHCS_VERSION = "2"
 #: matching the paper's observation that CrHCS "never fails to find a RAW
 #: dependency-free value to migrate" (§3.3).
 DEFAULT_STEAL_TRIES = 8
-
-
-@dataclass
-class MigrationReport:
-    """Bookkeeping of one CrHCS run (aggregated over tiles)."""
-
-    migrated: int = 0
-    own_issues: int = 0
-    raw_skips: int = 0
-    #: migrated counts keyed by (destination, donor) channel pair.
-    pair_counts: Counter = field(default_factory=Counter)
-
-    def record_migration(self, dest: int, donor: int) -> None:
-        self.migrated += 1
-        self.pair_counts[(dest, donor)] += 1
-
-    def merge(self, other: "MigrationReport") -> None:
-        self.migrated += other.migrated
-        self.own_issues += other.own_issues
-        self.raw_skips += other.raw_skips
-        # Counter.update adds counts, so overlapping pairs accumulate.
-        self.pair_counts.update(other.pair_counts)
-
-    @property
-    def migration_fraction(self) -> float:
-        total = self.migrated + self.own_issues
-        return self.migrated / total if total else 0.0
 
 
 def _resolve_span(
@@ -511,6 +492,81 @@ def rebuild_grids(
 
 
 # ---------------------------------------------------------------------------
+# pass-pipeline wiring
+# ---------------------------------------------------------------------------
+
+
+def _crhcs_migrator(grids, config, options, report):
+    """Kernel adapter for the pass pipeline (``migrate:crhcs``)."""
+    migrate_grids(
+        grids,
+        config,
+        options["migration_span"],
+        steal_tries=options.get("steal_tries", DEFAULT_STEAL_TRIES),
+        report=report,
+    )
+
+
+def _rebuild_builder(tile, config, options, report):
+    """Kernel adapter for the pass pipeline (``build:crhcs_rebuild``)."""
+    return rebuild_grids(
+        tile,
+        config,
+        options["migration_span"],
+        steal_tries=options.get("steal_tries", DEFAULT_STEAL_TRIES),
+        report=report,
+    )
+
+
+register_migrator(
+    "crhcs",
+    _crhcs_migrator,
+    option_keys=("migration_span", "steal_tries"),
+    version=CRHCS_VERSION,
+)
+register_builder(
+    "crhcs_rebuild",
+    _rebuild_builder,
+    option_keys=("migration_span", "steal_tries"),
+    uses_report=True,
+    version=CRHCS_VERSION,
+)
+
+#: Pass compositions of the two CrHCS modes.
+CRHCS_PASSES = (
+    "build:pe_aware", "migrate:crhcs", "compact", "trim", "verify",
+)
+CRHCS_REBUILD_PASSES = ("build:crhcs_rebuild", "compact", "trim", "verify")
+
+
+def _crhcs_options(config: AcceleratorConfig, kwargs: dict) -> dict:
+    """Resolved kernel options (span defaulted from the config)."""
+    return {
+        "migration_span": _resolve_span(
+            config, kwargs.get("migration_span")
+        ),
+        "steal_tries": kwargs.get("steal_tries", DEFAULT_STEAL_TRIES),
+    }
+
+
+def _crhcs_plan(config: AcceleratorConfig, kwargs: dict):
+    mode = kwargs.get("mode", "migrate")
+    if mode == "migrate":
+        names = CRHCS_PASSES
+    elif mode == "rebuild":
+        names = CRHCS_REBUILD_PASSES
+    else:
+        raise SchedulingError(f"unknown CrHCS mode {mode!r}")
+    return resolve_passes(names, _crhcs_options(config, kwargs))
+
+
+def _crhcs_rebuild_plan(config: AcceleratorConfig, kwargs: dict):
+    return resolve_passes(
+        CRHCS_REBUILD_PASSES, _crhcs_options(config, kwargs)
+    )
+
+
+# ---------------------------------------------------------------------------
 # public entry points
 # ---------------------------------------------------------------------------
 
@@ -562,6 +618,8 @@ def schedule_crhcs_tile(
     accelerator_name="chason",
     report_kwarg=True,
     description="cross-HBM-channel OoO with data migration (Fig. 2c, §3)",
+    passes=CRHCS_PASSES,
+    plan=_crhcs_plan,
 )
 def schedule_crhcs(
     matrix: Matrix,
@@ -571,37 +629,35 @@ def schedule_crhcs(
     mode: str = "migrate",
     max_rows_per_pass: int = 0,
     report: Optional[MigrationReport] = None,
+    _pass_cache=None,
 ) -> TiledSchedule:
     """Schedule a whole matrix with CrHCS (§3)."""
     t = telemetry.get()
-    # Aggregate this call's migrations locally (the caller's report, if
-    # any, may span several matrices) so the telemetry counters carry
-    # exactly this matrix's contribution.
-    local_report = MigrationReport() if (t.enabled or report is not None) \
-        else None
+    kwargs = {
+        "migration_span": migration_span,
+        "steal_tries": steal_tries,
+        "mode": mode,
+    }
+    plan = _crhcs_plan(config, kwargs)
+    span_value = _resolve_span(config, migration_span)
+    manager = PassManager(
+        plan,
+        scheme="crhcs" if mode == "migrate" else "crhcs_rebuild",
+        migration_span=span_value,
+    )
     with t.span("schedule.crhcs", nnz=matrix.nnz, mode=mode) as span:
-        tiles = tile_matrix(matrix, config, max_rows_per_pass)
-        span.annotate(tiles=len(tiles))
-        schedule = TiledSchedule(
-            config=config,
-            tiles=[
-                schedule_crhcs_tile(
-                    tile,
-                    config,
-                    migration_span=migration_span,
-                    steal_tries=steal_tries,
-                    mode=mode,
-                    report=local_report,
-                )
-                for tile in tiles
-            ],
-            scheme="crhcs" if mode == "migrate" else "crhcs_rebuild",
-            n_rows=matrix.n_rows,
-            n_cols=matrix.n_cols,
+        schedule = manager.run(
+            matrix, config,
+            max_rows_per_pass=max_rows_per_pass, cache=_pass_cache,
         )
+        span.annotate(tiles=len(schedule.tiles))
+    # The manager aggregates this call's migrations tile by tile (the
+    # caller's report, if any, may span several matrices), so the
+    # telemetry counters carry exactly this matrix's contribution.
+    local_report = manager.last_report
     if t.enabled and local_report is not None:
         t.counter("scheduler.crhcs.matrices", 1)
-        t.counter("scheduler.crhcs.tiles", len(tiles))
+        t.counter("scheduler.crhcs.tiles", len(schedule.tiles))
         t.counter("scheduler.crhcs.nnz", matrix.nnz)
         t.counter("scheduler.crhcs.migrated", local_report.migrated)
         t.counter("scheduler.crhcs.own_issues", local_report.own_issues)
@@ -626,6 +682,8 @@ def schedule_crhcs(
     accelerator_name="chason",
     report_kwarg=True,
     description="CrHCS rebuild mode: schedule from scratch, span-aware",
+    passes=CRHCS_REBUILD_PASSES,
+    plan=_crhcs_rebuild_plan,
 )
 def schedule_crhcs_rebuild(
     matrix: Matrix,
@@ -634,6 +692,7 @@ def schedule_crhcs_rebuild(
     steal_tries: int = DEFAULT_STEAL_TRIES,
     max_rows_per_pass: int = 0,
     report: Optional[MigrationReport] = None,
+    _pass_cache=None,
 ) -> TiledSchedule:
     """CrHCS in ``rebuild`` mode under its registry name."""
     return schedule_crhcs(
@@ -644,4 +703,5 @@ def schedule_crhcs_rebuild(
         mode="rebuild",
         max_rows_per_pass=max_rows_per_pass,
         report=report,
+        _pass_cache=_pass_cache,
     )

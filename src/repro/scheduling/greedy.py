@@ -24,6 +24,7 @@ from ..errors import SchedulingError
 from ..formats.coo import COOMatrix
 from ..formats.csr import CSRMatrix
 from .base import ChannelGrid, Schedule, ScheduledElement, TiledSchedule
+from .passes import PassManager, register_builder, resolve_passes
 from .pe_aware import RowGroup, group_rows_by_pe
 from .registry import register_scheme
 from .window import Tile, tile_matrix
@@ -105,6 +106,21 @@ def greedy_grids(tile: Tile, config: AcceleratorConfig) -> List[ChannelGrid]:
     return grids
 
 
+def _greedy_builder(tile, config, options, report):
+    """Kernel adapter for the pass pipeline (``build:greedy``)."""
+    return greedy_grids(tile, config)
+
+
+register_builder("greedy", _greedy_builder, version=GREEDY_VERSION)
+
+#: The scheme's pass composition (declared on the registry spec).
+GREEDY_PASSES = ("build:greedy", "compact", "trim", "verify")
+
+
+def _greedy_plan(config: AcceleratorConfig, kwargs: dict):
+    return resolve_passes(GREEDY_PASSES)
+
+
 def schedule_greedy_tile(tile: Tile, config: AcceleratorConfig) -> Schedule:
     schedule = Schedule(
         config=config,
@@ -123,18 +139,18 @@ def schedule_greedy_tile(tile: Tile, config: AcceleratorConfig) -> Schedule:
     default_config=DEFAULT_SERPENS,
     power_key="serpens",
     description="greedy intra-channel OoO (scheduling-policy ablation)",
+    passes=GREEDY_PASSES,
+    plan=_greedy_plan,
 )
 def schedule_greedy_ooo(
     matrix: Matrix,
     config: AcceleratorConfig,
     max_rows_per_pass: int = 0,
+    _pass_cache=None,
 ) -> TiledSchedule:
     """Schedule a whole matrix with greedy intra-channel OoO scheduling."""
-    tiles = tile_matrix(matrix, config, max_rows_per_pass)
-    return TiledSchedule(
-        config=config,
-        tiles=[schedule_greedy_tile(tile, config) for tile in tiles],
-        scheme="greedy_ooo",
-        n_rows=matrix.n_rows,
-        n_cols=matrix.n_cols,
+    manager = PassManager(_greedy_plan(config, {}), scheme="greedy_ooo")
+    return manager.run(
+        matrix, config,
+        max_rows_per_pass=max_rows_per_pass, cache=_pass_cache,
     )

@@ -33,6 +33,7 @@ from ..formats.coo import COOMatrix
 from ..formats.csr import CSRMatrix
 from .. import telemetry
 from .base import ChannelGrid, Schedule, TiledSchedule, pe_for_row
+from .passes import PassManager, register_builder, resolve_passes
 from .registry import register_scheme
 from .window import Tile, tile_matrix
 
@@ -254,6 +255,21 @@ def pe_aware_grids(tile: Tile, config: AcceleratorConfig) -> List[ChannelGrid]:
     return grids
 
 
+def _pe_aware_builder(tile, config, options, report):
+    """Kernel adapter for the pass pipeline (``build:pe_aware``)."""
+    return pe_aware_grids(tile, config)
+
+
+register_builder("pe_aware", _pe_aware_builder, version=PE_AWARE_VERSION)
+
+#: The scheme's pass composition (declared on the registry spec).
+PE_AWARE_PASSES = ("build:pe_aware", "compact", "trim", "verify")
+
+
+def _pe_aware_plan(config: AcceleratorConfig, kwargs: dict):
+    return resolve_passes(PE_AWARE_PASSES)
+
+
 def schedule_pe_aware_tile(tile: Tile, config: AcceleratorConfig) -> Schedule:
     """Schedule one tile with PE-aware OoO scheduling and equalise lists."""
     schedule = Schedule(
@@ -274,26 +290,26 @@ def schedule_pe_aware_tile(tile: Tile, config: AcceleratorConfig) -> Schedule:
     power_key="serpens",
     accelerator_name="serpens",
     description="intra-channel PE-aware OoO (Serpens/Sextans, Fig. 2b)",
+    passes=PE_AWARE_PASSES,
+    plan=_pe_aware_plan,
 )
 def schedule_pe_aware(
     matrix: Matrix,
     config: AcceleratorConfig,
     max_rows_per_pass: int = 0,
+    _pass_cache=None,
 ) -> TiledSchedule:
     """Schedule a whole matrix with the PE-aware (Serpens) scheme."""
     t = telemetry.get()
+    manager = PassManager(_pe_aware_plan(config, {}), scheme="pe_aware")
     with t.span("schedule.pe_aware", nnz=matrix.nnz) as span:
-        tiles = tile_matrix(matrix, config, max_rows_per_pass)
-        span.annotate(tiles=len(tiles))
-        schedule = TiledSchedule(
-            config=config,
-            tiles=[schedule_pe_aware_tile(tile, config) for tile in tiles],
-            scheme="pe_aware",
-            n_rows=matrix.n_rows,
-            n_cols=matrix.n_cols,
+        schedule = manager.run(
+            matrix, config,
+            max_rows_per_pass=max_rows_per_pass, cache=_pass_cache,
         )
+        span.annotate(tiles=len(schedule.tiles))
     if t.enabled:
         t.counter("scheduler.pe_aware.matrices", 1)
-        t.counter("scheduler.pe_aware.tiles", len(tiles))
+        t.counter("scheduler.pe_aware.tiles", len(schedule.tiles))
         t.counter("scheduler.pe_aware.nnz", matrix.nnz)
     return schedule

@@ -35,6 +35,7 @@ from typing import Callable, Dict, Optional, Tuple
 
 from ..config import AcceleratorConfig
 from ..errors import ConfigError
+from .passes import validate_pass_name
 
 #: name → spec; the *only* scheme dispatch table in the code base.
 _REGISTRY: Dict[str, "SchedulerSpec"] = {}
@@ -71,6 +72,15 @@ class SchedulerSpec:
     #: keyword for migration bookkeeping (CrHCS-family schemes).
     report_kwarg: bool = False
     description: str = ""
+    #: The scheme's pass-pipeline composition, as registry spellings
+    #: (``"build:pe_aware"``, ``"migrate:crhcs"``, ``"compact"``, …).
+    #: Validated at registration; empty for non-pass-based schemes.
+    passes: Tuple[str, ...] = ()
+    #: ``plan(config, scheduler_kwargs) -> List[SchedulePass]`` — the
+    #: instantiated pass list with kwargs resolved (spans defaulted,
+    #: thresholds computed).  Present iff ``passes`` is declared; it is
+    #: what the pipeline fingerprints and what ``reschedule`` runs.
+    plan: Optional[Callable[..., list]] = None
     extra: Tuple[Tuple[str, object], ...] = field(default=())
 
     def __post_init__(self) -> None:
@@ -80,6 +90,37 @@ class SchedulerSpec:
             raise ConfigError(f"scheme {self.name!r} needs a version tag")
         if not self.accelerator_name:
             object.__setattr__(self, "accelerator_name", self.name)
+        for pass_name in self.passes:
+            validate_pass_name(pass_name)
+        if self.passes and self.plan is None:
+            raise ConfigError(
+                f"scheme {self.name!r} declares passes but no plan"
+            )
+
+    def pass_plan(self, config: AcceleratorConfig, scheduler_kwargs: dict):
+        """The instantiated pass list for one (config, kwargs) pair.
+
+        ``report`` and private (``_``-prefixed) keyword arguments are
+        side channels, not scheduling parameters — they are stripped
+        before the plan sees the kwargs.
+        """
+        if self.plan is None:
+            return None
+        clean = {
+            k: v
+            for k, v in scheduler_kwargs.items()
+            if k != "report" and not k.startswith("_")
+        }
+        return self.plan(config, clean)
+
+    def pass_signature(
+        self, config: AcceleratorConfig, scheduler_kwargs: dict
+    ) -> Tuple[Tuple[object, ...], ...]:
+        """Per-pass digest signatures — folded into schedule cache keys."""
+        plan = self.pass_plan(config, scheduler_kwargs)
+        if plan is None:
+            return ()
+        return tuple(p.signature() for p in plan)
 
     @property
     def clock_mhz(self) -> float:
@@ -109,6 +150,8 @@ def register_scheme(
     accelerator_name: str = "",
     report_kwarg: bool = False,
     description: str = "",
+    passes: Tuple[str, ...] = (),
+    plan: Optional[Callable[..., list]] = None,
 ):
     """Decorator form of :func:`register` for scheduler functions."""
 
@@ -123,6 +166,8 @@ def register_scheme(
                 accelerator_name=accelerator_name,
                 report_kwarg=report_kwarg,
                 description=description,
+                passes=tuple(passes),
+                plan=plan,
             )
         )
         return fn

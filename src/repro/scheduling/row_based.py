@@ -21,6 +21,7 @@ from ..config import DEFAULT_SERPENS, AcceleratorConfig
 from ..formats.coo import COOMatrix
 from ..formats.csr import CSRMatrix
 from .base import ChannelGrid, Schedule, ScheduledElement, TiledSchedule
+from .passes import PassManager, register_builder, resolve_passes
 from .pe_aware import group_rows_by_pe
 from .registry import register_scheme
 from .window import Tile, tile_matrix
@@ -47,8 +48,8 @@ def _schedule_pe_in_order(rows, distance: int) -> Tuple[List[int], List[int], in
     return out_cycles, out_elements, cycle
 
 
-def schedule_row_based_tile(tile: Tile, config: AcceleratorConfig) -> Schedule:
-    """Row-based schedule of one tile."""
+def row_based_grids(tile: Tile, config: AcceleratorConfig) -> List[ChannelGrid]:
+    """Unequalised per-channel grids under in-order row-based scheduling."""
     groups = group_rows_by_pe(tile, config)
     distance = config.accumulator_latency
     grids: List[ChannelGrid] = []
@@ -72,9 +73,29 @@ def schedule_row_based_tile(tile: Tile, config: AcceleratorConfig) -> Schedule:
                     ),
                 )
         grids.append(grid)
+    return grids
+
+
+def _row_based_builder(tile, config, options, report):
+    """Kernel adapter for the pass pipeline (``build:row_based``)."""
+    return row_based_grids(tile, config)
+
+
+register_builder("row_based", _row_based_builder, version=ROW_BASED_VERSION)
+
+#: The scheme's pass composition (declared on the registry spec).
+ROW_BASED_PASSES = ("build:row_based", "compact", "trim", "verify")
+
+
+def _row_based_plan(config: AcceleratorConfig, kwargs: dict):
+    return resolve_passes(ROW_BASED_PASSES)
+
+
+def schedule_row_based_tile(tile: Tile, config: AcceleratorConfig) -> Schedule:
+    """Row-based schedule of one tile."""
     schedule = Schedule(
         config=config,
-        grids=grids,
+        grids=row_based_grids(tile, config),
         scheme="row_based",
         row_base=tile.row_base,
         col_base=tile.col_base,
@@ -89,18 +110,18 @@ def schedule_row_based_tile(tile: Tile, config: AcceleratorConfig) -> Schedule:
     default_config=DEFAULT_SERPENS,
     power_key="serpens",
     description="naive row-based parallelization (Fig. 2a)",
+    passes=ROW_BASED_PASSES,
+    plan=_row_based_plan,
 )
 def schedule_row_based(
     matrix: Matrix,
     config: AcceleratorConfig,
     max_rows_per_pass: int = 0,
+    _pass_cache=None,
 ) -> TiledSchedule:
     """Schedule a whole matrix with naive row-based scheduling."""
-    tiles = tile_matrix(matrix, config, max_rows_per_pass)
-    return TiledSchedule(
-        config=config,
-        tiles=[schedule_row_based_tile(tile, config) for tile in tiles],
-        scheme="row_based",
-        n_rows=matrix.n_rows,
-        n_cols=matrix.n_cols,
+    manager = PassManager(_row_based_plan(config, {}), scheme="row_based")
+    return manager.run(
+        matrix, config,
+        max_rows_per_pass=max_rows_per_pass, cache=_pass_cache,
     )

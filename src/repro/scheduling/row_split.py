@@ -33,6 +33,7 @@ from ..formats.coo import COOMatrix
 from ..formats.csr import CSRMatrix
 from .base import ChannelGrid, Schedule, ScheduledElement, TiledSchedule, pe_for_row
 from .greedy import schedule_single_pe_greedy
+from .passes import PassManager, register_builder, resolve_passes
 from .registry import register_scheme
 from .window import Tile, tile_matrix
 
@@ -79,18 +80,22 @@ def _split_groups(tile: Tile, config: AcceleratorConfig, threshold: int):
     return groups
 
 
-def schedule_row_split_tile(
-    tile: Tile,
-    config: AcceleratorConfig,
-    split_threshold: int = 0,
-) -> Schedule:
-    """Schedule one tile with row splitting + greedy cooldown."""
+def resolve_split_threshold(
+    config: AcceleratorConfig, split_threshold: int = 0
+) -> int:
+    """Resolve the caller's threshold (0 means the §2.1 default)."""
     if split_threshold < 0:
         raise SchedulingError("split threshold must be positive")
     if split_threshold == 0:
-        split_threshold = (
-            DEFAULT_THRESHOLD_FACTOR * config.accumulator_latency
-        )
+        return DEFAULT_THRESHOLD_FACTOR * config.accumulator_latency
+    return split_threshold
+
+
+def row_split_grids(
+    tile: Tile, config: AcceleratorConfig, split_threshold: int
+) -> List[ChannelGrid]:
+    """Unequalised per-channel grids under row splitting + greedy cooldown."""
+    split_threshold = resolve_split_threshold(config, split_threshold)
     groups = _split_groups(tile, config, split_threshold)
     distance = config.accumulator_latency
     rows_list = tile.rows.tolist()
@@ -114,9 +119,43 @@ def schedule_row_split_tile(
                     pe,
                 )
         grids.append(grid)
+    return grids
+
+
+def _row_split_builder(tile, config, options, report):
+    """Kernel adapter for the pass pipeline (``build:row_split``)."""
+    return row_split_grids(tile, config, options["split_threshold"])
+
+
+register_builder(
+    "row_split",
+    _row_split_builder,
+    option_keys=("split_threshold",),
+    version=ROW_SPLIT_VERSION,
+)
+
+#: The scheme's pass composition (declared on the registry spec).
+ROW_SPLIT_PASSES = ("build:row_split", "compact", "trim", "verify")
+
+
+def _row_split_plan(config: AcceleratorConfig, kwargs: dict):
+    threshold = resolve_split_threshold(
+        config, kwargs.get("split_threshold", 0)
+    )
+    return resolve_passes(
+        ROW_SPLIT_PASSES, options={"split_threshold": threshold}
+    )
+
+
+def schedule_row_split_tile(
+    tile: Tile,
+    config: AcceleratorConfig,
+    split_threshold: int = 0,
+) -> Schedule:
+    """Schedule one tile with row splitting + greedy cooldown."""
     schedule = Schedule(
         config=config,
-        grids=grids,
+        grids=row_split_grids(tile, config, split_threshold),
         scheme="row_split",
         row_base=tile.row_base,
         col_base=tile.col_base,
@@ -131,12 +170,15 @@ def schedule_row_split_tile(
     default_config=DEFAULT_SERPENS,
     power_key="serpens",
     description="HiSpMV-style long-row splitting (stall analysis only)",
+    passes=ROW_SPLIT_PASSES,
+    plan=_row_split_plan,
 )
 def schedule_row_split(
     matrix: Matrix,
     config: AcceleratorConfig,
     split_threshold: int = 0,
     max_rows_per_pass: int = 0,
+    _pass_cache=None,
 ) -> TiledSchedule:
     """Schedule a whole matrix with HiSpMV-style row splitting.
 
@@ -149,14 +191,9 @@ def schedule_row_split(
     row-split invariants (completeness, per-(PE, row) RAW spacing)
     directly.
     """
-    tiles = tile_matrix(matrix, config, max_rows_per_pass)
-    return TiledSchedule(
-        config=config,
-        tiles=[
-            schedule_row_split_tile(tile, config, split_threshold)
-            for tile in tiles
-        ],
-        scheme="row_split",
-        n_rows=matrix.n_rows,
-        n_cols=matrix.n_cols,
+    plan = _row_split_plan(config, {"split_threshold": split_threshold})
+    manager = PassManager(plan, scheme="row_split")
+    return manager.run(
+        matrix, config,
+        max_rows_per_pass=max_rows_per_pass, cache=_pass_cache,
     )

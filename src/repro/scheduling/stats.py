@@ -1,13 +1,57 @@
-"""Schedule-level statistics (Eq. 4 and the Fig. 11–13 quantities)."""
+"""Schedule-level statistics (Eq. 4 and the Fig. 11–13 quantities).
+
+Also home of :class:`MigrationReport`, the CrHCS bookkeeping record: it
+sits here (below the scheme modules and the pass pipeline) so the
+migrate/build passes can fill one per tile without importing the scheme
+modules; :mod:`repro.scheduling.crhcs` re-exports it at its historical
+location.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from collections import Counter
+from dataclasses import dataclass, field
 from typing import List, Union
 
 from .base import Schedule, TiledSchedule
 
 AnySchedule = Union[Schedule, TiledSchedule]
+
+
+@dataclass
+class MigrationReport:
+    """Bookkeeping of one CrHCS run (aggregated over tiles)."""
+
+    migrated: int = 0
+    own_issues: int = 0
+    raw_skips: int = 0
+    #: migrated counts keyed by (destination, donor) channel pair.
+    pair_counts: Counter = field(default_factory=Counter)
+
+    def record_migration(self, dest: int, donor: int) -> None:
+        self.migrated += 1
+        self.pair_counts[(dest, donor)] += 1
+
+    def merge(self, other: "MigrationReport") -> None:
+        self.migrated += other.migrated
+        self.own_issues += other.own_issues
+        self.raw_skips += other.raw_skips
+        # Counter.update adds counts, so overlapping pairs accumulate.
+        self.pair_counts.update(other.pair_counts)
+
+    def copy(self) -> "MigrationReport":
+        """An independent snapshot (the pass-artifact cache stores one)."""
+        return MigrationReport(
+            migrated=self.migrated,
+            own_issues=self.own_issues,
+            raw_skips=self.raw_skips,
+            pair_counts=Counter(self.pair_counts),
+        )
+
+    @property
+    def migration_fraction(self) -> float:
+        total = self.migrated + self.own_issues
+        return self.migrated / total if total else 0.0
 
 
 @dataclass(frozen=True)

@@ -155,6 +155,49 @@ def summarize_latencies(records: Iterable[Dict[str, Any]]) -> str:
     return "\n".join(lines)
 
 
+def summarize_schedule_passes(records: Iterable[Dict[str, Any]]) -> str:
+    """Per-pass rollup of the scheduling pipeline's telemetry.
+
+    Groups every ``schedule.pass.*`` span by its pass token and scheme:
+    how often the pass ran, how much scheduling time it took, and how
+    many tiles it executed versus resumed from the per-pass artifact
+    cache (the incremental-rescheduling hit rate, per pass).  Returns
+    ``""`` when the trace has no pass spans (pre-pipeline traces and
+    non-scheduling runs omit the section entirely).
+    """
+    stats: "OrderedDict[Tuple[str, str], Dict[str, float]]" = OrderedDict()
+    for record in records:
+        if record.get("kind") != "span":
+            continue
+        name = record.get("name", "")
+        tail = name.rsplit("/", 1)[-1]
+        if not tail.startswith("schedule.pass."):
+            continue
+        attrs = record.get("attrs", {})
+        key = (str(attrs.get("token", tail)), str(attrs.get("scheme", "?")))
+        bucket = stats.setdefault(
+            key, {"count": 0, "seconds": 0.0, "tiles": 0, "resumed": 0}
+        )
+        bucket["count"] += 1
+        bucket["seconds"] += float(record.get("duration_s", 0.0))
+        bucket["tiles"] += int(attrs.get("tiles", 0))
+        bucket["resumed"] += int(attrs.get("resumed", 0))
+    if not stats:
+        return ""
+    lines = [
+        f"{'pass':<22s} {'scheme':<14s} {'runs':>6s} {'tiles':>7s} "
+        f"{'resumed':>8s} {'total':>10s}"
+    ]
+    for (token, scheme) in sorted(stats):
+        bucket = stats[(token, scheme)]
+        lines.append(
+            f"{token:<22s} {scheme:<14s} {bucket['count']:>6d} "
+            f"{bucket['tiles']:>7d} {bucket['resumed']:>8d} "
+            f"{_format_seconds(bucket['seconds'])}"
+        )
+    return "\n".join(lines)
+
+
 def summarize_cluster_devices(records: Iterable[Dict[str, Any]]) -> str:
     """Per-device rollup of the cluster layer's telemetry.
 
@@ -396,6 +439,14 @@ def summarize_records(records: List[Dict[str, Any]]) -> str:
         "------",
         summarize_gauges(records),
     ]
+    pass_section = summarize_schedule_passes(records)
+    if pass_section:
+        sections += [
+            "",
+            "schedule passes",
+            "---------------",
+            pass_section,
+        ]
     hist_section = summarize_histograms(records)
     if hist_section:
         sections += [
