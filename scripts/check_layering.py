@@ -14,8 +14,9 @@ The dependency order is::
                     → cluster
                       → core
                         → baselines / solvers
-                          → analysis
-                            → cli
+                          → sessions
+                            → analysis
+                              → cli
 
 A module may import from its own layer or below, never from above: the
 scheduling layer cannot reach into the pipeline, the pipeline cannot
@@ -64,10 +65,11 @@ LAYERS = {
     "core": 9,
     "baselines": 10,
     "solvers": 10,
-    "analysis": 11,
-    "cli": 12,
-    "__main__": 12,
-    "__init__": 12,
+    "sessions": 11,
+    "analysis": 12,
+    "cli": 13,
+    "__main__": 13,
+    "__init__": 13,
 }
 
 #: Intra-``scheduling`` rule: the pass pipeline sits *below* the scheme
@@ -192,7 +194,8 @@ def main() -> int:
         print(f"\n{len(violations)} layering violation(s)")
         return 1
     print("layering OK: formats → scheduling → sim → estimator → "
-          "pipeline → serving → cluster → core → analysis → cli")
+          "pipeline → serving → cluster → core → sessions → analysis "
+          "→ cli")
     return 0
 
 

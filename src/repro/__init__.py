@@ -85,6 +85,7 @@ from .scheduling import (
 )
 from .precision import PRECISIONS, Precision, precision, with_precision
 from .sim import SpMVExecution, estimate_cycles, execute_schedule
+from .sessions import SessionManager, SessionSpec, SolverSession
 from .solvers import (
     SolverResult,
     conjugate_gradient,
@@ -155,6 +156,9 @@ __all__ = [
     "SpMVExecution",
     "estimate_cycles",
     "execute_schedule",
+    "SessionManager",
+    "SessionSpec",
+    "SolverSession",
     "SolverResult",
     "conjugate_gradient",
     "jacobi",

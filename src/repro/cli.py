@@ -51,6 +51,7 @@ from .serving import (
     serve_request_file,
 )
 from .cluster import Cluster, format_status, serve_request_file_clustered
+from .sessions import SessionManager, solver_programs
 
 
 def _scheme_lines() -> List[str]:
@@ -422,6 +423,86 @@ def _cmd_cluster(args) -> int:
     return 0 if served == len(results) else 1
 
 
+def _cmd_session(args) -> int:
+    import numpy as np
+    from concurrent.futures import ThreadPoolExecutor
+
+    matrix = generate_named(args.matrix)
+    params = {}
+    if args.solver in ("cg", "jacobi"):
+        rng = np.random.default_rng(args.seed)
+        params["b"] = rng.normal(size=matrix.n_rows)
+        if args.solver == "jacobi":
+            params["omega"] = args.omega
+    else:
+        params["seed"] = args.seed
+
+    engine = cluster = None
+    if args.devices:
+        cluster = Cluster(devices=args.devices).start()
+    else:
+        engine = ServingEngine().start()
+    try:
+        manager = SessionManager(engine=engine, cluster=cluster)
+
+        def solve(index: int):
+            with manager.open(
+                args.matrix,
+                solver=args.solver,
+                scheme=args.scheme,
+                tolerance=args.tolerance,
+                max_iterations=args.max_iterations,
+                params=params,
+                priority=args.priority,
+                deadline_ms=args.deadline_ms,
+            ) as session:
+                result = session.run(timeout=args.timeout)
+                return session, result
+
+        workers = max(min(args.sessions, 32), 1)
+        with ThreadPoolExecutor(
+            max_workers=workers,
+            thread_name_prefix="repro-session-client",
+        ) as pool:
+            outcomes = list(pool.map(solve, range(args.sessions)))
+    finally:
+        if cluster is not None:
+            cluster.shutdown(drain=True)
+        if engine is not None:
+            engine.shutdown(drain=True)
+
+    print(f"{'session':<10s} {'device':<8s} {'iters':>5s} "
+          f"{'residual':>12s} {'conv':>5s} {'failover':>8s} "
+          f"{'remat':>5s}")
+    for session, result in outcomes:
+        device = (session.device.device_id
+                  if session.device is not None else "-")
+        print(
+            f"{session.session_id:<10s} {device:<8s} "
+            f"{result.iterations:>5d} {result.residual:>12.3e} "
+            f"{str(result.converged):>5s} {session.failovers:>8d} "
+            f"{session.rematerializations:>5d}"
+        )
+    stats = manager.snapshot()
+    print(
+        f"\nsessions {stats['opened']} opened, {stats['closed']} closed; "
+        f"{stats['iterations']} iterations in {stats['steps']} steps; "
+        f"{stats['failovers']} failovers, "
+        f"{stats['rematerializations']} re-materializations"
+    )
+    if engine is not None:
+        resident = engine.resident.snapshot()
+        print(
+            f"resident store: {resident['sessions']} sessions, "
+            f"{resident['bytes']} bytes, {resident['hits']} hits, "
+            f"{resident['misses']} misses, "
+            f"{resident['evictions']} evictions"
+        )
+    solved = sum(1 for _s, result in outcomes if result.converged)
+    print(f"converged {solved}/{len(outcomes)}")
+    return 0 if all(s.finished for s, _r in outcomes) else 1
+
+
 def _cmd_telemetry(args) -> int:
     if args.telemetry_command == "summarize":
         print(telemetry_mod.summarize_file(args.trace))
@@ -704,6 +785,49 @@ def build_parser() -> argparse.ArgumentParser:
         default="affinity",
     )
     cluster_status.set_defaults(func=_cmd_cluster)
+
+    session = commands.add_parser(
+        "session",
+        help="iterative-solver sessions with device-resident state",
+    )
+    session_commands = session.add_subparsers(
+        dest="session_command", required=True
+    )
+    session_run = session_commands.add_parser(
+        "run",
+        help="run concurrent solver sessions over an engine or cluster",
+    )
+    session_run.add_argument("matrix", choices=sorted(NAMED_MATRICES))
+    session_run.add_argument(
+        "--solver", choices=solver_programs(),
+        default="power_iteration",
+    )
+    session_run.add_argument("--scheme", default="crhcs", metavar="SCHEME",
+                             help="a registered scheme (see schedule "
+                                  "--list-schemes)")
+    session_run.add_argument(
+        "--sessions", type=int, default=4,
+        help="concurrent sessions to run (default 4)",
+    )
+    session_run.add_argument(
+        "--devices", type=int, default=0,
+        help="cluster device count (0 = one in-process engine; "
+             "a cluster honours REPRO_CLUSTER_FAULTS)",
+    )
+    session_run.add_argument("--tolerance", type=float, default=1e-6)
+    session_run.add_argument("--max-iterations", type=int, default=200)
+    session_run.add_argument("--priority", type=int, default=0)
+    session_run.add_argument("--deadline-ms", type=float, default=None)
+    session_run.add_argument(
+        "--seed", type=int, default=0,
+        help="start-vector / right-hand-side seed",
+    )
+    session_run.add_argument(
+        "--omega", type=float, default=1.0,
+        help="Jacobi damping factor",
+    )
+    session_run.add_argument("--timeout", type=float, default=60.0)
+    session_run.set_defaults(func=_cmd_session)
 
     telemetry = commands.add_parser(
         "telemetry", help="inspect JSONL telemetry traces"

@@ -351,6 +351,50 @@ class Cluster:
             return None
         return min(fallback, key=lambda d: d.queue_depth)
 
+    def lease(self, fingerprint: str,
+              tried: Sequence[str] = ()) -> Optional[DeviceHandle]:
+        """Route long-lived session work onto a device.
+
+        The session subsystem calls this exactly once per session (and
+        again on failover): same consistent-hash affinity as one-shot
+        requests — a session over a matrix lands on the device that
+        already caches that matrix's schedule — with the same healthy
+        replica-set walk and least-loaded fallback.  Returns ``None``
+        only when no alive device remains.
+        """
+        if self._state == "new":
+            raise ServingError("cluster not started (call start())")
+        device = self._pick(fingerprint, list(tried))
+        if device is not None:
+            t = telemetry.get()
+            self._note_routing(fingerprint, device.device_id, t)
+            if t.enabled:
+                t.counter("cluster.session.lease", 1,
+                          device=device.device_id)
+        return device
+
+    def report_failure(self, device_id: str,
+                       crashed: bool = False) -> None:
+        """Charge a device one session-observed fault.
+
+        The session driver saw a ``device-fault:`` error (or a shed
+        response from a dying engine) on its leased device; the same
+        health ledger and failover policy as the one-shot router apply —
+        a crash removes the device immediately, repeated faults past
+        ``FAILURE_THRESHOLD`` remove it too, so surviving sessions
+        re-lease among healthy devices only.
+        """
+        device = self.devices.get(device_id)
+        if device is None:
+            return
+        self._record_failure(device, crashed=crashed, fault=True)
+
+    def report_success(self, device_id: str, latency_s: float) -> None:
+        """Record a served session iteration on the device's ledger."""
+        device = self.devices.get(device_id)
+        if device is not None:
+            device.health.record_success(latency_s)
+
     # -- failover --------------------------------------------------------
 
     def remove_device(self, device_id: str, drain: bool = True,

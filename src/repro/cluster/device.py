@@ -79,7 +79,15 @@ class DeviceHealth:
 
 
 class _InjectedRunner:
-    """Wraps a device's pipeline runner with its fault injector."""
+    """Wraps a device's pipeline runner with its fault injector.
+
+    Both execution paths are covered: one-shot ``analyze`` calls and
+    the per-iteration ``execute`` calls a resident session's
+    :class:`~repro.pipeline.runner.PreparedSpMV` makes (``prepare``
+    re-points the handle's runner at this wrapper), so an injected
+    crash hits a session mid-iteration exactly like a one-shot.
+    Everything else delegates to the wrapped runner unchanged.
+    """
 
     def __init__(self, runner: Any, injector: FaultInjector):
         self._runner = runner
@@ -88,6 +96,19 @@ class _InjectedRunner:
     def analyze(self, source: Any, spec: Any, config: Any, **kwargs: Any):
         self._injector.before_execute()
         return self._runner.analyze(source, spec, config, **kwargs)
+
+    def execute(self, scheduled: Any, x: Any):
+        self._injector.before_execute()
+        return self._runner.execute(scheduled, x)
+
+    def prepare(self, source: Any, scheme: Any, config: Any = None,
+                **kwargs: Any):
+        prepared = self._runner.prepare(source, scheme, config, **kwargs)
+        prepared.runner = self
+        return prepared
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._runner, name)
 
 
 class DeviceHandle:

@@ -66,6 +66,17 @@ class EstimationError(ReproError):
     back to the exact simulator, explicit ``estimate`` callers see it."""
 
 
+class SessionError(ReproError):
+    """A solver session was misused or could not be admitted.
+
+    Raised for lifecycle misuse (stepping a closed session), for
+    admission past the ``REPRO_SESSION_MAX`` concurrent-session limit,
+    and when every failover attempt for an iteration exhausted without a
+    usable device.  Like :class:`ServingError`, this marks API misuse or
+    genuine exhaustion — transient overload inside a session step is
+    retried internally, not raised."""
+
+
 class ServingError(ReproError):
     """The serving engine was used outside its lifecycle contract
     (e.g. submitting before ``start`` or waiting past a ticket timeout).

@@ -103,6 +103,16 @@ RUNTIME_KNOBS: Tuple[Knob, ...] = (
     Knob("REPRO_AUDIT_RATE", "fidelity", "0.05",
          "fraction of estimate-tier responses re-run through the exact "
          "simulator; a tolerance violation demotes the scheme to exact"),
+    # sessions
+    Knob("REPRO_SESSION_MAX", "sessions", "4096",
+         "max concurrent solver sessions per SessionManager; opens "
+         "beyond the limit raise SessionError"),
+    Knob("REPRO_SESSION_STATE_BUDGET", "sessions", "67108864",
+         "resident-state byte budget per engine; LRU sessions beyond it "
+         "are evicted and re-materialized on next use"),
+    Knob("REPRO_SESSION_ITER_BATCH", "sessions", "8",
+         "solver iterations executed per admitted session work item "
+         "(bounds how long one session occupies a worker)"),
     # cluster
     Knob("REPRO_CLUSTER_DEVICES", "cluster", "4",
          "simulated devices in the cluster (each its own engine and "

@@ -26,7 +26,7 @@ from .fingerprint import (
     fingerprint_matrix,
     fingerprint_source,
 )
-from .runner import AnalysisResult, PipelineRunner
+from .runner import AnalysisResult, PipelineRunner, PreparedSpMV
 from .stages import (
     METRICS_VERSION,
     EstimateStage,
@@ -51,6 +51,7 @@ __all__ = [
     "MetricsStage",
     "PipelineResult",
     "PipelineRunner",
+    "PreparedSpMV",
     "ReportArtifact",
     "ScheduleStage",
     "ScheduledMatrix",

@@ -24,6 +24,11 @@ from .engine import (
     serve_worker_count,
 )
 from .queue import AdmissionQueue
+from .resident import (
+    STATE_BUDGET_ENV,
+    ResidentStateStore,
+    session_state_budget,
+)
 from .request import (
     STATUS_ERROR,
     STATUS_EXPIRED,
@@ -44,6 +49,8 @@ __all__ = [
     "STATUS_EXPIRED",
     "STATUS_OK",
     "STATUS_REJECTED",
+    "STATE_BUDGET_ENV",
+    "ResidentStateStore",
     "ServingClient",
     "ServingEngine",
     "SpMVRequest",
@@ -58,4 +65,5 @@ __all__ = [
     "serve_queue_capacity",
     "serve_request_file",
     "serve_worker_count",
+    "session_state_budget",
 ]

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Tuple
 
+from .. import telemetry
 from ..config import AcceleratorConfig
 from ..errors import ConfigError
 from .engine import ServingEngine, Ticket
@@ -61,8 +62,17 @@ class ServingClient:
 
 
 def load_request_file(path: str) -> List[SpMVRequest]:
-    """Parse a JSONL request file (blank lines and ``#`` comments skip)."""
+    """Parse a JSONL request file (blank lines and ``#`` comments skip).
+
+    Malformed lines are *skipped*, not raised: each bad line is counted,
+    and one warning per file reports the count and the first failure —
+    the same tolerant contract as the telemetry trace loader
+    (:func:`repro.telemetry.schema.load_trace_tolerant`), so one typo in
+    a workload file cannot take down the whole serve run.
+    """
     requests: List[SpMVRequest] = []
+    skipped = 0
+    first_error = ""
     with open(path, "r", encoding="utf-8") as handle:
         for line_no, line in enumerate(handle, start=1):
             line = line.strip()
@@ -71,7 +81,18 @@ def load_request_file(path: str) -> List[SpMVRequest]:
             try:
                 requests.append(request_from_json(line))
             except ConfigError as error:
-                raise ConfigError(f"{path}:{line_no}: {error}") from error
+                skipped += 1
+                if not first_error:
+                    first_error = f"line {line_no}: {error}"
+    if skipped:
+        telemetry.warn_once(
+            f"request_file_malformed:{path}",
+            f"{path}: skipped {skipped} malformed request line(s) "
+            f"(first: {first_error})",
+        )
+        t = telemetry.get()
+        if t.enabled:
+            t.counter("serving.request_file.skipped", skipped)
     return requests
 
 

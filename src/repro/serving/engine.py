@@ -59,6 +59,7 @@ from ..pipeline.stages import LoadStage
 from ..pipeline.store import ArtifactStore
 from ..scheduling.registry import get_scheme
 from .queue import DEFAULT_CAPACITY, AdmissionQueue
+from .resident import ResidentStateStore
 from .request import (
     STATUS_ERROR,
     STATUS_EXPIRED,
@@ -78,6 +79,22 @@ DEFAULT_BATCH = 8
 
 #: Worker poll interval while idle (also the drain-detection latency).
 _POLL_S = 0.05
+
+
+class _SessionSpec:
+    """Stand-in scheme spec for session-work entries.
+
+    Session work carries its own scheme/config inside the work item (it
+    was resolved when the session opened), so the engine's per-entry
+    spec only feeds telemetry labels and batching groups.
+    """
+
+    __slots__ = ()
+    name = "session"
+    version = ""
+
+
+_SESSION_SPEC = _SessionSpec()
 
 
 def _int_env(env: str, default: int, warn_key: str, minimum: int) -> int:
@@ -230,6 +247,8 @@ class ServingEngine:
             capacity=max(4 * capacity, 64), schedule_cache=None
         )
         self.runner = PipelineRunner(self.store)
+        #: Device-resident session state (schedules + iterate vectors).
+        self.resident = ResidentStateStore()
         self.latencies = LatencyRecorder()
         self.slo = BurnRateMonitor()
         self._seq = itertools.count()
@@ -325,6 +344,9 @@ class ServingEngine:
                     trace=trace, owns_root=owns_root,
                 )
             now = time.monotonic()
+            if request.work is not None:
+                return self._submit_session(request, now, trace,
+                                            owns_root, t)
             try:
                 spec = get_scheme(request.scheme)
                 config = request.resolve_config(spec)
@@ -406,6 +428,47 @@ class ServingEngine:
                 t.gauge("serving.queue_depth", len(self.queue))
             return Ticket(entry=entry)
 
+    def _submit_session(self, request: SpMVRequest, now: float,
+                        trace, owns_root: bool, t) -> Ticket:
+        """Admit one session work item.
+
+        Session work rides the same admission queue (priority, deadline,
+        displacement) as one-shot requests — that is the cross-session
+        fairness mechanism — but never coalesces (each iteration slice
+        is unique work) and only batches with work of its own session,
+        which preserves per-session in-order execution.
+        """
+        work = request.work
+        entry = _Entry(
+            request, next(self._seq), _SESSION_SPEC, None,
+            group=("session", work.session_id),
+            work_fp=fingerprint(
+                "session-work", work.session_id, str(request.request_id)
+            ),
+            now=now, trace=trace, owns_root=owns_root,
+        )
+        admitted, displaced, expired = self.queue.push(entry, now=now)
+        for stale in expired:
+            self._finish_expired(stale)
+        if displaced is not None:
+            self._finish_shed(
+                displaced,
+                "displaced by higher-priority request",
+                reason_key="displaced",
+            )
+        if not admitted:
+            self._finish_shed(
+                entry,
+                f"queue full (capacity {self.queue.capacity})",
+                reason_key="queue_full",
+            )
+            return Ticket(entry=entry)
+        self._bump("accepted")
+        if t.enabled:
+            t.counter("serving.accepted", 1, scheme="session")
+            t.gauge("serving.queue_depth", len(self.queue))
+        return Ticket(entry=entry)
+
     def submit_wait(self, request: SpMVRequest,
                     timeout: Optional[float] = None) -> SpMVResponse:
         """Submit and block for the response (the in-process client path)."""
@@ -476,6 +539,9 @@ class ServingEngine:
         return self.fidelity
 
     def _execute(self, entry: _Entry) -> None:
+        if entry.request.work is not None:
+            self._execute_session(entry)
+            return
         t = telemetry.get()
         started = time.monotonic()
         queue_s = max(started - entry.submitted_at, 0.0)
@@ -517,6 +583,38 @@ class ServingEngine:
         if result is not None and result.fidelity == "estimate":
             if should_audit(entry.work_fp, self.audit_rate):
                 self._audit(entry, result)
+
+    def _execute_session(self, entry: _Entry) -> None:
+        """Run one session work item against the resident-state store."""
+        t = telemetry.get()
+        started = time.monotonic()
+        queue_s = max(started - entry.submitted_at, 0.0)
+        work = entry.request.work
+        try:
+            payload = work.execute(self.runner, self.resident)
+            response = SpMVResponse(
+                request_id=entry.request.request_id,
+                status=STATUS_OK,
+                cache_status="resident",
+                queue_s=queue_s,
+                service_s=max(time.monotonic() - started, 0.0),
+                payload=payload,
+            )
+            self._bump("completed")
+            if t.enabled:
+                t.counter("serving.completed", 1, scheme="session")
+        except ReproError as error:
+            response = SpMVResponse(
+                request_id=entry.request.request_id,
+                status=STATUS_ERROR,
+                detail=str(error),
+                queue_s=queue_s,
+                service_s=max(time.monotonic() - started, 0.0),
+            )
+            self._bump("errors")
+            if t.enabled:
+                t.counter("serving.errors", 1, phase="session")
+        self._fulfill(entry, response, exec_started=started)
 
     def _audit(self, entry: _Entry, estimate) -> None:
         """Differential gate: re-run one estimate-tier response through
@@ -744,6 +842,14 @@ class ServingEngine:
         for key, value in self.stats.items():
             if value:
                 t.counter(f"serving.final.{key}", value)
+        resident = self.resident.snapshot()
+        if resident["hits"] or resident["misses"]:
+            t.counter("serving.resident.final.hits", resident["hits"])
+            t.counter("serving.resident.final.misses",
+                      resident["misses"])
+            if resident["evictions"]:
+                t.counter("serving.resident.final.evictions",
+                          resident["evictions"])
         audit = self.audit_summary()
         if audit["sampled"]:
             t.counter("serving.audit.final.sampled", audit["sampled"])

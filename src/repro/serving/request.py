@@ -79,6 +79,14 @@ class SpMVRequest:
     #: first tracing-aware layer (cluster or engine) attaches one; the
     #: explicit field is what carries the trace across thread boundaries.
     trace: Optional[TraceContext] = None
+    #: Session work item, or ``None`` for a plain one-shot SpMV.  When
+    #: set, the engine dispatches through the item's
+    #: ``execute(runner, resident)`` instead of the analyze flow — the
+    #: duck-typed contract is: attributes ``session_id`` (str) and
+    #: ``kind`` (str), and ``execute`` returning a JSON-ish payload
+    #: dict.  Priority/deadline/SLO class on *this* request still govern
+    #: admission — a session inherits them onto every iteration.
+    work: Optional[Any] = None
     request_id: int = field(default_factory=lambda: next(_REQUEST_IDS))
 
     def effective_slo_class(self) -> str:
@@ -147,6 +155,9 @@ class SpMVResponse:
     #: The request's trace id (``""`` for untraced requests) — the key
     #: into the exported causal tree for this request.
     trace_id: str = ""
+    #: Session-work result payload (iteration counts, residuals, and for
+    #: fetches the solution itself); ``None`` for one-shot responses.
+    payload: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
@@ -174,6 +185,12 @@ class SpMVResponse:
             payload["trace_id"] = self.trace_id
         if self.report is not None:
             payload["report"] = dataclasses.asdict(self.report)
+        if self.payload is not None:
+            payload["payload"] = {
+                key: (value.tolist() if hasattr(value, "tolist")
+                      else value)
+                for key, value in self.payload.items()
+            }
         return json.dumps(payload, separators=(",", ":"), sort_keys=True)
 
 

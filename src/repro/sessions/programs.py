@@ -1,0 +1,175 @@
+"""Solver programs: how each registered solver opens and steps a session.
+
+A *program* adapts one offline solver to the session lifecycle:
+
+* :meth:`~SolverProgram.open` builds the device-resident half of the
+  session — a :class:`~repro.pipeline.runner.PreparedSpMV` (the
+  load + schedule stages run once, here) plus the solver's initial
+  iterate state from :mod:`repro.solvers.steps`.
+* :meth:`~SolverProgram.step` advances the state by exactly one
+  iteration, calling the *same* step function the offline loop calls.
+
+Because ``open`` is a pure function of the :class:`SessionSpec` (seeded
+randomness, deterministic scheduling) and ``step`` is the shared math,
+re-running ``open`` + ``step``×k on any device reproduces the state a
+crashed device held after k iterations, byte for byte.  That is the
+whole failover story.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ConfigError, ShapeError
+from ..formats.convert import to_coo
+from ..pipeline.runner import PipelineRunner, PreparedSpMV
+from ..solvers.steps import (
+    cg_init,
+    cg_step,
+    jacobi_init,
+    jacobi_split,
+    jacobi_step,
+    power_init,
+    power_step,
+)
+from .spec import SessionSpec
+
+#: ``vector -> SpMVExecution`` — a prepared handle's ``execute``.
+SpMVFn = Callable[[np.ndarray], Any]
+
+
+def _vector(params: Dict[str, Any], key: str) -> Optional[np.ndarray]:
+    value = params.get(key)
+    if value is None:
+        return None
+    return np.asarray(value, dtype=np.float64)
+
+
+class SolverProgram:
+    """One solver's session adapter.  Subclasses define ``open``/``step``."""
+
+    name = ""
+
+    def open(self, runner: PipelineRunner,
+             spec: SessionSpec) -> Tuple[PreparedSpMV, Any]:
+        raise NotImplementedError
+
+    def step(self, spmv: SpMVFn, state: Any, iteration: int) -> None:
+        raise NotImplementedError
+
+
+class PowerIterationProgram(SolverProgram):
+    name = "power_iteration"
+
+    def open(self, runner, spec):
+        loaded = runner.load(spec.source)
+        matrix = loaded.matrix
+        if matrix.n_rows != matrix.n_cols:
+            raise ShapeError("power iteration needs a square matrix")
+        prepared = runner.prepare(
+            loaded, spec.scheme, spec.resolve_config()
+        )
+        state = power_init(
+            matrix.n_cols,
+            seed=int(spec.params.get("seed", 0)),
+            x0=_vector(spec.params, "x0"),
+        )
+        return prepared, state
+
+    def step(self, spmv, state, iteration):
+        power_step(spmv, state, iteration)
+
+
+class CGProgram(SolverProgram):
+    name = "cg"
+
+    def open(self, runner, spec):
+        loaded = runner.load(spec.source)
+        matrix = loaded.matrix
+        if matrix.n_rows != matrix.n_cols:
+            raise ShapeError("CG needs a square (SPD) system")
+        b = _vector(spec.params, "b")
+        if b is None:
+            raise ConfigError(
+                "cg sessions need params={'b': <right-hand side>}"
+            )
+        if b.shape != (matrix.n_rows,):
+            raise ShapeError(
+                f"b of shape {b.shape} incompatible with {matrix.shape}"
+            )
+        prepared = runner.prepare(
+            loaded, spec.scheme, spec.resolve_config()
+        )
+        state = cg_init(prepared.execute, b,
+                        x0=_vector(spec.params, "x0"))
+        return prepared, state
+
+    def step(self, spmv, state, iteration):
+        cg_step(spmv, state, iteration)
+
+
+class JacobiProgram(SolverProgram):
+    name = "jacobi"
+
+    def open(self, runner, spec):
+        loaded = runner.load(spec.source)
+        coo = to_coo(loaded.matrix)
+        if coo.n_rows != coo.n_cols:
+            raise ShapeError("Jacobi needs a square system")
+        b = _vector(spec.params, "b")
+        if b is None:
+            raise ConfigError(
+                "jacobi sessions need params={'b': <right-hand side>}"
+            )
+        if b.shape != (coo.n_rows,):
+            raise ShapeError(
+                f"b of shape {b.shape} incompatible with {coo.shape}"
+            )
+        diagonal, remainder = jacobi_split(coo)
+        # The device-resident schedule streams the off-diagonal
+        # remainder, exactly like the offline loop.
+        prepared = runner.prepare(
+            remainder, spec.scheme, spec.resolve_config()
+        )
+        state = jacobi_init(
+            coo, b,
+            omega=float(spec.params.get("omega", 1.0)),
+            diagonal=diagonal,
+            x0=_vector(spec.params, "x0"),
+        )
+        return prepared, state
+
+    def step(self, spmv, state, iteration):
+        jacobi_step(spmv, state, iteration)
+
+
+_PROGRAMS: Dict[str, SolverProgram] = {}
+
+
+def register_program(program: SolverProgram,
+                     *aliases: str) -> SolverProgram:
+    for name in (program.name, *aliases):
+        _PROGRAMS[name] = program
+    return program
+
+
+register_program(PowerIterationProgram(), "power")
+register_program(CGProgram(), "conjugate_gradient")
+register_program(JacobiProgram())
+
+
+def solver_programs() -> Tuple[str, ...]:
+    """The registered canonical program names."""
+    return tuple(sorted({p.name for p in _PROGRAMS.values()}))
+
+
+def get_program(name: str) -> SolverProgram:
+    try:
+        return _PROGRAMS[name]
+    except KeyError:
+        known = ", ".join(sorted(_PROGRAMS))
+        raise ConfigError(
+            f"unknown solver program {name!r} (known: {known})"
+        ) from None

@@ -11,10 +11,32 @@ from .result import SolverResult
 from .jacobi import jacobi
 from .power_iteration import power_iteration
 from .cg import conjugate_gradient
+from .steps import (
+    CGState,
+    JacobiState,
+    PowerState,
+    cg_init,
+    cg_step,
+    jacobi_init,
+    jacobi_split,
+    jacobi_step,
+    power_init,
+    power_step,
+)
 
 __all__ = [
     "SolverResult",
     "jacobi",
     "power_iteration",
     "conjugate_gradient",
+    "CGState",
+    "JacobiState",
+    "PowerState",
+    "cg_init",
+    "cg_step",
+    "jacobi_init",
+    "jacobi_split",
+    "jacobi_step",
+    "power_init",
+    "power_step",
 ]

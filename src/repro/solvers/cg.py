@@ -18,6 +18,7 @@ from ..errors import ShapeError
 from ..formats.coo import COOMatrix
 from ..formats.csr import CSRMatrix
 from .result import SolverResult
+from .steps import cg_init, cg_step
 
 Matrix = Union[COOMatrix, CSRMatrix]
 
@@ -44,50 +45,20 @@ def conjugate_gradient(
     max_iterations = max_iterations or n
 
     schedule = accelerator.schedule(matrix)
-    accelerator_seconds = 0.0
 
-    def spmv(vector: np.ndarray) -> np.ndarray:
-        nonlocal accelerator_seconds
-        execution, report = accelerator.run(
-            matrix, vector.astype(np.float32), schedule=schedule
+    def spmv(vector: np.ndarray):
+        execution, _report = accelerator.run(
+            matrix, vector, schedule=schedule
         )
-        accelerator_seconds += report.latency_seconds
-        return execution.y
+        return execution
 
-    x = (np.zeros(n) if x0 is None else np.asarray(x0, dtype=np.float64))
-    x = x.copy()
-    r = b - (spmv(x) if np.any(x) else np.zeros(n))
-    p = r.copy()
-    rho = float(r @ r)
-    b_norm = float(np.linalg.norm(b)) or 1.0
-
-    history = []
-    residual = float(np.sqrt(rho)) / b_norm
+    state = cg_init(spmv, b, x0=x0)
     iteration = 0
     for iteration in range(1, max_iterations + 1):
-        if residual < tolerance:
+        if state.residual < tolerance:
             iteration -= 1
             break
-        ap = spmv(p)
-        denominator = float(p @ ap)
-        if denominator <= 0.0:
-            # Not SPD (or float32 streaming noise near convergence).
+        cg_step(spmv, state, iteration)
+        if state.halted:
             break
-        alpha = rho / denominator
-        x += alpha * p
-        r -= alpha * ap
-        rho_next = float(r @ r)
-        residual = float(np.sqrt(rho_next)) / b_norm
-        history.append(residual)
-        beta = rho_next / rho
-        rho = rho_next
-        p = r + beta * p
-
-    return SolverResult(
-        solution=x,
-        iterations=iteration,
-        converged=residual < tolerance,
-        residual=residual,
-        accelerator_seconds=accelerator_seconds,
-        history=history,
-    )
+    return state.result(iteration, tolerance)

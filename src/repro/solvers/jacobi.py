@@ -7,26 +7,19 @@ from typing import Optional, Union
 import numpy as np
 
 from ..core.accelerator import StreamingAccelerator
-from ..errors import ShapeError, SimulationError
+from ..errors import ShapeError
 from ..formats.convert import to_coo
 from ..formats.coo import COOMatrix
 from ..formats.csr import CSRMatrix
 from .result import SolverResult
+from .steps import jacobi_init, jacobi_split, jacobi_step
 
 Matrix = Union[COOMatrix, CSRMatrix]
 
 
 def _split(matrix: COOMatrix):
     """A = D + R: the diagonal and the off-diagonal remainder."""
-    on_diagonal = matrix.rows == matrix.cols
-    diagonal = np.zeros(matrix.n_rows)
-    np.add.at(diagonal, matrix.rows[on_diagonal],
-              matrix.values[on_diagonal].astype(np.float64))
-    off = ~on_diagonal
-    remainder = COOMatrix(
-        matrix.shape, matrix.rows[off], matrix.cols[off], matrix.values[off]
-    )
-    return diagonal, remainder
+    return jacobi_split(matrix)
 
 
 def jacobi(
@@ -52,38 +45,19 @@ def jacobi(
     if b.shape != (coo.n_rows,):
         raise ShapeError(f"b of shape {b.shape} incompatible with {coo.shape}")
 
-    diagonal, remainder = _split(coo)
-    if np.any(diagonal == 0.0):
-        raise SimulationError("Jacobi requires a non-zero diagonal")
-
+    diagonal, remainder = jacobi_split(coo)
+    state = jacobi_init(coo, b, omega, diagonal, x0=x0)
     schedule = accelerator.schedule(remainder)
-    x = (np.zeros(coo.n_rows) if x0 is None
-         else np.asarray(x0, dtype=np.float64)).copy()
-    b_norm = float(np.linalg.norm(b)) or 1.0
 
-    history = []
-    accelerator_seconds = 0.0
-    residual = float("inf")
+    def spmv(vector: np.ndarray):
+        execution, _report = accelerator.run(
+            remainder, vector, schedule=schedule
+        )
+        return execution
+
     iteration = 0
     for iteration in range(1, max_iterations + 1):
-        execution, report = accelerator.run(
-            remainder, x.astype(np.float32), schedule=schedule
-        )
-        accelerator_seconds += report.latency_seconds
-        x_next = (b - execution.y) / diagonal
-        x = (1.0 - omega) * x + omega * x_next
-        residual = float(
-            np.linalg.norm(coo.matvec(x) - b) / b_norm
-        )
-        history.append(residual)
-        if residual < tolerance:
+        jacobi_step(spmv, state, iteration)
+        if state.finished(tolerance):
             break
-
-    return SolverResult(
-        solution=x,
-        iterations=iteration,
-        converged=residual < tolerance,
-        residual=residual,
-        accelerator_seconds=accelerator_seconds,
-        history=history,
-    )
+    return state.result(iteration, tolerance)

@@ -11,6 +11,7 @@ from ..errors import ShapeError
 from ..formats.coo import COOMatrix
 from ..formats.csr import CSRMatrix
 from .result import SolverResult
+from .steps import power_init, power_step
 
 Matrix = Union[COOMatrix, CSRMatrix]
 
@@ -32,46 +33,18 @@ def power_iteration(
     """
     if matrix.n_rows != matrix.n_cols:
         raise ShapeError("power iteration needs a square matrix")
-    if x0 is not None:
-        x = np.asarray(x0, dtype=np.float64)
-        if x.shape != (matrix.n_cols,):
-            raise ShapeError("x0 has the wrong length")
-    else:
-        x = np.random.default_rng(seed).normal(size=matrix.n_cols)
-    x = x / (np.linalg.norm(x) or 1.0)
-
+    state = power_init(matrix.n_cols, seed=seed, x0=x0)
     schedule = accelerator.schedule(matrix)
-    accelerator_seconds = 0.0
-    history = []
-    delta = float("inf")
+
+    def spmv(vector: np.ndarray):
+        execution, _report = accelerator.run(
+            matrix, vector, schedule=schedule
+        )
+        return execution
+
     iteration = 0
     for iteration in range(1, max_iterations + 1):
-        execution, report = accelerator.run(
-            matrix, x.astype(np.float32), schedule=schedule
-        )
-        accelerator_seconds += report.latency_seconds
-        y = execution.y
-        eigenvalue = float(x @ y)
-        norm = np.linalg.norm(y)
-        if norm == 0.0:
-            history.append(0.0)
-            delta = 0.0
+        power_step(spmv, state, iteration)
+        if state.finished(tolerance):
             break
-        x_next = y / norm
-        # Sign-align so convergence of the direction is measured.
-        if x_next @ x < 0:
-            x_next = -x_next
-        delta = float(np.linalg.norm(x_next - x))
-        history.append(eigenvalue)
-        x = x_next
-        if delta < tolerance:
-            break
-
-    return SolverResult(
-        solution=x,
-        iterations=iteration,
-        converged=delta < tolerance,
-        residual=delta,
-        accelerator_seconds=accelerator_seconds,
-        history=history,
-    )
+    return state.result(iteration, tolerance)

@@ -1,0 +1,274 @@
+"""Single-iteration step functions shared by the offline solvers and
+the session subsystem.
+
+Each solver's per-iteration math lives here exactly once, as a pure
+``(spmv, state, iteration)`` step over a mutable state object.  The
+offline loops in :mod:`repro.solvers` and the session-backed drivers in
+:mod:`repro.sessions` both call these functions, which is what makes a
+``SolverSession.run()`` byte-identical to the offline loop — there is
+only one copy of the math to agree with.
+
+``spmv`` is a callable ``vector -> SpMVExecution`` (the step converts
+the iterate to float32 before calling, mirroring what the accelerator
+façades do); the step accounts ``execution.latency_seconds`` into the
+state.  Every step runs under a ``solver.iteration`` telemetry span
+annotated with the iteration index and the post-step residual, so an
+offline solve and a session-backed solve summarize identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+import numpy as np
+
+from .. import telemetry
+from ..errors import ShapeError, SimulationError
+from ..formats.coo import COOMatrix
+from .result import SolverResult
+
+#: ``vector (float64) -> SpMVExecution`` — the accelerator round trip.
+SpMVFn = Callable[[np.ndarray], Any]
+
+
+def _as_f32(vector: np.ndarray) -> np.ndarray:
+    return vector.astype(np.float32)
+
+
+# -- power iteration -----------------------------------------------------
+
+
+@dataclass
+class PowerState:
+    """Iterate of a power-iteration run (dominant eigenpair)."""
+
+    x: np.ndarray
+    eigenvalue: float = 0.0
+    #: Iterate change ``||x_k - x_{k-1}||`` — the convergence metric.
+    residual: float = float("inf")
+    #: Degenerate termination (``A @ x`` vanished).
+    halted: bool = False
+    accelerator_seconds: float = 0.0
+    history: List[float] = field(default_factory=list)
+
+    def finished(self, tolerance: float) -> bool:
+        return self.halted or self.residual < tolerance
+
+    def converged(self, tolerance: float) -> bool:
+        return self.residual < tolerance
+
+    def result(self, iterations: int, tolerance: float) -> SolverResult:
+        return SolverResult(
+            solution=self.x,
+            iterations=iterations,
+            converged=self.converged(tolerance),
+            residual=self.residual,
+            accelerator_seconds=self.accelerator_seconds,
+            history=list(self.history),
+        )
+
+
+def power_init(n: int, seed: int = 0,
+               x0: Optional[np.ndarray] = None) -> PowerState:
+    """The normalised starting iterate (seeded random unless given)."""
+    if x0 is not None:
+        x = np.asarray(x0, dtype=np.float64)
+        if x.shape != (n,):
+            raise ShapeError("x0 has the wrong length")
+    else:
+        x = np.random.default_rng(seed).normal(size=n)
+    return PowerState(x=x / (np.linalg.norm(x) or 1.0))
+
+
+def power_step(spmv: SpMVFn, state: PowerState, iteration: int) -> None:
+    """One power iteration: ``y = A x``, normalise, sign-align."""
+    t = telemetry.get()
+    with t.span(
+        "solver.iteration", solver="power_iteration", iteration=iteration
+    ) as span:
+        execution = spmv(_as_f32(state.x))
+        state.accelerator_seconds += execution.latency_seconds
+        y = execution.y
+        state.eigenvalue = float(state.x @ y)
+        norm = np.linalg.norm(y)
+        if norm == 0.0:
+            state.history.append(0.0)
+            state.residual = 0.0
+            state.halted = True
+        else:
+            x_next = y / norm
+            # Sign-align so convergence of the direction is measured.
+            if x_next @ state.x < 0:
+                x_next = -x_next
+            state.residual = float(np.linalg.norm(x_next - state.x))
+            state.history.append(state.eigenvalue)
+            state.x = x_next
+        span.annotate(residual=state.residual)
+
+
+# -- conjugate gradient --------------------------------------------------
+
+
+@dataclass
+class CGState:
+    """Iterate of a CG solve (x, residual r, direction p)."""
+
+    x: np.ndarray
+    r: np.ndarray
+    p: np.ndarray
+    rho: float
+    b_norm: float
+    residual: float
+    #: Non-SPD termination (``p @ A p <= 0``).
+    halted: bool = False
+    accelerator_seconds: float = 0.0
+    history: List[float] = field(default_factory=list)
+
+    def finished(self, tolerance: float) -> bool:
+        return self.halted or self.residual < tolerance
+
+    def converged(self, tolerance: float) -> bool:
+        return self.residual < tolerance
+
+    def result(self, iterations: int, tolerance: float) -> SolverResult:
+        return SolverResult(
+            solution=self.x,
+            iterations=iterations,
+            converged=self.converged(tolerance),
+            residual=self.residual,
+            accelerator_seconds=self.accelerator_seconds,
+            history=list(self.history),
+        )
+
+
+def cg_init(spmv: SpMVFn, b: np.ndarray,
+            x0: Optional[np.ndarray] = None) -> CGState:
+    """Initial residual/direction; runs one SpMV when ``x0`` is warm."""
+    n = b.shape[0]
+    x = (np.zeros(n) if x0 is None else np.asarray(x0, dtype=np.float64))
+    x = x.copy()
+    seconds = 0.0
+    if np.any(x):
+        execution = spmv(_as_f32(x))
+        seconds += execution.latency_seconds
+        r = b - execution.y
+    else:
+        r = b - np.zeros(n)
+    rho = float(r @ r)
+    b_norm = float(np.linalg.norm(b)) or 1.0
+    return CGState(
+        x=x, r=r, p=r.copy(), rho=rho, b_norm=b_norm,
+        residual=float(np.sqrt(rho)) / b_norm,
+        accelerator_seconds=seconds,
+    )
+
+
+def cg_step(spmv: SpMVFn, state: CGState, iteration: int) -> None:
+    """One CG iteration (halts without updating on a non-SPD pivot)."""
+    t = telemetry.get()
+    with t.span(
+        "solver.iteration", solver="cg", iteration=iteration
+    ) as span:
+        execution = spmv(_as_f32(state.p))
+        state.accelerator_seconds += execution.latency_seconds
+        ap = execution.y
+        denominator = float(state.p @ ap)
+        if denominator <= 0.0:
+            # Not SPD (or float32 streaming noise near convergence).
+            state.halted = True
+        else:
+            alpha = state.rho / denominator
+            state.x += alpha * state.p
+            state.r -= alpha * ap
+            rho_next = float(state.r @ state.r)
+            state.residual = float(np.sqrt(rho_next)) / state.b_norm
+            state.history.append(state.residual)
+            beta = rho_next / state.rho
+            state.rho = rho_next
+            state.p = state.r + beta * state.p
+        span.annotate(residual=state.residual)
+
+
+# -- (weighted) Jacobi ---------------------------------------------------
+
+
+@dataclass
+class JacobiState:
+    """Iterate of a weighted-Jacobi solve.
+
+    ``spmv`` streams the off-diagonal remainder ``R``; the full ``coo``
+    stays host-side for the true-residual check each iteration.
+    """
+
+    x: np.ndarray
+    b: np.ndarray
+    diagonal: np.ndarray
+    coo: COOMatrix
+    omega: float
+    b_norm: float
+    residual: float = float("inf")
+    halted: bool = False
+    accelerator_seconds: float = 0.0
+    history: List[float] = field(default_factory=list)
+
+    def finished(self, tolerance: float) -> bool:
+        return self.residual < tolerance
+
+    def converged(self, tolerance: float) -> bool:
+        return self.residual < tolerance
+
+    def result(self, iterations: int, tolerance: float) -> SolverResult:
+        return SolverResult(
+            solution=self.x,
+            iterations=iterations,
+            converged=self.converged(tolerance),
+            residual=self.residual,
+            accelerator_seconds=self.accelerator_seconds,
+            history=list(self.history),
+        )
+
+
+def jacobi_split(coo: COOMatrix):
+    """``A = D + R``: the diagonal and the off-diagonal remainder."""
+    on_diagonal = coo.rows == coo.cols
+    diagonal = np.zeros(coo.n_rows)
+    np.add.at(diagonal, coo.rows[on_diagonal],
+              coo.values[on_diagonal].astype(np.float64))
+    off = ~on_diagonal
+    remainder = COOMatrix(
+        coo.shape, coo.rows[off], coo.cols[off], coo.values[off]
+    )
+    return diagonal, remainder
+
+
+def jacobi_init(coo: COOMatrix, b: np.ndarray, omega: float,
+                diagonal: np.ndarray,
+                x0: Optional[np.ndarray] = None) -> JacobiState:
+    """Initial Jacobi iterate over a pre-split system."""
+    if np.any(diagonal == 0.0):
+        raise SimulationError("Jacobi requires a non-zero diagonal")
+    x = (np.zeros(coo.n_rows) if x0 is None
+         else np.asarray(x0, dtype=np.float64)).copy()
+    return JacobiState(
+        x=x, b=b, diagonal=diagonal, coo=coo, omega=omega,
+        b_norm=float(np.linalg.norm(b)) or 1.0,
+    )
+
+
+def jacobi_step(spmv: SpMVFn, state: JacobiState, iteration: int) -> None:
+    """One weighted-Jacobi sweep: ``x ← (1-ω)x + ω D⁻¹ (b - R x)``."""
+    t = telemetry.get()
+    with t.span(
+        "solver.iteration", solver="jacobi", iteration=iteration
+    ) as span:
+        execution = spmv(_as_f32(state.x))
+        state.accelerator_seconds += execution.latency_seconds
+        x_next = (state.b - execution.y) / state.diagonal
+        state.x = (1.0 - state.omega) * state.x + state.omega * x_next
+        state.residual = float(
+            np.linalg.norm(state.coo.matvec(state.x) - state.b)
+            / state.b_norm
+        )
+        state.history.append(state.residual)
+        span.annotate(residual=state.residual)

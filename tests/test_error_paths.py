@@ -272,3 +272,127 @@ class TestRuntimeKnobFallbacks:
 
         monkeypatch.setenv("REPRO_AUDIT_RATE", "??")
         assert resolve_audit_rate(0.25) == 0.25
+
+
+class TestSessionKnobFallbacks:
+    """Invalid ``REPRO_SESSION_*`` values warn once and fall back."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh_warnings(self):
+        telemetry.reset_warnings()
+        yield
+        telemetry.reset_warnings()
+
+    def test_invalid_session_max_falls_back_and_warns_once(
+        self, monkeypatch, caplog
+    ):
+        from repro.sessions import session_max
+
+        monkeypatch.setenv("REPRO_SESSION_MAX", "many")
+        with caplog.at_level(logging.WARNING):
+            assert session_max() == 4096
+            assert session_max() == 4096  # second parse: silent
+        assert caplog.text.count("REPRO_SESSION_MAX") == 1
+
+    def test_invalid_iter_batch_falls_back_and_warns_once(
+        self, monkeypatch, caplog
+    ):
+        from repro.sessions import session_iter_batch
+
+        monkeypatch.setenv("REPRO_SESSION_ITER_BATCH", "2.5")
+        with caplog.at_level(logging.WARNING):
+            assert session_iter_batch() == 8
+            assert session_iter_batch() == 8
+        assert caplog.text.count("REPRO_SESSION_ITER_BATCH") == 1
+
+    def test_invalid_state_budget_falls_back_and_warns_once(
+        self, monkeypatch, caplog
+    ):
+        from repro.serving.resident import (
+            DEFAULT_STATE_BUDGET,
+            session_state_budget,
+        )
+
+        monkeypatch.setenv("REPRO_SESSION_STATE_BUDGET", "64 MiB")
+        with caplog.at_level(logging.WARNING):
+            assert session_state_budget() == DEFAULT_STATE_BUDGET
+            assert session_state_budget() == DEFAULT_STATE_BUDGET
+        assert caplog.text.count("REPRO_SESSION_STATE_BUDGET") == 1
+
+    def test_session_fallbacks_count_in_warning_bucket(
+        self, monkeypatch
+    ):
+        from repro.sessions import session_max
+
+        monkeypatch.setenv("REPRO_SESSION_MAX", "banana")
+        with telemetry.capture() as cap:
+            session_max()
+        warnings = [r for r in cap.records
+                    if r["name"] == "telemetry.warnings"]
+        assert len(warnings) == 1
+        assert warnings[0]["attrs"]["key"] == "invalid_session_max"
+
+    def test_minimums_are_clamped(self, monkeypatch):
+        from repro.sessions import session_iter_batch, session_max
+
+        monkeypatch.setenv("REPRO_SESSION_MAX", "0")
+        monkeypatch.setenv("REPRO_SESSION_ITER_BATCH", "-3")
+        assert session_max() == 1
+        assert session_iter_batch() == 1
+
+
+class TestTolerantRequestFile:
+    """``load_request_file`` skips malformed lines instead of raising."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh_warnings(self):
+        telemetry.reset_warnings()
+        yield
+        telemetry.reset_warnings()
+
+    def _write(self, tmp_path, lines):
+        path = tmp_path / "requests.jsonl"
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        return str(path)
+
+    def test_malformed_lines_skip_with_one_warning(
+        self, tmp_path, caplog
+    ):
+        from repro.serving import load_request_file
+
+        path = self._write(tmp_path, [
+            '{"matrix": "CollegeMsg"}',
+            "not json at all",
+            '{"matrix": "wiki-Vote", "priorty": 1}',
+            "# a comment",
+            '{"matrix": "wiki-Vote", "priority": 2}',
+        ])
+        with caplog.at_level(logging.WARNING):
+            requests = load_request_file(path)
+        assert [r.source for r in requests] == ["CollegeMsg", "wiki-Vote"]
+        assert requests[1].priority == 2
+        assert caplog.text.count("skipped 2 malformed") == 1
+        # First failure is named with its line number.
+        assert "line 2" in caplog.text
+
+    def test_skips_count_in_telemetry(self, tmp_path):
+        from repro.serving import load_request_file
+
+        path = self._write(tmp_path, [
+            "garbage", '{"matrix": "CollegeMsg"}',
+        ])
+        with telemetry.capture() as cap:
+            requests = load_request_file(path)
+        assert len(requests) == 1
+        skipped = [r for r in cap.records
+                   if r["name"] == "serving.request_file.skipped"]
+        assert len(skipped) == 1 and skipped[0]["value"] == 1
+
+    def test_clean_file_stays_silent(self, tmp_path, caplog):
+        from repro.serving import load_request_file
+
+        path = self._write(tmp_path, ['{"matrix": "CollegeMsg"}'])
+        with caplog.at_level(logging.WARNING):
+            requests = load_request_file(path)
+        assert len(requests) == 1
+        assert "malformed" not in caplog.text

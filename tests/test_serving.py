@@ -444,11 +444,18 @@ class TestClientAndFiles:
         }
         assert latency["count"] == 3 and latency["p50_ms"] > 0
 
-    def test_request_file_parse_error_names_the_line(self, tmp_path):
+    def test_request_file_skips_malformed_lines_naming_the_first(
+        self, tmp_path, caplog
+    ):
         path = tmp_path / "bad.jsonl"
-        path.write_text('{"matrix": "a"}\n{"matrx": "b"}\n')
-        with pytest.raises(ConfigError, match=r"bad\.jsonl:2"):
-            serve_request_file(str(path))
+        path.write_text(
+            '{"matrix": "CollegeMsg"}\n{"matrx": "b"}\n'
+        )
+        with caplog.at_level(logging.WARNING):
+            responses, _latency, _stats = serve_request_file(str(path))
+        assert len(responses) == 1
+        assert "skipped 1 malformed" in caplog.text
+        assert "line 2" in caplog.text
 
 
 class TestKnobs:
