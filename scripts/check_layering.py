@@ -6,7 +6,7 @@ The dependency order is::
     errors/config/precision/knobs
       → formats
         → matrices / metrics / power / telemetry / resources / hbm
-          → scheduling
+          → scheduling / tenancy
             → sim
               → estimator
                 → pipeline
@@ -57,6 +57,7 @@ LAYERS = {
     "resources": 2,
     "hbm": 2,
     "scheduling": 3,
+    "tenancy": 3,
     "sim": 4,
     "estimator": 5,
     "pipeline": 6,

@@ -341,6 +341,22 @@ def _cmd_serve(args) -> int:
             f"(mean {latency['mean_ms']:.3f} ms over "
             f"{latency['count']} served)"
         )
+    tenants = engine.tenant_summary()
+    if len(tenants) > 1 or (tenants and "default" not in tenants):
+        print("per-tenant:")
+        for tenant in sorted(tenants):
+            row = tenants[tenant]
+            tail = ""
+            tenant_latency = row.get("latency") or {}
+            if tenant_latency.get("count"):
+                tail = f"  p99 {tenant_latency['p99_ms']:.3f} ms"
+            print(
+                f"  {tenant}: accepted {row.get('accepted', 0)}, "
+                f"completed {row.get('completed', 0)}, "
+                f"shed {row.get('shed', 0)}, "
+                f"expired {row.get('expired', 0)}, "
+                f"errors {row.get('errors', 0)}{tail}"
+            )
     return 0
 
 
@@ -399,6 +415,17 @@ def _cmd_cluster(args) -> int:
         fidelity=args.fidelity,
     )
     cluster.start()
+    autoscaler = None
+    if getattr(args, "autoscale", False):
+        from .cluster import Autoscaler
+
+        autoscaler = Autoscaler(
+            cluster,
+            min_devices=args.autoscale_min,
+            max_devices=args.autoscale_max,
+            interval_s=args.autoscale_interval,
+        )
+        autoscaler.start()
     try:
         results, status = serve_request_file_clustered(
             args.requests,
@@ -407,6 +434,8 @@ def _cmd_cluster(args) -> int:
             timeout=args.timeout,
         )
     finally:
+        if autoscaler is not None:
+            autoscaler.stop()
         cluster.shutdown(drain=True)
         status = cluster.status()
     lines = [result.to_json() for result in results]
@@ -419,6 +448,20 @@ def _cmd_cluster(args) -> int:
             print(line)
     print()
     print(format_status(status))
+    if autoscaler is not None:
+        snap = autoscaler.snapshot()
+        print(
+            f"\nautoscaler: devices={snap['alive']} "
+            f"(min {snap['min_devices']}, max {snap['max_devices']})  "
+            f"ups={snap['ups']} downs={snap['downs']} "
+            f"steps={snap['steps']}"
+        )
+        if snap["actions"]:
+            rendered = "  ".join(
+                f"{direction}:{device}"
+                for direction, device in snap["actions"]
+            )
+            print(f"  actions: {rendered}")
     served = sum(1 for result in results if result.ok)
     return 0 if served == len(results) else 1
 
@@ -772,6 +815,24 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="fidelity tier for every device engine "
              "(default REPRO_FIDELITY, else estimate)",
+    )
+    cluster_serve.add_argument(
+        "--autoscale", action="store_true",
+        help="run the autoscaler control loop while serving "
+             "(grow/drain devices by queue depth and latency EWMA)",
+    )
+    cluster_serve.add_argument(
+        "--autoscale-min", type=int, default=None,
+        help="fleet floor (default REPRO_AUTOSCALE_MIN)",
+    )
+    cluster_serve.add_argument(
+        "--autoscale-max", type=int, default=None,
+        help="fleet ceiling (default REPRO_AUTOSCALE_MAX)",
+    )
+    cluster_serve.add_argument(
+        "--autoscale-interval", type=float, default=None,
+        help="seconds between autoscaler evaluations "
+             "(default REPRO_AUTOSCALE_INTERVAL)",
     )
     cluster_serve.set_defaults(func=_cmd_cluster)
     cluster_status = cluster_commands.add_parser(

@@ -25,6 +25,16 @@ from .cluster import (
     cluster_max_attempts,
     cluster_replica_count,
 )
+from .autoscaler import (
+    AUTOSCALE_INTERVAL_ENV,
+    AUTOSCALE_MAX_ENV,
+    AUTOSCALE_MIN_ENV,
+    AutoscaleSignals,
+    Autoscaler,
+    autoscale_interval_s,
+    autoscale_max_devices,
+    autoscale_min_devices,
+)
 from .client import format_status, serve_request_file_clustered
 from .device import (
     DEFAULT_SCHEDULE_CAPACITY,
@@ -44,6 +54,14 @@ from .faults import (
 from .ring import DEFAULT_VNODES, HashRing
 
 __all__ = [
+    "AUTOSCALE_INTERVAL_ENV",
+    "AUTOSCALE_MAX_ENV",
+    "AUTOSCALE_MIN_ENV",
+    "AutoscaleSignals",
+    "Autoscaler",
+    "autoscale_interval_s",
+    "autoscale_max_devices",
+    "autoscale_min_devices",
     "Cluster",
     "ClusterResult",
     "DEFAULT_DEVICES",

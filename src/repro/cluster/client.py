@@ -70,13 +70,15 @@ def format_status(status: Dict[str, Any]) -> str:
     lines.append("")
     lines.append(
         "  routed={routed} completed={completed} retries={retries} "
-        "hedges={hedges} failovers={failovers} removed={removed}".format(
+        "hedges={hedges} failovers={failovers} removed={removed} "
+        "added={added}".format(
             routed=routed,
             completed=stats.get("completed", 0),
             retries=stats.get("retries", 0),
             hedges=stats.get("hedges", 0),
             failovers=stats.get("failovers", 0),
             removed=stats.get("removed_devices", 0),
+            added=stats.get("added_devices", 0),
         )
     )
     if routed:
@@ -85,6 +87,24 @@ def format_status(status: Dict[str, Any]) -> str:
             f"({100.0 * hits / routed:.1f}% of routed requests "
             f"re-landed on their previous device)"
         )
+    tenants = status.get("tenants") or {}
+    # The single-tenant default is noise; render the table only once a
+    # second tenant (or a renamed default) shows up in the counters.
+    if len(tenants) > 1 or (tenants and "default" not in tenants):
+        lines.append("")
+        lines.append(
+            f"  {'tenant':<16} {'accepted':>9} {'done':>6} {'shed':>5} "
+            f"{'expired':>8} {'errors':>7}"
+        )
+        for tenant in sorted(tenants):
+            counts = tenants[tenant]
+            lines.append(
+                f"  {tenant:<16} {counts.get('accepted', 0):>9} "
+                f"{counts.get('completed', 0):>6} "
+                f"{counts.get('shed', 0):>5} "
+                f"{counts.get('expired', 0):>8} "
+                f"{counts.get('errors', 0):>7}"
+            )
     slo = status.get("slo") or {}
     active = {
         name: burn for name, burn in slo.items()

@@ -206,6 +206,7 @@ class Cluster:
         fidelity: Optional[str] = None,
         audit_rate: Optional[float] = None,
         calibration: Optional[Any] = None,
+        tenancy: Optional[Any] = None,
     ):
         if routing not in ("affinity", "round_robin"):
             raise ServingError(
@@ -240,23 +241,18 @@ class Cluster:
             device_kwargs["audit_rate"] = audit_rate
         if calibration is not None:
             device_kwargs["calibration"] = calibration
+        if tenancy is not None:
+            device_kwargs["tenancy"] = tenancy
+        # Kept so devices added later (autoscaling) are built exactly
+        # like the initial fleet.
+        self._device_workers = device_workers
+        self._device_queue_capacity = queue_capacity
+        self._device_kwargs = device_kwargs
+        self._device_seq = max(count, 1)
         self.devices: Dict[str, DeviceHandle] = {}
         self.ring = HashRing()
         for index in range(max(count, 1)):
-            device_id = f"dev{index}"
-            specs = fault_plan.for_device(device_id)
-            injector = (
-                FaultInjector(device_id, specs, seed=fault_plan.seed)
-                if specs else None
-            )
-            self.devices[device_id] = DeviceHandle(
-                device_id,
-                workers=device_workers,
-                queue_capacity=queue_capacity,
-                injector=injector,
-                **device_kwargs,
-            )
-            self.ring.add(device_id)
+            self._make_device(f"dev{index}")
         self._lock = threading.Lock()
         self._state = "new"
         self._rr_next = 0
@@ -267,7 +263,7 @@ class Cluster:
         self.stats: Dict[str, int] = {
             "routed": 0, "completed": 0, "retries": 0, "hedges": 0,
             "failovers": 0, "affinity_hits": 0, "removed_devices": 0,
-            "errors": 0,
+            "added_devices": 0, "errors": 0,
         }
         #: End-to-end (route + retries + hedges + service) SLO burn.
         self.slo = BurnRateMonitor()
@@ -287,7 +283,7 @@ class Cluster:
         if self._state == "stopped":
             return
         self._state = "stopped"
-        for device in self.devices.values():
+        for device in list(self.devices.values()):
             device.shutdown(drain=drain, timeout=timeout)
         self._emit_device_telemetry()
 
@@ -395,6 +391,57 @@ class Cluster:
         if device is not None:
             device.health.record_success(latency_s)
 
+    # -- fleet lifecycle -------------------------------------------------
+
+    def _make_device(self, device_id: str) -> DeviceHandle:
+        """Build one device exactly like the initial fleet's (fault plan
+        included) and place it on the ring.  Not thread-safe on its own —
+        the constructor runs single-threaded and :meth:`add_device`
+        holds the lock."""
+        specs = self.fault_plan.for_device(device_id)
+        injector = (
+            FaultInjector(device_id, specs, seed=self.fault_plan.seed)
+            if specs else None
+        )
+        device = DeviceHandle(
+            device_id,
+            workers=self._device_workers,
+            queue_capacity=self._device_queue_capacity,
+            injector=injector,
+            **self._device_kwargs,
+        )
+        self.devices[device_id] = device
+        self.ring.add(device_id)
+        return device
+
+    def add_device(self) -> str:
+        """Grow the fleet by one device (the autoscaler's scale-up path).
+
+        The new device gets a fresh id (ids are never reused — a drained
+        ``dev2`` stays dead, scale-up creates ``dev5``), the same worker
+        / queue / cache / fidelity / tenancy configuration as the rest
+        of the fleet, and its ring points immediately — only the keys
+        that hash onto it move, everyone else keeps their warm cache.
+        """
+        if self._state == "stopped":
+            raise ServingError("cluster is stopped")
+        with self._lock:
+            device_id = f"dev{self._device_seq}"
+            self._device_seq += 1
+            device = self._make_device(device_id)
+            self.stats["added_devices"] += 1
+            running = self._state == "running"
+        if running:
+            device.start()
+        t = telemetry.get()
+        if t.enabled:
+            t.counter("cluster.device.added", 1, device=device_id)
+        return device_id
+
+    def alive_count(self) -> int:
+        """Devices currently alive (the autoscaler's fleet size)."""
+        return len(self._alive())
+
     # -- failover --------------------------------------------------------
 
     def remove_device(self, device_id: str, drain: bool = True,
@@ -478,6 +525,8 @@ class Cluster:
         if t.enabled:
             t.histogram("cluster.latency_ms", elapsed * 1e3,
                         slo_class=slo_class)
+            t.histogram("cluster.tenant.latency_ms", elapsed * 1e3,
+                        tenant=request.tenant)
         if trace is not None:
             if not result.response.trace_id:
                 result = dataclasses.replace(
@@ -756,7 +805,27 @@ class Cluster:
             "stats": dict(self.stats),
             "audit": self.audit_summary(),
             "slo": self.slo_summary(),
+            "tenants": self.tenant_summary(),
         }
+
+    def tenant_summary(self) -> Dict[str, Dict[str, int]]:
+        """Fleet-wide per-tenant outcome counters (device engines summed).
+
+        Latency percentiles deliberately stay per-device (percentiles
+        do not merge); the counters are what the fleet view needs to
+        show who absorbed the shedding.
+        """
+        fleet: Dict[str, Dict[str, int]] = {}
+        for device in list(self.devices.values()):
+            for tenant, stats in device.engine.tenant_summary().items():
+                rollup = fleet.setdefault(tenant, {
+                    "accepted": 0, "coalesced": 0, "shed": 0,
+                    "expired": 0, "completed": 0, "errors": 0,
+                    "dispatched": 0,
+                })
+                for key in rollup:
+                    rollup[key] += stats.get(key, 0)
+        return fleet
 
     def slo_summary(self) -> Dict[str, Dict[str, float]]:
         """End-to-end error-budget burn per SLO class (cluster view)."""

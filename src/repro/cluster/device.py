@@ -125,6 +125,7 @@ class DeviceHandle:
         fidelity: Optional[str] = None,
         audit_rate: Optional[float] = None,
         calibration: Optional[Any] = None,
+        tenancy: Optional[Any] = None,
     ):
         self.device_id = device_id
         self.store = ArtifactStore(
@@ -138,6 +139,7 @@ class DeviceHandle:
             fidelity=fidelity,
             audit_rate=audit_rate,
             calibration=calibration,
+            tenancy=tenancy,
         )
         self.injector = injector
         if injector is not None and injector.specs:

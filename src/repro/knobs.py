@@ -113,6 +113,16 @@ RUNTIME_KNOBS: Tuple[Knob, ...] = (
     Knob("REPRO_SESSION_ITER_BATCH", "sessions", "8",
          "solver iterations executed per admitted session work item "
          "(bounds how long one session occupies a worker)"),
+    # tenancy
+    Knob("REPRO_TENANT_WEIGHTS", "tenancy", None,
+         "per-tenant fair-share weights 'tenant:weight,...'; unlisted "
+         "tenants weigh 1.0; malformed values warn and fall back"),
+    Knob("REPRO_TENANT_QUOTA", "tenancy", "1.0",
+         "per-tenant admission-queue quota as a fraction of capacity "
+         "(1.0 disables the per-tenant cap)"),
+    Knob("REPRO_TENANT_BURN_SHED", "tenancy", "1.0",
+         "interactive fast-window burn rate above which batch entries "
+         "shed first"),
     # cluster
     Knob("REPRO_CLUSTER_DEVICES", "cluster", "4",
          "simulated devices in the cluster (each its own engine and "
@@ -129,6 +139,22 @@ RUNTIME_KNOBS: Tuple[Knob, ...] = (
     Knob("REPRO_CLUSTER_FAULTS", "cluster", None,
          "fault plan 'kind:device[:key=value...],...' with kinds "
          "slow/stall/crash plus seed=N; malformed entries warn and skip"),
+    # autoscale
+    Knob("REPRO_AUTOSCALE_MIN", "autoscale", "1",
+         "autoscaler floor: never drain below this many alive devices"),
+    Knob("REPRO_AUTOSCALE_MAX", "autoscale", "8",
+         "autoscaler ceiling: never add beyond this many alive devices"),
+    Knob("REPRO_AUTOSCALE_INTERVAL", "autoscale", "1.0",
+         "seconds between autoscaler control-loop evaluations"),
+    Knob("REPRO_AUTOSCALE_UP_DEPTH", "autoscale", "8.0",
+         "mean queue depth per alive device above which the loop "
+         "scales up"),
+    Knob("REPRO_AUTOSCALE_DOWN_DEPTH", "autoscale", "1.0",
+         "mean queue depth per alive device at or below which the loop "
+         "scales down"),
+    Knob("REPRO_AUTOSCALE_UP_LATENCY_MS", "autoscale", "0",
+         "worst-device EWMA latency (ms) that also triggers scale-up; "
+         "0 disables the latency trigger"),
 )
 
 

@@ -58,7 +58,10 @@ from ..pipeline.runner import PipelineRunner
 from ..pipeline.stages import LoadStage
 from ..pipeline.store import ArtifactStore
 from ..scheduling.registry import get_scheme
-from .queue import DEFAULT_CAPACITY, AdmissionQueue
+from ..tenancy import TenantPolicy, policy_from_env
+from ..tenancy.fair_queue import FairAdmissionQueue
+from ..tenancy.tenant import normalize_tenant
+from .queue import DEFAULT_CAPACITY, AdmissionQueue  # noqa: F401 (re-export)
 from .resident import ResidentStateStore
 from .request import (
     STATUS_ERROR,
@@ -68,7 +71,7 @@ from .request import (
     SpMVRequest,
     SpMVResponse,
 )
-from .slo import BurnRateMonitor, LatencyRecorder
+from .slo import BurnRateMonitor, LatencyRecorder, latency_percentiles
 
 WORKERS_ENV = "REPRO_SERVE_WORKERS"
 QUEUE_ENV = "REPRO_SERVE_QUEUE"
@@ -79,6 +82,14 @@ DEFAULT_BATCH = 8
 
 #: Worker poll interval while idle (also the drain-detection latency).
 _POLL_S = 0.05
+
+#: Response status → the per-tenant outcome counter it bumps.
+_TENANT_OUTCOME = {
+    STATUS_OK: "completed",
+    STATUS_REJECTED: "shed",
+    STATUS_EXPIRED: "expired",
+    STATUS_ERROR: "errors",
+}
 
 
 class _SessionSpec:
@@ -138,7 +149,7 @@ class _Entry:
     __slots__ = (
         "request", "seq", "priority", "spec", "config", "group",
         "work_fp", "submitted_at", "deadline_at", "followers", "done",
-        "event", "response", "trace", "owns_root",
+        "event", "response", "trace", "owns_root", "tenant", "slo_class",
     )
 
     def __init__(self, request: SpMVRequest, seq: int, spec, config,
@@ -146,6 +157,10 @@ class _Entry:
                  trace: Optional[TraceContext] = None,
                  owns_root: bool = False):
         self.request = request
+        #: Tenant and SLO class, resolved once — the fair queue orders
+        #: and sheds by them without touching the request again.
+        self.tenant = normalize_tenant(request.tenant)
+        self.slo_class = request.effective_slo_class()
         #: The request's trace context, carried explicitly because
         #: worker threads do not inherit the submitter's contextvars.
         self.trace = trace
@@ -215,6 +230,7 @@ class ServingEngine:
         fidelity: Optional[str] = None,
         audit_rate: Optional[float] = None,
         calibration: Optional[CalibrationTable] = None,
+        tenancy: Optional[TenantPolicy] = None,
     ):
         self.workers = workers if workers is not None else serve_worker_count()
         self.max_batch = (
@@ -239,7 +255,13 @@ class ServingEngine:
             queue_capacity if queue_capacity is not None
             else serve_queue_capacity()
         )
-        self.queue = AdmissionQueue(capacity)
+        self.tenancy = tenancy if tenancy is not None else policy_from_env()
+        # The fair queue is a drop-in for AdmissionQueue and degenerates
+        # to its exact policy with a single tenant at default weights —
+        # the pre-tenancy behavior, pinned by differential tests.
+        self.queue = FairAdmissionQueue(
+            capacity, policy=self.tenancy, pressure=self._interactive_hot
+        )
         # The engine's store deliberately skips the global ScheduleCache
         # tier: serving workers are threads, and an engine-private store
         # keeps cross-request reuse observable per engine.
@@ -261,6 +283,23 @@ class ServingEngine:
             "accepted": 0, "coalesced": 0, "shed": 0,
             "expired": 0, "completed": 0, "errors": 0,
         }
+        #: tenant → the same counter shape as :attr:`stats`.
+        self.tenant_stats: Dict[str, Dict[str, int]] = {}
+        #: tenant → latency recorder over its served requests.
+        self.tenant_latencies: Dict[str, LatencyRecorder] = {}
+
+    def _interactive_hot(self) -> bool:
+        """Whether the interactive SLO class is burning its budget hot.
+
+        The fair queue's shed-policy hook: while hot, batch-class
+        entries become preferred shed victims.  Checked only on
+        overload pushes, so the burn-rate scan stays off the fast path.
+        """
+        rates = self.slo.burn_rates().get("interactive")
+        if not rates:
+            return False
+        fast = f"burn_{self.slo.windows_s[0]:g}s"
+        return rates.get(fast, 0.0) > self.tenancy.burn_shed_threshold
 
     # -- lifecycle -------------------------------------------------------
 
@@ -357,6 +396,8 @@ class ServingEngine:
                 # Malformed work (unknown scheme/matrix, bad override)
                 # answers immediately — a structured error, not a crash.
                 self._bump("errors")
+                self._bump_tenant(normalize_tenant(request.tenant),
+                                  "errors")
                 if t.enabled:
                     t.counter("serving.errors", 1, phase="admission")
                 if owns_root and trace is not None:
@@ -383,6 +424,7 @@ class ServingEngine:
                 if leader is not None and not leader.done:
                     leader.followers.append(entry)
                     self._bump("coalesced")
+                    self._bump_tenant(entry.tenant, "coalesced")
                     if t.enabled:
                         t.counter("serving.coalesced", 1, scheme=spec.name)
                         # The causal edge between the follower's tree and
@@ -416,15 +458,15 @@ class ServingEngine:
                     reason_key="displaced",
                 )
             if not admitted:
-                self._finish_shed(
-                    entry,
-                    f"queue full (capacity {self.queue.capacity})",
-                    reason_key="queue_full",
-                )
+                reason, reason_key = self._overload_reason(entry.tenant)
+                self._finish_shed(entry, reason, reason_key=reason_key)
                 return Ticket(entry=entry)
             self._bump("accepted")
+            self._bump_tenant(entry.tenant, "accepted")
             if t.enabled:
                 t.counter("serving.accepted", 1, scheme=spec.name)
+                t.counter("serving.tenant.accepted", 1,
+                          tenant=entry.tenant)
                 t.gauge("serving.queue_depth", len(self.queue))
             return Ticket(entry=entry)
 
@@ -457,17 +499,28 @@ class ServingEngine:
                 reason_key="displaced",
             )
         if not admitted:
-            self._finish_shed(
-                entry,
-                f"queue full (capacity {self.queue.capacity})",
-                reason_key="queue_full",
-            )
+            reason, reason_key = self._overload_reason(entry.tenant)
+            self._finish_shed(entry, reason, reason_key=reason_key)
             return Ticket(entry=entry)
         self._bump("accepted")
+        self._bump_tenant(entry.tenant, "accepted")
         if t.enabled:
             t.counter("serving.accepted", 1, scheme="session")
+            t.counter("serving.tenant.accepted", 1, tenant=entry.tenant)
             t.gauge("serving.queue_depth", len(self.queue))
         return Ticket(entry=entry)
+
+    def _overload_reason(self, tenant: str) -> Tuple[str, str]:
+        """Why an un-admitted push was shed (quota vs global overload)."""
+        quota = self.queue.tenant_quota()
+        if (quota < self.queue.capacity
+                and self.queue.tenant_depth(tenant) >= quota):
+            return (
+                f"tenant {tenant!r} over quota "
+                f"({quota} of {self.queue.capacity} slots)",
+                "tenant_quota",
+            )
+        return f"queue full (capacity {self.queue.capacity})", "queue_full"
 
     def submit_wait(self, request: SpMVRequest,
                     timeout: Optional[float] = None) -> SpMVResponse:
@@ -495,8 +548,12 @@ class ServingEngine:
                 if entry.expired_at(now):
                     self._finish_expired(entry)
                     continue
+                # Batch only within the leader's tenant: micro-batching
+                # amortises dispatch, it must not let one tenant's
+                # backlog ride along on another tenant's fair-share turn.
                 batch = [entry] + self.queue.pop_group(
-                    lambda other: other.group == entry.group,
+                    lambda other: (other.group == entry.group
+                                   and other.tenant == entry.tenant),
                     self.max_batch - 1,
                 )
                 if t.enabled:
@@ -683,12 +740,21 @@ class ServingEngine:
         entry.response = response
         if record_latency and response.ok:
             self.latencies.record(response.total_s)
+            self._tenant_latency(entry.tenant).record(response.total_s)
         slo_class = entry.request.effective_slo_class()
         self.slo.record(slo_class, response.total_s * 1e3, response.ok)
+        self._bump_tenant(entry.tenant, _TENANT_OUTCOME[response.status])
         t = telemetry.get()
         if t.enabled:
             t.histogram("serving.latency_ms", response.total_s * 1e3,
                         slo_class=slo_class)
+            t.counter(
+                f"serving.tenant.{_TENANT_OUTCOME[response.status]}",
+                1, tenant=entry.tenant,
+            )
+            if response.ok:
+                t.histogram("serving.tenant.latency_ms",
+                            response.total_s * 1e3, tenant=entry.tenant)
             if response.queue_s:
                 t.histogram("serving.queue_ms", response.queue_s * 1e3)
             # The root of the request's causal tree: emitted exactly once
@@ -774,9 +840,12 @@ class ServingEngine:
         trace: Optional[TraceContext] = None, owns_root: bool = False,
     ) -> Ticket:
         self._bump("shed")
+        tenant = normalize_tenant(request.tenant)
+        self._bump_tenant(tenant, "shed")
         t = telemetry.get()
         if t.enabled:
             t.counter("serving.shed", 1, reason="draining")
+            t.counter("serving.tenant.shed", 1, tenant=tenant)
             if owns_root and trace is not None:
                 t.emit_span("serving.request", trace, 0.0,
                             status=STATUS_REJECTED,
@@ -793,6 +862,45 @@ class ServingEngine:
     def _bump(self, key: str) -> None:
         with self._lock:
             self.stats[key] += 1
+
+    def _bump_tenant(self, tenant: str, key: str) -> None:
+        with self._lock:
+            stats = self.tenant_stats.get(tenant)
+            if stats is None:
+                stats = self.tenant_stats[tenant] = {
+                    "accepted": 0, "coalesced": 0, "shed": 0,
+                    "expired": 0, "completed": 0, "errors": 0,
+                }
+            stats[key] += 1
+
+    def _tenant_latency(self, tenant: str) -> LatencyRecorder:
+        with self._lock:
+            recorder = self.tenant_latencies.get(tenant)
+            if recorder is None:
+                recorder = self.tenant_latencies[tenant] = LatencyRecorder()
+            return recorder
+
+    def tenant_summary(self) -> Dict[str, Dict[str, Any]]:
+        """Per-tenant outcome counters plus served-latency percentiles.
+
+        Also folds in the fair queue's dispatch/shed ledgers — the view
+        the bench gates and ``repro serve`` summaries read.
+        """
+        with self._lock:
+            tenants = {
+                tenant: dict(stats)
+                for tenant, stats in self.tenant_stats.items()
+            }
+            recorders = dict(self.tenant_latencies)
+        dispatched = self.queue.served_counts()
+        for tenant, summary in tenants.items():
+            summary["dispatched"] = dispatched.get(tenant, 0)
+            recorder = recorders.get(tenant)
+            summary["latency"] = (
+                recorder.summary() if recorder is not None
+                else latency_percentiles([])
+            )
+        return tenants
 
     def latency_summary(self) -> Dict[str, float]:
         """p50/p95/p99/mean/max of served request latency (ms)."""
@@ -842,6 +950,16 @@ class ServingEngine:
         for key, value in self.stats.items():
             if value:
                 t.counter(f"serving.final.{key}", value)
+        for tenant, stats in sorted(self.tenant_stats.items()):
+            for key, value in stats.items():
+                if value:
+                    t.counter(f"serving.tenant.final.{key}", value,
+                              tenant=tenant)
+        for tenant, recorder in sorted(self.tenant_latencies.items()):
+            summary = recorder.summary()
+            if summary["count"]:
+                t.gauge("serving.tenant.p99_ms", summary["p99_ms"],
+                        tenant=tenant)
         resident = self.resident.snapshot()
         if resident["hits"] or resident["misses"]:
             t.counter("serving.resident.final.hits", resident["hits"])

@@ -39,6 +39,7 @@ from ..pipeline.fingerprint import fingerprint, fingerprint_config
 from ..pipeline.stages import LoadStage
 from ..scheduling.registry import SchedulerSpec, get_scheme
 from ..telemetry.tracing import TraceContext
+from ..tenancy import DEFAULT_TENANT, normalize_tenant
 from .slo import DEFAULT_SLOS, classify_request
 
 #: Process-wide request id source (monotonic, thread-safe by the GIL).
@@ -75,6 +76,14 @@ class SpMVRequest:
     #: SLO class (``interactive``/``batch``); ``None`` classifies by
     #: priority and deadline (see :func:`repro.serving.slo.classify_request`).
     slo_class: Optional[str] = None
+    #: Tenant this request is scheduled and accounted under.  Requests
+    #: that never mention a tenant share :data:`~repro.tenancy.tenant
+    #: .DEFAULT_TENANT` — the single-tenant path, where the fair queue
+    #: degenerates to the original global policy.  Like priority and
+    #: deadline, the tenant affects *when* work runs, never *what* it
+    #: computes, so it stays out of the work fingerprint (identical work
+    #: from different tenants still coalesces and caches together).
+    tenant: str = DEFAULT_TENANT
     #: Trace context of this request's causal tree.  ``None`` until the
     #: first tracing-aware layer (cluster or engine) attaches one; the
     #: explicit field is what carries the trace across thread boundaries.
@@ -198,10 +207,11 @@ def request_from_json(line: str) -> SpMVRequest:
     """Parse one ``repro serve`` JSONL request line.
 
     Recognised keys: ``matrix`` (a named-matrix string, required),
-    ``scheme``, ``priority``, ``deadline_ms``, ``slo_class``, ``config``
-    (a dict of field overrides).  Unknown keys raise
-    :class:`ConfigError` so a typo (``priorty``) cannot silently lose
-    its intent.
+    ``scheme``, ``priority``, ``deadline_ms``, ``slo_class``,
+    ``tenant``, ``config`` (a dict of field overrides).  Unknown keys
+    raise :class:`ConfigError` so a typo (``priorty``) cannot silently
+    lose its intent.  A line without ``tenant`` belongs to the default
+    tenant — existing request files behave exactly as before.
     """
     try:
         payload = json.loads(line)
@@ -210,7 +220,7 @@ def request_from_json(line: str) -> SpMVRequest:
     if not isinstance(payload, dict):
         raise ConfigError("request line must be a JSON object")
     known = {"matrix", "scheme", "priority", "deadline_ms", "slo_class",
-             "config"}
+             "tenant", "config"}
     unknown = set(payload) - known
     if unknown:
         raise ConfigError(
@@ -228,6 +238,9 @@ def request_from_json(line: str) -> SpMVRequest:
             f"unknown slo_class {slo_class!r}; "
             f"known: {sorted(DEFAULT_SLOS)}"
         )
+    tenant = payload.get("tenant")
+    if tenant is not None and not isinstance(tenant, str):
+        raise ConfigError("'tenant' must be a string")
     return SpMVRequest(
         source=payload["matrix"],
         scheme=payload.get("scheme", "crhcs"),
@@ -239,4 +252,5 @@ def request_from_json(line: str) -> SpMVRequest:
             else None
         ),
         slo_class=slo_class,
+        tenant=normalize_tenant(tenant),
     )

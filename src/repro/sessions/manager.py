@@ -40,6 +40,7 @@ from ..serving.request import (
     SpMVResponse,
 )
 from ..telemetry import tracing
+from ..tenancy import normalize_tenant
 from .programs import get_program
 from .session import SolverSession
 from .spec import SessionSpec, session_max
@@ -115,6 +116,7 @@ class SessionManager:
         priority: int = 0,
         deadline_ms: Optional[float] = None,
         slo_class: Optional[str] = None,
+        tenant: Optional[str] = None,
         spec: Optional[SessionSpec] = None,
     ) -> SolverSession:
         """Admit one session; raises :class:`SessionError` at capacity.
@@ -137,6 +139,7 @@ class SessionManager:
                 priority=priority,
                 deadline_ms=deadline_ms,
                 slo_class=slo_class,
+                tenant=normalize_tenant(tenant),
             )
         get_program(spec.solver)  # fail fast on unknown solvers
         number = next(_SESSION_IDS)
@@ -264,6 +267,7 @@ class SessionManager:
                         priority=spec.priority,
                         deadline_ms=spec.deadline_ms,
                         slo_class=spec.slo_class,
+                        tenant=spec.tenant,
                         trace=tracing.current(),
                         work=work,
                     )

@@ -25,6 +25,7 @@ from ..errors import ConfigError
 from ..pipeline.fingerprint import fingerprint, fingerprint_config
 from ..pipeline.stages import LoadStage
 from ..scheduling.registry import get_scheme
+from ..tenancy import DEFAULT_TENANT
 
 SESSION_MAX_ENV = "REPRO_SESSION_MAX"
 ITER_BATCH_ENV = "REPRO_SESSION_ITER_BATCH"
@@ -83,6 +84,10 @@ class SessionSpec:
     priority: int = 0
     deadline_ms: Optional[float] = None
     slo_class: Optional[str] = None
+    #: Tenant the session belongs to — inherited by every iteration's
+    #: request, so a session is scheduled under its owner's fair share
+    #: exactly like the owner's one-shot traffic.
+    tenant: str = DEFAULT_TENANT
 
     def resolve_config(self) -> AcceleratorConfig:
         """The effective accelerator config for this session."""

@@ -73,6 +73,7 @@ from .summarize import (
     summarize_file,
     summarize_latencies,
     summarize_records,
+    summarize_tenants,
 )
 from .tracing import (
     TRACE_SAMPLE_ENV,
@@ -126,6 +127,7 @@ __all__ = [
     "summarize_file",
     "summarize_latencies",
     "summarize_records",
+    "summarize_tenants",
     "TRACE_SAMPLE_ENV",
     "TraceContext",
     "current_trace",

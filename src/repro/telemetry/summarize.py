@@ -244,6 +244,61 @@ def summarize_cluster_devices(records: Iterable[Dict[str, Any]]) -> str:
     return "\n".join(lines)
 
 
+def summarize_tenants(records: Iterable[Dict[str, Any]]) -> str:
+    """Per-tenant rollup of the serving layer's multi-tenant telemetry.
+
+    Groups every ``serving.tenant.*`` counter by its ``tenant``
+    attribute into one row per tenant — admissions, completions, sheds,
+    expiries, errors — and folds in the per-tenant latency histograms
+    (``serving.tenant.latency_ms`` / ``cluster.tenant.latency_ms``) for
+    p50/p99 columns.  Returns ``""`` when the trace carries no tenant
+    records (single-tenant traces predating the tenancy layer omit the
+    section entirely).
+    """
+    counters: Dict[str, Dict[str, float]] = {}
+    hists: Dict[str, List[Dict[str, Any]]] = {}
+    for record in records:
+        name = record.get("name", "")
+        if ".tenant." not in name:
+            continue
+        tenant = record.get("attrs", {}).get("tenant")
+        if tenant is None:
+            continue
+        short = name.split(".tenant.", 1)[1]
+        if record.get("kind") == "counter":
+            bucket = counters.setdefault(str(tenant), {})
+            bucket[short] = bucket.get(short, 0) + record["value"]
+        elif record.get("kind") == "hist" and short == "latency_ms":
+            hists.setdefault(str(tenant), []).append(record["attrs"])
+    tenants = sorted(set(counters) | set(hists))
+    if not tenants:
+        return ""
+    lines = [
+        f"{'tenant':<16s} {'accepted':>9s} {'done':>7s} {'shed':>6s} "
+        f"{'expired':>8s} {'errors':>7s} {'p50_ms':>9s} {'p99_ms':>9s}"
+    ]
+    for tenant in tenants:
+        counts = counters.get(tenant, {})
+        snaps = hists.get(tenant)
+        if snaps:
+            merged = merge_all(snaps)
+            p50 = f"{quantile(merged, 50):>9.3f}"
+            p99 = f"{quantile(merged, 99):>9.3f}"
+        else:
+            p50 = p99 = f"{'-':>9s}"
+        accepted = counts.get("accepted", 0)
+        if "final.accepted" in counts:
+            accepted = max(accepted, counts["final.accepted"])
+        lines.append(
+            f"{tenant:<16s} {accepted:>9g} "
+            f"{counts.get('completed', 0):>7g} "
+            f"{counts.get('shed', 0):>6g} "
+            f"{counts.get('expired', 0):>8g} "
+            f"{counts.get('errors', 0):>7g} {p50} {p99}"
+        )
+    return "\n".join(lines)
+
+
 def summarize_fidelity(records: Iterable[Dict[str, Any]]) -> str:
     """Estimator fast-path and audit rollup for a tiered-fidelity trace.
 
@@ -471,6 +526,14 @@ def summarize_records(records: List[Dict[str, Any]]) -> str:
             "--------------",
             trace_section,
         ]
+    tenant_section = summarize_tenants(records)
+    if tenant_section:
+        sections += [
+            "",
+            "tenants",
+            "-------",
+            tenant_section,
+        ]
     cluster_section = summarize_cluster_devices(records)
     if cluster_section:
         sections += [
@@ -533,6 +596,7 @@ def render_top(records: List[Dict[str, Any]]) -> str:
     for title, section in (
         ("histograms", summarize_histograms(records)),
         ("slo burn rates", summarize_slo(records)),
+        ("tenants", summarize_tenants(records)),
         ("request traces", summarize_traces(records)),
         ("cluster devices", summarize_cluster_devices(records)),
     ):

@@ -1,0 +1,46 @@
+"""Multi-tenant QoS primitives: tenant identity, weights, fair queueing.
+
+The serving layer treats the *tenant* as the unit of fairness: every
+request carries a tenant id (``default`` when unset), the admission
+queue dispatches deficit-round-robin over configured tenant weights,
+quotas cap any one tenant's queue share, and overload shedding charges
+the tenant over its fair share instead of whoever pushed last.  See
+``docs/multitenancy.md``.
+"""
+
+from .fair_queue import FairAdmissionQueue, entry_tenant
+from .tenant import (
+    BURN_SHED_ENV,
+    DEFAULT_BURN_SHED,
+    DEFAULT_QUOTA_FRACTION,
+    DEFAULT_TENANT,
+    DEFAULT_WEIGHT,
+    MIN_WEIGHT,
+    QUOTA_ENV,
+    TenantPolicy,
+    WEIGHTS_ENV,
+    normalize_tenant,
+    parse_tenant_weights,
+    policy_from_env,
+    tenant_burn_shed_threshold,
+    tenant_quota_fraction,
+)
+
+__all__ = [
+    "BURN_SHED_ENV",
+    "DEFAULT_BURN_SHED",
+    "DEFAULT_QUOTA_FRACTION",
+    "DEFAULT_TENANT",
+    "DEFAULT_WEIGHT",
+    "FairAdmissionQueue",
+    "MIN_WEIGHT",
+    "QUOTA_ENV",
+    "TenantPolicy",
+    "WEIGHTS_ENV",
+    "entry_tenant",
+    "normalize_tenant",
+    "parse_tenant_weights",
+    "policy_from_env",
+    "tenant_burn_shed_threshold",
+    "tenant_quota_fraction",
+]

@@ -252,6 +252,97 @@ class TestRuntimeKnobFallbacks:
         with caplog.at_level(logging.WARNING):
             assert resolve_audit_rate() == 0.0
 
+    def test_invalid_tenant_weights_fall_back_and_warn_once(
+        self, monkeypatch, caplog
+    ):
+        from repro.tenancy import parse_tenant_weights
+
+        for raw in ("alice=3", "alice:heavy", "alice:-1", "alice:0",
+                    "alice:nan", ":3"):
+            telemetry.reset_warnings()
+            monkeypatch.setenv("REPRO_TENANT_WEIGHTS", raw)
+            caplog.clear()
+            with caplog.at_level(logging.WARNING):
+                assert parse_tenant_weights() == {}
+                assert parse_tenant_weights() == {}  # second parse: silent
+            assert caplog.text.count("REPRO_TENANT_WEIGHTS") == 1
+
+    def test_valid_tenant_weights_parse(self, monkeypatch):
+        from repro.tenancy import parse_tenant_weights
+
+        monkeypatch.setenv("REPRO_TENANT_WEIGHTS", " alice:3, bob:0.5 ")
+        assert parse_tenant_weights() == {"alice": 3.0, "bob": 0.5}
+
+    def test_invalid_tenant_quota_falls_back_and_warns_once(
+        self, monkeypatch, caplog
+    ):
+        from repro.tenancy import tenant_quota_fraction
+
+        monkeypatch.setenv("REPRO_TENANT_QUOTA", "half")
+        with caplog.at_level(logging.WARNING):
+            assert tenant_quota_fraction() == 1.0
+            assert tenant_quota_fraction() == 1.0
+        assert caplog.text.count("REPRO_TENANT_QUOTA") == 1
+
+    def test_invalid_burn_shed_falls_back_and_warns_once(
+        self, monkeypatch, caplog
+    ):
+        from repro.tenancy import tenant_burn_shed_threshold
+
+        monkeypatch.setenv("REPRO_TENANT_BURN_SHED", "hot")
+        with caplog.at_level(logging.WARNING):
+            assert tenant_burn_shed_threshold() == 1.0
+            assert tenant_burn_shed_threshold() == 1.0
+        assert caplog.text.count("REPRO_TENANT_BURN_SHED") == 1
+
+    def test_invalid_autoscale_knobs_fall_back_and_warn_once(
+        self, monkeypatch, caplog
+    ):
+        from repro.cluster.autoscaler import (
+            autoscale_interval_s,
+            autoscale_max_devices,
+            autoscale_min_devices,
+        )
+
+        cases = (
+            ("REPRO_AUTOSCALE_MIN", "few", autoscale_min_devices, 1),
+            ("REPRO_AUTOSCALE_MAX", "4.5", autoscale_max_devices, 8),
+            ("REPRO_AUTOSCALE_INTERVAL", "fast", autoscale_interval_s,
+             1.0),
+        )
+        for env, raw, fn, default in cases:
+            telemetry.reset_warnings()
+            monkeypatch.setenv(env, raw)
+            caplog.clear()
+            with caplog.at_level(logging.WARNING):
+                assert fn() == default
+                assert fn() == default
+            assert caplog.text.count(env) == 1
+            monkeypatch.delenv(env)
+
+    def test_autoscale_bounds_clamp_instead_of_raising(self, monkeypatch):
+        from repro.cluster.autoscaler import (
+            autoscale_interval_s,
+            autoscale_min_devices,
+        )
+
+        monkeypatch.setenv("REPRO_AUTOSCALE_MIN", "-3")
+        assert autoscale_min_devices() == 1
+        monkeypatch.setenv("REPRO_AUTOSCALE_INTERVAL", "0")
+        assert autoscale_interval_s() == 0.01
+
+    def test_tenancy_knobs_are_registered(self):
+        from repro.knobs import knob
+
+        for name in (
+            "REPRO_TENANT_WEIGHTS", "REPRO_TENANT_QUOTA",
+            "REPRO_TENANT_BURN_SHED", "REPRO_AUTOSCALE_MIN",
+            "REPRO_AUTOSCALE_MAX", "REPRO_AUTOSCALE_INTERVAL",
+            "REPRO_AUTOSCALE_UP_DEPTH", "REPRO_AUTOSCALE_DOWN_DEPTH",
+            "REPRO_AUTOSCALE_UP_LATENCY_MS",
+        ):
+            assert knob(name).subsystem in ("tenancy", "autoscale")
+
     def test_audit_rate_fallback_counts_in_warning_bucket(
         self, monkeypatch
     ):
